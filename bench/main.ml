@@ -1,0 +1,438 @@
+(* Benchmark harness regenerating every comparative claim of the thesis.
+
+   The thesis (Oki, MIT/LCS/TR-308) has no measured tables — its Ch. 6
+   explicitly leaves measurement to future work — so EXPERIMENTS.md defines
+   one experiment per comparative claim and per figure, and this harness
+   regenerates all of them:
+
+     e1  commit-path cost vs stable-state size     (§1.2.2 claims 1–2)
+     e2  recovery cost vs log length               (§1.2.2, §4.1)
+     e3  housekeeping: compaction vs snapshot      (§5.3)
+     e4  recovery cost with vs without checkpoint  (§5.0)
+     e5  prepare latency with early prepare        (§4.4)
+     e6  combined cost crossover vs crash rate     (§1.2.2 assumption)
+     e7  2PC crash matrix                          (§2.2.3)
+
+   Usage: dune exec bench/main.exe [-- e1|e2|...|e7|bechamel|all]
+   The default runs every experiment plus the Bechamel microbenchmarks. *)
+
+module Scheme = Rs_workload.Scheme
+module Synth = Rs_workload.Synth
+module Heap = Rs_objstore.Heap
+module Value = Rs_objstore.Value
+module Gid = Rs_util.Gid
+
+let now () = Unix.gettimeofday ()
+
+let time_it f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+let header title = Printf.printf "\n=== %s ===\n" title
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* e1 — writing cost per committed action vs stable-state size.
+   Claim (§1.2.2): log organizations write fast regardless of state
+   size; shadowing rewrites the map on every commit, so its cost grows
+   with the number of objects. *)
+
+let e1 () =
+  header "e1: commit-path cost vs stable-state size (§1.2.2 claims 1-2)";
+  row "%-8s %8s %14s %14s %12s\n" "scheme" "objects" "pages/commit" "log entries" "us/commit";
+  List.iter
+    (fun n ->
+      List.iter
+        (fun scheme ->
+          let t = Synth.create ~seed:42 ~scheme ~n_objects:n ~payload_bytes:64 () in
+          (* Warm up one action so allocation effects settle. *)
+          Synth.run_random_actions t ~n:1 ~objects_per_action:2 ();
+          let w0 = Scheme.physical_writes scheme in
+          let acts = 100 in
+          let _, dt =
+            time_it (fun () -> Synth.run_random_actions t ~n:acts ~objects_per_action:2 ())
+          in
+          let dw = Scheme.physical_writes scheme - w0 in
+          row "%-8s %8d %14.1f %14d %12.1f\n" (Scheme.name scheme) n
+            (float_of_int dw /. float_of_int acts)
+            (Scheme.log_entries scheme)
+            (dt /. float_of_int acts *. 1e6))
+        (Scheme.all ()))
+    [ 16; 64; 256; 1024 ];
+  print_endline "shape: simple/hybrid flat in #objects; shadow grows linearly (map rewrite)."
+
+(* ------------------------------------------------------------------ *)
+(* e2 — recovery cost vs log length.
+   Claim: simple-log recovery reads every entry; hybrid reads only the
+   outcome chain plus needed data entries; shadowing recovery is
+   proportional to the state, not the history. *)
+
+let recovery_cost scheme_t =
+  let (recovered, info), dt = time_it (fun () -> Scheme.crash_recover scheme_t) in
+  ignore recovered;
+  (info.Core.Tables.Recovery_info.entries_processed, dt *. 1e6)
+
+let e2 () =
+  header "e2: recovery cost vs log length (§1.2.2, §4.1)";
+  row "%-8s %8s %18s %12s\n" "scheme" "actions" "entries processed" "us/recover";
+  List.iter
+    (fun history ->
+      List.iter
+        (fun scheme ->
+          let t = Synth.create ~seed:7 ~scheme ~n_objects:64 ~payload_bytes:64 () in
+          Synth.run_random_actions t ~n:history ~objects_per_action:2 ~abort_rate:0.1 ();
+          let entries, us = recovery_cost (Synth.scheme t) in
+          row "%-8s %8d %18d %12.1f\n" (Scheme.name scheme) history entries us)
+        (Scheme.all ()))
+    [ 50; 200; 800 ];
+  print_endline
+    "shape: simple grows fastest (reads all), hybrid grows slower (outcome chain only),\n\
+     shadow flat (reads the map, not the history).";
+  (* Ablation: give simple and hybrid the SAME snapshot-checkpoint
+     discipline (every 100 actions); the residual difference is the
+     chain-following benefit alone. *)
+  row "\nablation: with a snapshot checkpoint every 100 actions\n";
+  row "%-8s %8s %18s %12s\n" "scheme" "actions" "entries processed" "us/recover";
+  List.iter
+    (fun history ->
+      List.iter
+        (fun scheme ->
+          let t = Synth.create ~seed:7 ~scheme ~n_objects:64 ~payload_bytes:64 () in
+          let remaining = ref history in
+          while !remaining > 0 do
+            let batch = min 100 !remaining in
+            Synth.run_random_actions t ~n:batch ~objects_per_action:2 ~abort_rate:0.1 ();
+            remaining := !remaining - batch;
+            if !remaining > 0 then Scheme.housekeep scheme Scheme.Snapshot
+          done;
+          let entries, us = recovery_cost (Synth.scheme t) in
+          row "%-8s %8d %18d %12.1f\n" (Scheme.name scheme) history entries us)
+        [ Scheme.simple (); Scheme.hybrid () ])
+    [ 200; 800 ];
+  print_endline
+    "shape: checkpoints bound both; between checkpoints the hybrid still\n\
+     processes fewer entries (skips data entries of committed actions)."
+
+(* ------------------------------------------------------------------ *)
+(* e3 — housekeeping: compaction vs snapshot.
+   Claim (§5.3): snapshot time is roughly proportional to the number of
+   accessible objects; compaction must additionally process every
+   outcome entry in the log, so it grows with history. *)
+
+let hk_time ~objects ~history technique =
+  let t =
+    Synth.create ~seed:11 ~scheme:(Scheme.hybrid ()) ~n_objects:objects ~payload_bytes:64 ()
+  in
+  Synth.run_random_actions t ~n:history ~objects_per_action:2 ~abort_rate:0.1 ();
+  let _, dt = time_it (fun () -> Scheme.housekeep (Synth.scheme t) technique) in
+  dt *. 1e6
+
+let e3 () =
+  header "e3: housekeeping duration, compaction vs snapshot (§5.3)";
+  row "sweep A: history grows, 64 objects fixed\n";
+  row "%10s %16s %16s\n" "actions" "compaction us" "snapshot us";
+  List.iter
+    (fun history ->
+      row "%10d %16.1f %16.1f\n" history
+        (hk_time ~objects:64 ~history Scheme.Compaction)
+        (hk_time ~objects:64 ~history Scheme.Snapshot))
+    [ 100; 400; 1600 ];
+  row "sweep B: objects grow, 200 actions fixed\n";
+  row "%10s %16s %16s\n" "objects" "compaction us" "snapshot us";
+  List.iter
+    (fun objects ->
+      row "%10d %16.1f %16.1f\n" objects
+        (hk_time ~objects ~history:200 Scheme.Compaction)
+        (hk_time ~objects ~history:200 Scheme.Snapshot))
+    [ 16; 64; 256; 1024 ];
+  print_endline
+    "shape: compaction grows with history (sweep A) and state (sweep B);\n\
+     snapshot tracks only the state size — the thesis's argument for snapshots."
+
+(* ------------------------------------------------------------------ *)
+(* e4 — recovery cost with vs without a checkpoint. *)
+
+let e4 () =
+  header "e4: recovery cost with vs without housekeeping checkpoint (§5.0)";
+  let t =
+    Synth.create ~seed:13 ~scheme:(Scheme.hybrid ()) ~n_objects:64 ~payload_bytes:64 ()
+  in
+  Synth.run_random_actions t ~n:1000 ~objects_per_action:2 ();
+  let entries_before, us_before = recovery_cost (Synth.scheme t) in
+  Scheme.housekeep (Synth.scheme t) Scheme.Snapshot;
+  Synth.run_random_actions t ~n:20 ~objects_per_action:2 ();
+  let entries_after, us_after = recovery_cost (Synth.scheme t) in
+  row "%-28s %10s %12s\n" "" "entries" "us/recover";
+  row "%-28s %10d %12.1f\n" "1000 actions, no checkpoint" entries_before us_before;
+  row "%-28s %10d %12.1f\n" "snapshot + 20 actions" entries_after us_after;
+  Printf.printf "speedup: %.1fx fewer entries\n"
+    (float_of_int entries_before /. float_of_int (max entries_after 1))
+
+(* ------------------------------------------------------------------ *)
+(* e5 — early prepare (§4.4): the prepare call itself gets cheaper when
+   data entries were written ahead of the prepare message. *)
+
+let e5 () =
+  header "e5: prepare latency with vs without early prepare (§4.4)";
+  row "%12s %18s %18s\n" "objects/act" "plain prepare us" "early-prepared us";
+  List.iter
+    (fun k ->
+      let run ~early =
+        let heap = Heap.create () in
+        let dir = Rs_slog.Log_dir.create () in
+        let rs = Core.Hybrid_rs.create heap dir in
+        let aid n = Rs_util.Aid.make ~coordinator:(Gid.of_int 0) ~seq:n in
+        let addrs =
+          List.init k (fun i ->
+              let a =
+                Heap.alloc_atomic heap ~creator:(aid 0)
+                  (Value.Tup [| Value.Int 0; Value.Str (String.make 128 'x') |])
+              in
+              Heap.set_stable_var heap (aid 0) (Printf.sprintf "o%d" i) (Value.Ref a);
+              a)
+        in
+        Core.Hybrid_rs.prepare rs (aid 0) (Heap.mos heap (aid 0));
+        Core.Hybrid_rs.commit rs (aid 0);
+        Heap.commit_action heap (aid 0);
+        let total = ref 0.0 in
+        let reps = 50 in
+        for r = 1 to reps do
+          let t = aid r in
+          List.iter
+            (fun a ->
+              Heap.set_current heap t a
+                (Value.Tup [| Value.Int r; Value.Str (String.make 128 'x') |]))
+            addrs;
+          (* With early prepare, write_entry has already logged the MOS;
+             the prepare call receives only the leftovers — here none
+             (§4.4: "the MOS contains objects that had not already been
+             early prepared"). *)
+          let leftovers =
+            if early then Core.Hybrid_rs.write_entry rs t (Heap.mos heap t)
+            else Heap.mos heap t
+          in
+          (* Measure only the prepare call — what the participant's reply
+             latency depends on. *)
+          let _, dt = time_it (fun () -> Core.Hybrid_rs.prepare rs t leftovers) in
+          total := !total +. dt;
+          Core.Hybrid_rs.commit rs t;
+          Heap.commit_action heap t
+        done;
+        !total /. float_of_int reps *. 1e6
+      in
+      row "%12d %18.2f %18.2f\n" k (run ~early:false) (run ~early:true))
+    [ 1; 4; 16; 64 ];
+  print_endline "shape: early prepare moves the flatten+write cost off the prepare path."
+
+(* ------------------------------------------------------------------ *)
+(* e6 — combined cost: writing + crash_rate x recovery. The thesis's
+   design assumption (§1.2.2): crashes are rare, so prefer fast writing;
+   this table shows where each organization wins as crashes get more
+   frequent. Costs are measured, per action, at 256 objects with 200
+   actions in the log when the crash hits. *)
+
+let e6 () =
+  header "e6: combined cost per action vs crash rate (§1.2.2 assumption)";
+  let measure scheme =
+    let t = Synth.create ~seed:17 ~scheme ~n_objects:256 ~payload_bytes:64 () in
+    Synth.run_random_actions t ~n:10 ~objects_per_action:2 ();
+    let acts = 200 in
+    let _, wt =
+      time_it (fun () -> Synth.run_random_actions t ~n:acts ~objects_per_action:2 ())
+    in
+    let write_us = wt /. float_of_int acts *. 1e6 in
+    let _, rus = recovery_cost (Synth.scheme t) in
+    (write_us, rus)
+  in
+  let costs = List.map (fun s -> (Scheme.name s, measure s)) (Scheme.all ()) in
+  row "%-10s %14s %14s\n" "scheme" "write us/act" "recover us";
+  List.iter (fun (n, (w, r)) -> row "%-10s %14.1f %14.1f\n" n w r) costs;
+  row "\ncombined cost per action (write + p_crash x recovery):\n";
+  row "%-12s" "p(crash)/act";
+  List.iter (fun (n, _) -> row " %12s" n) costs;
+  row " %12s\n" "winner";
+  List.iter
+    (fun p ->
+      row "%-12s" (Printf.sprintf "%g" p);
+      let vals = List.map (fun (n, (w, r)) -> (n, w +. (p *. r))) costs in
+      List.iter (fun (_, v) -> row " %12.1f" v) vals;
+      let winner =
+        List.fold_left
+          (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv))
+          ("-", infinity) vals
+      in
+      row " %12s\n" (fst winner))
+    [ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1 ];
+  print_endline
+    "shape: at realistic (low) crash rates the log organizations win on writing;\n\
+     as crashes dominate, fast recovery pays — the §1.2.2 trade-off."
+
+(* ------------------------------------------------------------------ *)
+(* e7 — the §2.2.3 crash matrix over the full distributed stack. *)
+
+let e7 () =
+  header "e7: 2PC crash matrix (§2.2.3)";
+  let module System = Rs_guardian.System in
+  let module Sim = Rs_sim.Sim in
+  let g = Gid.of_int in
+  let set_var name v : System.work =
+   fun heap aid ->
+    match Heap.get_stable_var heap name with
+    | Some (Value.Ref a) -> Heap.set_current heap aid a (Value.Int v)
+    | Some _ -> failwith "bad var"
+    | None ->
+        let a = Heap.alloc_atomic heap ~creator:aid (Value.Int v) in
+        Heap.set_stable_var heap aid name (Value.Ref a)
+  in
+  let stable_int gd name =
+    let heap = Rs_guardian.Guardian.heap gd in
+    match Heap.get_stable_var heap name with
+    | Some (Value.Ref a) -> (
+        match (Heap.atomic_view heap a).base with Value.Int v -> Some v | _ -> None)
+    | Some _ | None -> None
+  in
+  row "%-14s %10s %10s %8s\n" "crash victim" "committed" "aborted" "split";
+  List.iter
+    (fun (victim, label) ->
+      let committed = ref 0 and aborted = ref 0 and split = ref 0 in
+      for crash_after = 1 to 40 do
+        let sys = System.create ~n:2 () in
+        let wait cb =
+          let r = ref None in
+          cb (fun o -> r := Some o);
+          System.quiesce sys;
+          !r
+        in
+        ignore
+          (wait (fun k ->
+               System.submit sys ~coordinator:(g 0)
+                 ~steps:[ (g 0, set_var "x" 1) ]
+                 (fun _ o -> k o)));
+        ignore
+          (wait (fun k ->
+               System.submit sys ~coordinator:(g 0)
+                 ~steps:[ (g 1, set_var "y" 1) ]
+                 (fun _ o -> k o)));
+        System.submit sys ~coordinator:(g 0)
+          ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
+          (fun _ _ -> ());
+        let rec steps n = if n > 0 && Sim.step (System.sim sys) then steps (n - 1) in
+        steps crash_after;
+        System.crash sys victim;
+        ignore (System.restart sys victim);
+        System.quiesce sys;
+        match
+          ( stable_int (System.guardian sys (g 0)) "x",
+            stable_int (System.guardian sys (g 1)) "y" )
+        with
+        | Some 2, Some 2 -> incr committed
+        | Some 1, Some 1 -> incr aborted
+        | _ -> incr split
+      done;
+      row "%-14s %10d %10d %8d%s\n" label !committed !aborted !split
+        (if !split = 0 then "  (atomic at every crash point)" else "  ATOMICITY VIOLATED"))
+    [ (g 1, "participant"); (g 0, "coordinator") ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: one Test.make per experiment kernel. *)
+
+let bechamel_suite () =
+  header "bechamel microbenchmarks (ns per operation, OLS estimate)";
+  let open Bechamel in
+  let commit_kernel scheme =
+    let t = Synth.create ~seed:23 ~scheme ~n_objects:64 ~payload_bytes:64 () in
+    Staged.stage (fun () -> Synth.run_random_actions t ~n:1 ~objects_per_action:2 ())
+  in
+  let recovery_kernel scheme =
+    let t = Synth.create ~seed:29 ~scheme ~n_objects:64 ~payload_bytes:64 () in
+    Synth.run_random_actions t ~n:100 ~objects_per_action:2 ();
+    Staged.stage (fun () -> ignore (Scheme.crash_recover (Synth.scheme t)))
+  in
+  let housekeep_kernel technique =
+    let t =
+      Synth.create ~seed:31 ~scheme:(Scheme.hybrid ()) ~n_objects:64 ~payload_bytes:64 ()
+    in
+    Synth.run_random_actions t ~n:100 ~objects_per_action:2 ();
+    Staged.stage (fun () ->
+        Synth.run_random_actions t ~n:20 ~objects_per_action:2 ();
+        Scheme.housekeep (Synth.scheme t) technique)
+  in
+  let early_prepare_kernel ~early =
+    let scheme = Scheme.hybrid () in
+    let t = Synth.create ~seed:37 ~scheme ~n_objects:64 ~payload_bytes:64 () in
+    let i = ref 0 in
+    Staged.stage (fun () ->
+        incr i;
+        let idx = !i mod 64 in
+        ignore early;
+        Synth.run_action t ~indices:[ idx ] ~outcome:`Commit)
+  in
+  ignore early_prepare_kernel;
+  let tests =
+    Test.make_grouped ~name:"argus"
+      [
+        Test.make_grouped ~name:"e1-commit"
+          (List.map (fun s -> Test.make ~name:(Scheme.name s) (commit_kernel s)) (Scheme.all ()));
+        Test.make_grouped ~name:"e2-recovery"
+          (List.map
+             (fun s -> Test.make ~name:(Scheme.name s) (recovery_kernel s))
+             (Scheme.all ()));
+        Test.make_grouped ~name:"e3-housekeeping"
+          [
+            Test.make ~name:"compaction" (housekeep_kernel Scheme.Compaction);
+            Test.make ~name:"snapshot" (housekeep_kernel Scheme.Snapshot);
+          ];
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, ns) -> row "%-40s %14.0f ns/run\n" name ns) rows
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1);
+    ("e2", e2);
+    ("e3", e3);
+    ("e4", e4);
+    ("e5", e5);
+    ("e6", e6);
+    ("e7", e7);
+    ("bechamel", bechamel_suite);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    match args with
+    | [] | [ "all" ] -> experiments
+    | names ->
+        List.map
+          (fun n ->
+            match List.assoc_opt n experiments with
+            | Some f -> (n, f)
+            | None ->
+                Printf.eprintf "unknown experiment %s (e1..e7, bechamel, all)\n" n;
+                exit 2)
+          names
+  in
+  print_endline "Reliable Object Storage to Support Atomic Actions — benchmark harness";
+  print_endline "(thesis has no measured tables; experiments per EXPERIMENTS.md)";
+  List.iter (fun (_, f) -> f ()) to_run

@@ -1,0 +1,248 @@
+(* argusctl — command-line driver for the reliable-object-storage
+   simulator: run workloads, inject crashes, inspect logs.
+
+   dune exec bin/argusctl.exe -- <command> [options] *)
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (runs are deterministic).")
+
+(* bank: distributed transfers with crash injection *)
+
+let bank seed guardians accounts transfers crash_every drop =
+  let system =
+    Rs_guardian.System.create ~seed ~latency:1.0 ~jitter:0.5 ~drop_prob:drop ~n:guardians ()
+  in
+  let bank =
+    Rs_workload.Bank.create ~seed:(seed + 1) ~system ~accounts_per_guardian:accounts
+      ~initial_balance:1000 ()
+  in
+  Rs_workload.Bank.run bank ~n_transfers:transfers
+    ?crash_every:(if crash_every = 0 then None else Some crash_every)
+    ();
+  Printf.printf "transfers: %d committed, %d aborted\n" (Rs_workload.Bank.committed bank)
+    (Rs_workload.Bank.aborted bank);
+  match Rs_workload.Bank.check_conservation bank with
+  | Ok () ->
+      print_endline "balance conserved ✓";
+      0
+  | Error msg ->
+      print_endline ("VIOLATION: " ^ msg);
+      1
+
+let bank_cmd =
+  let guardians = Arg.(value & opt int 3 & info [ "guardians" ] ~doc:"Number of guardians.") in
+  let accounts = Arg.(value & opt int 8 & info [ "accounts" ] ~doc:"Accounts per guardian.") in
+  let transfers = Arg.(value & opt int 200 & info [ "transfers" ] ~doc:"Transfers to run.") in
+  let crash_every =
+    Arg.(value & opt int 25 & info [ "crash-every" ] ~doc:"Crash a guardian every N transfers (0 = never).")
+  in
+  let drop = Arg.(value & opt float 0.02 & info [ "drop" ] ~doc:"Message loss probability.") in
+  Cmd.v
+    (Cmd.info "bank" ~doc:"Run the distributed bank workload with crash injection.")
+    Term.(const bank $ seed_arg $ guardians $ accounts $ transfers $ crash_every $ drop)
+
+(* churn: single-guardian synthetic workload + housekeeping statistics *)
+
+let churn seed scheme_name objects actions housekeep_every =
+  let scheme =
+    match scheme_name with
+    | "simple" -> Rs_workload.Scheme.simple ()
+    | "hybrid" -> Rs_workload.Scheme.hybrid ()
+    | "shadow" -> Rs_workload.Scheme.shadow ()
+    | s ->
+        Printf.eprintf "unknown scheme %s (simple|hybrid|shadow)\n" s;
+        exit 2
+  in
+  let t = ref (Rs_workload.Synth.create ~seed ~scheme ~n_objects:objects ()) in
+  let total = ref 0 in
+  while !total < actions do
+    let batch = min (max housekeep_every 1) (actions - !total) in
+    Rs_workload.Synth.run_random_actions !t ~n:batch ~objects_per_action:2 ~abort_rate:0.1 ();
+    total := !total + batch;
+    if housekeep_every > 0 && Rs_workload.Scheme.supports_housekeeping (Rs_workload.Synth.scheme !t)
+    then Rs_workload.Scheme.housekeep (Rs_workload.Synth.scheme !t) Rs_workload.Scheme.Snapshot
+  done;
+  let sch = Rs_workload.Synth.scheme !t in
+  Printf.printf "scheme=%s actions=%d log_entries=%d log_bytes=%d physical_writes=%d\n"
+    (Rs_workload.Scheme.name sch) actions
+    (Rs_workload.Scheme.log_entries sch)
+    (Rs_workload.Scheme.log_bytes sch)
+    (Rs_workload.Scheme.physical_writes sch);
+  let t', info = Rs_workload.Synth.crash_recover !t in
+  t := t';
+  Printf.printf "recovery processed %d entries\n" info.Core.Tables.Recovery_info.entries_processed;
+  match Rs_workload.Synth.check_consistent !t with
+  | Ok () ->
+      print_endline "state consistent after crash ✓";
+      0
+  | Error msg ->
+      print_endline ("CORRUPT: " ^ msg);
+      1
+
+let churn_cmd =
+  let scheme = Arg.(value & opt string "hybrid" & info [ "scheme" ] ~doc:"simple|hybrid|shadow.") in
+  let objects = Arg.(value & opt int 64 & info [ "objects" ] ~doc:"Objects in the stable state.") in
+  let actions = Arg.(value & opt int 500 & info [ "actions" ] ~doc:"Actions to run.") in
+  let hk =
+    Arg.(value & opt int 0 & info [ "housekeep-every" ] ~doc:"Snapshot every N actions (0 = never; hybrid only).")
+  in
+  Cmd.v
+    (Cmd.info "churn" ~doc:"Run a synthetic single-guardian workload and report log statistics.")
+    Term.(const churn $ seed_arg $ scheme $ objects $ actions $ hk)
+
+(* log: dump a freshly generated log, entry by entry (didactic) *)
+
+let dump_log actions =
+  let heap = Rs_objstore.Heap.create () in
+  let dir = Rs_slog.Log_dir.create () in
+  let rs = Core.Hybrid_rs.create heap dir in
+  let aid n = Rs_util.Aid.make ~coordinator:(Rs_util.Gid.of_int 0) ~seq:n in
+  let a = Rs_objstore.Heap.alloc_atomic heap ~creator:(aid 0) (Rs_objstore.Value.Int 0) in
+  Rs_objstore.Heap.set_stable_var heap (aid 0) "x" (Rs_objstore.Value.Ref a);
+  Core.Hybrid_rs.prepare rs (aid 0) (Rs_objstore.Heap.mos heap (aid 0));
+  Core.Hybrid_rs.commit rs (aid 0);
+  Rs_objstore.Heap.commit_action heap (aid 0);
+  for i = 1 to actions do
+    Rs_objstore.Heap.set_current heap (aid i) a (Rs_objstore.Value.Int i);
+    Core.Hybrid_rs.prepare rs (aid i) (Rs_objstore.Heap.mos heap (aid i));
+    if i mod 4 = 3 then Core.Hybrid_rs.abort rs (aid i)
+    else Core.Hybrid_rs.commit rs (aid i);
+    if i mod 4 = 3 then Rs_objstore.Heap.abort_action heap (aid i)
+    else Rs_objstore.Heap.commit_action heap (aid i)
+  done;
+  let log = Core.Hybrid_rs.log rs in
+  Printf.printf "hybrid log after %d actions (%d entries):\n" actions
+    (Rs_slog.Stable_log.entry_count log);
+  (match Rs_slog.Stable_log.get_top log with
+  | None -> ()
+  | Some top ->
+      Rs_slog.Stable_log.read_backward log top
+      |> List.of_seq |> List.rev
+      |> List.iter (fun (a, raw) ->
+             Format.printf "L%-5d %a@." a Core.Log_entry.pp (Core.Log_entry.decode raw)));
+  0
+
+let log_cmd =
+  let actions = Arg.(value & opt int 6 & info [ "actions" ] ~doc:"Actions to generate.") in
+  Cmd.v
+    (Cmd.info "dump-log" ~doc:"Generate a small hybrid log and print every entry.")
+    Term.(const dump_log $ actions)
+
+(* verify: run a workload, then validate the log structurally *)
+
+let verify seed scheme_name actions housekeep =
+  if scheme_name = "shadow" then begin
+    Printf.eprintf "verify: the shadow scheme has no single log to check\n";
+    exit 2
+  end;
+  let scheme =
+    match scheme_name with
+    | "simple" -> Rs_workload.Scheme.simple ()
+    | "hybrid" -> Rs_workload.Scheme.hybrid ()
+    | s ->
+        Printf.eprintf "unknown scheme %s (simple|hybrid)\n" s;
+        exit 2
+  in
+  let t = Rs_workload.Synth.create ~seed ~scheme ~n_objects:16 ~mutex_fraction:0.25 () in
+  Rs_workload.Synth.run_random_actions t ~n:actions ~objects_per_action:2 ~abort_rate:0.15 ();
+  if housekeep then Rs_workload.Scheme.housekeep scheme Rs_workload.Scheme.Snapshot;
+  match Rs_workload.Scheme.current_log scheme with
+  | None -> 2
+  | Some log -> (
+      Printf.printf "checking %d log entries (%d bytes)...\n"
+        (Rs_slog.Stable_log.entry_count log)
+        (Rs_slog.Stable_log.stream_bytes log);
+      match Core.Log_check.check_log log with
+      | [] ->
+          print_endline "log structurally sound ✓";
+          0
+      | issues ->
+          List.iter (fun i -> Format.printf "  %a@." Core.Log_check.pp_issue i) issues;
+          Printf.printf "%d issues\n" (List.length issues);
+          1)
+
+let verify_cmd =
+  let scheme = Arg.(value & opt string "hybrid" & info [ "scheme" ] ~doc:"simple|hybrid.") in
+  let actions = Arg.(value & opt int 200 & info [ "actions" ] ~doc:"Actions to run first.") in
+  let hk = Arg.(value & flag & info [ "housekeep" ] ~doc:"Snapshot before checking.") in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Generate a log with a workload and validate its structure (fsck).")
+    Term.(const verify $ seed_arg $ scheme $ actions $ hk)
+
+(* walkthrough: replay the thesis's log scenarios (Figs. 3-7, 3-8, 3-10)
+   and print the resulting tables, like the thesis's "at algorithm's end,
+   the PT and OT contain" paragraphs. *)
+
+let walkthrough () =
+  let module Le = Core.Log_entry in
+  let module Uid = Rs_util.Uid in
+  let aid n = Rs_util.Aid.make ~coordinator:(Rs_util.Gid.of_int 0) ~seq:n in
+  let fint = Rs_objstore.Fvalue.of_int in
+  let replay title entries =
+    Printf.printf "\n--- %s ---\n" title;
+    let dir = Rs_slog.Log_dir.create ~page_size:256 () in
+    let log = Rs_slog.Log_dir.current dir in
+    List.iter (fun e -> ignore (Rs_slog.Stable_log.write log (Le.encode e))) entries;
+    Rs_slog.Stable_log.force log;
+    print_endline "log (forward order):";
+    (match Rs_slog.Stable_log.get_top log with
+    | None -> ()
+    | Some top ->
+        Rs_slog.Stable_log.read_backward log top
+        |> List.of_seq |> List.rev
+        |> List.iter (fun (a, raw) -> Format.printf "  L%-4d %a@." a Le.pp (Le.decode raw)));
+    let _, info = Core.Simple_rs.recover dir in
+    print_endline "recovered tables:";
+    Format.printf "%a@." Core.Tables.Recovery_info.pp info
+  in
+  let t1 = aid 1 and t2 = aid 2 in
+  let o1 = Uid.of_int 1 and o2 = Uid.of_int 2 in
+  replay "Figure 3-7: atomic objects (T1 committed, T2 prepared)"
+    [
+      Le.Base_committed { uid = o1; version = fint 10; prev = None };
+      Le.Base_committed { uid = o2; version = fint 20; prev = None };
+      Le.Data { uid = Some o2; otype = Le.Atomic; aid = Some t1; version = fint 21 };
+      Le.Prepared { aid = t1; pairs = None; prev = None };
+      Le.Committed { aid = t1; prev = None };
+      Le.Data { uid = Some o1; otype = Le.Atomic; aid = Some t2; version = fint 11 };
+      Le.Prepared { aid = t2; pairs = None; prev = None };
+    ];
+  replay "Figure 3-8: mutex objects (T2 prepared then aborted)"
+    [
+      Le.Data { uid = Some o1; otype = Le.Mutex; aid = Some t1; version = fint 100 };
+      Le.Data { uid = Some o2; otype = Le.Mutex; aid = Some t1; version = fint 200 };
+      Le.Prepared { aid = t1; pairs = None; prev = None };
+      Le.Committed { aid = t1; prev = None };
+      Le.Data { uid = Some o1; otype = Le.Mutex; aid = Some t2; version = fint 101 };
+      Le.Prepared { aid = t2; pairs = None; prev = None };
+      Le.Aborted { aid = t2; prev = None };
+    ];
+  replay "Figure 3-10: a guardian as coordinator and participant"
+    [
+      Le.Base_committed { uid = o1; version = fint 10; prev = None };
+      Le.Data { uid = Some o1; otype = Le.Atomic; aid = Some t1; version = fint 11 };
+      Le.Prepared { aid = t1; pairs = None; prev = None };
+      Le.Committed { aid = t1; prev = None };
+      Le.Base_committed { uid = o2; version = fint 20; prev = None };
+      Le.Data { uid = Some o2; otype = Le.Atomic; aid = Some t2; version = fint 21 };
+      Le.Prepared { aid = t2; pairs = None; prev = None };
+      Le.Committing { aid = t2; gids = [ Rs_util.Gid.of_int 1; Rs_util.Gid.of_int 2 ]; prev = None };
+      Le.Committed { aid = t2; prev = None };
+      Le.Done { aid = t2; prev = None };
+    ];
+  0
+
+let walkthrough_cmd =
+  Cmd.v
+    (Cmd.info "walkthrough"
+       ~doc:"Replay the thesis's simple-log scenarios and print the recovered tables.")
+    Term.(const walkthrough $ const ())
+
+let () =
+  let doc = "reliable object storage to support atomic actions — simulator CLI" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "argusctl" ~doc)
+          [ bank_cmd; churn_cmd; log_cmd; verify_cmd; walkthrough_cmd ]))

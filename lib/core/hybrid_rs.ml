@@ -1,0 +1,568 @@
+module Uid = Rs_util.Uid
+module Aid = Rs_util.Aid
+module Gid = Rs_util.Gid
+module Vec = Rs_util.Vec
+module Heap = Rs_objstore.Heap
+module Flatten = Rs_objstore.Flatten
+module Log = Rs_slog.Stable_log
+module Log_dir = Rs_slog.Log_dir
+
+type addr = Log_entry.addr
+
+type t = {
+  heap : Heap.t;
+  mutable dir : Log_dir.t;
+  mutable log : Log.t;
+  mutable acc : Uid.Set.t; (* accessibility set (AS) *)
+  pat : unit Aid.Tbl.t; (* prepared actions table *)
+  pending : addr Uid.Tbl.t Aid.Tbl.t; (* per unprepared action: uid -> data-entry addr *)
+  mt : addr Uid.Tbl.t; (* mutex table: uid -> latest data-entry addr (§5.2) *)
+  committing_active : Gid.t list Aid.Tbl.t; (* coordinator actions in phase two *)
+  mutable last_outcome : addr option; (* head of the backward outcome chain *)
+  mutable oel : addr Vec.t option; (* outcome entries list while housekeeping *)
+}
+
+let heap t = t.heap
+let log t = t.log
+let dir t = t.dir
+
+let create heap dir =
+  {
+    heap;
+    dir;
+    log = Log_dir.current dir;
+    acc = Uid.Set.singleton Uid.stable_vars;
+    pat = Aid.Tbl.create 8;
+    pending = Aid.Tbl.create 8;
+    mt = Uid.Tbl.create 16;
+    committing_active = Aid.Tbl.create 4;
+    last_outcome = None;
+    oel = None;
+  }
+
+(* Outcome entries are chained through [prev] and, during housekeeping,
+   recorded in the OEL (§5.1.1). *)
+let append_outcome ?(force = false) t entry =
+  let entry = Log_entry.with_prev entry t.last_outcome in
+  let raw = Log_entry.encode entry in
+  let a = if force then Log.force_write t.log raw else Log.write t.log raw in
+  t.last_outcome <- Some a;
+  (match t.oel with Some v -> Vec.push v a | None -> ());
+  a
+
+let pending_tbl t aid =
+  match Aid.Tbl.find_opt t.pending aid with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Uid.Tbl.create 8 in
+      Aid.Tbl.replace t.pending aid tbl;
+      tbl
+
+let write_data t aid ~uid ~otype version =
+  let a =
+    Log.write t.log (Log_entry.encode (Log_entry.Data { uid = None; otype; aid = None; version }))
+  in
+  Uid.Tbl.replace (pending_tbl t aid) uid a;
+  if otype = Log_entry.Mutex then Uid.Tbl.replace t.mt uid a;
+  a
+
+let sink_for t aid : Write_objects.sink =
+  {
+    data = (fun ~uid ~otype version -> ignore (write_data t aid ~uid ~otype version));
+    base_committed =
+      (fun ~uid version ->
+        ignore (append_outcome t (Log_entry.Base_committed { uid; version; prev = None })));
+    prepared_data =
+      (fun ~uid ~aid version ->
+        ignore (append_outcome t (Log_entry.Prepared_data { uid; version; aid; prev = None })));
+  }
+
+let write_mos t aid mos =
+  Write_objects.write_mos ~heap:t.heap
+    ~accessible:(fun u -> Uid.Set.mem u t.acc)
+    ~add_accessible:(fun u -> t.acc <- Uid.Set.add u t.acc)
+    ~prepared:(fun a -> Aid.Tbl.mem t.pat a)
+    ~aid ~mos ~sink:(sink_for t aid)
+
+(* Early prepare exploits free time in the guardian (§4.4): besides
+   writing the entries, push them to the device now so the eventual
+   prepare only forces its own outcome entry. *)
+let write_entry t aid mos =
+  let leftovers = write_mos t aid mos in
+  Log.force t.log;
+  leftovers
+
+let pairs_of t aid =
+  match Aid.Tbl.find_opt t.pending aid with
+  | None -> []
+  | Some tbl ->
+      Uid.Tbl.fold (fun u a acc -> (u, a) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> Uid.compare a b)
+
+let pending_pairs = pairs_of
+
+let prepare t aid mos =
+  ignore (write_mos t aid mos);
+  let pairs = pairs_of t aid in
+  ignore (append_outcome ~force:true t (Log_entry.Prepared { aid; pairs = Some pairs; prev = None }));
+  Aid.Tbl.remove t.pending aid;
+  Aid.Tbl.replace t.pat aid ()
+
+let commit t aid =
+  ignore (append_outcome ~force:true t (Log_entry.Committed { aid; prev = None }));
+  Aid.Tbl.remove t.pat aid
+
+let abort t aid =
+  ignore (append_outcome ~force:true t (Log_entry.Aborted { aid; prev = None }));
+  Aid.Tbl.remove t.pat aid;
+  Aid.Tbl.remove t.pending aid
+
+let committing t aid gids =
+  ignore (append_outcome ~force:true t (Log_entry.Committing { aid; gids; prev = None }));
+  Aid.Tbl.replace t.committing_active aid gids
+
+let done_ t aid =
+  ignore (append_outcome ~force:true t (Log_entry.Done { aid; prev = None }));
+  Aid.Tbl.remove t.committing_active aid
+
+let prepared_actions t = Aid.Tbl.fold (fun a () acc -> a :: acc) t.pat []
+let accessible t u = Uid.Set.mem u t.acc
+
+let trim_accessibility_set t =
+  let reachable = Heap.reachable_uids t.heap in
+  t.acc <- Uid.Set.inter t.acc (Uid.Set.add Uid.stable_vars reachable)
+
+let mutex_table t =
+  Uid.Tbl.fold (fun u a acc -> (u, a) :: acc) t.mt []
+  |> List.sort (fun (a, _) (b, _) -> Uid.compare a b)
+
+let last_outcome_addr t = t.last_outcome
+
+(* Reading data entries referenced by pairs. *)
+let fetch_data log a =
+  match Log_entry.decode (Log.read log a) with
+  | Log_entry.Data { otype; version; _ } -> (otype, version)
+  | Log_entry.Prepared _ | Log_entry.Committed _ | Log_entry.Aborted _
+  | Log_entry.Committing _ | Log_entry.Done _ | Log_entry.Base_committed _
+  | Log_entry.Prepared_data _ | Log_entry.Committed_ss _ ->
+      failwith "Hybrid_rs: pair points at a non-data entry"
+
+(* Recovery (§4.3.3): walk the backward chain of outcome entries. *)
+
+let recover source_dir =
+  let dir = Log_dir.open_ source_dir in
+  let log = Log_dir.current dir in
+  let heap = Heap.create () in
+  let ctx = Restore.create_ctx heap in
+  (* Locate the chain head: the last outcome entry in the forced log
+     (early-prepared data entries may trail it). *)
+  let head = ref None in
+  (match Log.get_top log with
+  | None -> ()
+  | Some top ->
+      let exception Found of Log_entry.addr in
+      try
+        Seq.iter
+          (fun (a, raw) ->
+            ctx.Restore.processed <- ctx.Restore.processed + 1;
+            if Log_entry.is_outcome (Log_entry.decode raw) then raise (Found a))
+          (Log.read_backward log top)
+      with Found a -> head := Some a);
+  let rec walk = function
+    | None -> ()
+    | Some a ->
+        let entry = Log_entry.decode (Log.read log a) in
+        if a <> Option.get !head then ctx.Restore.processed <- ctx.Restore.processed + 1;
+        (match entry with
+        | Log_entry.Prepared { aid; pairs; _ } ->
+            Restore.on_prepared ctx aid;
+            Option.iter
+              (List.iter (fun (uid, daddr) ->
+                   Restore.on_data ctx ~uid ~aid:(Some aid) ~src:daddr ~fetch:(fun () ->
+                       ctx.Restore.processed <- ctx.Restore.processed + 1;
+                       fetch_data log daddr)))
+              pairs
+        | Log_entry.Committed { aid; _ } -> Restore.on_committed ctx aid
+        | Log_entry.Aborted { aid; _ } -> Restore.on_aborted ctx aid
+        | Log_entry.Committing { aid; gids; _ } -> Restore.on_committing ctx aid gids
+        | Log_entry.Done { aid; _ } -> Restore.on_done ctx aid
+        | Log_entry.Base_committed { uid; version; _ } ->
+            Restore.on_base_committed ctx ~uid version
+        | Log_entry.Prepared_data { uid; version; aid; _ } ->
+            Restore.on_prepared_data ctx ~uid ~aid version
+        | Log_entry.Committed_ss { cssl; _ } ->
+            Restore.on_committed_ss ctx ~pairs:cssl ~fetch:(fun daddr ->
+                ctx.Restore.processed <- ctx.Restore.processed + 1;
+                fetch_data log daddr)
+        | Log_entry.Data _ -> failwith "Hybrid_rs.recover: data entry on the outcome chain");
+        walk (Log_entry.prev entry)
+  in
+  walk !head;
+  let ot_entries = Tables.Ot.to_list ctx.Restore.ot in
+  let info = Restore.finish ctx ~uid_gen:(Heap.uid_gen heap) ~aid_gen:None in
+  let t =
+    {
+      heap;
+      dir;
+      log;
+      acc = Uid.Set.add Uid.stable_vars (Heap.reachable_uids heap);
+      pat = Aid.Tbl.create 8;
+      pending = Aid.Tbl.create 8;
+      mt = Uid.Tbl.create 16;
+      committing_active = Aid.Tbl.create 4;
+      last_outcome = !head;
+      oel = None;
+    }
+  in
+  (* Rebuild the MT (§5.2): latest data-entry address per restored mutex. *)
+  List.iter
+    (fun (uid, (e : Tables.Ot.entry)) ->
+      if e.src >= 0 && Heap.kind_of heap e.vm = Heap.Mutex then Uid.Tbl.replace t.mt uid e.src)
+    ot_entries;
+  List.iter (fun aid -> Aid.Tbl.replace t.pat aid ()) (Tables.Recovery_info.prepared_actions info);
+  List.iter
+    (fun (aid, gids) -> Aid.Tbl.replace t.committing_active aid gids)
+    (Tables.Recovery_info.committing_actions info);
+  (t, info)
+
+(* Housekeeping (Chapter 5). *)
+
+type technique = Compaction | Snapshot
+
+(* Stage-one object table: tracks which objects already reached the new
+   log, and — for mutex objects — the OLD-log address of the version
+   copied, for the latest-version comparisons of §5.1.1/§5.2. *)
+type hk_ot_entry = { mutable hstate : [ `Prepared | `Restored ]; mutable old_src : addr }
+
+type job = {
+  technique : technique;
+  old_log : Log.t;
+  new_log : Log.t;
+  oel : addr Vec.t;
+  hk_ot : hk_ot_entry Uid.Tbl.t;
+  new_mt : addr Uid.Tbl.t;
+  mutable cssl : (Uid.t * addr) list; (* reversed accumulation *)
+  mutable chained : Log_entry.t list; (* discovery order: newest first; prev filled later *)
+  mutable new_head : addr option;
+  new_as : Uid.Set.t option; (* snapshot only *)
+}
+
+let wdata job ~otype version =
+  Log.write job.new_log
+    (Log_entry.encode (Log_entry.Data { uid = None; otype; aid = None; version }))
+
+(* Copy a committed version to the new log and record it in the CSSL. *)
+let copy_committed job ~uid ~otype version =
+  let a = wdata job ~otype version in
+  job.cssl <- (uid, a) :: job.cssl;
+  a
+
+(* Mutex latest-version rule against OLD-log addresses; returns true and
+   updates the trackers when [oaddr] wins. *)
+let mutex_is_latest job ~uid ~oaddr =
+  match Uid.Tbl.find_opt job.hk_ot uid with
+  | Some e when oaddr <= e.old_src -> false
+  | Some e ->
+      e.old_src <- oaddr;
+      true
+  | None ->
+      Uid.Tbl.replace job.hk_ot uid { hstate = `Restored; old_src = oaddr };
+      true
+
+let copy_mutex_if_latest job ~uid ~oaddr version =
+  if mutex_is_latest job ~uid ~oaddr then begin
+    let a = copy_committed job ~uid ~otype:Log_entry.Mutex version in
+    Uid.Tbl.replace job.new_mt uid a
+  end
+
+(* Atomic-object dedup for committed versions: the first (newest) version
+   seen wins; a pending `Prepared state means only the base is still owed. *)
+let atomic_committed job ~uid version =
+  match Uid.Tbl.find_opt job.hk_ot uid with
+  | Some { hstate = `Restored; _ } -> ()
+  | Some ({ hstate = `Prepared; _ } as e) ->
+      e.hstate <- `Restored;
+      ignore (copy_committed job ~uid ~otype:Log_entry.Atomic version)
+  | None ->
+      Uid.Tbl.replace job.hk_ot uid { hstate = `Restored; old_src = -1 };
+      ignore (copy_committed job ~uid ~otype:Log_entry.Atomic version)
+
+let atomic_mark_prepared job ~uid =
+  if not (Uid.Tbl.mem job.hk_ot uid) then
+    Uid.Tbl.replace job.hk_ot uid { hstate = `Prepared; old_src = -1 }
+
+(* Stage one of log compaction (§5.1.1): rebuild the stable state by
+   reading the old chain, as recovery would, but writing entries to the
+   new log instead of objects to volatile memory. *)
+let compaction_stage1 t job =
+  let pt = Tables.Pt.create () in
+  let ct = Tables.Ct.create () in
+  let rec walk = function
+    | None -> ()
+    | Some a ->
+        let entry = Log_entry.decode (Log.read job.old_log a) in
+        (match entry with
+        | Log_entry.Committed { aid; _ } -> Tables.Pt.add_if_absent pt aid Tables.Pt.Committed
+        | Log_entry.Aborted { aid; _ } -> Tables.Pt.add_if_absent pt aid Tables.Pt.Aborted
+        | Log_entry.Done { aid; _ } -> Tables.Ct.add_if_absent ct aid Tables.Ct.Done
+        | Log_entry.Committing { aid; gids; _ } ->
+            if Tables.Ct.find ct aid = None then begin
+              Tables.Ct.add_if_absent ct aid (Tables.Ct.Committing gids);
+              job.chained <-
+                Log_entry.Committing { aid; gids; prev = None } :: job.chained
+            end
+        | Log_entry.Base_committed { uid; version; _ } -> atomic_committed job ~uid version
+        | Log_entry.Prepared_data { uid; version; aid; _ } -> (
+            match Tables.Pt.find pt aid with
+            | Some Tables.Pt.Aborted -> ()
+            | Some Tables.Pt.Committed -> atomic_committed job ~uid version
+            | Some Tables.Pt.Prepared | None ->
+                Tables.Pt.add_if_absent pt aid Tables.Pt.Prepared;
+                if not (Uid.Tbl.mem job.hk_ot uid) then begin
+                  atomic_mark_prepared job ~uid;
+                  job.chained <-
+                    Log_entry.Prepared_data { uid; version; aid; prev = None } :: job.chained
+                end)
+        | Log_entry.Prepared { aid; pairs; _ } -> (
+            let pairs = Option.value pairs ~default:[] in
+            match
+              match Tables.Pt.find pt aid with
+              | Some s -> s
+              | None ->
+                  Tables.Pt.add_if_absent pt aid Tables.Pt.Prepared;
+                  Tables.Pt.Prepared
+            with
+            | Tables.Pt.Committed ->
+                List.iter
+                  (fun (uid, oaddr) ->
+                    match fetch_data job.old_log oaddr with
+                    | Log_entry.Atomic, version -> atomic_committed job ~uid version
+                    | Log_entry.Mutex, version -> copy_mutex_if_latest job ~uid ~oaddr version)
+                  pairs
+            | Tables.Pt.Aborted ->
+                List.iter
+                  (fun (uid, oaddr) ->
+                    match fetch_data job.old_log oaddr with
+                    | Log_entry.Atomic, _ -> ()
+                    | Log_entry.Mutex, version -> copy_mutex_if_latest job ~uid ~oaddr version)
+                  pairs
+            | Tables.Pt.Prepared ->
+                (* Outcome unknown: rebuild the prepared entry with pairs
+                   pointing into the new log. *)
+                let newlist =
+                  List.filter_map
+                    (fun (uid, oaddr) ->
+                      match fetch_data job.old_log oaddr with
+                      | Log_entry.Atomic, version ->
+                          (match Uid.Tbl.find_opt job.hk_ot uid with
+                          | Some _ -> None (* a later entry for this action's object won *)
+                          | None ->
+                              atomic_mark_prepared job ~uid;
+                              Some (uid, wdata job ~otype:Log_entry.Atomic version))
+                      | Log_entry.Mutex, version ->
+                          copy_mutex_if_latest job ~uid ~oaddr version;
+                          None)
+                    pairs
+                in
+                (* Unlike §5.1.1 we keep even an empty prepared entry, so a
+                   mutex-only prepared action keeps its PT status after a
+                   crash. *)
+                job.chained <- Log_entry.Prepared { aid; pairs = Some newlist; prev = None } :: job.chained)
+        | Log_entry.Committed_ss { cssl; _ } ->
+            List.iter
+              (fun (uid, oaddr) ->
+                match fetch_data job.old_log oaddr with
+                | Log_entry.Atomic, version -> atomic_committed job ~uid version
+                | Log_entry.Mutex, version -> copy_mutex_if_latest job ~uid ~oaddr version)
+              cssl
+        | Log_entry.Data _ -> failwith "Hybrid_rs.compaction: data entry on the outcome chain");
+        walk (Log_entry.prev entry)
+  in
+  walk t.last_outcome
+
+(* Stage one of the stable-state snapshot (§5.2): traverse the stable
+   state in volatile memory. *)
+let snapshot_stage1 t job new_as =
+  let seen = Hashtbl.create 64 in
+  let flatten v = Flatten.flatten t.heap v in
+  let rec go_value v =
+    match v with
+    | Rs_objstore.Value.Unit | Rs_objstore.Value.Bool _ | Rs_objstore.Value.Int _
+    | Rs_objstore.Value.Str _ ->
+        ()
+    | Rs_objstore.Value.Tup vs -> Array.iter go_value vs
+    | Rs_objstore.Value.Ref a -> go_addr a
+  and go_addr a =
+    if not (Hashtbl.mem seen a) then begin
+      Hashtbl.add seen a ();
+      match Heap.kind_of t.heap a with
+      | Heap.Regular ->
+          go_value (Heap.regular_value t.heap a)
+      | Heap.Placeholder -> ()
+      | Heap.Atomic -> (
+          let uid = Option.get (Heap.uid_of t.heap a) in
+          new_as := Uid.Set.add uid !new_as;
+          let view = Heap.atomic_view t.heap a in
+          ignore (copy_committed job ~uid ~otype:Log_entry.Atomic (flatten view.base));
+          Uid.Tbl.replace job.hk_ot uid { hstate = `Restored; old_src = -1 };
+          (match (view.lock, view.cur) with
+          | Heap.Write w, Some cur when Aid.Tbl.mem t.pat w ->
+              job.chained <-
+                Log_entry.Prepared_data { uid; version = flatten cur; aid = w; prev = None }
+                :: job.chained
+          | (Heap.Write _ | Heap.Read _ | Heap.Free), _ -> ());
+          go_value view.base;
+          Option.iter go_value view.cur)
+      | Heap.Mutex -> (
+          let uid = Option.get (Heap.uid_of t.heap a) in
+          new_as := Uid.Set.add uid !new_as;
+          (match Uid.Tbl.find_opt t.mt uid with
+          | Some oaddr ->
+              let otype, version = fetch_data job.old_log oaddr in
+              (match otype with
+              | Log_entry.Mutex -> copy_mutex_if_latest job ~uid ~oaddr version
+              | Log_entry.Atomic -> failwith "Hybrid_rs.snapshot: MT points at an atomic entry")
+          | None ->
+              (* Newly accessible, still being prepared: its state reaches
+                 the new log via stage two (§5.2). *)
+              ());
+          go_value (Heap.mutex_value t.heap a))
+    end
+  in
+  go_addr (Heap.root_addr t.heap);
+  (* PT status of prepared actions and CT status of committing
+     coordinators is invisible to the heap traversal; emit it explicitly
+     (an oversight in §5.2 that compaction does not share). *)
+  Aid.Tbl.iter
+    (fun aid () -> job.chained <- Log_entry.Prepared { aid; pairs = Some []; prev = None } :: job.chained)
+    t.pat;
+  Aid.Tbl.iter
+    (fun aid gids -> job.chained <- Log_entry.Committing { aid; gids; prev = None } :: job.chained)
+    t.committing_active
+
+(* Close stage one: the committed_ss goes at the TAIL of the chain (so
+   recovery processes it last) and the collected outcome entries are
+   written oldest-first on top of it, preserving backward (newest-first)
+   recovery order. *)
+let close_stage1 job =
+  let css = Log_entry.Committed_ss { cssl = List.rev job.cssl; prev = None } in
+  let head = ref (Log.write job.new_log (Log_entry.encode css)) in
+  List.iter
+    (fun entry ->
+      let entry = Log_entry.with_prev entry (Some !head) in
+      head := Log.write job.new_log (Log_entry.encode entry))
+    (List.rev job.chained);
+  job.new_head <- Some !head
+
+let begin_housekeeping (t : t) technique =
+  if t.oel <> None then invalid_arg "Hybrid_rs.begin_housekeeping: already in progress";
+  let oel = Vec.create () in
+  let job =
+    {
+      technique;
+      old_log = t.log;
+      new_log = Log_dir.begin_new t.dir;
+      oel;
+      hk_ot = Uid.Tbl.create 64;
+      new_mt = Uid.Tbl.create 16;
+      cssl = [];
+      chained = [];
+      new_head = None;
+      new_as = (match technique with Snapshot -> Some Uid.Set.empty | Compaction -> None);
+    }
+  in
+  t.oel <- Some oel;
+  (match technique with
+  | Compaction ->
+      compaction_stage1 t job;
+      close_stage1 job;
+      job
+  | Snapshot ->
+      let new_as = ref (Uid.Set.singleton Uid.stable_vars) in
+      snapshot_stage1 t job new_as;
+      close_stage1 job;
+      { job with new_as = Some !new_as })
+
+(* Stage two (§5.1.1, shared by both techniques): carry the post-marker
+   outcome entries over to the new log, rewriting prepared-entry pairs. *)
+let finish_housekeeping (t : t) (job : job) =
+  (match t.oel with
+  | Some v when v == job.oel -> ()
+  | Some _ | None -> invalid_arg "Hybrid_rs.finish_housekeeping: stale job");
+  let head = ref job.new_head in
+  let emit entry =
+    let entry = Log_entry.with_prev entry !head in
+    head := Some (Log.write job.new_log (Log_entry.encode entry))
+  in
+  Vec.iter
+    (fun oaddr ->
+      match Log_entry.decode (Log.read job.old_log oaddr) with
+      | Log_entry.Prepared { aid; pairs; _ } ->
+          let pairs = Option.value pairs ~default:[] in
+          let newlist =
+            List.filter_map
+              (fun (uid, oa) ->
+                match fetch_data job.old_log oa with
+                | Log_entry.Atomic, version ->
+                    Some (uid, wdata job ~otype:Log_entry.Atomic version)
+                | Log_entry.Mutex, version ->
+                    if
+                      match Uid.Tbl.find_opt job.hk_ot uid with
+                      | Some e when oa < e.old_src -> false
+                      | Some e ->
+                          e.old_src <- oa;
+                          true
+                      | None ->
+                          Uid.Tbl.replace job.hk_ot uid { hstate = `Restored; old_src = oa };
+                          true
+                    then begin
+                      let a = wdata job ~otype:Log_entry.Mutex version in
+                      Uid.Tbl.replace job.new_mt uid a;
+                      Some (uid, a)
+                    end
+                    else None)
+              pairs
+          in
+          emit (Log_entry.Prepared { aid; pairs = Some newlist; prev = None })
+      | Log_entry.Committed { aid; _ } -> emit (Log_entry.Committed { aid; prev = None })
+      | Log_entry.Aborted { aid; _ } -> emit (Log_entry.Aborted { aid; prev = None })
+      | Log_entry.Committing { aid; gids; _ } ->
+          emit (Log_entry.Committing { aid; gids; prev = None })
+      | Log_entry.Done { aid; _ } -> emit (Log_entry.Done { aid; prev = None })
+      | Log_entry.Base_committed { uid; version; _ } ->
+          emit (Log_entry.Base_committed { uid; version; prev = None })
+      | Log_entry.Prepared_data { uid; version; aid; _ } ->
+          emit (Log_entry.Prepared_data { uid; version; aid; prev = None })
+      | Log_entry.Committed_ss _ -> failwith "Hybrid_rs: committed_ss in the OEL"
+      | Log_entry.Data _ -> failwith "Hybrid_rs: data entry in the OEL")
+    job.oel;
+  (* Data entries of in-flight, still-unprepared actions are not lost:
+     rewrite them to the new log (§5.1.1, last paragraph). *)
+  Aid.Tbl.iter
+    (fun _aid tbl ->
+      let rewrites =
+        Uid.Tbl.fold (fun uid oa acc -> (uid, oa) :: acc) tbl []
+        |> List.sort (fun (_, a) (_, b) -> compare a b)
+      in
+      List.iter
+        (fun (uid, oa) ->
+          let otype, version = fetch_data job.old_log oa in
+          let a = wdata job ~otype version in
+          Uid.Tbl.replace tbl uid a;
+          if otype = Log_entry.Mutex then Uid.Tbl.replace job.new_mt uid a)
+        rewrites)
+    t.pending;
+  Log.force job.new_log;
+  Log_dir.switch t.dir;
+  t.log <- Log_dir.current t.dir;
+  t.last_outcome <- !head;
+  t.oel <- None;
+  Uid.Tbl.reset t.mt;
+  Uid.Tbl.iter (fun u a -> Uid.Tbl.replace t.mt u a) job.new_mt;
+  match job.new_as with
+  | Some new_as -> t.acc <- Uid.Set.inter t.acc new_as
+  | None -> ()
+
+let housekeep t technique =
+  let job = begin_housekeeping t technique in
+  finish_housekeeping t job

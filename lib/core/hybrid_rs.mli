@@ -1,0 +1,78 @@
+(** The recovery system over the {e hybrid log} (Chapters 4–5) — the
+    thesis's contribution.
+
+    The shadowing map is distributed over the [prepared] outcome entries
+    as ⟨uid, log-address⟩ pairs; outcome entries form a backward chain
+    through their [prev] pointers. Recovery walks only the chain, fetching
+    just the data entries it actually needs (§4.3), so it is much faster
+    than the simple log's full backward scan while writing stays
+    append-only.
+
+    Early prepare (§4.4) is supported via {!write_entry}; housekeeping
+    (Ch. 5) via {!begin_housekeeping}/{!finish_housekeeping}, implementing
+    both {e log compaction} (§5.1) and the {e stable-state snapshot}
+    (§5.2) with the two-stage structure of the thesis: normal operation
+    may continue between the two calls, and the affected outcome entries
+    are tracked in the OEL and carried over in stage two. *)
+
+type t
+
+val create : Rs_objstore.Heap.t -> Rs_slog.Log_dir.t -> t
+val heap : t -> Rs_objstore.Heap.t
+val log : t -> Rs_slog.Stable_log.t
+val dir : t -> Rs_slog.Log_dir.t
+
+val write_entry : t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> Rs_objstore.Value.addr list
+(** Early prepare (§4.4): write data entries for the accessible objects of
+    the MOS now, ahead of the prepare message. Returns MOS′ — the objects
+    not written because they were inaccessible; the caller passes them
+    back (with any further modifications) next time. *)
+
+val prepare : t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> unit
+(** Write data entries for whatever was not early-prepared, then force the
+    [prepared] entry carrying the action's accumulated ⟨uid, addr⟩ pairs. *)
+
+val commit : t -> Rs_util.Aid.t -> unit
+val abort : t -> Rs_util.Aid.t -> unit
+val committing : t -> Rs_util.Aid.t -> Rs_util.Gid.t list -> unit
+val done_ : t -> Rs_util.Aid.t -> unit
+
+val prepared_actions : t -> Rs_util.Aid.t list
+val accessible : t -> Rs_util.Uid.t -> bool
+val trim_accessibility_set : t -> unit
+
+val mutex_table : t -> (Rs_util.Uid.t * Log_entry.addr) list
+(** The MT (§5.2): latest data-entry address per mutex object, maintained
+    during normal operation and rebuilt at recovery. *)
+
+val recover : Rs_slog.Log_dir.t -> t * Tables.Recovery_info.t
+(** Rebuild a fresh heap by walking the outcome-entry chain (§4.3.3). *)
+
+(** {1 Housekeeping (Chapter 5)} *)
+
+type technique = Compaction  (** §5.1: rebuild the state from the log *)
+               | Snapshot  (** §5.2: copy the state from volatile memory *)
+
+type job
+
+val begin_housekeeping : t -> technique -> job
+(** Stage one: set the housekeeping marker, build the new stable state in
+    the spare log slot, and start recording post-marker outcome entries in
+    the OEL. Normal operations may continue (they keep writing to the old
+    log) until {!finish_housekeeping}. *)
+
+val finish_housekeeping : t -> job -> unit
+(** Stage two: carry post-marker outcome entries (and the data entries of
+    still-unprepared in-flight actions) over to the new log, then replace
+    the old log in one atomic step. *)
+
+val housekeep : t -> technique -> unit
+(** [begin_housekeeping] immediately followed by [finish_housekeeping]. *)
+
+(** {1 Introspection for tests and benchmarks} *)
+
+val last_outcome_addr : t -> Log_entry.addr option
+(** Head of the backward outcome chain. *)
+
+val pending_pairs : t -> Rs_util.Aid.t -> (Rs_util.Uid.t * Log_entry.addr) list
+(** Pairs accumulated for a not-yet-prepared action (early prepare). *)

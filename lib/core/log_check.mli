@@ -1,0 +1,26 @@
+(** Structural validator for logs — an [fsck] for the recovery system.
+
+    Checks, without building any volatile state:
+    - every entry decodes;
+    - hybrid outcome entries form a well-founded backward chain (strictly
+      decreasing [prev] addresses, terminating at nil);
+    - every ⟨uid, log-address⟩ pair (prepared entries and CSSLs) points at
+      a {e data} entry below the referencing entry;
+    - outcome protocol order per action: at most one of committed/aborted,
+      never both; committed/aborted only after prepared (or the action is
+      a pure coordinator); done only after committing;
+    - a committed_ss has no duplicate atomic uids (mutex uids may repeat —
+      latest wins by address).
+
+    Run after housekeeping (tests do) and from [argusctl verify]. *)
+
+type issue = { addr : Log_entry.addr option; what : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check_log : Rs_slog.Stable_log.t -> issue list
+(** Full scan of all forced entries (it is a checker; cost is fine). *)
+
+val check_chain : Rs_slog.Stable_log.t -> issue list
+(** Chain-only checks from the last outcome entry; subset of
+    {!check_log}. *)

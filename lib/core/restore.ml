@@ -1,0 +1,150 @@
+module Uid = Rs_util.Uid
+module Aid = Rs_util.Aid
+module Heap = Rs_objstore.Heap
+module Flatten = Rs_objstore.Flatten
+
+type ctx = {
+  heap : Heap.t;
+  ot : Tables.Ot.t;
+  pt : Tables.Pt.t;
+  ct : Tables.Ct.t;
+  mutable processed : int;
+}
+
+let create_ctx heap =
+  { heap; ot = Tables.Ot.create (); pt = Tables.Pt.create (); ct = Tables.Ct.create (); processed = 0 }
+
+(* Outcome entries (§3.4.4 step 2.a–c, f–g). Reading backward, the first
+   outcome seen for an action is its final state; older ones are ignored. *)
+
+let on_prepared ctx aid = Tables.Pt.add_if_absent ctx.pt aid Tables.Pt.Prepared
+let on_committed ctx aid = Tables.Pt.add_if_absent ctx.pt aid Tables.Pt.Committed
+let on_aborted ctx aid = Tables.Pt.add_if_absent ctx.pt aid Tables.Pt.Aborted
+
+let on_committing ctx aid gids =
+  Tables.Ct.add_if_absent ctx.ct aid (Tables.Ct.Committing gids)
+
+let on_done ctx aid = Tables.Ct.add_if_absent ctx.ct aid Tables.Ct.Done
+
+(* Copy-in helpers. The rebuilt value may reference uids not yet restored;
+   those become placeholder references patched in [finish]. *)
+
+let rebuild ctx fv = Flatten.rebuild ctx.heap fv
+
+let restore_base ctx ~uid ~src fv =
+  match Tables.Ot.find ctx.ot uid with
+  | Some e -> (
+      match e.state with
+      | Tables.Ot.Prepared ->
+          (* The current version is in place; this is the latest committed
+             version, owed as the base (§3.4.2 scenario 1, step 7). *)
+          Heap.set_base ctx.heap e.vm (rebuild ctx fv);
+          e.state <- Tables.Ot.Restored
+      | Tables.Ot.Restored -> ())
+  | None ->
+      let v = rebuild ctx fv in
+      let vm = Heap.install_atomic ctx.heap ~uid ~base:(Some v) ~cur:None in
+      Tables.Ot.add ctx.ot uid Tables.Ot.Restored ~vm ~src
+
+let restore_current_locked ctx ~uid ~aid ~src fv =
+  match Tables.Ot.find ctx.ot uid with
+  | Some _ -> () (* a later version is already in place *)
+  | None ->
+      let v = rebuild ctx fv in
+      let vm = Heap.install_atomic ctx.heap ~uid ~base:None ~cur:(Some (aid, v)) in
+      Tables.Ot.add ctx.ot uid Tables.Ot.Prepared ~vm ~src
+
+(* The mutex rule: copy if unseen, or if this data entry's log address is
+   greater than the one already copied (§4.4). *)
+let restore_mutex ctx ~uid ~src fv =
+  match Tables.Ot.find ctx.ot uid with
+  | Some e ->
+      if src > e.src then begin
+        let v = rebuild ctx fv in
+        let vm = Heap.install_mutex ctx.heap ~uid v in
+        e.src <- src;
+        e.vm <- vm
+      end
+  | None ->
+      let v = rebuild ctx fv in
+      let vm = Heap.install_mutex ctx.heap ~uid v in
+      Tables.Ot.add ctx.ot uid Tables.Ot.Restored ~vm ~src
+
+let on_base_committed ctx ~uid fv = restore_base ctx ~uid ~src:(-1) fv
+
+let on_prepared_data ctx ~uid ~aid fv =
+  match Tables.Pt.find ctx.pt aid with
+  | Some Tables.Pt.Aborted -> ()
+  | Some Tables.Pt.Committed -> restore_base ctx ~uid ~src:(-1) fv
+  | Some Tables.Pt.Prepared -> restore_current_locked ctx ~uid ~aid ~src:(-1) fv
+  | None ->
+      (* The writing action must have prepared: its real prepared entry
+         appears earlier in the log (§3.4.4 step 2.e.ii). *)
+      Tables.Pt.add_if_absent ctx.pt aid Tables.Pt.Prepared;
+      restore_current_locked ctx ~uid ~aid ~src:(-1) fv
+
+(* An object already restored may still be superseded by this data entry
+   if it is a mutex whose entry has a greater log address (§4.4). The
+   address precheck avoids fetching entries that cannot win. *)
+let maybe_newer_mutex ctx ~uid ~src ~fetch (e : Tables.Ot.entry) =
+  if Heap.kind_of ctx.heap e.vm = Heap.Mutex && src > e.src then
+    match fetch () with
+    | Log_entry.Mutex, fv -> restore_mutex ctx ~uid ~src fv
+    | Log_entry.Atomic, _ -> ()
+
+let on_data ctx ~uid ~aid ~src ~fetch =
+  let pstate = match aid with None -> None | Some a -> Tables.Pt.find ctx.pt a in
+  match pstate with
+  | None -> () (* the action never prepared: its effects are discarded *)
+  | Some Tables.Pt.Committed -> (
+      match Tables.Ot.find ctx.ot uid with
+      | Some e when e.state = Tables.Ot.Restored -> maybe_newer_mutex ctx ~uid ~src ~fetch e
+      | Some _ | None -> (
+          match fetch () with
+          | Log_entry.Atomic, fv -> restore_base ctx ~uid ~src fv
+          | Log_entry.Mutex, fv -> restore_mutex ctx ~uid ~src fv))
+  | Some Tables.Pt.Prepared -> (
+      match Tables.Ot.find ctx.ot uid with
+      | Some e when e.state = Tables.Ot.Restored -> maybe_newer_mutex ctx ~uid ~src ~fetch e
+      | Some _ -> () (* the prepared current version is already in place *)
+      | None -> (
+          match (fetch (), aid) with
+          | (Log_entry.Atomic, fv), Some a -> restore_current_locked ctx ~uid ~aid:a ~src fv
+          | (Log_entry.Atomic, _), None -> ()
+          | (Log_entry.Mutex, fv), _ -> restore_mutex ctx ~uid ~src fv))
+  | Some Tables.Pt.Aborted -> (
+      (* Atomic versions of aborted actions are discarded; mutex versions
+         written by a prepared action are kept (§3.4.2 scenario 2). *)
+      match Tables.Ot.find ctx.ot uid with
+      | Some e -> maybe_newer_mutex ctx ~uid ~src ~fetch e
+      | None -> (
+          match fetch () with
+          | Log_entry.Atomic, _ -> ()
+          | Log_entry.Mutex, fv -> restore_mutex ctx ~uid ~src fv))
+
+let on_committed_ss ctx ~pairs ~fetch =
+  List.iter
+    (fun (uid, addr) ->
+      let fetch () = fetch addr in
+      match Tables.Ot.find ctx.ot uid with
+      | Some e when e.state = Tables.Ot.Restored -> maybe_newer_mutex ctx ~uid ~src:addr ~fetch e
+      | Some _ | None -> (
+          match fetch () with
+          | Log_entry.Atomic, fv -> restore_base ctx ~uid ~src:addr fv
+          | Log_entry.Mutex, fv -> restore_mutex ctx ~uid ~src:addr fv))
+    pairs
+
+let finish ctx ~uid_gen ~aid_gen =
+  Heap.patch_placeholders ctx.heap;
+  Uid.Gen.reset_past uid_gen (Tables.Ot.max_uid ctx.ot);
+  (match aid_gen with
+  | None -> ()
+  | Some g ->
+      List.iter (fun (aid, _) -> Aid.Gen.reset_past g aid) (Tables.Pt.to_list ctx.pt);
+      List.iter (fun (aid, _) -> Aid.Gen.reset_past g aid) (Tables.Ct.to_list ctx.ct));
+  {
+    Tables.Recovery_info.pt = Tables.Pt.to_list ctx.pt;
+    ct = Tables.Ct.to_list ctx.ct;
+    objects = List.map (fun (u, (e : Tables.Ot.entry)) -> (u, e.vm)) (Tables.Ot.to_list ctx.ot);
+    entries_processed = ctx.processed;
+  }

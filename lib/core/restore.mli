@@ -1,0 +1,58 @@
+(** Shared recovery state machine: processing one log entry (or one
+    ⟨uid, log-address⟩ pair) against the OT/PT/CT tables and the heap,
+    exactly as the general recovery algorithm of §3.4.4 prescribes,
+    with the early-prepare mutex rule of §4.4 (latest data-entry log
+    address wins).
+
+    Both recovery algorithms drive this module: the simple one feeds it
+    every entry read backward; the hybrid one feeds it outcome entries
+    along the backward chain, expanding prepared-entry pairs itself. *)
+
+type ctx = {
+  heap : Rs_objstore.Heap.t;
+  ot : Tables.Ot.t;
+  pt : Tables.Pt.t;
+  ct : Tables.Ct.t;
+  mutable processed : int;  (** entries examined *)
+}
+
+val create_ctx : Rs_objstore.Heap.t -> ctx
+
+val on_prepared : ctx -> Rs_util.Aid.t -> unit
+val on_committed : ctx -> Rs_util.Aid.t -> unit
+val on_aborted : ctx -> Rs_util.Aid.t -> unit
+val on_committing : ctx -> Rs_util.Aid.t -> Rs_util.Gid.t list -> unit
+val on_done : ctx -> Rs_util.Aid.t -> unit
+
+val on_base_committed : ctx -> uid:Rs_util.Uid.t -> Rs_objstore.Fvalue.t -> unit
+val on_prepared_data :
+  ctx -> uid:Rs_util.Uid.t -> aid:Rs_util.Aid.t -> Rs_objstore.Fvalue.t -> unit
+
+val on_data :
+  ctx ->
+  uid:Rs_util.Uid.t ->
+  aid:Rs_util.Aid.t option ->
+  src:Log_entry.addr ->
+  fetch:(unit -> Log_entry.otype * Rs_objstore.Fvalue.t) ->
+  unit
+(** Process one data entry (simple log) or one prepared-entry pair (hybrid
+    log). [fetch] reads and decodes the version lazily — the hybrid
+    algorithm's saving is precisely the fetches this module skips. [aid] is
+    the writing action ([None] ⇒ the action never reached an outcome entry:
+    the entry is ignored, §2.2.3). [src] is the data entry's log address,
+    used for the mutex latest-version rule. *)
+
+val on_committed_ss :
+  ctx ->
+  pairs:Log_entry.pairs ->
+  fetch:(Log_entry.addr -> Log_entry.otype * Rs_objstore.Fvalue.t) ->
+  unit
+(** Process a checkpoint entry: "a commit and prepare of an anonymous
+    action" (§5.1.2) over the whole CSSL. *)
+
+val finish :
+  ctx -> uid_gen:Rs_util.Uid.Gen.t -> aid_gen:Rs_util.Aid.Gen.t option ->
+  Tables.Recovery_info.t
+(** The final pass (§3.4.3/§3.4.4 steps 3–5): patch uid placeholders,
+    reset the stable counter past the largest restored uid, reset the
+    action counter past every aid seen, and package the tables. *)

@@ -1,0 +1,73 @@
+(** The recovery system over the {e simple log} (Chapter 3).
+
+    Data entries carry uid, object type, version and action id; outcome
+    entries carry no chain pointers. Writing appends data entries and
+    forces a [prepared] entry (§3.3); recovery reads {e every} entry
+    backward from the top of the log (§3.4) — the organization with the
+    fastest writing and the slowest recovery.
+
+    Division of labour, as in §2.3: this module writes and recovers stable
+    state; the caller (the guardian runtime, standing in for the Argus
+    system) updates volatile lock state via
+    {!Rs_objstore.Heap.commit_action} / [abort_action] and replies to the
+    coordinator. Operations must be called sequentially. *)
+
+type t
+
+val create : Rs_objstore.Heap.t -> Rs_slog.Log_dir.t -> t
+(** Attach a recovery system to a fresh guardian. The stable-variables
+    root uid is accessible from the start. *)
+
+val heap : t -> Rs_objstore.Heap.t
+val log : t -> Rs_slog.Stable_log.t
+
+val prepare : t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> unit
+(** §2.3 operation 1: write data entries for the accessible objects of the
+    MOS, then force the [prepared] outcome entry. On return the action is
+    prepared (it enters the PAT). *)
+
+val commit : t -> Rs_util.Aid.t -> unit
+(** §2.3 operation 2: force the [committed] outcome entry. *)
+
+val abort : t -> Rs_util.Aid.t -> unit
+val committing : t -> Rs_util.Aid.t -> Rs_util.Gid.t list -> unit
+val done_ : t -> Rs_util.Aid.t -> unit
+
+val prepared_actions : t -> Rs_util.Aid.t list
+(** Contents of the PAT (§3.3.3.2). *)
+
+val accessible : t -> Rs_util.Uid.t -> bool
+(** AS membership, exposed for tests and the snapshot algorithm. *)
+
+val trim_accessibility_set : t -> unit
+(** Rebuild the AS by traversing the stable state and intersecting with
+    the old set (§3.3.3.2, "if the set grows too large"). *)
+
+val recover : Rs_slog.Log_dir.t -> t * Tables.Recovery_info.t
+(** §2.3 operation 6: rebuild a fresh heap from the log after a crash.
+    Returns the new recovery system (PAT = still-prepared actions, AS =
+    actually accessible uids) and the tables for the Argus system. *)
+
+(** {1 Snapshot checkpointing (ablation)}
+
+    The thesis develops housekeeping only for the hybrid log (Ch. 5), but
+    nothing prevents giving the simple log the stable-state snapshot
+    treatment: its recovery algorithm already understands [committed_ss]
+    entries. Benchmarks use this to separate the two benefits of the
+    hybrid design — checkpointing (shared here) from chain-following
+    (hybrid only). *)
+
+type job
+
+val begin_snapshot : t -> job
+(** Stage one: copy the stable state from volatile memory into the spare
+    log slot (data entries + [committed_ss] + entries for prepared
+    actions and committing coordinators). Normal operation may continue
+    before {!finish_snapshot}. *)
+
+val finish_snapshot : t -> job -> unit
+(** Stage two: copy post-marker entries verbatim (simple-log entries are
+    self-contained) and switch logs atomically. *)
+
+val housekeep : t -> unit
+(** [begin_snapshot] immediately followed by [finish_snapshot]. *)

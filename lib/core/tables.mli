@@ -1,0 +1,78 @@
+(** The recovery-time tables of §3.4.1 and the information returned to the
+    Argus system after recovery (§2.3 operation 6). *)
+
+(** Participant action table: aid → prepared | committed | aborted. *)
+module Pt : sig
+  type state = Prepared | Committed | Aborted
+  type t
+
+  val create : unit -> t
+  val find : t -> Rs_util.Aid.t -> state option
+
+  val add_if_absent : t -> Rs_util.Aid.t -> state -> unit
+  (** Backward reading: the first (latest) outcome seen for an action is
+      final; later (older) entries never override. *)
+
+  val to_list : t -> (Rs_util.Aid.t * state) list
+  val pp_state : Format.formatter -> state -> unit
+end
+
+(** Coordinator action table: aid → committing(gids) | done. *)
+module Ct : sig
+  type state = Committing of Rs_util.Gid.t list | Done
+  type t
+
+  val create : unit -> t
+  val find : t -> Rs_util.Aid.t -> state option
+  val add_if_absent : t -> Rs_util.Aid.t -> state -> unit
+  val to_list : t -> (Rs_util.Aid.t * state) list
+  val pp_state : Format.formatter -> state -> unit
+end
+
+(** Object table: uid → object state + volatile-memory address. [Prepared]
+    means the current version of a still-prepared action has been copied
+    and the latest committed (base) version is still owed; [Restored] means
+    the object is complete (§3.4.2 scenario 1). For mutex objects [src]
+    holds the log address of the data entry last copied, implementing the
+    early-prepare latest-version rule (§4.4). *)
+module Ot : sig
+  type state = Prepared | Restored
+
+  type entry = {
+    mutable state : state;
+    mutable vm : Rs_objstore.Value.addr;
+    mutable src : int;  (** log address the version came from; -1 if n/a *)
+  }
+
+  type t
+
+  val create : unit -> t
+  val find : t -> Rs_util.Uid.t -> entry option
+  val add : t -> Rs_util.Uid.t -> state -> vm:Rs_objstore.Value.addr -> src:int -> unit
+  val to_list : t -> (Rs_util.Uid.t * entry) list
+  val max_uid : t -> Rs_util.Uid.t
+  (** Largest uid present ({!Rs_util.Uid.stable_vars} if empty) — the reset
+      point for the stable counter (§3.4.4 step 3). *)
+
+  val size : t -> int
+end
+
+(** What [recovery] hands back to the Argus system so participants and
+    coordinators can resume (§3.4.1 step 5). *)
+module Recovery_info : sig
+  type t = {
+    pt : (Rs_util.Aid.t * Pt.state) list;
+    ct : (Rs_util.Aid.t * Ct.state) list;
+    objects : (Rs_util.Uid.t * Rs_objstore.Value.addr) list;
+    entries_processed : int;  (** log entries examined during recovery *)
+  }
+
+  val prepared_actions : t -> Rs_util.Aid.t list
+  (** Participant actions awaiting a verdict — they must query their
+      coordinators (§2.2.3). *)
+
+  val committing_actions : t -> (Rs_util.Aid.t * Rs_util.Gid.t list) list
+  (** Coordinator actions that must resume phase two of 2PC. *)
+
+  val pp : Format.formatter -> t -> unit
+end

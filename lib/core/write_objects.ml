@@ -1,0 +1,100 @@
+module Uid = Rs_util.Uid
+module Aid = Rs_util.Aid
+module Heap = Rs_objstore.Heap
+module Flatten = Rs_objstore.Flatten
+module Fvalue = Rs_objstore.Fvalue
+
+type sink = {
+  data : uid:Uid.t -> otype:Log_entry.otype -> Fvalue.t -> unit;
+  base_committed : uid:Uid.t -> Fvalue.t -> unit;
+  prepared_data : uid:Uid.t -> aid:Aid.t -> Fvalue.t -> unit;
+}
+
+let write_mos ~heap ~accessible ~add_accessible ~prepared ~aid ~mos ~sink =
+  let naos = Queue.create () in
+  let queued = Hashtbl.create 8 in
+  (* Scan a flattened version for references to recoverable objects that
+     are not accessible yet: they are newly accessible (§3.3.3.2). *)
+  let scan fv =
+    List.iter
+      (fun u ->
+        if (not (accessible u)) && not (Hashtbl.mem queued u) then begin
+          Hashtbl.add queued u ();
+          match Heap.addr_of_uid heap u with
+          | Some a -> Queue.add (u, a) naos
+          | None ->
+              (* A version references a uid absent from volatile memory:
+                 impossible during normal operation. *)
+              invalid_arg "Write_objects: reference to unknown uid"
+        end)
+      (Fvalue.uids fv)
+  in
+  let flatten v = Flatten.flatten heap v in
+  let emit_data ~uid ~otype v =
+    let fv = flatten v in
+    sink.data ~uid ~otype fv;
+    scan fv
+  in
+  (* Step 3: the MOS proper — only accessible objects are written; the
+     rest are candidates for MOS' (some may yet become newly accessible
+     while the NAOS drains below). *)
+  let skipped =
+    List.filter
+      (fun a ->
+        match Heap.uid_of heap a with
+        | None -> false (* regular objects are never written on their own *)
+        | Some u ->
+            if accessible u then begin
+              (match Heap.kind_of heap a with
+              | Heap.Atomic ->
+                  let view = Heap.atomic_view heap a in
+                  let version =
+                    match (view.lock, view.cur) with
+                    | Heap.Write w, Some cur when Aid.equal w aid -> cur
+                    | (Heap.Write _ | Heap.Read _ | Heap.Free), _ -> view.base
+                  in
+                  emit_data ~uid:u ~otype:Log_entry.Atomic version
+              | Heap.Mutex -> emit_data ~uid:u ~otype:Log_entry.Mutex (Heap.mutex_value heap a)
+              | Heap.Regular | Heap.Placeholder ->
+                  invalid_arg "Write_objects: non-recoverable object in MOS");
+              false
+            end
+            else true)
+      mos
+  in
+  (* Step 4: drain the NAOS; processing can reveal further newly
+     accessible objects, which join the queue. *)
+  let rec drain () =
+    match Queue.take_opt naos with
+    | None -> ()
+    | Some (u, a) ->
+        (match Heap.kind_of heap a with
+        | Heap.Mutex -> emit_data ~uid:u ~otype:Log_entry.Mutex (Heap.mutex_value heap a)
+        | Heap.Atomic -> (
+            let view = Heap.atomic_view heap a in
+            let emit_base () =
+              let fv = flatten view.base in
+              sink.base_committed ~uid:u fv;
+              scan fv
+            in
+            match (view.lock, view.cur) with
+            | Heap.Write w, Some cur when Aid.equal w aid ->
+                emit_base ();
+                emit_data ~uid:u ~otype:Log_entry.Atomic cur
+            | Heap.Write w, Some cur when prepared w ->
+                emit_base ();
+                let fv = flatten cur in
+                sink.prepared_data ~uid:u ~aid:w fv;
+                scan fv
+            | (Heap.Write _ | Heap.Read _ | Heap.Free), _ -> emit_base ())
+        | Heap.Regular | Heap.Placeholder ->
+            invalid_arg "Write_objects: non-recoverable object in NAOS");
+        add_accessible u;
+        drain ()
+  in
+  drain ();
+  (* MOS' (§4.4): whatever is still inaccessible after the NAOS settled. *)
+  List.filter
+    (fun a ->
+      match Heap.uid_of heap a with None -> false | Some u -> not (accessible u))
+    skipped

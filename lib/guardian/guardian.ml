@@ -1,0 +1,193 @@
+module Aid = Rs_util.Aid
+module Gid = Rs_util.Gid
+module Heap = Rs_objstore.Heap
+module Log_dir = Rs_slog.Log_dir
+module Sim = Rs_sim.Sim
+module Net = Rs_sim.Net
+module Twopc = Rs_twopc.Twopc
+module Hybrid_rs = Core.Hybrid_rs
+
+type t = {
+  gid : Gid.t;
+  sim : Sim.t;
+  net : Twopc.msg Net.t;
+  dir : Log_dir.t;
+  aid_gen : Aid.Gen.t;
+  mutable heap : Heap.t;
+  mutable rs : Hybrid_rs.t;
+  mutable twopc : Twopc.t option;
+  mutable up : bool;
+  mutable crashes : int;
+  mutable known : Aid.Set.t; (* volatile: actions that executed here *)
+  mutable decided : Aid.Set.t; (* coordinated actions whose committing record exists *)
+  mutable auto_hk : (int * Hybrid_rs.technique) option; (* threshold bytes, technique *)
+  mutable hk_runs : int;
+  (* MOS leftovers of early-prepared actions, consumed at prepare (§4.4). *)
+  early : Rs_objstore.Value.addr list Aid.Tbl.t;
+}
+
+let gid t = t.gid
+let heap t = t.heap
+let rs t = t.rs
+let is_up t = t.up
+let fresh_aid t = Aid.Gen.fresh t.aid_gen
+let note_participation t aid = t.known <- Aid.Set.add aid t.known
+let participated t aid = Aid.Set.mem aid t.known
+let crashes t = t.crashes
+
+(* §2.3 operation 7: reorganize stable storage once enough log has
+   accumulated. Triggered after outcome records, the quiet points of the
+   recovery system's sequential operation. *)
+let maybe_housekeep t =
+  match t.auto_hk with
+  | Some (threshold, technique)
+    when Rs_slog.Stable_log.stream_bytes (Hybrid_rs.log t.rs) > threshold ->
+      Hybrid_rs.housekeep t.rs technique;
+      t.hk_runs <- t.hk_runs + 1
+  | Some _ | None -> ()
+
+let twopc t =
+  match t.twopc with
+  | Some p -> p
+  | None -> invalid_arg "Guardian: endpoint not initialized"
+
+let hooks_of t : Twopc.hooks =
+  {
+    on_prepare =
+      (fun aid ->
+        (* An action unknown here never ran, aborted locally, or was wiped
+           out by a crash: refuse (§2.2.2). *)
+        if not (Aid.Set.mem aid t.known) then `Refused
+        else begin
+          let mos =
+            match Aid.Tbl.find_opt t.early aid with
+            | Some leftovers -> leftovers (* the rest was early-prepared *)
+            | None -> Heap.mos t.heap aid
+          in
+          Aid.Tbl.remove t.early aid;
+          Hybrid_rs.prepare t.rs aid mos;
+          `Prepared
+        end);
+    on_commit =
+      (fun aid ->
+        (if Sys.getenv_opt "RS_TRACE" <> None then
+           Format.eprintf "[%a] on_commit %a@." Gid.pp t.gid Rs_util.Aid.pp aid);
+        Hybrid_rs.commit t.rs aid;
+        Heap.commit_action t.heap aid;
+        maybe_housekeep t);
+    on_abort =
+      (fun aid ->
+        Hybrid_rs.abort t.rs aid;
+        Heap.abort_action t.heap aid;
+        maybe_housekeep t);
+    on_committing =
+      (fun aid gids ->
+        Hybrid_rs.committing t.rs aid gids;
+        t.decided <- Aid.Set.add aid t.decided);
+    on_done = (fun aid -> Hybrid_rs.done_ t.rs aid);
+    coordinator_outcome =
+      (fun aid ->
+        (* The committing record is the commit point; an unknown action
+           was never committed and must abort (§2.2.3). *)
+        if Aid.Set.mem aid t.decided then `Commit else `Abort);
+  }
+
+let wire_protocol t =
+  let endpoint =
+    Twopc.create ~gid:t.gid ~sim:t.sim
+      ~send:(fun ~dst msg -> Net.send t.net ~src:t.gid ~dst msg)
+      ~hooks:(hooks_of t) ()
+  in
+  t.twopc <- Some endpoint;
+  Net.register t.net t.gid (fun ~src msg -> Twopc.handle endpoint ~src msg)
+
+let create ~gid ~sim ~net ?(page_size = 1024) () =
+  let dir = Log_dir.create ~page_size () in
+  let heap = Heap.create () in
+  let rs = Hybrid_rs.create heap dir in
+  let t =
+    {
+      gid;
+      sim;
+      net;
+      dir;
+      aid_gen = Aid.Gen.create gid;
+      heap;
+      rs;
+      twopc = None;
+      up = true;
+      crashes = 0;
+      known = Aid.Set.empty;
+      decided = Aid.Set.empty;
+      auto_hk = None;
+      hk_runs = 0;
+      early = Aid.Tbl.create 8;
+    }
+  in
+  wire_protocol t;
+  t
+
+let early_prepare t aid =
+  if t.up then
+    let leftovers = Hybrid_rs.write_entry t.rs aid (Heap.mos t.heap aid) in
+    Aid.Tbl.replace t.early aid leftovers
+
+let start_commit t aid ~participants ~on_result =
+  if not t.up then invalid_arg "Guardian.start_commit: guardian is down";
+  Twopc.start_commit (twopc t) aid ~participants ~on_result
+
+let abort_local t aid = Heap.abort_action t.heap aid
+
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    t.crashes <- t.crashes + 1;
+    Net.set_up t.net t.gid false;
+    Twopc.stop (twopc t);
+    t.known <- Aid.Set.empty;
+    t.decided <- Aid.Set.empty;
+    Aid.Tbl.reset t.early;
+    (* Volatile memory is gone. *)
+    t.heap <- Heap.create ()
+  end
+
+let restart t =
+  if t.up then invalid_arg "Guardian.restart: guardian is up";
+  let rs, info = Hybrid_rs.recover t.dir in
+  t.rs <- rs;
+  t.heap <- Hybrid_rs.heap rs;
+  wire_protocol t;
+  Net.set_up t.net t.gid true;
+  t.up <- true;
+  (* Resume aid generation past every action seen in the log. *)
+  List.iter (fun (a, _) -> Aid.Gen.reset_past t.aid_gen a) info.Core.Tables.Recovery_info.pt;
+  List.iter (fun (a, _) -> Aid.Gen.reset_past t.aid_gen a) info.Core.Tables.Recovery_info.ct;
+  (* Every action with a committing (or done) record committed. *)
+  List.iter
+    (fun (aid, state) ->
+      match state with
+      | Core.Tables.Ct.Committing _ | Core.Tables.Ct.Done ->
+          t.decided <- Aid.Set.add aid t.decided)
+    info.Core.Tables.Recovery_info.ct;
+  (* Coordinators mid phase two resume sending commits (§2.2.3)... *)
+  List.iter
+    (fun (aid, gids) -> Twopc.resume_coordinator (twopc t) aid gids)
+    (Core.Tables.Recovery_info.committing_actions info);
+  (* ...and prepared participants chase their coordinators for verdicts. *)
+  (if Sys.getenv_opt "RS_TRACE" <> None then
+     Format.eprintf "[%a] restart: prepared=%d committing=%d@." Gid.pp t.gid
+       (List.length (Core.Tables.Recovery_info.prepared_actions info))
+       (List.length (Core.Tables.Recovery_info.committing_actions info)));
+  List.iter
+    (fun aid ->
+      Twopc.await_verdict (twopc t) aid ~coordinator:(Aid.coordinator aid);
+      t.known <- Aid.Set.add aid t.known)
+    (Core.Tables.Recovery_info.prepared_actions info);
+  info
+
+let housekeep t technique = Hybrid_rs.housekeep t.rs technique
+
+let set_auto_housekeeping t ?(threshold_bytes = 65536) technique =
+  t.auto_hk <- Option.map (fun tech -> (threshold_bytes, tech)) technique
+
+let housekeeping_runs t = t.hk_runs

@@ -1,0 +1,70 @@
+(** The guardian runtime: one Argus guardian (§2.1) tying together a
+    volatile heap, a hybrid-log recovery system, and a two-phase-commit
+    endpoint over the simulated network.
+
+    A guardian's stable state survives crashes through its log directory;
+    everything else — heap, locks, protocol timers — disappears at
+    {!crash} and is rebuilt by {!restart}, which runs recovery, resumes
+    committing coordinators and re-queries for prepared actions, exactly
+    as §2.3 operation 6 prescribes. *)
+
+type t
+
+val create :
+  gid:Rs_util.Gid.t ->
+  sim:Rs_sim.Sim.t ->
+  net:Rs_twopc.Twopc.msg Rs_sim.Net.t ->
+  ?page_size:int ->
+  unit ->
+  t
+
+val gid : t -> Rs_util.Gid.t
+val heap : t -> Rs_objstore.Heap.t
+val rs : t -> Core.Hybrid_rs.t
+val is_up : t -> bool
+val fresh_aid : t -> Rs_util.Aid.t
+
+val early_prepare : t -> Rs_util.Aid.t -> unit
+(** §4.4: write the action's data entries now, ahead of the prepare
+    message, using guardian idle time; the eventual prepare then writes
+    only what was still inaccessible plus its own outcome entry. *)
+
+val note_participation : t -> Rs_util.Aid.t -> unit
+(** Record (volatilely) that [aid] executed here, so an incoming prepare
+    for it is honoured; unknown actions are refused (§2.2.2). *)
+
+val participated : t -> Rs_util.Aid.t -> bool
+
+val start_commit :
+  t ->
+  Rs_util.Aid.t ->
+  participants:Rs_util.Gid.t list ->
+  on_result:([ `Committed | `Aborted ] -> unit) ->
+  unit
+(** Run 2PC for a top-level action coordinated here. *)
+
+val abort_local : t -> Rs_util.Aid.t -> unit
+(** Abort an action that has not begun to commit: volatile-only cleanup. *)
+
+val crash : t -> unit
+(** Node failure: volatile state is lost, the network stops delivering to
+    this guardian, in-flight protocol work dies. Stable storage remains. *)
+
+val restart : t -> Core.Tables.Recovery_info.t
+(** Recover from stable storage and resume protocol duties. Raises
+    [Invalid_argument] if the guardian is up. *)
+
+val housekeep : t -> Core.Hybrid_rs.technique -> unit
+
+val set_auto_housekeeping :
+  t -> ?threshold_bytes:int -> Core.Hybrid_rs.technique option -> unit
+(** §2.3 operation 7: let the guardian decide when "enough old information
+    has accumulated". With [Some technique], a housekeeping pass runs
+    after any commit/abort that leaves the log beyond [threshold_bytes]
+    (default 64 KiB). [None] disables. The setting survives restarts. *)
+
+val housekeeping_runs : t -> int
+(** Automatic housekeeping passes performed so far. *)
+
+val crashes : t -> int
+(** Number of crashes so far (for workload statistics). *)

@@ -1,0 +1,96 @@
+module Aid = Rs_util.Aid
+module Gid = Rs_util.Gid
+module Heap = Rs_objstore.Heap
+module Sim = Rs_sim.Sim
+module Net = Rs_sim.Net
+module Twopc = Rs_twopc.Twopc
+
+type work = Heap.t -> Aid.t -> unit
+type outcome = Committed | Aborted
+
+exception Abort_action
+
+type t = {
+  sim : Sim.t;
+  net : Twopc.msg Net.t;
+  guardians : Guardian.t array;
+  early_prepare : bool;
+}
+
+let create ?(seed = 1) ?(latency = 1.0) ?(jitter = 0.0) ?(drop_prob = 0.0)
+    ?(early_prepare = false) ~n () =
+  if n <= 0 then invalid_arg "System.create: need at least one guardian";
+  let sim = Sim.create ~seed () in
+  let net = Net.create ~latency ~jitter ~drop_prob sim () in
+  let guardians =
+    Array.init n (fun i -> Guardian.create ~gid:(Gid.of_int i) ~sim ~net ())
+  in
+  { sim; net; guardians; early_prepare }
+
+let sim t = t.sim
+
+let guardian t gid =
+  let i = Gid.to_int gid in
+  if i < 0 || i >= Array.length t.guardians then
+    invalid_arg (Format.asprintf "System.guardian: no guardian %a" Gid.pp gid);
+  t.guardians.(i)
+
+let guardians t = Array.to_list t.guardians
+let n_guardians t = Array.length t.guardians
+
+let dedup_gids gids =
+  List.fold_left (fun acc g -> if List.mem g acc then acc else g :: acc) [] gids
+  |> List.rev
+
+let submit t ~coordinator ~steps callback =
+  let coord = guardian t coordinator in
+  if not (Guardian.is_up coord) then invalid_arg "System.submit: coordinator is down";
+  let aid = Guardian.fresh_aid coord in
+  let touched = ref [] in
+  let abort_all () =
+    List.iter (fun g -> Guardian.abort_local (guardian t g) aid) (dedup_gids !touched);
+    callback aid Aborted
+  in
+  let rec exec = function
+    | [] ->
+        let participants = dedup_gids (List.map fst steps) in
+        Guardian.start_commit coord aid ~participants ~on_result:(fun verdict ->
+            (match verdict with
+            | `Committed -> ()
+            | `Aborted ->
+                (* The Argus system aborts orphaned subactions whose abort
+                   message may have been lost; locks must not leak. A
+                   participant that prepared still resolves through the
+                   query path and writes its aborted record. *)
+                List.iter
+                  (fun g -> Guardian.abort_local (guardian t g) aid)
+                  (dedup_gids !touched));
+            callback aid (match verdict with `Committed -> Committed | `Aborted -> Aborted))
+    | (g, work) :: rest ->
+        let target = guardian t g in
+        if not (Guardian.is_up target) then abort_all ()
+        else begin
+          touched := g :: !touched;
+          Guardian.note_participation target aid;
+          match work (Guardian.heap target) aid with
+          | () ->
+              if t.early_prepare then Guardian.early_prepare target aid;
+              exec rest
+          | exception (Heap.Lock_conflict _ | Abort_action) -> abort_all ()
+        end
+  in
+  exec steps
+
+let crash t gid = Guardian.crash (guardian t gid)
+let restart t gid = Guardian.restart (guardian t gid)
+let partition t gid = Net.set_up t.net gid false
+let heal t gid = Net.set_up t.net gid true
+let run ?until t = Sim.run ?until t.sim
+
+let quiesce ?(limit = 10_000.0) t =
+  let deadline = Sim.now t.sim +. limit in
+  ignore (Sim.run ~until:deadline t.sim);
+  if Sim.pending t.sim > 0 then
+    failwith
+      (Printf.sprintf "System.quiesce: %d events still pending after %.0f time units"
+         (Sim.pending t.sim) limit)

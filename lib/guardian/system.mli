@@ -1,0 +1,68 @@
+(** A simulated distributed system: a set of guardians on one network,
+    running top-level actions through two-phase commit.
+
+    Handler calls are executed synchronously against the target guardian's
+    heap (the simulator is sequential; what must be asynchronous —
+    prepare/commit messaging, crashes, timeouts — is). An action whose
+    step hits a lock conflict or a crashed guardian aborts locally without
+    entering two-phase commit, like an Argus action aborting before
+    commit. *)
+
+type t
+
+type work = Rs_objstore.Heap.t -> Rs_util.Aid.t -> unit
+(** One handler call's effect; may raise {!Rs_objstore.Heap.Lock_conflict}
+    or {!Abort_action}. *)
+
+exception Abort_action
+(** Raised by a work function to abort the whole action deliberately
+    (e.g. business-rule violation: insufficient funds, sold out). *)
+
+type outcome = Committed | Aborted
+
+val create :
+  ?seed:int ->
+  ?latency:float ->
+  ?jitter:float ->
+  ?drop_prob:float ->
+  ?early_prepare:bool ->
+  n:int ->
+  unit ->
+  t
+(** [n] guardians with gids 0..n-1. With [early_prepare] (default false),
+    each guardian writes an action's data entries right after executing
+    its step, ahead of the prepare message (§4.4). *)
+
+val sim : t -> Rs_sim.Sim.t
+val guardian : t -> Rs_util.Gid.t -> Guardian.t
+val guardians : t -> Guardian.t list
+val n_guardians : t -> int
+
+val submit :
+  t ->
+  coordinator:Rs_util.Gid.t ->
+  steps:(Rs_util.Gid.t * work) list ->
+  (Rs_util.Aid.t -> outcome -> unit) ->
+  unit
+(** Execute an action's steps now, then run 2PC asynchronously; the
+    callback fires with the coordinator's verdict. *)
+
+val crash : t -> Rs_util.Gid.t -> unit
+val restart : t -> Rs_util.Gid.t -> Core.Tables.Recovery_info.t
+
+val partition : t -> Rs_util.Gid.t -> unit
+(** Cut the guardian off the network without crashing it: volatile state
+    and timers survive, messages in either direction are dropped. A
+    prepared participant behind a partition must {e wait} — the blocking
+    behaviour of 2PC (§2.2.3) — and resume when {!heal} reconnects it. *)
+
+val heal : t -> Rs_util.Gid.t -> unit
+
+val run : ?until:float -> t -> int
+(** Drive the simulator. *)
+
+val quiesce : ?limit:float -> t -> unit
+(** Run until no events remain (bounded by [limit] time units, default
+    10_000). Raises [Failure] if events remain past the limit — queries
+    and retries against a guardian that is down forever never drain, so
+    restart crashed guardians first or expect the failure. *)

@@ -1,0 +1,79 @@
+module Uid = Rs_util.Uid
+module Vec = Rs_util.Vec
+
+let flatten heap v =
+  let nodes = Vec.create () in
+  let memo = Hashtbl.create 8 in
+  (* addr of regular object -> node index *)
+  let push n =
+    Vec.push nodes n;
+    Vec.length nodes - 1
+  in
+  let rec go v =
+    match v with
+    | Value.Unit -> push Fvalue.Nunit
+    | Value.Bool b -> push (Fvalue.Nbool b)
+    | Value.Int i -> push (Fvalue.Nint i)
+    | Value.Str s -> push (Fvalue.Nstr s)
+    | Value.Tup vs ->
+        let children = Array.map go vs in
+        push (Fvalue.Ntup children)
+    | Value.Ref a -> (
+        match Heap.kind_of heap a with
+        | Heap.Atomic | Heap.Mutex -> (
+            match Heap.uid_of heap a with
+            | Some u -> push (Fvalue.Nuid u)
+            | None -> invalid_arg "Flatten.flatten: recoverable object without uid")
+        | Heap.Placeholder -> (
+            match Heap.uid_of heap a with
+            | Some u -> push (Fvalue.Nuid u)
+            | None -> invalid_arg "Flatten.flatten: placeholder without uid")
+        | Heap.Regular -> (
+            match Hashtbl.find_opt memo a with
+            | Some idx -> idx
+            | None ->
+                (* Reserve the node before descending so cycles close. *)
+                let idx = push (Fvalue.Nregular 0) in
+                Hashtbl.add memo a idx;
+                let child = go (Heap.regular_value heap a) in
+                Vec.set nodes idx (Fvalue.Nregular child);
+                idx))
+  in
+  let root = go v in
+  Fvalue.make ~nodes:(Array.of_list (Vec.to_list nodes)) ~root
+
+let rebuild heap (fv : Fvalue.t) =
+  let n = Array.length fv.nodes in
+  let built : Value.t option array = Array.make n None in
+  let rec node i =
+    match built.(i) with
+    | Some v -> v
+    | None ->
+        let v =
+          match fv.nodes.(i) with
+          | Fvalue.Nunit -> Value.Unit
+          | Fvalue.Nbool b -> Value.Bool b
+          | Fvalue.Nint x -> Value.Int x
+          | Fvalue.Nstr s -> Value.Str s
+          | Fvalue.Nuid u -> (
+              match Heap.addr_of_uid heap u with
+              | Some a -> Value.Ref a
+              | None -> Value.Ref (Heap.install_placeholder heap u))
+          | Fvalue.Ntup children ->
+              (* Tuples cannot be on a cycle (only Nregular can), so plain
+                 recursion is safe. *)
+              Value.Tup (Array.map node children)
+          | Fvalue.Nregular child ->
+              (* Reserve the regular object first so cycles resolve to it. *)
+              let a = Heap.alloc_regular heap Value.Unit in
+              built.(i) <- Some (Value.Ref a);
+              Heap.set_regular heap a (node child);
+              Value.Ref a
+        in
+        (match built.(i) with
+        | Some existing -> existing (* set by the Nregular reservation *)
+        | None ->
+            built.(i) <- Some v;
+            v)
+  in
+  node fv.root

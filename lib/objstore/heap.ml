@@ -1,0 +1,445 @@
+module Uid = Rs_util.Uid
+module Aid = Rs_util.Aid
+module Vec = Rs_util.Vec
+
+type addr = Value.addr
+
+type lock = Free | Read of Aid.Set.t | Write of Aid.t
+
+type atomic_view = { base : Value.t; cur : Value.t option; lock : lock }
+
+type kind = Atomic | Mutex | Regular | Placeholder
+
+type atomic_body = {
+  mutable a_base : Value.t;
+  mutable a_cur : Value.t option;
+  mutable a_lock : lock;
+}
+
+type mutex_body = { mutable m_cur : Value.t; mutable m_owner : Aid.t option }
+type regular_body = { mutable r_val : Value.t }
+
+type body =
+  | B_atomic of atomic_body
+  | B_mutex of mutex_body
+  | B_regular of regular_body
+  | B_placeholder of Uid.t
+
+type obj = { uid : Uid.t option; body : body }
+
+type t = {
+  objs : obj Vec.t;
+  gen : Uid.Gen.t;
+  by_uid : addr Uid.Tbl.t;
+  placeholders : addr Uid.Tbl.t;
+  (* Per-action bookkeeping: every object the action modified (MOS), in
+     order, and every lock it holds (for release at completion). *)
+  modified : addr Vec.t Aid.Tbl.t;
+  locked : addr Vec.t Aid.Tbl.t;
+  root : addr;
+}
+
+exception Lock_conflict of { addr : addr; holder : Aid.t }
+
+let obj t a =
+  if a < 0 || a >= Vec.length t.objs then
+    invalid_arg (Printf.sprintf "Heap: address %d out of bounds" a);
+  Vec.get t.objs a
+
+(* [register] controls the uid -> addr table; placeholders carry a uid but
+   must not claim the binding, which belongs to the real object. *)
+let add_obj t ?uid ?(register = true) body =
+  let a = Vec.length t.objs in
+  Vec.push t.objs { uid; body };
+  (match uid with
+  | Some u when register -> Uid.Tbl.replace t.by_uid u a
+  | Some _ | None -> ());
+  a
+
+let create () =
+  let t =
+    {
+      objs = Vec.create ();
+      gen = Uid.Gen.create ();
+      by_uid = Uid.Tbl.create 64;
+      placeholders = Uid.Tbl.create 16;
+      modified = Aid.Tbl.create 16;
+      locked = Aid.Tbl.create 16;
+      root = 0;
+    }
+  in
+  let root =
+    add_obj t ~uid:Uid.stable_vars
+      (B_atomic { a_base = Value.Tup [||]; a_cur = None; a_lock = Free })
+  in
+  assert (root = 0);
+  t
+
+let uid_gen t = t.gen
+let root_addr t = t.root
+
+let kind_of t a =
+  match (obj t a).body with
+  | B_atomic _ -> Atomic
+  | B_mutex _ -> Mutex
+  | B_regular _ -> Regular
+  | B_placeholder _ -> Placeholder
+
+let uid_of t a = (obj t a).uid
+let addr_of_uid t u = Uid.Tbl.find_opt t.by_uid u
+let size t = Vec.length t.objs
+
+let record tbl aid a =
+  let v =
+    match Aid.Tbl.find_opt tbl aid with
+    | Some v -> v
+    | None ->
+        let v = Vec.create () in
+        Aid.Tbl.replace tbl aid v;
+        v
+  in
+  (* Keep first-modification order without duplicates; MOS sets are small. *)
+  let dup = Vec.fold_left (fun acc x -> acc || x = a) false v in
+  if not dup then Vec.push v a
+
+let atomic t a name =
+  match (obj t a).body with
+  | B_atomic b -> b
+  | B_mutex _ | B_regular _ | B_placeholder _ ->
+      invalid_arg (Printf.sprintf "Heap.%s: %d is not atomic" name a)
+
+let mutex t a name =
+  match (obj t a).body with
+  | B_mutex b -> b
+  | B_atomic _ | B_regular _ | B_placeholder _ ->
+      invalid_arg (Printf.sprintf "Heap.%s: %d is not mutex" name a)
+
+let regular t a name =
+  match (obj t a).body with
+  | B_regular b -> b
+  | B_atomic _ | B_mutex _ | B_placeholder _ ->
+      invalid_arg (Printf.sprintf "Heap.%s: %d is not regular" name a)
+
+(* Version copy: duplicate contained regular objects (fresh addresses,
+   sharing preserved via memo), keep references to recoverable objects. *)
+let copy_version t v =
+  let memo = Hashtbl.create 8 in
+  let rec go v =
+    match v with
+    | Value.Unit | Value.Bool _ | Value.Int _ | Value.Str _ -> v
+    | Value.Tup vs -> Value.Tup (Array.map go vs)
+    | Value.Ref a -> (
+        match (obj t a).body with
+        | B_atomic _ | B_mutex _ | B_placeholder _ -> v
+        | B_regular r -> (
+            match Hashtbl.find_opt memo a with
+            | Some a' -> Value.Ref a'
+            | None ->
+                (* Reserve the copy first so cycles terminate. *)
+                let a' = add_obj t (B_regular { r_val = Value.Unit }) in
+                Hashtbl.add memo a a';
+                (regular t a' "copy_version").r_val <- go r.r_val;
+                Value.Ref a'))
+  in
+  go v
+
+(* Allocation *)
+
+let alloc_atomic t ~creator base =
+  let uid = Uid.Gen.fresh t.gen in
+  let a =
+    add_obj t ~uid (B_atomic { a_base = base; a_cur = None; a_lock = Read (Aid.Set.singleton creator) })
+  in
+  record t.locked creator a;
+  a
+
+let alloc_mutex t v =
+  let uid = Uid.Gen.fresh t.gen in
+  add_obj t ~uid (B_mutex { m_cur = v; m_owner = None })
+
+let alloc_regular t v = add_obj t (B_regular { r_val = v })
+
+(* Atomic objects *)
+
+let atomic_view t a =
+  let b = atomic t a "atomic_view" in
+  { base = b.a_base; cur = b.a_cur; lock = b.a_lock }
+
+let read_atomic t aid a =
+  let b = atomic t a "read_atomic" in
+  match b.a_lock with
+  | Write holder when Aid.equal holder aid -> (
+      match b.a_cur with Some v -> v | None -> b.a_base)
+  | Write holder -> raise (Lock_conflict { addr = a; holder })
+  | Free ->
+      b.a_lock <- Read (Aid.Set.singleton aid);
+      record t.locked aid a;
+      b.a_base
+  | Read readers ->
+      if not (Aid.Set.mem aid readers) then begin
+        b.a_lock <- Read (Aid.Set.add aid readers);
+        record t.locked aid a
+      end;
+      b.a_base
+
+let write_lock t aid a =
+  let b = atomic t a "write_lock" in
+  match b.a_lock with
+  | Write holder when Aid.equal holder aid -> ()
+  | Write holder -> raise (Lock_conflict { addr = a; holder })
+  | Free ->
+      b.a_lock <- Write aid;
+      b.a_cur <- Some (copy_version t b.a_base);
+      record t.locked aid a
+  | Read readers ->
+      (* Upgrade is allowed only for the sole reader. *)
+      let others = Aid.Set.remove aid readers in
+      if Aid.Set.is_empty others then begin
+        b.a_lock <- Write aid;
+        b.a_cur <- Some (copy_version t b.a_base);
+        record t.locked aid a
+      end
+      else raise (Lock_conflict { addr = a; holder = Aid.Set.min_elt others })
+
+let set_current t aid a v =
+  write_lock t aid a;
+  let b = atomic t a "set_current" in
+  b.a_cur <- Some v;
+  record t.modified aid a
+
+let current_of t aid a =
+  let b = atomic t a "current_of" in
+  match (b.a_lock, b.a_cur) with
+  | Write holder, Some v when Aid.equal holder aid -> v
+  | (Write _ | Read _ | Free), _ ->
+      invalid_arg (Printf.sprintf "Heap.current_of: %d not write-locked by caller" a)
+
+(* Mutex objects *)
+
+let seize t aid a =
+  let b = mutex t a "seize" in
+  match b.m_owner with
+  | Some holder when not (Aid.equal holder aid) -> raise (Lock_conflict { addr = a; holder })
+  | Some _ | None ->
+      b.m_owner <- Some aid;
+      b.m_cur
+
+let set_mutex t aid a v =
+  let b = mutex t a "set_mutex" in
+  (match b.m_owner with
+  | Some holder when Aid.equal holder aid -> ()
+  | Some holder -> raise (Lock_conflict { addr = a; holder })
+  | None -> invalid_arg "Heap.set_mutex: possession not held");
+  b.m_cur <- v;
+  record t.modified aid a
+
+let release t aid a =
+  let b = mutex t a "release" in
+  match b.m_owner with
+  | Some holder when Aid.equal holder aid -> b.m_owner <- None
+  | Some _ | None -> invalid_arg "Heap.release: possession not held"
+
+let mutex_value t a = (mutex t a "mutex_value").m_cur
+
+(* Regular objects *)
+
+let regular_value t a = (regular t a "regular_value").r_val
+let set_regular t a v = (regular t a "set_regular").r_val <- v
+
+(* Action completion *)
+
+let mos t aid =
+  match Aid.Tbl.find_opt t.modified aid with
+  | Some v -> Vec.to_list v
+  | None -> []
+
+let drop_lock t aid a =
+  match (obj t a).body with
+  | B_atomic b -> (
+      match b.a_lock with
+      | Write holder when Aid.equal holder aid ->
+          b.a_lock <- Free;
+          b.a_cur <- None
+      | Read readers when Aid.Set.mem aid readers ->
+          let readers = Aid.Set.remove aid readers in
+          b.a_lock <- (if Aid.Set.is_empty readers then Free else Read readers)
+      | Write _ | Read _ | Free -> ())
+  | B_mutex b -> (
+      match b.m_owner with
+      | Some holder when Aid.equal holder aid -> b.m_owner <- None
+      | Some _ | None -> ())
+  | B_regular _ | B_placeholder _ -> ()
+
+let finish ~commit t aid =
+  (match Aid.Tbl.find_opt t.locked aid with
+  | None -> ()
+  | Some addrs ->
+      Vec.iter
+        (fun a ->
+          match (obj t a).body with
+          | B_atomic b -> (
+              match b.a_lock with
+              | Write holder when Aid.equal holder aid ->
+                  (if commit then
+                     match b.a_cur with
+                     | Some v -> b.a_base <- v
+                     | None -> ());
+                  b.a_cur <- None;
+                  b.a_lock <- Free
+              | Write _ | Read _ | Free -> drop_lock t aid a)
+          | B_mutex _ | B_regular _ | B_placeholder _ -> drop_lock t aid a)
+        addrs);
+  Aid.Tbl.remove t.locked aid;
+  Aid.Tbl.remove t.modified aid
+
+let commit_action t aid = finish ~commit:true t aid
+let abort_action t aid = finish ~commit:false t aid
+
+let holds_write t aid a =
+  match (obj t a).body with
+  | B_atomic { a_lock = Write holder; _ } -> Aid.equal holder aid
+  | B_atomic _ | B_mutex _ | B_regular _ | B_placeholder _ -> false
+
+let writer_of t a =
+  match (obj t a).body with
+  | B_atomic { a_lock = Write holder; _ } -> Some holder
+  | B_atomic _ | B_mutex _ | B_regular _ | B_placeholder _ -> None
+
+(* Stable variables: the root's version is a tuple of (name, value) pairs. *)
+
+let bindings_of = function
+  | Value.Tup pairs ->
+      Array.to_list pairs
+      |> List.filter_map (function
+           | Value.Tup [| Value.Str name; v |] -> Some (name, v)
+           | Value.Unit | Value.Bool _ | Value.Int _ | Value.Str _ | Value.Tup _
+           | Value.Ref _ ->
+               None)
+  | Value.Unit | Value.Bool _ | Value.Int _ | Value.Str _ | Value.Ref _ -> []
+
+let of_bindings bs =
+  Value.Tup (Array.of_list (List.map (fun (name, v) -> Value.Tup [| Value.Str name; v |]) bs))
+
+let set_stable_var t aid name v =
+  write_lock t aid t.root;
+  let b = atomic t t.root "set_stable_var" in
+  let cur = match b.a_cur with Some c -> c | None -> b.a_base in
+  let bs = bindings_of cur in
+  let bs = (name, v) :: List.remove_assoc name bs in
+  set_current t aid t.root (of_bindings bs)
+
+let get_stable_var t name =
+  let b = atomic t t.root "get_stable_var" in
+  List.assoc_opt name (bindings_of b.a_base)
+
+let stable_var_names t =
+  let b = atomic t t.root "stable_var_names" in
+  List.map fst (bindings_of b.a_base)
+
+(* Recovery-time interface *)
+
+let install_atomic t ~uid ~base ~cur =
+  match Uid.Tbl.find_opt t.by_uid uid with
+  | Some a ->
+      let b = atomic t a "install_atomic" in
+      (match base with Some v -> b.a_base <- v | None -> ());
+      (match cur with
+      | Some (aid, v) ->
+          b.a_cur <- Some v;
+          b.a_lock <- Write aid;
+          record t.locked aid a;
+          record t.modified aid a
+      | None -> ());
+      a
+  | None ->
+      let body =
+        B_atomic
+          {
+            a_base = (match base with Some v -> v | None -> Value.Unit);
+            a_cur = (match cur with Some (_, v) -> Some v | None -> None);
+            a_lock = (match cur with Some (aid, _) -> Write aid | None -> Free);
+          }
+      in
+      let a = add_obj t ~uid body in
+      (match cur with
+      | Some (aid, _) ->
+          record t.locked aid a;
+          record t.modified aid a
+      | None -> ());
+      a
+
+let install_mutex t ~uid v =
+  match Uid.Tbl.find_opt t.by_uid uid with
+  | Some a ->
+      (mutex t a "install_mutex").m_cur <- v;
+      a
+  | None -> add_obj t ~uid (B_mutex { m_cur = v; m_owner = None })
+
+let install_placeholder t uid =
+  match Uid.Tbl.find_opt t.placeholders uid with
+  | Some a -> a
+  | None ->
+      let a = add_obj t ~uid ~register:false (B_placeholder uid) in
+      Uid.Tbl.replace t.placeholders uid a;
+      a
+
+let set_base t a v = (atomic t a "set_base").a_base <- v
+
+let iter_objects t f = Vec.iteri (fun a o -> f a (match o.body with
+  | B_atomic _ -> Atomic
+  | B_mutex _ -> Mutex
+  | B_regular _ -> Regular
+  | B_placeholder _ -> Placeholder)) t.objs
+
+let patch_placeholders t =
+  let resolve u =
+    match Uid.Tbl.find_opt t.by_uid u with
+    | Some a -> a
+    | None -> failwith (Format.asprintf "Heap.patch_placeholders: dangling uid %a" Uid.pp u)
+  in
+  let rec patch v =
+    match v with
+    | Value.Unit | Value.Bool _ | Value.Int _ | Value.Str _ -> v
+    | Value.Tup vs ->
+        Array.iteri (fun i x -> vs.(i) <- patch x) vs;
+        v
+    | Value.Ref a -> (
+        match (obj t a).body with
+        | B_placeholder u -> Value.Ref (resolve u)
+        | B_atomic _ | B_mutex _ | B_regular _ -> v)
+  in
+  Vec.iter
+    (fun o ->
+      match o.body with
+      | B_atomic b ->
+          b.a_base <- patch b.a_base;
+          b.a_cur <- Option.map patch b.a_cur
+      | B_mutex b -> b.m_cur <- patch b.m_cur
+      | B_regular b -> b.r_val <- patch b.r_val
+      | B_placeholder _ -> ())
+    t.objs
+
+let reachable_uids t =
+  let seen_addr = Hashtbl.create 64 in
+  let uids = ref Uid.Set.empty in
+  let rec go_value v =
+    match v with
+    | Value.Unit | Value.Bool _ | Value.Int _ | Value.Str _ -> ()
+    | Value.Tup vs -> Array.iter go_value vs
+    | Value.Ref a -> go_addr a
+  and go_addr a =
+    if not (Hashtbl.mem seen_addr a) then begin
+      Hashtbl.add seen_addr a ();
+      let o = obj t a in
+      (match o.uid with Some u -> uids := Uid.Set.add u !uids | None -> ());
+      match o.body with
+      | B_atomic b ->
+          go_value b.a_base;
+          Option.iter go_value b.a_cur
+      | B_mutex b -> go_value b.m_cur
+      | B_regular b -> go_value b.r_val
+      | B_placeholder _ -> ()
+    end
+  in
+  go_addr t.root;
+  !uids

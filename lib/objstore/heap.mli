@@ -1,0 +1,158 @@
+(** Volatile memory of one guardian: the object table, the Argus lock
+    model, and version management for atomic objects (§2.4).
+
+    Three kinds of heap objects:
+    - {e atomic}: base version + (under a write lock) a current version;
+      read/write locks held to action completion (§2.4.1);
+    - {e mutex}: one current version, modified in place under possession
+      obtained with [seize] (§2.4.2);
+    - {e regular}: plain mutable data contained in recoverable objects.
+
+    When an action acquires a write lock, its current version is a copy of
+    the base version in which contained {e regular} objects are also copied
+    (fresh addresses) but references to other recoverable objects are kept
+    — the volatile analogue of the incremental copy, so an aborting action
+    can never have damaged the base version. *)
+
+type addr = Value.addr
+
+type lock = Free | Read of Rs_util.Aid.Set.t | Write of Rs_util.Aid.t
+
+(** State of an atomic object as seen by tests and the recovery system. *)
+type atomic_view = { base : Value.t; cur : Value.t option; lock : lock }
+
+type kind = Atomic | Mutex | Regular | Placeholder
+type t
+
+exception Lock_conflict of { addr : addr; holder : Rs_util.Aid.t }
+(** Raised when a lock/possession request conflicts; the guardian runtime
+    turns this into an action abort. *)
+
+val create : unit -> t
+(** A fresh heap containing only the stable-variables root: an atomic
+    object with uid {!Rs_util.Uid.stable_vars} whose base version is the
+    empty binding tuple. *)
+
+val uid_gen : t -> Rs_util.Uid.Gen.t
+val root_addr : t -> addr
+val kind_of : t -> addr -> kind
+val uid_of : t -> addr -> Rs_util.Uid.t option
+val addr_of_uid : t -> Rs_util.Uid.t -> addr option
+val size : t -> int
+
+(** {1 Allocation (normal operation)} *)
+
+val alloc_atomic : t -> creator:Rs_util.Aid.t -> Value.t -> addr
+(** New atomic object; the creating action holds a read lock and the object
+    has a single base version (§2.4.1). *)
+
+val alloc_mutex : t -> Value.t -> addr
+val alloc_regular : t -> Value.t -> addr
+
+(** {1 Atomic objects} *)
+
+val atomic_view : t -> addr -> atomic_view
+(** Raises [Invalid_argument] if [addr] is not atomic. *)
+
+val read_atomic : t -> Rs_util.Aid.t -> addr -> Value.t
+(** Acquire (or re-acquire) a read lock and return the version the action
+    sees: its own current version if it holds the write lock, the base
+    version otherwise. Raises {!Lock_conflict} if another action holds the
+    write lock. *)
+
+val write_lock : t -> Rs_util.Aid.t -> addr -> unit
+(** Acquire the write lock, creating the current version (a copy).
+    Upgrades the action's own read lock if it is the sole reader. Raises
+    {!Lock_conflict} otherwise. Idempotent for the holder. *)
+
+val set_current : t -> Rs_util.Aid.t -> addr -> Value.t -> unit
+(** Replace the current version wholesale. Requires the write lock
+    (acquires it if needed). Marks the object modified by the action. *)
+
+val current_of : t -> Rs_util.Aid.t -> addr -> Value.t
+(** The version the write-lock holder operates on. Raises
+    [Invalid_argument] if the action does not hold the write lock. *)
+
+(** {1 Mutex objects} *)
+
+val seize : t -> Rs_util.Aid.t -> addr -> Value.t
+(** Gain possession of a mutex object and return its current version.
+    Raises {!Lock_conflict} if another action has possession. *)
+
+val set_mutex : t -> Rs_util.Aid.t -> addr -> Value.t -> unit
+(** Replace the mutex current version; requires possession. Marks the
+    object modified. *)
+
+val release : t -> Rs_util.Aid.t -> addr -> unit
+(** Release possession (end of the [seize] block). *)
+
+val mutex_value : t -> addr -> Value.t
+
+(** {1 Regular objects} *)
+
+val regular_value : t -> addr -> Value.t
+val set_regular : t -> addr -> Value.t -> unit
+
+(** {1 Action completion} *)
+
+val mos : t -> Rs_util.Aid.t -> addr list
+(** The Modified Object Set for the action: atomic objects it wrote and
+    mutex objects it modified, in modification order (§2.3, refined in
+    §3.3.3.2 to modified objects only). *)
+
+val commit_action : t -> Rs_util.Aid.t -> unit
+(** Install every current version the action wrote as the new base
+    version, release all its locks, and forget its MOS. *)
+
+val abort_action : t -> Rs_util.Aid.t -> unit
+(** Discard the action's current versions and locks. Mutex modifications
+    are {e not} undone (§2.4.2). *)
+
+val holds_write : t -> Rs_util.Aid.t -> addr -> bool
+val writer_of : t -> addr -> Rs_util.Aid.t option
+
+(** {1 Stable variables} *)
+
+val set_stable_var : t -> Rs_util.Aid.t -> string -> Value.t -> unit
+(** Bind a stable variable in the root object (write-locks the root). *)
+
+val get_stable_var : t -> string -> Value.t option
+(** Committed binding of a stable variable (from the root's base version,
+    or the current version of a writer — callers during normal operation
+    want their own view; this is the base view used after recovery). *)
+
+val stable_var_names : t -> string list
+
+(** {1 Recovery-time interface} *)
+
+val install_atomic : t -> uid:Rs_util.Uid.t -> base:Value.t option -> cur:(Rs_util.Aid.t * Value.t) option -> addr
+(** Recreate an atomic object from log versions. [cur] re-grants the write
+    lock to the still-prepared action (§3.4.4 step 2.e.ii). If the object
+    already exists (same uid), fills in the missing version instead.
+    Raises [Invalid_argument] if the uid is already bound to a non-atomic
+    object. *)
+
+val install_mutex : t -> uid:Rs_util.Uid.t -> Value.t -> addr
+val install_placeholder : t -> Rs_util.Uid.t -> addr
+(** The "special object containing the uid" of §3.4.3; one per uid. *)
+
+val set_base : t -> addr -> Value.t -> unit
+(** Fill in the base version of an installed atomic object. *)
+
+val iter_objects : t -> (addr -> kind -> unit) -> unit
+
+val patch_placeholders : t -> unit
+(** Final recovery pass (§3.4.3): rewrite every [Ref] to a placeholder into
+    a [Ref] to the real object with that uid. Raises [Failure] if a
+    placeholder's uid was never installed (a dangling stable reference —
+    log corruption). *)
+
+val reachable_uids : t -> Rs_util.Uid.Set.t
+(** Uids of recoverable objects reachable from the stable-variables root,
+    traversing base and current versions — used to rebuild the AS after
+    recovery (§3.4.1 step 4) and to trim it. *)
+
+val copy_version : t -> Value.t -> Value.t
+(** The volatile version copy: duplicates contained regular objects
+    (allocating fresh ones, preserving sharing and cycles), keeps
+    references to recoverable objects. *)

@@ -1,0 +1,64 @@
+module Uid = Rs_util.Uid
+
+type issue = { addr : Value.addr option; what : string }
+
+let pp_issue fmt i =
+  match i.addr with
+  | Some a -> Format.fprintf fmt "@%d: %s" a i.what
+  | None -> Format.fprintf fmt "heap: %s" i.what
+
+let check heap =
+  let issues = ref [] in
+  let flag ?addr fmt = Format.kasprintf (fun what -> issues := { addr; what } :: !issues) fmt in
+  let size = Heap.size heap in
+  (* Root object sanity. *)
+  let root = Heap.root_addr heap in
+  (if root < 0 || root >= size then flag "missing stable-variables root"
+   else
+     match (Heap.kind_of heap root, Heap.uid_of heap root) with
+     | Heap.Atomic, Some u when Uid.equal u Uid.stable_vars -> ()
+     | k, u ->
+         flag ~addr:root "root is %s with uid %s"
+           (match k with
+           | Heap.Atomic -> "atomic"
+           | Heap.Mutex -> "mutex"
+           | Heap.Regular -> "regular"
+           | Heap.Placeholder -> "placeholder")
+           (match u with Some u -> string_of_int (Uid.to_int u) | None -> "none"));
+  (* Per-object checks. *)
+  let check_value addr v =
+    List.iter
+      (fun r ->
+        if r < 0 || r >= size then flag ~addr "dangling reference @%d" r
+        else if Heap.kind_of heap r = Heap.Placeholder then
+          flag ~addr "unpatched placeholder reference @%d" r)
+      (Value.refs v)
+  in
+  (* Value.refs is a preorder walk of the whole tree, so one call covers
+     nested tuples. *)
+  let deep_check = check_value in
+  Heap.iter_objects heap (fun addr kind ->
+      (* Uid table consistency. *)
+      (match (kind, Heap.uid_of heap addr) with
+      | (Heap.Atomic | Heap.Mutex), None -> flag ~addr "recoverable object without uid"
+      | (Heap.Atomic | Heap.Mutex), Some u -> (
+          match Heap.addr_of_uid heap u with
+          | Some a when a = addr -> ()
+          | Some a -> flag ~addr "uid O%d registered to @%d" (Uid.to_int u) a
+          | None -> flag ~addr "uid O%d not registered" (Uid.to_int u))
+      | Heap.Regular, Some _ -> flag ~addr "regular object carries a uid"
+      | (Heap.Regular | Heap.Placeholder), _ -> ());
+      (* Value and lock sanity. *)
+      match kind with
+      | Heap.Atomic -> (
+          let view = Heap.atomic_view heap addr in
+          deep_check addr view.base;
+          Option.iter (deep_check addr) view.cur;
+          match (view.lock, view.cur) with
+          | Heap.Write _, None -> flag ~addr "write lock without current version"
+          | (Heap.Free | Heap.Read _), Some _ -> flag ~addr "current version without write lock"
+          | Heap.Write _, Some _ | (Heap.Free | Heap.Read _), None -> ())
+      | Heap.Mutex -> deep_check addr (Heap.mutex_value heap addr)
+      | Heap.Regular -> deep_check addr (Heap.regular_value heap addr)
+      | Heap.Placeholder -> () (* inert once unreferenced *));
+  List.rev !issues

@@ -1,0 +1,19 @@
+(** Integrity checker for volatile memory — the heap counterpart of the
+    log fsck. Run after recovery (tests do) to catch reconstruction bugs
+    that value-level comparisons might miss.
+
+    Checks:
+    - the uid table is consistent: every registered uid maps to an object
+      carrying that uid, and every recoverable object's uid is registered
+      to it (no aliasing);
+    - no live value references a placeholder (recovery's final pass must
+      have patched them all, §3.4.3) or an out-of-bounds address;
+    - lock-state sanity: a current version exists iff a write lock is
+      held, and the lock tables agree with the objects;
+    - the stable-variables root exists, is atomic, and carries
+      {!Rs_util.Uid.stable_vars}. *)
+
+type issue = { addr : Value.addr option; what : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+val check : Heap.t -> issue list

@@ -1,0 +1,27 @@
+(** Volatile-memory values: the data portion of objects (Fig. 3-2).
+
+    A value is a tree of primitives and tuples whose leaves may be
+    references to heap objects — recoverable (atomic/mutex) or regular.
+    Tuples are mutable arrays: actions mutate their private version of an
+    atomic object in place, and mutex state is mutated in place under
+    possession. *)
+
+type addr = int
+(** Volatile-memory address: index into the heap's object table. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Tup of t array  (** mutable: in-place update of a version *)
+  | Ref of addr  (** pointer to another heap object *)
+
+val equal_shape : t -> t -> bool
+(** Structural equality treating [Ref] addresses literally. Used by tests;
+    does not follow references. *)
+
+val pp : Format.formatter -> t -> unit
+
+val refs : t -> addr list
+(** All addresses referenced directly from this value, in preorder. *)

@@ -1,0 +1,25 @@
+(** Deterministic discrete-event simulator.
+
+    All distributed behaviour (message latency, crash timing, timeouts) is
+    driven from one event queue seeded by one PRNG, so every run is
+    reproducible. Events scheduled for the same instant fire in schedule
+    order. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+val now : t -> float
+val rng : t -> Rs_util.Rng.t
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run a thunk [delay] time units from now. Raises [Invalid_argument] on
+    a negative delay. *)
+
+val run : ?until:float -> t -> int
+(** Process events (in time order) until the queue is empty or the clock
+    passes [until]. Returns the number of events processed. *)
+
+val step : t -> bool
+(** Process one event; false if the queue is empty. *)
+
+val pending : t -> int

@@ -1,0 +1,80 @@
+module Store = Rs_storage.Stable_store
+module Codec = Rs_util.Codec
+
+type t = {
+  root : Store.t;
+  slots : Store.t array; (* two log slots *)
+  page_size : int;
+  mutable cur : int; (* index of the current slot, mirrored in [root] *)
+  mutable cur_log : Stable_log.t;
+  mutable pending : Stable_log.t option; (* new log under construction *)
+}
+
+let encode_root cur =
+  let enc = Codec.Enc.create ~size:4 () in
+  Codec.Enc.varint enc cur;
+  Codec.Enc.contents enc
+
+let decode_root s =
+  let dec = Codec.Dec.of_string s in
+  let cur = Codec.Dec.varint dec in
+  Codec.Dec.expect_end dec;
+  if cur <> 0 && cur <> 1 then failwith "Log_dir: corrupt root";
+  cur
+
+let create ?(page_size = 1024) ?rng ?decay_prob () =
+  let mk pages = Store.create ?rng ?decay_prob ~pages () in
+  let root = mk 1 in
+  let slots = [| mk 8; mk 8 |] in
+  Store.put root 0 (encode_root 0);
+  let cur_log = Stable_log.create ~page_size slots.(0) in
+  { root; slots; page_size; cur = 0; cur_log; pending = None }
+
+let open_ t =
+  Store.recover t.root;
+  let cur =
+    match Store.get t.root 0 with
+    | Some s -> decode_root s
+    | None -> failwith "Log_dir.open_: lost root page"
+  in
+  let cur_log = Stable_log.open_ t.slots.(cur) in
+  {
+    root = t.root;
+    slots = t.slots;
+    page_size = t.page_size;
+    cur;
+    cur_log;
+    pending = None;
+  }
+
+let current t = t.cur_log
+
+let begin_new t =
+  let spare = 1 - t.cur in
+  let log = Stable_log.create ~page_size:t.page_size t.slots.(spare) in
+  t.pending <- Some log;
+  log
+
+let switch t =
+  match t.pending with
+  | None -> invalid_arg "Log_dir.switch: no pending log"
+  | Some log ->
+      Stable_log.force log;
+      Store.put t.root 0 (encode_root (1 - t.cur));
+      Stable_log.destroy t.cur_log;
+      t.cur <- 1 - t.cur;
+      t.cur_log <- log;
+      t.pending <- None
+
+let page_size t = t.page_size
+let stores t = [ t.root; t.slots.(0); t.slots.(1) ]
+
+let physical_writes t =
+  Store.physical_writes t.root
+  + Store.physical_writes t.slots.(0)
+  + Store.physical_writes t.slots.(1)
+
+let physical_reads t =
+  Store.physical_reads t.root
+  + Store.physical_reads t.slots.(0)
+  + Store.physical_reads t.slots.(1)

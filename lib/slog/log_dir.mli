@@ -1,0 +1,39 @@
+(** A guardian's stable-log directory: two log slots plus a one-page stable
+    root naming the current slot.
+
+    Housekeeping (Ch. 5) builds a new log in the spare slot while the
+    recovery system keeps appending to the current one, then "in one atomic
+    step, the new log supplants the old log": here, one atomic write of the
+    root page. A crash before the switch leaves the old log current; the
+    half-built new log is simply discarded at recovery. *)
+
+type t
+
+val create : ?page_size:int -> ?rng:Rs_util.Rng.t -> ?decay_prob:float -> unit -> t
+(** Fresh directory with an empty log in slot 0. *)
+
+val open_ : t -> t
+(** Reopen after a crash: repairs stores, reads the root atomically, and
+    recovers the current slot's log. The argument supplies the surviving
+    stable stores (volatile state in it is ignored). *)
+
+val current : t -> Stable_log.t
+
+val begin_new : t -> Stable_log.t
+(** Format the spare slot as a fresh empty log and return it. Any previous
+    contents of the spare slot are discarded. *)
+
+val switch : t -> unit
+(** Atomically make the log from [begin_new] current and invalidate the old
+    current log's handle. Raises [Invalid_argument] if [begin_new] was not
+    called since the last switch. *)
+
+val page_size : t -> int
+
+val stores : t -> Rs_storage.Stable_store.t list
+(** Root store and both slot stores — for fault injection in tests. *)
+
+val physical_writes : t -> int
+(** Physical page writes across all stores — the directory-wide I/O cost. *)
+
+val physical_reads : t -> int

@@ -1,0 +1,281 @@
+module Codec = Rs_util.Codec
+module Vec = Rs_util.Vec
+module Store = Rs_storage.Stable_store
+
+type addr = int
+
+(* Frames are [u32 length ++ payload ++ u32 length]; an entry's address is
+   the offset of its leading length word in the stream. *)
+let frame_overhead = 8
+
+type t = {
+  store : Store.t;
+  page_size : int;
+  mutable forced_len : int; (* stable stream bytes *)
+  mutable forced_entries : int;
+  mutable last_offset : int; (* address of the last forced entry; -1 if none *)
+  pending : (addr * string) Vec.t; (* buffered entries with assigned addresses *)
+  mutable pending_bytes : int;
+  pages : (int, string) Hashtbl.t; (* volatile page cache, page -> data *)
+  mutable forces : int;
+  mutable entry_reads : int;
+  mutable bytes_read : int;
+  mutable alive : bool;
+}
+
+let check_alive t = if not t.alive then invalid_arg "Stable_log: destroyed handle"
+
+let encode_header t =
+  let enc = Codec.Enc.create ~size:24 () in
+  Codec.Enc.varint enc t.forced_len;
+  Codec.Enc.varint enc t.forced_entries;
+  Codec.Enc.varint enc t.last_offset;
+  Codec.Enc.varint enc t.page_size;
+  Codec.Enc.contents enc
+
+let decode_header s =
+  let dec = Codec.Dec.of_string s in
+  let forced_len = Codec.Dec.varint dec in
+  let forced_entries = Codec.Dec.varint dec in
+  let last_offset = Codec.Dec.varint dec in
+  let page_size = Codec.Dec.varint dec in
+  Codec.Dec.expect_end dec;
+  (forced_len, forced_entries, last_offset, page_size)
+
+let write_header t = Store.put t.store 0 (encode_header t)
+
+let create ?(page_size = 1024) store =
+  if page_size <= 0 then invalid_arg "Stable_log.create: page_size must be positive";
+  let t =
+    {
+      store;
+      page_size;
+      forced_len = 0;
+      forced_entries = 0;
+      last_offset = -1;
+      pending = Vec.create ();
+      pending_bytes = 0;
+      pages = Hashtbl.create 64;
+      forces = 0;
+      entry_reads = 0;
+      bytes_read = 0;
+      alive = true;
+    }
+  in
+  write_header t;
+  t
+
+let open_ store =
+  match Store.get store 0 with
+  | None -> failwith "Stable_log.open_: no log header"
+  | Some hdr ->
+      let forced_len, forced_entries, last_offset, page_size =
+        try decode_header hdr
+        with Codec.Error msg -> failwith ("Stable_log.open_: bad header: " ^ msg)
+      in
+      {
+        store;
+        page_size;
+        forced_len;
+        forced_entries;
+        last_offset;
+        pending = Vec.create ();
+        pending_bytes = 0;
+        pages = Hashtbl.create 64;
+        forces = 0;
+        entry_reads = 0;
+        bytes_read = 0;
+        alive = true;
+      }
+
+(* Byte access: stream byte [i] lives on logical page [1 + i/page_size].
+   Pages are fetched on demand and cached; absent bytes (never forced, or
+   in the pending region) come from the pending buffer. *)
+
+let page_data t p =
+  match Hashtbl.find_opt t.pages p with
+  | Some data -> data
+  | None -> (
+      match Store.get t.store (1 + p) with
+      | Some data ->
+          Hashtbl.replace t.pages p data;
+          data
+      | None -> failwith (Printf.sprintf "Stable_log: lost data page %d" p))
+
+(* Read [len] stream bytes at [off]; the range must lie in the forced
+   region or entirely in the pending region. *)
+let read_forced_bytes t ~off ~len =
+  let buf = Bytes.create len in
+  let wrote = ref 0 in
+  let pos = ref off in
+  while !wrote < len do
+    let p = !pos / t.page_size in
+    let in_page = !pos mod t.page_size in
+    let data = page_data t p in
+    let n = min (len - !wrote) (String.length data - in_page) in
+    if n <= 0 then failwith "Stable_log: short data page";
+    Bytes.blit_string data in_page buf !wrote n;
+    wrote := !wrote + n;
+    pos := !pos + n
+  done;
+  Bytes.unsafe_to_string buf
+
+let u32_of s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let u32_to v =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr (v land 0xFF));
+  Bytes.set b 1 (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b 2 (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b 3 (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.unsafe_to_string b
+
+let frame entry = u32_to (String.length entry) ^ entry ^ u32_to (String.length entry)
+
+let find_pending t a =
+  let found = ref None in
+  Vec.iter (fun (pa, e) -> if pa = a then found := Some e) t.pending;
+  !found
+
+let read t a =
+  check_alive t;
+  if a < 0 then invalid_arg "Stable_log.read: negative address";
+  let payload =
+    if a < t.forced_len then begin
+      if a + 4 > t.forced_len then invalid_arg "Stable_log.read: bad address";
+      let len = u32_of (read_forced_bytes t ~off:a ~len:4) 0 in
+      if len < 0 || a + frame_overhead + len > t.forced_len then
+        invalid_arg "Stable_log.read: not an entry boundary";
+      read_forced_bytes t ~off:(a + 4) ~len
+    end
+    else
+      match find_pending t a with
+      | Some e -> e
+      | None -> invalid_arg "Stable_log.read: not an entry boundary"
+  in
+  t.entry_reads <- t.entry_reads + 1;
+  t.bytes_read <- t.bytes_read + String.length payload;
+  payload
+
+(* Address of the entry preceding the one at [a], if any. *)
+let rec prev_addr t a =
+  if a <= 0 then None
+  else if a <= t.forced_len then begin
+    let len_prev = u32_of (read_forced_bytes t ~off:(a - 4) ~len:4) 0 in
+    Some (a - frame_overhead - len_prev)
+  end
+  else begin
+    (* [a] is in the pending region; scan the buffer. *)
+    let prev = ref None in
+    Vec.iter (fun (pa, _) -> if pa < a then prev := Some pa) t.pending;
+    match !prev with
+    | Some pa -> Some pa
+    | None -> if t.forced_len > 0 then prev_addr t t.forced_len else None
+  end
+
+let read_backward t a =
+  check_alive t;
+  let rec seq a () =
+    match a with
+    | None -> Seq.Nil
+    | Some a -> Seq.Cons ((a, read t a), seq (prev_addr t a))
+  in
+  seq (Some a)
+
+let end_addr t =
+  check_alive t;
+  t.forced_len + t.pending_bytes
+
+let read_forward t a =
+  check_alive t;
+  let rec seq a () =
+    if a >= end_addr t then Seq.Nil
+    else
+      let payload = read t a in
+      Seq.Cons ((a, payload), seq (a + frame_overhead + String.length payload))
+  in
+  seq a
+
+let write t entry =
+  check_alive t;
+  let a = t.forced_len + t.pending_bytes in
+  Vec.push t.pending (a, entry);
+  t.pending_bytes <- t.pending_bytes + frame_overhead + String.length entry;
+  a
+
+(* Flush the pending entries: extend the stream, rewrite the dirty pages
+   (read-modify-write of the partial last page via the cache), then commit
+   by writing the header. *)
+let force t =
+  check_alive t;
+  if not (Vec.is_empty t.pending) then begin
+    let start = t.forced_len in
+    let buf = Buffer.create (t.pending_bytes + t.page_size) in
+    (* Prefix of the first dirty page that is already stable. *)
+    let first_page = start / t.page_size in
+    let prefix_len = start mod t.page_size in
+    if prefix_len > 0 then Buffer.add_string buf (String.sub (page_data t first_page) 0 prefix_len);
+    Vec.iter (fun (_, e) -> Buffer.add_string buf (frame e)) t.pending;
+    let data = Buffer.contents buf in
+    let npages = (String.length data + t.page_size - 1) / t.page_size in
+    for i = 0 to npages - 1 do
+      let off = i * t.page_size in
+      let len = min t.page_size (String.length data - off) in
+      let page = String.sub data off len in
+      Hashtbl.replace t.pages (first_page + i) page;
+      Store.put t.store (1 + first_page + i) page
+    done;
+    let count = Vec.length t.pending in
+    let last, _ = Vec.last t.pending in
+    t.forced_len <- start + t.pending_bytes;
+    t.forced_entries <- t.forced_entries + count;
+    t.last_offset <- last;
+    Vec.clear t.pending;
+    t.pending_bytes <- 0;
+    write_header t;
+    t.forces <- t.forces + 1
+  end
+
+let force_write t entry =
+  let a = write t entry in
+  force t;
+  a
+
+let get_top t =
+  check_alive t;
+  if t.last_offset < 0 then None else Some t.last_offset
+
+let entry_count t =
+  check_alive t;
+  t.forced_entries + Vec.length t.pending
+
+let forced_count t =
+  check_alive t;
+  t.forced_entries
+
+let is_forced t a =
+  check_alive t;
+  a >= 0 && a < t.forced_len
+
+let stream_bytes t =
+  check_alive t;
+  t.forced_len
+
+let forces t =
+  check_alive t;
+  t.forces
+
+let entry_reads t =
+  check_alive t;
+  t.entry_reads
+
+let bytes_read t =
+  check_alive t;
+  t.bytes_read
+
+let store t = t.store
+let destroy t = t.alive <- false

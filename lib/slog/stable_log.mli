@@ -1,0 +1,100 @@
+(** The {e stable log} abstraction of §3.1 [Raible 83]: the interface the
+    recovery system uses for all stable storage traffic.
+
+    A log is an append-only sequence of entries (opaque strings here; the
+    recovery system layers its entry formats on top) addressed by
+    {!type-addr} — the byte offset of the entry's frame in the log stream,
+    the thesis's abstract [log_address]. [write] buffers; [force_write]
+    makes the entry and every buffered predecessor stable before
+    returning. After a crash the unforced suffix is gone — exactly the
+    property two-phase commit relies on when it forces outcome entries.
+
+    On-disk layout (over an atomic {!Rs_storage.Stable_store}): logical
+    page 0 holds a header [(stream_length, entry_count, last_offset,
+    page_size)]; pages 1..n hold the entry stream, each entry framed as
+    [u32 length ++ payload ++ u32 length] — the trailing length lets
+    {!read_backward} walk the log without an index. A force writes the
+    dirty data pages and then the header; the header update is the single
+    atomic commit point, so a crash mid-force leaves the previous
+    consistent state.
+
+    Reads fetch pages {e on demand} (with a volatile page cache), so
+    recovery pays I/O only for the entries it actually visits — the cost
+    difference between the simple log (visits everything) and the hybrid
+    log (visits the outcome chain) is real, measurable I/O. *)
+
+type t
+
+type addr = int
+(** Byte offset of an entry frame; the [log_address] of the thesis.
+    Addresses increase monotonically with write order. *)
+
+val create : ?page_size:int -> Rs_storage.Stable_store.t -> t
+(** [create store] formats [store] as a fresh, empty log. [page_size] is
+    the data bytes per logical page (default 1024). *)
+
+val open_ : Rs_storage.Stable_store.t -> t
+(** [open_ store] re-opens a previously created log after a crash,
+    recovering exactly the forced prefix. Reads only the header page —
+    cost independent of log size. Raises [Failure] if [store] holds no
+    valid log header. *)
+
+val write : t -> string -> addr
+(** Append an entry (buffered; not yet stable). Returns its address. *)
+
+val force_write : t -> string -> addr
+(** Append an entry and force it — and all earlier buffered entries — to
+    stable storage before returning (§3.1 operation 2). *)
+
+val force : t -> unit
+(** Force all buffered entries without appending. *)
+
+val read : t -> addr -> string
+(** [read t a] is the entry at address [a] (forced or still buffered).
+    Raises [Invalid_argument] if [a] is not an entry boundary. *)
+
+val read_backward : t -> addr -> (addr * string) Seq.t
+(** Entries from address [a] down to the first entry (§3.1 operation 4),
+    using the trailing-length back chain. *)
+
+val read_forward : t -> addr -> (addr * string) Seq.t
+(** Entries from address [a] (inclusive) to the end of the log, buffered
+    entries included — used by housekeeping to carry post-marker entries
+    to a new log. *)
+
+val end_addr : t -> addr
+(** The address the next written entry will receive; entries at addresses
+    >= this do not exist yet (the housekeeping marker, §5.1.1). *)
+
+val get_top : t -> addr option
+(** Address of the last entry {e forced} to the log, or [None] if empty
+    (§3.1 operation 5). *)
+
+val entry_count : t -> int
+(** Total entries including buffered ones. *)
+
+val forced_count : t -> int
+val is_forced : t -> addr -> bool
+
+val stream_bytes : t -> int
+(** Bytes of entry stream forced so far — a size metric for housekeeping
+    policy and benchmarks. *)
+
+val forces : t -> int
+(** Number of force operations performed (each costs synchronous I/O). *)
+
+val entry_reads : t -> int
+(** Entries handed out by [read]/[read_backward] — the recovery-cost
+    metric distinguishing the simple log (reads every entry) from the
+    hybrid log (reads only the outcome chain plus referenced data
+    entries). *)
+
+val bytes_read : t -> int
+(** Total payload bytes handed out by reads. *)
+
+val store : t -> Rs_storage.Stable_store.t
+
+val destroy : t -> unit
+(** Invalidate the in-memory handle (the thesis's [destroy]); subsequent
+    operations raise [Invalid_argument]. The underlying store can be
+    reused. *)

@@ -1,0 +1,103 @@
+type page = Good of string | Bad
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable torn_writes : int;
+  mutable decays : int;
+}
+
+type t = {
+  mutable pages : page array;
+  stats : stats;
+  rng : Rs_util.Rng.t option;
+  decay_prob : float;
+  mutable crash_in : int option; (* writes remaining before the armed crash *)
+}
+
+exception Crash
+
+let create ?rng ?(decay_prob = 0.0) ~pages () =
+  if pages <= 0 then invalid_arg "Disk.create: pages must be positive";
+  {
+    pages = Array.make pages Bad;
+    stats = { reads = 0; writes = 0; torn_writes = 0; decays = 0 };
+    rng;
+    decay_prob;
+    crash_in = None;
+  }
+
+let pages t = Array.length t.pages
+let stats t = t.stats
+
+let check_nonneg p name =
+  if p < 0 then invalid_arg (Printf.sprintf "Disk.%s: negative page %d" name p)
+
+let grow_to t p =
+  let cur = Array.length t.pages in
+  if p >= cur then begin
+    let ncap = max (p + 1) (cur * 2) in
+    let npages = Array.make ncap Bad in
+    Array.blit t.pages 0 npages 0 cur;
+    t.pages <- npages
+  end
+
+let maybe_decay t p =
+  match t.rng with
+  | Some rng when t.decay_prob > 0.0 && Rs_util.Rng.bool rng t.decay_prob ->
+      t.pages.(p) <- Bad;
+      t.stats.decays <- t.stats.decays + 1
+  | Some _ | None -> ()
+
+let read t p =
+  check_nonneg p "read";
+  t.stats.reads <- t.stats.reads + 1;
+  if p >= Array.length t.pages then None
+  else begin
+    maybe_decay t p;
+    match t.pages.(p) with Good data -> Some data | Bad -> None
+  end
+
+let write t p data =
+  check_nonneg p "write";
+  grow_to t p;
+  t.stats.writes <- t.stats.writes + 1;
+  match t.crash_in with
+  | Some 0 ->
+      (* The crash interrupts this write: the page is torn. *)
+      t.pages.(p) <- Bad;
+      t.stats.torn_writes <- t.stats.torn_writes + 1;
+      t.crash_in <- None;
+      raise Crash
+  | Some n ->
+      t.crash_in <- Some (n - 1);
+      t.pages.(p) <- Good data
+  | None -> t.pages.(p) <- Good data
+
+let decay t p =
+  check_nonneg p "decay";
+  if p < Array.length t.pages then begin
+    t.pages.(p) <- Bad;
+    t.stats.decays <- t.stats.decays + 1
+  end
+
+let set_crash_after t n =
+  if n < 0 then invalid_arg "Disk.set_crash_after: negative";
+  t.crash_in <- Some n
+
+let clear_crash t = t.crash_in <- None
+
+let snapshot t =
+  {
+    pages = Array.copy t.pages;
+    stats =
+      {
+        reads = t.stats.reads;
+        writes = t.stats.writes;
+        torn_writes = t.stats.torn_writes;
+        decays = t.stats.decays;
+      };
+    rng = t.rng;
+    decay_prob = t.decay_prob;
+    crash_in = t.crash_in;
+  }

@@ -1,0 +1,57 @@
+(** A simulated conventional disk: an array of pages with the failure modes
+    the Lampson–Sturgis stable-storage construction defends against.
+
+    Failure modes modelled:
+    - a write interrupted by a crash leaves the target page {e torn}
+      (detectably bad — real disks detect this with per-sector checksums);
+    - spontaneous {e decay} flips a good page to bad between operations.
+
+    Crash injection: {!set_crash_after} arms a countdown of page writes;
+    the write that exhausts it tears its page and raises {!Crash}. This
+    lets tests stop a multi-page update at every possible point. *)
+
+type t
+
+exception Crash
+(** Raised by [write] when an armed crash point fires. *)
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable torn_writes : int;  (** writes interrupted by a crash *)
+  mutable decays : int;
+}
+
+val create : ?rng:Rs_util.Rng.t -> ?decay_prob:float -> pages:int -> unit -> t
+(** [create ~pages ()] is a disk of initially [pages] pages, all bad
+    (unwritten). The disk grows automatically when written past the end —
+    simulated platters are cheap. [decay_prob] is the per-read probability
+    that a page has decayed since last touched (default 0: deterministic
+    disk). *)
+
+val pages : t -> int
+(** Current size (highest provisioned page + 1). *)
+
+val stats : t -> stats
+
+val read : t -> int -> string option
+(** [read t p] is [Some data] if page [p] is good, [None] if bad (torn,
+    decayed, never written, or beyond the end). Raises [Invalid_argument]
+    on a negative index. *)
+
+val write : t -> int -> string -> unit
+(** Overwrites page [p], growing the disk if needed. Raises {!Crash}
+    (leaving the page torn) when an armed crash fires. *)
+
+val decay : t -> int -> unit
+(** Force page [p] bad: simulates spontaneous storage decay. No-op beyond
+    the end. *)
+
+val set_crash_after : t -> int -> unit
+(** [set_crash_after t n] makes the [n+1]-th subsequent write crash
+    ([n = 0] crashes the very next write). *)
+
+val clear_crash : t -> unit
+
+val snapshot : t -> t
+(** Deep copy, for exploring alternate futures in tests. *)

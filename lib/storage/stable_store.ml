@@ -1,0 +1,110 @@
+type t = { a : Disk.t; b : Disk.t; mutable armed : int option }
+
+(* Values are framed with a CRC so a torn physical page that the disk model
+   happens to keep readable would still be rejected; with our disk model
+   torn pages already read as Bad, so the CRC guards decode bugs. *)
+let frame data =
+  let crc = Rs_util.Crc32.string data in
+  let enc = Rs_util.Codec.Enc.create ~size:(String.length data + 8) () in
+  Rs_util.Codec.Enc.u32 enc crc;
+  Rs_util.Codec.Enc.string enc data;
+  Rs_util.Codec.Enc.contents enc
+
+let unframe s =
+  match
+    let dec = Rs_util.Codec.Dec.of_string s in
+    let crc = Rs_util.Codec.Dec.u32 dec in
+    let data = Rs_util.Codec.Dec.string dec in
+    Rs_util.Codec.Dec.expect_end dec;
+    if Rs_util.Crc32.string data = crc then Some data else None
+  with
+  | v -> v
+  | exception Rs_util.Codec.Error _ -> None
+
+let create ?rng ?decay_prob ~pages () =
+  let mk () = Disk.create ?rng ?decay_prob ~pages () in
+  { a = mk (); b = mk (); armed = None }
+
+let pages t = max (Disk.pages t.a) (Disk.pages t.b)
+
+let check _t p name =
+  if p < 0 then invalid_arg (Printf.sprintf "Stable_store.%s: negative page %d" name p)
+
+let read_rep disk p =
+  match Disk.read disk p with None -> None | Some s -> unframe s
+
+let get t p =
+  check t p "get";
+  match read_rep t.a p with
+  | Some v -> Some v
+  | None -> (
+      match read_rep t.b p with
+      | Some v -> Some v
+      | None -> None)
+
+(* Crash arming is coordinated across the two disks: a single countdown of
+   physical writes, decremented here, delegated to whichever disk performs
+   the fatal write. *)
+let countdown t =
+  match t.armed with
+  | None -> false
+  | Some 0 ->
+      t.armed <- None;
+      true
+  | Some n ->
+      t.armed <- Some (n - 1);
+      false
+
+let write_phys t disk p data =
+  if countdown t then begin
+    Disk.set_crash_after disk 0;
+    Disk.write disk p data (* raises Disk.Crash, tearing the page *)
+  end
+  else Disk.write disk p data
+
+let put t p data =
+  check t p "put";
+  let framed = frame data in
+  (* Careful put: write A, verify, then write B. The verify re-read models
+     the Lampson–Sturgis careful write that retries until the page reads
+     back; with our deterministic disks one attempt suffices unless decay
+     intervenes, in which case we retry a bounded number of times. *)
+  let rec careful disk attempts =
+    if attempts = 0 then failwith "Stable_store.put: persistent device failure";
+    write_phys t disk p framed;
+    match read_rep disk p with
+    | Some v when String.equal v data -> ()
+    | Some _ | None -> careful disk (attempts - 1)
+  in
+  careful t.a 5;
+  careful t.b 5
+
+let recover t =
+  for p = 0 to pages t - 1 do
+    match (read_rep t.a p, read_rep t.b p) with
+    | Some va, Some vb ->
+        if not (String.equal va vb) then
+          (* A crash fell between the two careful writes: A holds the newer
+             value (A is always written first), so propagate it. *)
+          Disk.write t.b p (frame va)
+    | Some va, None -> Disk.write t.b p (frame va)
+    | None, Some vb -> Disk.write t.a p (frame vb)
+    | None, None -> ()
+  done
+
+let arm_crash t ~after_writes =
+  if after_writes < 0 then invalid_arg "Stable_store.arm_crash: negative";
+  t.armed <- Some after_writes
+
+let clear_crash t =
+  t.armed <- None;
+  Disk.clear_crash t.a;
+  Disk.clear_crash t.b
+
+let physical_writes t = (Disk.stats t.a).writes + (Disk.stats t.b).writes
+let physical_reads t = (Disk.stats t.a).reads + (Disk.stats t.b).reads
+
+let decay_random_page t rng =
+  let p = Rs_util.Rng.int rng (pages t) in
+  let disk = if Rs_util.Rng.bool rng 0.5 then t.a else t.b in
+  Disk.decay disk p

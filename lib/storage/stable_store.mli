@@ -1,0 +1,49 @@
+(** Atomic stable storage after Lampson & Sturgis [Lampson 79] (§1.1).
+
+    Each logical page is represented by two physical pages on two disks
+    with independent failure modes. A {e careful put} writes the first
+    representative, verifies it, then writes the second; a {e careful get}
+    prefers the first good representative. Because at most one
+    representative is mid-write at any instant, a crash at any point leaves
+    at least one good copy: the logical write is atomic — the old value or
+    the new value, never garbage.
+
+    {!recover} must run after every crash (and periodically against decay):
+    it repairs diverged pairs, completing or undoing interrupted writes. *)
+
+type t
+
+val create : ?rng:Rs_util.Rng.t -> ?decay_prob:float -> pages:int -> unit -> t
+(** A store of initially [pages] logical pages, all unwritten; it grows
+    automatically when written past the end. *)
+
+val pages : t -> int
+(** Current provisioned size. *)
+
+val get : t -> int -> string option
+(** [get t p] is the last value carefully put to logical page [p], or [None]
+    if never written. Raises [Failure] only if both representatives have
+    been lost (a catastrophe outside the fault model). *)
+
+val put : t -> int -> string -> unit
+(** Careful, atomic overwrite of logical page [p]. May raise {!Disk.Crash}
+    if a crash is armed; the page then still reads as old or new value. *)
+
+val recover : t -> unit
+(** Repair pass: for every logical page, copy the good representative over
+    a bad or diverged partner. Run after a crash before using the store. *)
+
+val arm_crash : t -> after_writes:int -> unit
+(** Arm a crash after [after_writes] further physical page writes. *)
+
+val clear_crash : t -> unit
+
+val physical_writes : t -> int
+(** Total physical page writes across both disks (the cost metric used by
+    the benchmarks: stable storage costs two writes per logical write). *)
+
+val physical_reads : t -> int
+
+val decay_random_page : t -> Rs_util.Rng.t -> unit
+(** Decay one random physical page — never both representatives of the same
+    logical page (independent failure modes assumption, §1.1). *)

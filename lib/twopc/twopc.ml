@@ -1,0 +1,254 @@
+module Aid = Rs_util.Aid
+module Gid = Rs_util.Gid
+module Sim = Rs_sim.Sim
+
+type msg =
+  | Prepare of Aid.t
+  | Prepared_reply of Aid.t
+  | Refused_reply of Aid.t
+  | Commit of Aid.t
+  | Committed_ack of Aid.t
+  | Abort of Aid.t
+  | Aborted_ack of Aid.t
+  | Query of Aid.t
+
+let pp_msg fmt m =
+  let f name aid = Format.fprintf fmt "%s(%a)" name Aid.pp aid in
+  match m with
+  | Prepare a -> f "prepare" a
+  | Prepared_reply a -> f "prepared" a
+  | Refused_reply a -> f "refused" a
+  | Commit a -> f "commit" a
+  | Committed_ack a -> f "committed" a
+  | Abort a -> f "abort" a
+  | Aborted_ack a -> f "aborted" a
+  | Query a -> f "query" a
+
+type hooks = {
+  on_prepare : Aid.t -> [ `Prepared | `Refused ];
+  on_commit : Aid.t -> unit;
+  on_abort : Aid.t -> unit;
+  on_committing : Aid.t -> Gid.t list -> unit;
+  on_done : Aid.t -> unit;
+  coordinator_outcome : Aid.t -> [ `Commit | `Abort ];
+}
+
+type coord_phase =
+  | Preparing of { mutable waiting : Gid.Set.t }
+  | Committing of { mutable waiting : Gid.Set.t }
+  | Aborting
+  | Finished
+
+type coord = {
+  participants : Gid.t list;
+  mutable phase : coord_phase;
+  on_result : [ `Committed | `Aborted ] -> unit;
+  mutable reported : bool;
+}
+
+(* Participant-side volatile state for actions between prepared and
+   verdict. After a crash this is rebuilt by [await_verdict]. The verdict
+   applied is remembered so that a contradictory verdict is detected
+   instead of silently acknowledged. *)
+type part_state = Part_prepared | Part_committed | Part_aborted
+
+type t = {
+  gid : Gid.t;
+  sim : Sim.t;
+  send : dst:Gid.t -> msg -> unit;
+  hooks : hooks;
+  prepare_timeout : float;
+  retry_interval : float;
+  coords : coord Aid.Tbl.t;
+  parts : part_state Aid.Tbl.t;
+  mutable stopped : bool;
+}
+
+let create ~gid ~sim ~send ~hooks ?(prepare_timeout = 10.0) ?(retry_interval = 5.0) () =
+  {
+    gid;
+    sim;
+    send;
+    hooks;
+    prepare_timeout;
+    retry_interval;
+    coords = Aid.Tbl.create 8;
+    parts = Aid.Tbl.create 8;
+    stopped = false;
+  }
+
+let gid t = t.gid
+
+let stop t =
+  t.stopped <- true;
+  Aid.Tbl.reset t.coords;
+  Aid.Tbl.reset t.parts
+
+let report coord verdict =
+  if not coord.reported then begin
+    coord.reported <- true;
+    coord.on_result verdict
+  end
+
+(* Coordinator: enter phase two — the committing record is the commit
+   point (§2.2.1). *)
+let begin_committing t aid coord =
+  t.hooks.on_committing aid coord.participants;
+  let waiting = Gid.Set.of_list coord.participants in
+  coord.phase <- Committing { waiting };
+  report coord `Committed;
+  List.iter (fun g -> t.send ~dst:g (Commit aid)) coord.participants;
+  (* Re-send until everyone acknowledges; commit can never be undone. *)
+  let rec retry () =
+    if not t.stopped then
+      match Aid.Tbl.find_opt t.coords aid with
+      | Some { phase = Committing { waiting }; _ } when not (Gid.Set.is_empty waiting) ->
+          Gid.Set.iter (fun g -> t.send ~dst:g (Commit aid)) waiting;
+          Sim.schedule t.sim ~delay:t.retry_interval retry
+      | Some _ | None -> ()
+  in
+  Sim.schedule t.sim ~delay:t.retry_interval retry
+
+let begin_aborting t aid coord =
+  coord.phase <- Aborting;
+  report coord `Aborted;
+  List.iter (fun g -> t.send ~dst:g (Abort aid)) coord.participants;
+  (* Aborts need no acknowledgement barrier: participants that missed the
+     message resolve through queries. *)
+  coord.phase <- Finished
+
+let start_commit t aid ~participants ~on_result =
+  if t.stopped then invalid_arg "Twopc.start_commit: stopped endpoint";
+  let coord =
+    { participants; phase = Preparing { waiting = Gid.Set.of_list participants }; on_result; reported = false }
+  in
+  Aid.Tbl.replace t.coords aid coord;
+  List.iter (fun g -> t.send ~dst:g (Prepare aid)) participants;
+  (* Unilateral abort if the preparing phase stalls (§2.2.1). *)
+  Sim.schedule t.sim ~delay:t.prepare_timeout (fun () ->
+      if not t.stopped then
+        match Aid.Tbl.find_opt t.coords aid with
+        | Some ({ phase = Preparing _; _ } as c) -> begin_aborting t aid c
+        | Some _ | None -> ())
+
+let resume_coordinator t aid participants =
+  if not t.stopped then begin
+    let coord =
+      {
+        participants;
+        phase = Committing { waiting = Gid.Set.of_list participants };
+        on_result = (fun _ -> ());
+        reported = true;
+      }
+    in
+    Aid.Tbl.replace t.coords aid coord;
+    (* Some participants may already have committed; their re-acks drain
+       the waiting set. *)
+    List.iter (fun g -> t.send ~dst:g (Commit aid)) participants;
+    let rec retry () =
+      if not t.stopped then
+        match Aid.Tbl.find_opt t.coords aid with
+        | Some { phase = Committing { waiting }; _ } when not (Gid.Set.is_empty waiting) ->
+            Gid.Set.iter (fun g -> t.send ~dst:g (Commit aid)) waiting;
+            Sim.schedule t.sim ~delay:t.retry_interval retry
+        | Some _ | None -> ()
+    in
+    Sim.schedule t.sim ~delay:t.retry_interval retry
+  end
+
+let await_verdict t aid ~coordinator =
+  if not t.stopped then begin
+    Aid.Tbl.replace t.parts aid Part_prepared;
+    let rec query () =
+      if not t.stopped then
+        match Aid.Tbl.find_opt t.parts aid with
+        | Some Part_prepared ->
+            t.send ~dst:coordinator (Query aid);
+            Sim.schedule t.sim ~delay:t.retry_interval query
+        | Some (Part_committed | Part_aborted) | None -> ()
+    in
+    query ()
+  end
+
+(* Participant message handling. *)
+
+let part_commit t aid =
+  (match Aid.Tbl.find_opt t.parts aid with
+  | Some Part_committed -> () (* duplicate commit: already applied *)
+  | Some Part_aborted ->
+      failwith
+        (Format.asprintf "Twopc: %a received commit after aborting %a" Gid.pp t.gid Aid.pp aid)
+  | Some Part_prepared | None -> t.hooks.on_commit aid);
+  Aid.Tbl.replace t.parts aid Part_committed;
+  t.send ~dst:(Aid.coordinator aid) (Committed_ack aid)
+
+let part_abort t aid =
+  (match Aid.Tbl.find_opt t.parts aid with
+  | Some Part_aborted -> ()
+  | Some Part_committed ->
+      failwith
+        (Format.asprintf "Twopc: %a received abort after committing %a" Gid.pp t.gid Aid.pp aid)
+  | Some Part_prepared | None -> t.hooks.on_abort aid);
+  Aid.Tbl.replace t.parts aid Part_aborted;
+  t.send ~dst:(Aid.coordinator aid) (Aborted_ack aid)
+
+let handle t ~src msg =
+  (if Sys.getenv_opt "RS_TRACE" <> None then
+     Format.eprintf "[%a] recv %a from %a (stopped=%b)@." Gid.pp t.gid pp_msg msg Gid.pp src t.stopped);
+  if not t.stopped then
+    match msg with
+    | Prepare aid -> (
+        match t.hooks.on_prepare aid with
+        | `Prepared ->
+            Aid.Tbl.replace t.parts aid Part_prepared;
+            t.send ~dst:src (Prepared_reply aid);
+            (* If the verdict never arrives (lost message, coordinator
+               crash), start querying. *)
+            let rec query () =
+              if not t.stopped then
+                match Aid.Tbl.find_opt t.parts aid with
+                | Some Part_prepared ->
+                    t.send ~dst:(Aid.coordinator aid) (Query aid);
+                    Sim.schedule t.sim ~delay:t.retry_interval query
+                | Some (Part_committed | Part_aborted) | None -> ()
+            in
+            Sim.schedule t.sim ~delay:(2.0 *. t.retry_interval) query
+        | `Refused -> t.send ~dst:src (Refused_reply aid))
+    | Prepared_reply aid -> (
+        match Aid.Tbl.find_opt t.coords aid with
+        | Some ({ phase = Preparing p; _ } as coord) ->
+            p.waiting <- Gid.Set.remove src p.waiting;
+            if Gid.Set.is_empty p.waiting then begin_committing t aid coord
+        | Some _ | None -> ())
+    | Refused_reply aid -> (
+        match Aid.Tbl.find_opt t.coords aid with
+        | Some ({ phase = Preparing _; _ } as coord) -> begin_aborting t aid coord
+        | Some _ | None -> ())
+    | Commit aid -> part_commit t aid
+    | Abort aid -> part_abort t aid
+    | Committed_ack aid -> (
+        match Aid.Tbl.find_opt t.coords aid with
+        | Some ({ phase = Committing c; _ } as coord) ->
+            c.waiting <- Gid.Set.remove src c.waiting;
+            if Gid.Set.is_empty c.waiting then begin
+              t.hooks.on_done aid;
+              coord.phase <- Finished
+            end
+        | Some _ | None -> ())
+    | Aborted_ack _ -> ()
+    | Query aid -> (
+        (* A query must be answered from the LIVE protocol state first: an
+           action still in its preparing phase is undecided, and answering
+           abort now while committing later would split the participants
+           (the oversight Lindsay pointed out in the thesis's 2PC
+           discussion). Undecided queries get no answer; the participant
+           retries. Only absent actions are answered from stable state,
+           where unknown means abort (§2.2.3). *)
+        match Aid.Tbl.find_opt t.coords aid with
+        | Some { phase = Preparing _; _ } -> ()
+        | Some { phase = Committing _; _ } -> t.send ~dst:src (Commit aid)
+        | Some { phase = Aborting; _ } -> t.send ~dst:src (Abort aid)
+        | Some { phase = Finished; _ } | None -> (
+            match t.hooks.coordinator_outcome aid with
+            | `Commit -> t.send ~dst:src (Commit aid)
+            | `Abort -> t.send ~dst:src (Abort aid)))

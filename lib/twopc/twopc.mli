@@ -1,0 +1,87 @@
+(** The standard two-phase commit protocol of §2.2, as a per-guardian
+    protocol endpoint.
+
+    The endpoint is transport- and storage-agnostic: it sends messages
+    through a callback and touches stable storage only through
+    {!type-hooks}, which the guardian runtime wires to its recovery
+    system. Crash resilience comes from the hooks' forced log records plus
+    the retry/query machinery here:
+    - a coordinator stuck in the preparing phase aborts unilaterally after
+      a timeout (§2.2.1);
+    - a coordinator in the committing phase re-sends commit messages until
+      every participant acknowledges (it can never abort past the
+      committing record, §2.2.3);
+    - a prepared participant that has heard nothing queries the
+      coordinator, which answers from its stable state — an unknown action
+      means abort (§2.2.3). *)
+
+type msg =
+  | Prepare of Rs_util.Aid.t
+  | Prepared_reply of Rs_util.Aid.t
+  | Refused_reply of Rs_util.Aid.t  (** participant answers "aborted" *)
+  | Commit of Rs_util.Aid.t
+  | Committed_ack of Rs_util.Aid.t
+  | Abort of Rs_util.Aid.t
+  | Aborted_ack of Rs_util.Aid.t
+  | Query of Rs_util.Aid.t  (** prepared participant asks for the verdict *)
+
+val pp_msg : Format.formatter -> msg -> unit
+
+(** How the protocol touches the guardian it runs in. Every callback
+    corresponds to a recovery-system operation of §2.3 (plus volatile
+    lock-state updates). *)
+type hooks = {
+  on_prepare : Rs_util.Aid.t -> [ `Prepared | `Refused ];
+      (** write data entries + prepared record; [`Refused] if the action
+          is unknown here (§2.2.2) *)
+  on_commit : Rs_util.Aid.t -> unit;  (** committed record + install versions *)
+  on_abort : Rs_util.Aid.t -> unit;
+  on_committing : Rs_util.Aid.t -> Rs_util.Gid.t list -> unit;  (** committing record *)
+  on_done : Rs_util.Aid.t -> unit;  (** done record *)
+  coordinator_outcome : Rs_util.Aid.t -> [ `Commit | `Abort ];
+      (** answer a participant query from stable state; unknown = abort *)
+}
+
+type t
+
+val create :
+  gid:Rs_util.Gid.t ->
+  sim:Rs_sim.Sim.t ->
+  send:(dst:Rs_util.Gid.t -> msg -> unit) ->
+  hooks:hooks ->
+  ?prepare_timeout:float ->
+  ?retry_interval:float ->
+  unit ->
+  t
+(** [prepare_timeout] (default 10): how long the coordinator waits for
+    prepare replies before aborting unilaterally. [retry_interval]
+    (default 5): re-send/query period for the committing phase and for
+    prepared participants. *)
+
+val gid : t -> Rs_util.Gid.t
+
+val start_commit :
+  t ->
+  Rs_util.Aid.t ->
+  participants:Rs_util.Gid.t list ->
+  on_result:([ `Committed | `Aborted ] -> unit) ->
+  unit
+(** Run two-phase commit as coordinator. [on_result] fires when the
+    coordinator reaches its verdict (committing record written, or
+    abort). The protocol keeps running after the callback until every
+    participant acknowledged and the done record is written. *)
+
+val handle : t -> src:Rs_util.Gid.t -> msg -> unit
+(** Feed an incoming message (wire this to the network). *)
+
+val resume_coordinator : t -> Rs_util.Aid.t -> Rs_util.Gid.t list -> unit
+(** Resume phase two after recovery for an action whose committing record
+    is in the log but whose done record is not. *)
+
+val await_verdict : t -> Rs_util.Aid.t -> coordinator:Rs_util.Gid.t -> unit
+(** Participant side after recovery: the action is prepared and must
+    query its coordinator until the verdict arrives. *)
+
+val stop : t -> unit
+(** Stop all timers (the guardian crashed); a stopped endpoint ignores
+    everything. *)

@@ -1,0 +1,27 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc b =
+  let table = Lazy.force table in
+  let idx = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int b)) 0xFFl) in
+  Int32.logxor table.(idx) (Int32.shift_right_logical crc 8)
+
+let bytes ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Crc32.bytes: out of bounds";
+  let crc = ref 0xFFFFFFFFl in
+  for i = off to off + len - 1 do
+    crc := update !crc (Char.code (Bytes.unsafe_get b i))
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let string ?off ?len s = bytes ?off ?len (Bytes.unsafe_of_string s)

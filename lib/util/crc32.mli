@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE 802.3 polynomial) used to frame and validate log records
+    and stable-storage pages. A torn or decayed page fails its checksum and
+    is treated as bad by the careful-read procedure. *)
+
+val string : ?off:int -> ?len:int -> string -> int32
+(** [string s] is the CRC-32 of [s] (or of the given substring). Raises
+    [Invalid_argument] on out-of-bounds ranges. *)
+
+val bytes : ?off:int -> ?len:int -> bytes -> int32

@@ -1,0 +1,20 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Gid.of_int: negative";
+  i
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash t = t
+let pp fmt t = Format.fprintf fmt "G%d" t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,149 @@
+module System = Rs_guardian.System
+module Guardian = Rs_guardian.Guardian
+module Heap = Rs_objstore.Heap
+module Value = Rs_objstore.Value
+module Gid = Rs_util.Gid
+module Rng = Rs_util.Rng
+
+type t = {
+  system : System.t;
+  inventory : Gid.t;
+  offices : Gid.t array;
+  n_flights : int;
+  capacity : int;
+  rng : Rng.t;
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+type flight_state = { seats_left : int; manifest : string list; attempts : int }
+
+let flight_name f = Printf.sprintf "flight%d" f
+let attempts_name f = flight_name f ^ "-attempts"
+
+let committed t = t.committed
+let aborted t = t.aborted
+
+(* Flight state on the heap: Tup [seats_left; manifest tuple]. *)
+let setup_flights ~n_flights ~capacity : System.work =
+ fun heap aid ->
+  for f = 0 to n_flights - 1 do
+    let v = Value.Tup [| Value.Int capacity; Value.Tup [||] |] in
+    let a = Heap.alloc_atomic heap ~creator:aid v in
+    Heap.set_stable_var heap aid (flight_name f) (Value.Ref a);
+    let m = Heap.alloc_mutex heap (Value.Int 0) in
+    Heap.set_stable_var heap aid (attempts_name f) (Value.Ref m)
+  done
+
+let create ?(seed = 17) ~system ~inventory ~offices ~n_flights ~capacity () =
+  if offices = [] then invalid_arg "Reservation.create: need at least one office";
+  let t =
+    {
+      system;
+      inventory;
+      offices = Array.of_list offices;
+      n_flights;
+      capacity;
+      rng = Rng.create seed;
+      committed = 0;
+      aborted = 0;
+    }
+  in
+  let rec attempt () =
+    let r = ref None in
+    System.submit system ~coordinator:inventory
+      ~steps:[ (inventory, setup_flights ~n_flights ~capacity) ]
+      (fun _ o -> r := Some o);
+    System.quiesce system;
+    if !r <> Some System.Committed then attempt ()
+  in
+  attempt ();
+  t
+
+let book flight passenger : System.work =
+ fun heap aid ->
+  (* Count the attempt in the mutex statistics counter first; this
+     survives even if the booking aborts after preparing (§2.4.2). *)
+  (match Heap.get_stable_var heap (attempts_name flight) with
+  | Some (Value.Ref m) ->
+      ignore (Heap.seize heap aid m);
+      (match Heap.mutex_value heap m with
+      | Value.Int n -> Heap.set_mutex heap aid m (Value.Int (n + 1))
+      | _ -> failwith "Reservation: bad attempts counter");
+      Heap.release heap aid m
+  | Some _ | None -> failwith "Reservation: missing attempts counter");
+  match Heap.get_stable_var heap (flight_name flight) with
+  | Some (Value.Ref a) -> (
+      match Heap.read_atomic heap aid a with
+      | Value.Tup [| Value.Int seats; Value.Tup manifest |] ->
+          if seats = 0 then raise System.Abort_action;
+          let manifest' = Array.append manifest [| Value.Str passenger |] in
+          Heap.set_current heap aid a
+            (Value.Tup [| Value.Int (seats - 1); Value.Tup manifest' |])
+      | v -> failwith (Format.asprintf "Reservation: bad flight state %a" Value.pp v))
+  | Some _ | None -> failwith "Reservation: unknown flight"
+
+let submit_booking t ~passenger =
+  let office = t.offices.(Rng.int t.rng (Array.length t.offices)) in
+  let flight = Rng.int t.rng t.n_flights in
+  System.submit t.system ~coordinator:office
+    ~steps:[ (t.inventory, book flight passenger) ]
+    (fun _ o ->
+      match o with
+      | System.Committed -> t.committed <- t.committed + 1
+      | System.Aborted -> t.aborted <- t.aborted + 1)
+
+let run t ~n_bookings ?crash_every () =
+  for i = 1 to n_bookings do
+    submit_booking t ~passenger:(Printf.sprintf "pax-%04d" i);
+    (match crash_every with
+    | Some k when i mod k = 0 && i < n_bookings ->
+        ignore
+          (System.run ~until:(Rs_sim.Sim.now (System.sim t.system) +. 1.5) t.system);
+        System.crash t.system t.inventory;
+        ignore (System.restart t.system t.inventory)
+    | Some _ | None -> ());
+    if i mod 10 = 0 then System.quiesce t.system
+  done;
+  System.quiesce t.system
+
+let flight_states t =
+  let heap = Guardian.heap (System.guardian t.system t.inventory) in
+  List.init t.n_flights (fun f ->
+      let seats_left, manifest =
+        match Heap.get_stable_var heap (flight_name f) with
+        | Some (Value.Ref a) -> (
+            match (Heap.atomic_view heap a).base with
+            | Value.Tup [| Value.Int seats; Value.Tup m |] ->
+                ( seats,
+                  Array.to_list m
+                  |> List.map (function
+                       | Value.Str s -> s
+                       | v -> Format.asprintf "%a" Value.pp v) )
+            | _ -> failwith "Reservation: bad flight state")
+        | Some _ | None -> failwith "Reservation: flight missing"
+      in
+      let attempts =
+        match Heap.get_stable_var heap (attempts_name f) with
+        | Some (Value.Ref m) -> (
+            match Heap.mutex_value heap m with
+            | Value.Int n -> n
+            | _ -> failwith "Reservation: bad counter")
+        | Some _ | None -> failwith "Reservation: counter missing"
+      in
+      { seats_left; manifest; attempts })
+
+let check_invariant t =
+  let rec go f = function
+    | [] -> Ok ()
+    | { seats_left; manifest; attempts } :: rest ->
+        if seats_left < 0 then Error (Printf.sprintf "flight %d overbooked" f)
+        else if seats_left + List.length manifest <> t.capacity then
+          Error
+            (Printf.sprintf "flight %d: %d seats + %d manifest <> %d capacity" f seats_left
+               (List.length manifest) t.capacity)
+        else if attempts < t.capacity - seats_left then
+          Error (Printf.sprintf "flight %d: fewer attempts than bookings" f)
+        else go (f + 1) rest
+  in
+  go 0 (flight_states t)

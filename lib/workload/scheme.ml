@@ -1,0 +1,106 @@
+module Heap = Rs_objstore.Heap
+module Log_dir = Rs_slog.Log_dir
+module Log = Rs_slog.Stable_log
+
+type technique = Compaction | Snapshot
+
+type impl =
+  | Simple of { heap : Heap.t; dir : Log_dir.t; rs : Core.Simple_rs.t }
+  | Hybrid of { heap : Heap.t; dir : Log_dir.t; rs : Core.Hybrid_rs.t }
+  | Shadow of { heap : Heap.t; rs : Core.Shadow_rs.t }
+
+type t = impl
+
+let name = function Simple _ -> "simple" | Hybrid _ -> "hybrid" | Shadow _ -> "shadow"
+
+let heap = function Simple { heap; _ } | Hybrid { heap; _ } | Shadow { heap; _ } -> heap
+
+let prepare t aid mos =
+  match t with
+  | Simple { rs; _ } -> Core.Simple_rs.prepare rs aid mos
+  | Hybrid { rs; _ } -> Core.Hybrid_rs.prepare rs aid mos
+  | Shadow { rs; _ } -> Core.Shadow_rs.prepare rs aid mos
+
+let commit t aid =
+  (match t with
+  | Simple { rs; _ } -> Core.Simple_rs.commit rs aid
+  | Hybrid { rs; _ } -> Core.Hybrid_rs.commit rs aid
+  | Shadow { rs; _ } -> Core.Shadow_rs.commit rs aid);
+  Heap.commit_action (heap t) aid
+
+let abort t aid =
+  (match t with
+  | Simple { rs; _ } -> Core.Simple_rs.abort rs aid
+  | Hybrid { rs; _ } -> Core.Hybrid_rs.abort rs aid
+  | Shadow { rs; _ } -> Core.Shadow_rs.abort rs aid);
+  Heap.abort_action (heap t) aid
+
+let early_prepare t aid mos =
+  match t with
+  | Hybrid { rs; _ } -> Core.Hybrid_rs.write_entry rs aid mos
+  | Simple _ | Shadow _ -> mos
+
+let crash_recover t =
+  match t with
+  | Simple { dir; _ } ->
+      let rs, info = Core.Simple_rs.recover dir in
+      (Simple { heap = Core.Simple_rs.heap rs; dir; rs }, info)
+  | Hybrid { dir; _ } ->
+      let rs, info = Core.Hybrid_rs.recover dir in
+      (Hybrid { heap = Core.Hybrid_rs.heap rs; dir; rs }, info)
+  | Shadow { rs; _ } ->
+      let rs, info = Core.Shadow_rs.recover rs in
+      (Shadow { heap = Core.Shadow_rs.heap rs; rs }, info)
+
+let housekeep t technique =
+  match (t, technique) with
+  | Hybrid { rs; _ }, Compaction -> Core.Hybrid_rs.housekeep rs Core.Hybrid_rs.Compaction
+  | Hybrid { rs; _ }, Snapshot -> Core.Hybrid_rs.housekeep rs Core.Hybrid_rs.Snapshot
+  | Simple { rs; _ }, Snapshot -> Core.Simple_rs.housekeep rs
+  | Simple _, Compaction -> () (* compaction needs the chain; not available *)
+  | Shadow _, (Compaction | Snapshot) -> ()
+
+let supports_housekeeping = function Hybrid _ | Simple _ -> true | Shadow _ -> false
+
+let current_log = function
+  | Simple { rs; _ } -> Some (Core.Simple_rs.log rs)
+  | Hybrid { rs; _ } -> Some (Core.Hybrid_rs.log rs)
+  | Shadow _ -> None
+
+let stable_stores = function
+  | Simple { dir; _ } | Hybrid { dir; _ } -> Log_dir.stores dir
+  | Shadow { rs; _ } -> Core.Shadow_rs.stable_stores rs
+
+let physical_writes = function
+  | Simple { dir; _ } | Hybrid { dir; _ } -> Log_dir.physical_writes dir
+  | Shadow { rs; _ } -> Core.Shadow_rs.physical_writes rs
+
+let physical_reads = function
+  | Simple { dir; _ } | Hybrid { dir; _ } -> Log_dir.physical_reads dir
+  | Shadow { rs; _ } -> Core.Shadow_rs.physical_reads rs
+
+let log_entries = function
+  | Simple { rs; _ } -> Log.entry_count (Core.Simple_rs.log rs)
+  | Hybrid { rs; _ } -> Log.entry_count (Core.Hybrid_rs.log rs)
+  | Shadow { rs; _ } -> Core.Shadow_rs.map_size rs
+
+let log_bytes = function
+  | Simple { rs; _ } -> Log.stream_bytes (Core.Simple_rs.log rs)
+  | Hybrid { rs; _ } -> Log.stream_bytes (Core.Hybrid_rs.log rs)
+  | Shadow _ -> 0
+
+let simple () =
+  let heap = Heap.create () in
+  let dir = Log_dir.create () in
+  Simple { heap; dir; rs = Core.Simple_rs.create heap dir }
+
+let hybrid () =
+  let heap = Heap.create () in
+  let dir = Log_dir.create () in
+  Hybrid { heap; dir; rs = Core.Hybrid_rs.create heap dir }
+
+let shadow () =
+  let heap = Heap.create () in
+  Shadow { heap; rs = Core.Shadow_rs.create heap () }
+
+let all () = [ simple (); hybrid (); shadow () ]

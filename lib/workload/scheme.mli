@@ -1,0 +1,55 @@
+(** A uniform, single-guardian facade over the three stable-storage
+    organizations — simple log (Ch. 3), hybrid log (Ch. 4), shadowing
+    (§1.2.1) — so benchmarks and comparative tests can drive them
+    identically. *)
+
+type technique = Compaction | Snapshot
+
+type t
+
+val name : t -> string
+val heap : t -> Rs_objstore.Heap.t
+
+val prepare : t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> unit
+val commit : t -> Rs_util.Aid.t -> unit
+(** Writes the committed record and installs versions in the heap. *)
+
+val abort : t -> Rs_util.Aid.t -> unit
+
+val early_prepare : t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> Rs_objstore.Value.addr list
+(** Hybrid only; other schemes return the MOS unwritten. *)
+
+val crash_recover : t -> t * Core.Tables.Recovery_info.t
+(** Simulate a node crash and run recovery; returns the recovered facade
+    (the old one must not be used again). *)
+
+val housekeep : t -> technique -> unit
+(** Hybrid: the Ch. 5 algorithms. Simple: [Snapshot] runs the transplanted
+    stable-state snapshot ({!Core.Simple_rs.housekeep}, an ablation this
+    repo adds); [Compaction] is a no-op (it needs the outcome chain).
+    Shadow: no-op (its map is already a checkpoint). *)
+
+val supports_housekeeping : t -> bool
+
+val current_log : t -> Rs_slog.Stable_log.t option
+(** The scheme's current log ([None] for shadow, whose stable layout is a
+    map plus version store) — for validation with {!Core.Log_check}. *)
+
+val stable_stores : t -> Rs_storage.Stable_store.t list
+(** Every stable store behind the scheme — for fault injection: arm a
+    crash on one of these, run an operation, and recover. *)
+
+val physical_writes : t -> int
+(** Physical stable-storage page writes so far. *)
+
+val physical_reads : t -> int
+val log_entries : t -> int
+(** Entries in the current log (version store for shadow). *)
+
+val log_bytes : t -> int
+
+val simple : unit -> t
+val hybrid : unit -> t
+val shadow : unit -> t
+val all : unit -> t list
+(** Fresh instances of all three, in [simple; hybrid; shadow] order. *)

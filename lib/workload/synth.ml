@@ -1,0 +1,149 @@
+module Heap = Rs_objstore.Heap
+module Value = Rs_objstore.Value
+module Uid = Rs_util.Uid
+module Aid = Rs_util.Aid
+module Gid = Rs_util.Gid
+module Rng = Rs_util.Rng
+
+type kind = K_atomic | K_mutex
+
+type t = {
+  scheme : Scheme.t;
+  uids : Uid.t array;
+  kinds : kind array;
+  payload : string;
+  model : int array;
+  rng : Rng.t;
+  mutable next_seq : int;
+}
+
+let var_name i = Printf.sprintf "obj%d" i
+
+let fresh_aid t =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Aid.make ~coordinator:(Gid.of_int 0) ~seq
+
+let obj_value counter payload = Value.Tup [| Value.Int counter; Value.Str payload |]
+
+let create ?(seed = 1) ?(mutex_fraction = 0.0) ?(payload_bytes = 32) ~scheme ~n_objects () =
+  if n_objects <= 0 then invalid_arg "Synth.create: n_objects must be positive";
+  let rng = Rng.create seed in
+  let payload = String.make payload_bytes 'p' in
+  let heap = Scheme.heap scheme in
+  let t =
+    {
+      scheme;
+      uids = Array.make n_objects Uid.stable_vars;
+      kinds =
+        Array.init n_objects (fun _ ->
+            if Rng.bool rng mutex_fraction then K_mutex else K_atomic);
+      payload;
+      model = Array.make n_objects 0;
+      rng;
+      next_seq = 0;
+    }
+  in
+  let setup = fresh_aid t in
+  Array.iteri
+    (fun i kind ->
+      let v = obj_value 0 payload in
+      let addr =
+        match kind with
+        | K_atomic -> Heap.alloc_atomic heap ~creator:setup v
+        | K_mutex -> Heap.alloc_mutex heap v
+      in
+      t.uids.(i) <- Option.get (Heap.uid_of heap addr);
+      Heap.set_stable_var heap setup (var_name i) (Value.Ref addr))
+    t.kinds;
+  Scheme.prepare scheme setup (Heap.mos heap setup);
+  Scheme.commit scheme setup;
+  t
+
+let scheme t = t.scheme
+let n_objects t = Array.length t.uids
+
+let addr_of t i =
+  match Heap.addr_of_uid (Scheme.heap t.scheme) t.uids.(i) with
+  | Some a -> a
+  | None -> failwith (Printf.sprintf "Synth: object %d lost" i)
+
+let counter_of heap i addr kind =
+  let v =
+    match kind with
+    | K_atomic -> (Heap.atomic_view heap addr).base
+    | K_mutex -> Heap.mutex_value heap addr
+  in
+  match v with
+  | Value.Tup [| Value.Int c; Value.Str _ |] -> c
+  | _ -> failwith (Printf.sprintf "Synth: object %d has unexpected shape" i)
+
+let run_action t ~indices ~outcome =
+  let heap = Scheme.heap t.scheme in
+  let aid = fresh_aid t in
+  List.iter
+    (fun i ->
+      let addr = addr_of t i in
+      match t.kinds.(i) with
+      | K_atomic ->
+          let cur = counter_of heap i addr K_atomic in
+          Heap.set_current heap aid addr (obj_value (cur + 1) t.payload);
+          if outcome = `Commit then t.model.(i) <- t.model.(i) + 1
+      | K_mutex ->
+          ignore (Heap.seize heap aid addr);
+          let cur = counter_of heap i addr K_mutex in
+          Heap.set_mutex heap aid addr (obj_value (cur + 1) t.payload);
+          Heap.release heap aid addr;
+          (* Mutex updates of a prepared action persist even on abort
+             (§2.4.2). *)
+          t.model.(i) <- t.model.(i) + 1)
+    indices;
+  Scheme.prepare t.scheme aid (Heap.mos heap aid);
+  match outcome with
+  | `Commit -> Scheme.commit t.scheme aid
+  | `Abort -> Scheme.abort t.scheme aid
+
+let run_random_actions t ~n ~objects_per_action ?(abort_rate = 0.0) () =
+  let total = n_objects t in
+  let k = min objects_per_action total in
+  for _ = 1 to n do
+    (* Sample k distinct indices. *)
+    let chosen = Hashtbl.create k in
+    while Hashtbl.length chosen < k do
+      Hashtbl.replace chosen (Rng.int t.rng total) ()
+    done;
+    let indices = Hashtbl.fold (fun i () acc -> i :: acc) chosen [] in
+    let outcome = if Rng.bool t.rng abort_rate then `Abort else `Commit in
+    run_action t ~indices ~outcome
+  done
+
+let crash_recover t =
+  let scheme, info = Scheme.crash_recover t.scheme in
+  ( {
+      scheme;
+      uids = t.uids;
+      kinds = t.kinds;
+      payload = t.payload;
+      model = t.model;
+      rng = t.rng;
+      next_seq = t.next_seq;
+    },
+    info )
+
+let counters t =
+  let heap = Scheme.heap t.scheme in
+  Array.mapi (fun i kind -> counter_of heap i (addr_of t i) kind) t.kinds
+
+let model t = Array.copy t.model
+
+let check_consistent t =
+  let actual = counters t in
+  let rec go i =
+    if i >= Array.length actual then Ok ()
+    else if actual.(i) <> t.model.(i) then
+      Error
+        (Printf.sprintf "object %d: expected %d, found %d%s" i t.model.(i) actual.(i)
+           (match t.kinds.(i) with K_atomic -> " (atomic)" | K_mutex -> " (mutex)"))
+    else go (i + 1)
+  in
+  go 0

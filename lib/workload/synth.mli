@@ -1,0 +1,48 @@
+(** Synthetic single-guardian workload driver: a parametric stable state
+    (atomic and mutex objects of configurable payload size) and a stream
+    of update actions. Drives any {!Scheme}; keeps a plain model of the
+    expected committed state so tests can check that recovery equals the
+    serial execution of committed actions. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?mutex_fraction:float ->
+  ?payload_bytes:int ->
+  scheme:Scheme.t ->
+  n_objects:int ->
+  unit ->
+  t
+(** Builds [n_objects] recoverable objects bound to stable variables and
+    commits them in one initial action. [mutex_fraction] (default 0) of
+    them are mutex objects; the rest are atomic. Each carries a string
+    payload of [payload_bytes] (default 32). *)
+
+val scheme : t -> Scheme.t
+val n_objects : t -> int
+
+val run_action : t -> indices:int list -> outcome:[ `Commit | `Abort ] -> unit
+(** One top-level action incrementing the counters of the given objects,
+    then prepared and committed (or aborted). *)
+
+val run_random_actions :
+  t -> n:int -> objects_per_action:int -> ?abort_rate:float -> unit -> unit
+(** [n] actions over uniformly chosen objects; [abort_rate] (default 0)
+    of them abort after preparing. *)
+
+val crash_recover : t -> t * Core.Tables.Recovery_info.t
+(** Crash the guardian and recover from stable storage; the returned
+    driver carries the recovered scheme, the same model and the same
+    RNG. *)
+
+val counters : t -> int array
+(** Committed counter values read from the live heap. *)
+
+val model : t -> int array
+(** Counter values the model expects (serial execution of committed
+    actions; aborted atomic updates excluded, aborted-but-prepared mutex
+    updates included, per §2.4.2). *)
+
+val check_consistent : t -> (unit, string) result
+(** Compare {!counters} against {!model}. *)

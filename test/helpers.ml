@@ -1,0 +1,65 @@
+(* Shared scaffolding for recovery-system tests: a tiny stand-in for the
+   Argus runtime driving heap + recovery system together. *)
+
+module Heap = Rs_objstore.Heap
+module Value = Rs_objstore.Value
+module Fvalue = Rs_objstore.Fvalue
+module Uid = Rs_util.Uid
+module Aid = Rs_util.Aid
+module Gid = Rs_util.Gid
+module Log = Rs_slog.Stable_log
+module Log_dir = Rs_slog.Log_dir
+module Le = Core.Log_entry
+
+let aid ?(g = 0) n = Aid.make ~coordinator:(Gid.of_int g) ~seq:n
+let uid = Uid.of_int
+let fint = Fvalue.of_int
+
+let value_testable = Alcotest.testable Value.pp Value.equal_shape
+
+(* Build a raw log from entries (auto-chaining prev pointers for outcome
+   entries when [chain] is set) and return its directory for recovery. *)
+let raw_log ?(chain = false) entries =
+  let dir = Log_dir.create ~page_size:256 () in
+  let log = Log_dir.current dir in
+  let last = ref None in
+  List.iter
+    (fun e ->
+      let e = if chain && Le.is_outcome e then Le.with_prev e !last else e in
+      let a = Log.write log (Le.encode e) in
+      if Le.is_outcome e then last := Some a)
+    entries;
+  Log.force log;
+  dir
+
+let pt_of info = info.Core.Tables.Recovery_info.pt
+let ct_of info = info.Core.Tables.Recovery_info.ct
+
+let pt_state info a = List.assoc_opt a (pt_of info)
+
+let check_pt info a expected label =
+  Alcotest.(check bool) label true (pt_state info a = Some expected)
+
+(* Look an object up in a recovered heap and return its atomic view. *)
+let view_of heap u =
+  match Heap.addr_of_uid heap u with
+  | Some a -> Heap.atomic_view heap a
+  | None -> Alcotest.failf "object %d not restored" (Uid.to_int u)
+
+let mutex_of heap u =
+  match Heap.addr_of_uid heap u with
+  | Some a -> Heap.mutex_value heap a
+  | None -> Alcotest.failf "mutex %d not restored" (Uid.to_int u)
+
+let check_base heap u expected label =
+  Alcotest.check value_testable label expected (view_of heap u).base
+
+let check_cur heap u expected label =
+  match (view_of heap u).cur with
+  | Some v -> Alcotest.check value_testable label expected v
+  | None -> Alcotest.failf "%s: no current version" label
+
+let check_mutex heap u expected label = Alcotest.check value_testable label expected (mutex_of heap u)
+
+let check_absent heap u label =
+  Alcotest.(check bool) label true (Heap.addr_of_uid heap u = None)

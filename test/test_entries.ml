@@ -1,0 +1,111 @@
+(* Codec tests for log entries (Fig. 3-1, Fig. 4-1). *)
+
+module Le = Core.Log_entry
+module Fvalue = Rs_objstore.Fvalue
+module Uid = Rs_util.Uid
+module Aid = Rs_util.Aid
+module Gid = Rs_util.Gid
+
+let aid n = Aid.make ~coordinator:(Gid.of_int 1) ~seq:n
+let uid n = Uid.of_int n
+
+let samples =
+  [
+    Le.Data { uid = Some (uid 3); otype = Le.Atomic; aid = Some (aid 7); version = Fvalue.of_int 42 };
+    Le.Data { uid = None; otype = Le.Mutex; aid = None; version = Fvalue.of_string "hybrid" };
+    Le.Prepared { aid = aid 1; pairs = None; prev = None };
+    Le.Prepared { aid = aid 2; pairs = Some [ (uid 1, 10); (uid 2, 20) ]; prev = Some 5 };
+    Le.Committed { aid = aid 3; prev = Some 0 };
+    Le.Aborted { aid = aid 4; prev = None };
+    Le.Committing { aid = aid 5; gids = [ Gid.of_int 1; Gid.of_int 2 ]; prev = Some 9 };
+    Le.Done { aid = aid 6; prev = Some 11 };
+    Le.Base_committed { uid = uid 8; version = Fvalue.of_int 1; prev = Some 2 };
+    Le.Prepared_data { uid = uid 9; version = Fvalue.of_int 2; aid = aid 8; prev = None };
+    Le.Committed_ss { cssl = [ (uid 1, 0); (uid 5, 3) ]; prev = Some 1 };
+  ]
+
+let test_roundtrip () =
+  List.iter
+    (fun e ->
+      let e' = Le.decode (Le.encode e) in
+      Alcotest.(check bool)
+        (Format.asprintf "roundtrip %a" Le.pp e)
+        true (Le.equal e e'))
+    samples
+
+let test_is_outcome () =
+  List.iter
+    (fun e ->
+      let expected = match e with Le.Data _ -> false | _ -> true in
+      Alcotest.(check bool) "is_outcome" expected (Le.is_outcome e))
+    samples
+
+let test_prev_manipulation () =
+  let e = Le.Committed { aid = aid 1; prev = None } in
+  Alcotest.(check (option int)) "no prev" None (Le.prev e);
+  let e' = Le.with_prev e (Some 33) in
+  Alcotest.(check (option int)) "with prev" (Some 33) (Le.prev e');
+  let d = Le.Data { uid = None; otype = Le.Atomic; aid = None; version = Fvalue.of_int 0 } in
+  Alcotest.(check (option int)) "data never chained" None (Le.prev (Le.with_prev d (Some 1)))
+
+let test_bad_input () =
+  (match Le.decode "\xff" with
+  | _ -> Alcotest.fail "expected decode error"
+  | exception Rs_util.Codec.Error _ -> ());
+  (* Trailing garbage must be rejected. *)
+  let good = Le.encode (Le.Done { aid = aid 1; prev = None }) in
+  match Le.decode (good ^ "x") with
+  | _ -> Alcotest.fail "expected trailing-garbage error"
+  | exception Rs_util.Codec.Error _ -> ()
+
+(* Property: roundtrip over randomly generated entries. *)
+let gen_fvalue =
+  QCheck.Gen.(
+    sized_size (int_bound 4) (fun _ ->
+        oneof
+          [
+            map Fvalue.of_int int;
+            map Fvalue.of_string string_small;
+          ]))
+
+let gen_entry =
+  QCheck.Gen.(
+    let gaid = map (fun n -> aid (abs n mod 1000)) int in
+    let guid = map (fun n -> uid (abs n mod 1000)) int in
+    let gprev = opt (int_bound 100) in
+    let gpairs = list_size (int_bound 5) (pair guid (int_bound 100)) in
+    oneof
+      [
+        (let* u = opt guid and* a = opt gaid and* v = gen_fvalue and* m = bool in
+         return (Le.Data { uid = u; otype = (if m then Le.Mutex else Le.Atomic); aid = a; version = v }));
+        (let* a = gaid and* ps = opt gpairs and* p = gprev in
+         return (Le.Prepared { aid = a; pairs = ps; prev = p }));
+        (let* a = gaid and* p = gprev in
+         return (Le.Committed { aid = a; prev = p }));
+        (let* a = gaid and* p = gprev in
+         return (Le.Aborted { aid = a; prev = p }));
+        (let* a = gaid and* p = gprev and* n = int_bound 4 in
+         return (Le.Committing { aid = a; gids = List.init n Gid.of_int; prev = p }));
+        (let* a = gaid and* p = gprev in
+         return (Le.Done { aid = a; prev = p }));
+        (let* u = guid and* v = gen_fvalue and* p = gprev in
+         return (Le.Base_committed { uid = u; version = v; prev = p }));
+        (let* u = guid and* v = gen_fvalue and* a = gaid and* p = gprev in
+         return (Le.Prepared_data { uid = u; version = v; aid = a; prev = p }));
+        (let* ps = gpairs and* p = gprev in
+         return (Le.Committed_ss { cssl = ps; prev = p }));
+      ])
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"entry codec roundtrip" ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" Le.pp) gen_entry)
+    (fun e -> Le.equal e (Le.decode (Le.encode e)))
+
+let suite =
+  [
+    Alcotest.test_case "sample roundtrips" `Quick test_roundtrip;
+    Alcotest.test_case "is_outcome" `Quick test_is_outcome;
+    Alcotest.test_case "prev manipulation" `Quick test_prev_manipulation;
+    Alcotest.test_case "bad input rejected" `Quick test_bad_input;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

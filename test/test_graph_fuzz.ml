@@ -1,0 +1,285 @@
+(* Graph fuzzing: random object graphs and action histories, checked by
+   deep structural comparison against a pure model of the committed state.
+
+   This exercises what the counter-based workload tests cannot: nested
+   values, references between recoverable objects, newly accessible
+   objects created mid-action (the §3.3.3.2 machinery: NAOS,
+   base_committed, prepared_data), inlined regular objects, and mixed
+   atomic/mutex graphs — across crashes and all three schemes. *)
+
+module Heap = Rs_objstore.Heap
+module Value = Rs_objstore.Value
+module Uid = Rs_util.Uid
+module Aid = Rs_util.Aid
+module Gid = Rs_util.Gid
+module Rng = Rs_util.Rng
+module Scheme = Rs_workload.Scheme
+
+(* The pure model of a committed value: recoverable references by uid,
+   regular objects inlined (the generator keeps them acyclic). *)
+type mvalue =
+  | MUnit
+  | MInt of int
+  | MStr of string
+  | MTup of mvalue list
+  | MRef of Uid.t
+  | MReg of mvalue
+
+type mkind = MAtomic | MMutex
+
+type model = {
+  mutable objects : (mkind * mvalue) Uid.Map.t; (* committed state per uid *)
+  mutable vars : (string * Uid.t) list; (* stable variable bindings *)
+}
+
+(* Convert a heap value into an mvalue (inlining regular objects). *)
+let rec mvalue_of_heap heap v =
+  match v with
+  | Value.Unit -> MUnit
+  | Value.Bool b -> MInt (if b then 1 else 0)
+  | Value.Int i -> MInt i
+  | Value.Str s -> MStr s
+  | Value.Tup vs -> MTup (List.map (mvalue_of_heap heap) (Array.to_list vs))
+  | Value.Ref a -> (
+      match Heap.kind_of heap a with
+      | Heap.Atomic | Heap.Mutex -> MRef (Option.get (Heap.uid_of heap a))
+      | Heap.Regular -> MReg (mvalue_of_heap heap (Heap.regular_value heap a))
+      | Heap.Placeholder -> failwith "placeholder leaked into live state")
+
+let rec pp_mvalue fmt = function
+  | MUnit -> Format.pp_print_string fmt "()"
+  | MInt i -> Format.pp_print_int fmt i
+  | MStr s -> Format.fprintf fmt "%S" s
+  | MTup vs ->
+      Format.fprintf fmt "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",") pp_mvalue)
+        vs
+  | MRef u -> Uid.pp fmt u
+  | MReg m -> Format.fprintf fmt "reg(%a)" pp_mvalue m
+
+(* Random value trees referencing a set of candidate recoverable addrs. *)
+let rec gen_value rng heap ~candidates ~depth =
+  let leaf () =
+    match Rng.int rng 3 with
+    | 0 -> Value.Int (Rng.int rng 1000)
+    | 1 -> Value.Str (String.init (Rng.int rng 8) (fun i -> Char.chr (97 + ((i * 7) mod 26))))
+    | _ -> Value.Unit
+  in
+  if depth = 0 then leaf ()
+  else
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 -> leaf ()
+    | 3 | 4 ->
+        Value.Tup
+          (Array.init (1 + Rng.int rng 3) (fun _ ->
+               gen_value rng heap ~candidates ~depth:(depth - 1)))
+    | 5 | 6 when candidates <> [||] -> Value.Ref (Rng.pick rng candidates)
+    | 5 | 6 -> leaf ()
+    | 7 ->
+        (* A regular object wrapping more structure. *)
+        Value.Ref
+          (Heap.alloc_regular heap (gen_value rng heap ~candidates ~depth:(depth - 1)))
+    | _ -> leaf ()
+
+type world = {
+  mutable scheme : Scheme.t;
+  model : model;
+  rng : Rng.t;
+  mutable seq : int;
+  (* Accessible recoverable objects: uid plus current heap address. *)
+  mutable live : (Uid.t * mkind) list;
+}
+
+let fresh_aid w =
+  let s = w.seq in
+  w.seq <- s + 1;
+  Aid.make ~coordinator:(Gid.of_int 0) ~seq:s
+
+let addr_of w u = Option.get (Heap.addr_of_uid (Scheme.heap w.scheme) u)
+
+let create_world ~seed ~scheme ~n_roots =
+  let rng = Rng.create seed in
+  let heap = Scheme.heap scheme in
+  let w = { scheme; model = { objects = Uid.Map.empty; vars = [] }; rng; seq = 0; live = [] } in
+  let setup = fresh_aid w in
+  for i = 0 to n_roots - 1 do
+    let kind = if Rng.bool rng 0.3 then MMutex else MAtomic in
+    let v = gen_value rng heap ~candidates:[||] ~depth:2 in
+    let a =
+      match kind with
+      | MAtomic -> Heap.alloc_atomic heap ~creator:setup v
+      | MMutex -> Heap.alloc_mutex heap v
+    in
+    let u = Option.get (Heap.uid_of heap a) in
+    Heap.set_stable_var heap setup (Printf.sprintf "root%d" i) (Value.Ref a);
+    w.model.objects <- Uid.Map.add u (kind, mvalue_of_heap heap v) w.model.objects;
+    w.model.vars <- (Printf.sprintf "root%d" i, u) :: w.model.vars;
+    w.live <- (u, kind) :: w.live
+  done;
+  Scheme.prepare scheme setup (Heap.mos heap setup);
+  Scheme.commit scheme setup;
+  w
+
+(* One random action: possibly create fresh recoverable objects, link them
+   from existing ones, mutate a few objects, then commit or abort. *)
+let random_action w =
+  let heap = Scheme.heap w.scheme in
+  let aid = fresh_aid w in
+  let abort = Rng.bool w.rng 0.25 in
+  (* Fresh objects (newly accessible if a surviving version links them). *)
+  let fresh =
+    List.init (Rng.int w.rng 3) (fun _ ->
+        let kind = if Rng.bool w.rng 0.3 then MMutex else MAtomic in
+        let v = gen_value w.rng heap ~candidates:[||] ~depth:1 in
+        let a =
+          match kind with
+          | MAtomic -> Heap.alloc_atomic heap ~creator:aid v
+          | MMutex -> Heap.alloc_mutex heap v
+        in
+        (Option.get (Heap.uid_of heap a), kind, a, mvalue_of_heap heap v))
+  in
+  let candidates =
+    Array.of_list
+      (List.map (fun (u, _) -> addr_of w u) w.live
+      @ List.map (fun (_, _, a, _) -> a) fresh)
+  in
+  (* Mutate 1-2 live objects. *)
+  let targets =
+    List.filteri (fun i _ -> i < 1 + Rng.int w.rng 2) (List.sort_uniq compare w.live)
+  in
+  let updates =
+    List.map
+      (fun (u, kind) ->
+        let nv = gen_value w.rng heap ~candidates ~depth:2 in
+        (match kind with
+        | MAtomic -> Heap.set_current heap aid (addr_of w u) nv
+        | MMutex ->
+            ignore (Heap.seize heap aid (addr_of w u));
+            Heap.set_mutex heap aid (addr_of w u) nv;
+            Heap.release heap aid (addr_of w u));
+        (u, kind, mvalue_of_heap heap nv))
+      targets
+  in
+  Scheme.prepare w.scheme aid (Heap.mos heap aid);
+  if abort then Scheme.abort w.scheme aid else Scheme.commit w.scheme aid;
+  (* Update the model: mutex updates persist either way (the action
+     prepared); atomic updates only on commit; fresh objects join the
+     model either way (their base_committed versions are logged) but are
+     only REACHABLE if a surviving update links them. *)
+  List.iter
+    (fun (u, kind, mv) ->
+      match kind with
+      | MMutex -> w.model.objects <- Uid.Map.add u (MMutex, mv) w.model.objects
+      | MAtomic ->
+          if not abort then w.model.objects <- Uid.Map.add u (MAtomic, mv) w.model.objects)
+    updates;
+  List.iter
+    (fun (u, kind, _, mv) -> w.model.objects <- Uid.Map.add u (kind, mv) w.model.objects)
+    fresh;
+  if not abort then
+    w.live <- List.sort_uniq compare (w.live @ List.map (fun (u, k, _, _) -> (u, k)) fresh)
+
+(* Deep comparison of reachable committed state: walk the model from the
+   stable variables, checking each reachable uid against the heap. *)
+let check_world w =
+  let heap = Scheme.heap w.scheme in
+  let errors = ref [] in
+  let visited = Hashtbl.create 32 in
+  let rec compare_value path mv hv =
+    match (mv, hv) with
+    | MUnit, Value.Unit -> ()
+    | MInt i, Value.Int j when i = j -> ()
+    | MInt 1, Value.Bool true | MInt 0, Value.Bool false -> ()
+    | MStr s, Value.Str s' when String.equal s s' -> ()
+    | MTup ms, Value.Tup hs when List.length ms = Array.length hs ->
+        List.iteri (fun i m -> compare_value (path ^ "." ^ string_of_int i) m hs.(i)) ms
+    | MReg m, Value.Ref a when Heap.kind_of heap a = Heap.Regular ->
+        compare_value (path ^ ".reg") m (Heap.regular_value heap a)
+    | MRef u, Value.Ref a -> (
+        match Heap.uid_of heap a with
+        | Some u' when Uid.equal u u' -> visit u
+        | Some u' ->
+            errors := Printf.sprintf "%s: expected O%d, found O%d" path (Uid.to_int u) (Uid.to_int u') :: !errors
+        | None -> errors := Printf.sprintf "%s: expected O%d, found regular" path (Uid.to_int u) :: !errors)
+    | _ ->
+        errors :=
+          Format.asprintf "%s: model %a vs heap %a" path pp_mvalue mv Value.pp hv :: !errors
+  and visit u =
+    if not (Hashtbl.mem visited u) then begin
+      Hashtbl.add visited u ();
+      match Uid.Map.find_opt u w.model.objects with
+      | None -> errors := Printf.sprintf "O%d reachable but not in model" (Uid.to_int u) :: !errors
+      | Some (kind, mv) -> (
+          match Heap.addr_of_uid heap u with
+          | None -> errors := Printf.sprintf "O%d missing from heap" (Uid.to_int u) :: !errors
+          | Some a ->
+              let hv =
+                match kind with
+                | MAtomic -> (Heap.atomic_view heap a).base
+                | MMutex -> Heap.mutex_value heap a
+              in
+              compare_value (Printf.sprintf "O%d" (Uid.to_int u)) mv hv)
+    end
+  in
+  (* Structural heap integrity first. *)
+  List.iter
+    (fun i -> errors := Format.asprintf "%a" Rs_objstore.Heap_check.pp_issue i :: !errors)
+    (Rs_objstore.Heap_check.check heap);
+  List.iter (fun (_, u) -> visit u) w.model.vars;
+  (* Stable variable bindings themselves. *)
+  List.iter
+    (fun (name, u) ->
+      match Heap.get_stable_var heap name with
+      | Some (Value.Ref a) when Heap.uid_of heap a = Some u -> ()
+      | _ -> errors := Printf.sprintf "stable var %s misbound" name :: !errors)
+    w.model.vars;
+  !errors
+
+(* Unreachable objects are legitimately dropped by snapshots and absent
+   after recovery; stop treating them as mutation targets. *)
+let prune_live w =
+  w.live <-
+    List.filter (fun (u, _) -> Heap.addr_of_uid (Scheme.heap w.scheme) u <> None) w.live
+
+let crash w =
+  let scheme, _ = Scheme.crash_recover w.scheme in
+  w.scheme <- scheme;
+  prune_live w
+
+let fuzz_scheme mk ~seed () =
+  let w = create_world ~seed ~scheme:(mk ()) ~n_roots:4 in
+  for round = 1 to 8 do
+    for _ = 1 to 6 do
+      random_action w
+    done;
+    if Rng.bool w.rng 0.5 then begin
+      crash w;
+      (* Housekeep occasionally after recovery. *)
+      if Scheme.supports_housekeeping w.scheme && Rng.bool w.rng 0.3 then begin
+        Scheme.housekeep w.scheme
+          (if Rng.bool w.rng 0.5 then Scheme.Compaction else Scheme.Snapshot);
+        prune_live w
+      end
+    end;
+    match check_world w with
+    | [] -> ()
+    | errs ->
+        Alcotest.failf "seed %d round %d:\n%s" seed round (String.concat "\n" (List.filteri (fun i _ -> i < 5) errs))
+  done;
+  crash w;
+  match check_world w with
+  | [] -> ()
+  | errs -> Alcotest.failf "seed %d final:\n%s" seed (String.concat "\n" errs)
+
+let cases =
+  List.concat_map
+    (fun (name, mk) ->
+      List.map
+        (fun seed ->
+          Alcotest.test_case
+            (Printf.sprintf "graph fuzz %s seed %d" name seed)
+            `Slow (fuzz_scheme mk ~seed))
+        [ 1; 2; 3; 4; 5 ])
+    [ ("simple", Scheme.simple); ("hybrid", Scheme.hybrid); ("shadow", Scheme.shadow) ]
+
+let suite = cases

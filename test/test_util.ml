@@ -1,0 +1,170 @@
+(* Unit and property tests for rs_util: codec, crc, vec, rng, id
+   generators. *)
+
+module Codec = Rs_util.Codec
+module Crc32 = Rs_util.Crc32
+module Vec = Rs_util.Vec
+module Rng = Rs_util.Rng
+module Uid = Rs_util.Uid
+module Aid = Rs_util.Aid
+module Gid = Rs_util.Gid
+
+let test_varint_roundtrip () =
+  let cases = [ 0; 1; -1; 127; 128; -128; 300; -300; max_int; min_int; 1 lsl 40 ] in
+  List.iter
+    (fun v ->
+      let e = Codec.Enc.create () in
+      Codec.Enc.varint e v;
+      let d = Codec.Dec.of_string (Codec.Enc.contents e) in
+      Alcotest.(check int) (Printf.sprintf "varint %d" v) v (Codec.Dec.varint d);
+      Codec.Dec.expect_end d)
+    cases
+
+let test_string_roundtrip () =
+  let cases = [ ""; "a"; String.make 5000 'x'; "\x00\xff\x80 binary" ] in
+  List.iter
+    (fun s ->
+      let e = Codec.Enc.create () in
+      Codec.Enc.string e s;
+      let d = Codec.Dec.of_string (Codec.Enc.contents e) in
+      Alcotest.(check string) "string roundtrip" s (Codec.Dec.string d))
+    cases
+
+let test_composites () =
+  let e = Codec.Enc.create () in
+  Codec.Enc.list Codec.Enc.varint e [ 1; 2; 3 ];
+  Codec.Enc.option Codec.Enc.string e (Some "hi");
+  Codec.Enc.option Codec.Enc.string e None;
+  Codec.Enc.pair Codec.Enc.bool Codec.Enc.varint e (true, 42);
+  Codec.Enc.array Codec.Enc.varint e [| 9; 8 |];
+  let d = Codec.Dec.of_string (Codec.Enc.contents e) in
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (Codec.Dec.list Codec.Dec.varint d);
+  Alcotest.(check (option string)) "some" (Some "hi") (Codec.Dec.option Codec.Dec.string d);
+  Alcotest.(check (option string)) "none" None (Codec.Dec.option Codec.Dec.string d);
+  let b, v = Codec.Dec.pair Codec.Dec.bool Codec.Dec.varint d in
+  Alcotest.(check bool) "pair fst" true b;
+  Alcotest.(check int) "pair snd" 42 v;
+  Alcotest.(check (array int)) "array" [| 9; 8 |] (Codec.Dec.array Codec.Dec.varint d);
+  Codec.Dec.expect_end d
+
+let test_decode_errors () =
+  let truncated = Codec.Dec.of_string "" in
+  Alcotest.check_raises "empty u8" (Codec.Error "unexpected end of input") (fun () ->
+      ignore (Codec.Dec.u8 truncated));
+  let bad_bool = Codec.Dec.of_string "\x07" in
+  Alcotest.check_raises "bad bool" (Codec.Error "bad bool tag 7") (fun () ->
+      ignore (Codec.Dec.bool bad_bool));
+  (* A string whose declared length exceeds the remaining input. *)
+  let e = Codec.Enc.create () in
+  Codec.Enc.varint e 100;
+  let d = Codec.Dec.of_string (Codec.Enc.contents e ^ "abc") in
+  (match Codec.Dec.string d with
+  | _ -> Alcotest.fail "expected decode error"
+  | exception Codec.Error _ -> ())
+
+let test_crc32_known () =
+  (* Standard test vector: CRC32("123456789") = 0xCBF43926. *)
+  Alcotest.(check int32) "crc32 vector" 0xCBF43926l (Crc32.string "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.string "");
+  Alcotest.(check bool) "substring" true
+    (Crc32.string ~off:1 ~len:3 "x123y" = Crc32.string "123")
+
+let test_vec () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "len" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Vec.set v 42 (-1);
+  Alcotest.(check int) "set" (-1) (Vec.get v 42);
+  Alcotest.(check int) "last" 99 (Vec.last v);
+  Alcotest.(check int) "pop" 99 (Vec.pop v);
+  Alcotest.(check int) "len after pop" 99 (Vec.length v);
+  Vec.truncate v 10;
+  Alcotest.(check int) "truncate" 10 (Vec.length v);
+  Alcotest.(check (list int)) "to_list" [ 0; 1; 2 ]
+    (let v = Vec.of_list [ 0; 1; 2 ] in
+     Vec.to_list v);
+  Alcotest.(check int) "fold" 45 (Vec.fold_left ( + ) 0 (Vec.of_list [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]));
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.get: index 10 out of bounds (len 10)")
+    (fun () -> ignore (Vec.get v 10))
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 8 in
+  let diff = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 <> Rng.int c 1000 then diff := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !diff
+
+let test_rng_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7);
+    let f = Rng.float r 2.5 in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 2.5)
+  done;
+  let arr = [| 1; 2; 3 |] in
+  Rng.shuffle r arr;
+  Alcotest.(check int) "shuffle preserves sum" 6 (Array.fold_left ( + ) 0 arr)
+
+let test_uid_gen () =
+  let g = Uid.Gen.create () in
+  let a = Uid.Gen.fresh g in
+  let b = Uid.Gen.fresh g in
+  Alcotest.(check bool) "fresh distinct" true (not (Uid.equal a b));
+  Alcotest.(check bool) "after stable_vars" true (Uid.compare a Uid.stable_vars > 0);
+  Uid.Gen.reset_past g (Uid.of_int 100);
+  Alcotest.(check bool) "reset past" true (Uid.compare (Uid.Gen.fresh g) (Uid.of_int 100) > 0);
+  Uid.Gen.reset_past g (Uid.of_int 5);
+  Alcotest.(check bool) "never backwards" true (Uid.compare (Uid.Gen.fresh g) (Uid.of_int 100) > 0)
+
+let test_aid_gen () =
+  let g = Aid.Gen.create (Gid.of_int 3) in
+  let a = Aid.Gen.fresh g in
+  Alcotest.(check int) "coordinator" 3 (Gid.to_int (Aid.coordinator a));
+  let b = Aid.Gen.fresh g in
+  Alcotest.(check bool) "distinct" true (not (Aid.equal a b));
+  Aid.Gen.reset_past g (Aid.make ~coordinator:(Gid.of_int 3) ~seq:50);
+  Alcotest.(check bool) "reset" true (Aid.seq (Aid.Gen.fresh g) > 50);
+  (* Other guardians' aids do not disturb the counter. *)
+  Aid.Gen.reset_past g (Aid.make ~coordinator:(Gid.of_int 9) ~seq:1000);
+  Alcotest.(check bool) "foreign aid ignored" true (Aid.seq (Aid.Gen.fresh g) < 1000)
+
+(* Property: varint roundtrips for arbitrary ints. *)
+let prop_varint =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:1000 QCheck.int (fun v ->
+      let e = Codec.Enc.create () in
+      Codec.Enc.varint e v;
+      let d = Codec.Dec.of_string (Codec.Enc.contents e) in
+      Codec.Dec.varint d = v)
+
+let prop_string =
+  QCheck.Test.make ~name:"string roundtrip" ~count:500 QCheck.string (fun s ->
+      let e = Codec.Enc.create () in
+      Codec.Enc.string e s;
+      let d = Codec.Dec.of_string (Codec.Enc.contents e) in
+      String.equal (Codec.Dec.string d) s)
+
+let suite =
+  [
+    Alcotest.test_case "varint roundtrip" `Quick test_varint_roundtrip;
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "composite codecs" `Quick test_composites;
+    Alcotest.test_case "decode errors" `Quick test_decode_errors;
+    Alcotest.test_case "crc32 vectors" `Quick test_crc32_known;
+    Alcotest.test_case "vec operations" `Quick test_vec;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "uid generator" `Quick test_uid_gen;
+    Alcotest.test_case "aid generator" `Quick test_aid_gen;
+    QCheck_alcotest.to_alcotest prop_varint;
+    QCheck_alcotest.to_alcotest prop_string;
+  ]

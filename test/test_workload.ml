@@ -1,0 +1,128 @@
+(* Workload-level integration and property tests: the synthetic driver's
+   serial-replay consistency and the bank's balance conservation under
+   crashes — across all three storage organizations. *)
+
+module Synth = Rs_workload.Synth
+module Scheme = Rs_workload.Scheme
+module Bank = Rs_workload.Bank
+module System = Rs_guardian.System
+
+let check = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let per_scheme name f =
+  [
+    Alcotest.test_case (name ^ " (simple)") `Quick (fun () -> f (Scheme.simple ()));
+    Alcotest.test_case (name ^ " (hybrid)") `Quick (fun () -> f (Scheme.hybrid ()));
+    Alcotest.test_case (name ^ " (shadow)") `Quick (fun () -> f (Scheme.shadow ()));
+  ]
+
+let test_synth_consistency scheme =
+  let t = Synth.create ~seed:3 ~scheme ~n_objects:20 () in
+  Synth.run_random_actions t ~n:50 ~objects_per_action:3 ~abort_rate:0.2 ();
+  check (Synth.check_consistent t);
+  let t, _ = Synth.crash_recover t in
+  check (Synth.check_consistent t);
+  (* Keep going after recovery. *)
+  Synth.run_random_actions t ~n:20 ~objects_per_action:2 ~abort_rate:0.1 ();
+  let t, _ = Synth.crash_recover t in
+  check (Synth.check_consistent t)
+
+let test_synth_with_mutex scheme =
+  let t = Synth.create ~seed:5 ~mutex_fraction:0.4 ~scheme ~n_objects:15 () in
+  Synth.run_random_actions t ~n:40 ~objects_per_action:3 ~abort_rate:0.3 ();
+  let t, _ = Synth.crash_recover t in
+  check (Synth.check_consistent t)
+
+let test_synth_housekeeping () =
+  let t = Synth.create ~seed:9 ~scheme:(Scheme.hybrid ()) ~n_objects:10 () in
+  Synth.run_random_actions t ~n:30 ~objects_per_action:2 ();
+  Scheme.housekeep (Synth.scheme t) Scheme.Compaction;
+  Synth.run_random_actions t ~n:10 ~objects_per_action:2 ();
+  Scheme.housekeep (Synth.scheme t) Scheme.Snapshot;
+  let t, _ = Synth.crash_recover t in
+  check (Synth.check_consistent t)
+
+(* Recovery = serial replay of committed actions, under random workloads
+   and random crash points — the thesis's correctness property for atomic
+   objects (Ch. 6). *)
+let prop_recovery_equals_serial =
+  QCheck.Test.make ~name:"recovery equals serial committed execution" ~count:30
+    QCheck.(triple small_nat small_nat (int_bound 2))
+    (fun (seed, n_actions, which) ->
+      let scheme =
+        match which with 0 -> Scheme.simple () | 1 -> Scheme.hybrid () | _ -> Scheme.shadow ()
+      in
+      let t = Synth.create ~seed:(seed + 1) ~mutex_fraction:0.25 ~scheme ~n_objects:8 () in
+      Synth.run_random_actions t ~n:(n_actions mod 40) ~objects_per_action:2 ~abort_rate:0.25 ();
+      let t, _ = Synth.crash_recover t in
+      match Synth.check_consistent t with Ok () -> true | Error _ -> false)
+
+let test_bank_no_crashes () =
+  let sys = System.create ~seed:11 ~n:3 () in
+  let bank = Bank.create ~system:sys ~accounts_per_guardian:4 ~initial_balance:100 () in
+  Bank.run bank ~n_transfers:60 ();
+  check (Bank.check_conservation bank);
+  Alcotest.(check int) "all resolved" 60 (Bank.committed bank + Bank.aborted bank)
+
+let test_bank_with_crashes () =
+  let sys = System.create ~seed:13 ~n:3 () in
+  let bank = Bank.create ~system:sys ~accounts_per_guardian:4 ~initial_balance:100 () in
+  Bank.run bank ~n_transfers:60 ~crash_every:10 ();
+  check (Bank.check_conservation bank);
+  Alcotest.(check bool) "some committed" true (Bank.committed bank > 0)
+
+let test_bank_with_message_loss () =
+  let sys = System.create ~seed:17 ~drop_prob:0.1 ~n:3 () in
+  let bank = Bank.create ~system:sys ~accounts_per_guardian:3 ~initial_balance:50 () in
+  Bank.run bank ~n_transfers:40 ();
+  check (Bank.check_conservation bank)
+
+let test_reservation_invariant () =
+  let sys = System.create ~seed:23 ~n:3 () in
+  let res =
+    Rs_workload.Reservation.create ~system:sys ~inventory:(Rs_util.Gid.of_int 0)
+      ~offices:[ Rs_util.Gid.of_int 1; Rs_util.Gid.of_int 2 ]
+      ~n_flights:3 ~capacity:5 ()
+  in
+  Rs_workload.Reservation.run res ~n_bookings:60 ();
+  (match Rs_workload.Reservation.check_invariant res with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* Every flight sells out under 60 bookings over 15 seats. *)
+  List.iter
+    (fun { Rs_workload.Reservation.seats_left; _ } ->
+      Alcotest.(check int) "sold out" 0 seats_left)
+    (Rs_workload.Reservation.flight_states res)
+
+let test_reservation_with_crashes () =
+  for seed = 1 to 4 do
+    let sys = System.create ~seed ~jitter:0.5 ~n:3 () in
+    let res =
+      Rs_workload.Reservation.create ~seed:(seed * 7) ~system:sys
+        ~inventory:(Rs_util.Gid.of_int 0)
+        ~offices:[ Rs_util.Gid.of_int 1; Rs_util.Gid.of_int 2 ]
+        ~n_flights:4 ~capacity:8 ()
+    in
+    Rs_workload.Reservation.run res ~n_bookings:80 ~crash_every:15 ();
+    match Rs_workload.Reservation.check_invariant res with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "seed %d: %s" seed m
+  done
+
+let suite =
+  List.concat
+    [
+      per_scheme "synth consistency across crashes" test_synth_consistency;
+      per_scheme "synth with mutex objects" test_synth_with_mutex;
+      [
+        Alcotest.test_case "synth across housekeeping" `Quick test_synth_housekeeping;
+        QCheck_alcotest.to_alcotest prop_recovery_equals_serial;
+        Alcotest.test_case "bank conservation" `Quick test_bank_no_crashes;
+        Alcotest.test_case "bank conservation under crashes" `Quick test_bank_with_crashes;
+        Alcotest.test_case "bank under message loss" `Quick test_bank_with_message_loss;
+        Alcotest.test_case "reservation invariant" `Quick test_reservation_invariant;
+        Alcotest.test_case "reservation under crashes" `Quick test_reservation_with_crashes;
+      ];
+    ]
