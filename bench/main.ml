@@ -57,7 +57,10 @@ let e1 () =
           row "%-8s %8d %14.1f %14d %12.1f\n" (Scheme.name scheme) n
             (float_of_int dw /. float_of_int acts)
             (Scheme.log_entries scheme)
-            (dt /. float_of_int acts *. 1e6))
+            (dt /. float_of_int acts *. 1e6);
+          (* Recovery probe: feeds <scheme>_rs.recovery_entries so the
+             exported metrics carry the §1.2.2 recovery-cost comparison. *)
+          ignore (Scheme.crash_recover scheme))
         (Scheme.all ()))
     [ 16; 64; 256; 1024 ];
   print_endline "shape: simple/hybrid flat in #objects; shadow grows linearly (map rewrite)."
@@ -420,6 +423,18 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* [--metrics-json PATH]: dump the Rs_obs registry after the run. *)
+  let metrics_json, args =
+    let rec strip acc = function
+      | "--metrics-json" :: path :: rest -> (Some path, List.rev_append acc rest)
+      | [ "--metrics-json" ] ->
+          Printf.eprintf "--metrics-json requires a path argument\n";
+          exit 2
+      | x :: rest -> strip (x :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    strip [] args
+  in
   let to_run =
     match args with
     | [] | [ "all" ] -> experiments
@@ -435,4 +450,12 @@ let () =
   in
   print_endline "Reliable Object Storage to Support Atomic Actions — benchmark harness";
   print_endline "(thesis has no measured tables; experiments per EXPERIMENTS.md)";
-  List.iter (fun (_, f) -> f ()) to_run
+  List.iter (fun (_, f) -> f ()) to_run;
+  match metrics_json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Rs_obs.Metrics.to_json Rs_obs.Metrics.default);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nmetrics written to %s\n" path

@@ -171,6 +171,95 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Generate a log with a workload and validate its structure (fsck).")
     Term.(const verify $ seed_arg $ scheme $ actions $ hk)
 
+(* stats: run a synthetic workload, then dump the Rs_obs metrics registry *)
+
+let stats seed scheme_name objects actions json =
+  let scheme =
+    match scheme_name with
+    | "simple" -> Rs_workload.Scheme.simple ()
+    | "hybrid" -> Rs_workload.Scheme.hybrid ()
+    | "shadow" -> Rs_workload.Scheme.shadow ()
+    | s ->
+        Printf.eprintf "unknown scheme %s (simple|hybrid|shadow)\n" s;
+        exit 2
+  in
+  let t = Rs_workload.Synth.create ~seed ~scheme ~n_objects:objects () in
+  Rs_workload.Synth.run_random_actions t ~n:actions ~objects_per_action:2 ~abort_rate:0.1 ();
+  ignore (Rs_workload.Synth.crash_recover t);
+  if json then print_endline (Rs_obs.Metrics.to_json Rs_obs.Metrics.default)
+  else Format.printf "%a" Rs_obs.Metrics.pp Rs_obs.Metrics.default;
+  0
+
+let stats_cmd =
+  let scheme = Arg.(value & opt string "hybrid" & info [ "scheme" ] ~doc:"simple|hybrid|shadow.") in
+  let objects = Arg.(value & opt int 64 & info [ "objects" ] ~doc:"Objects in the stable state.") in
+  let actions = Arg.(value & opt int 200 & info [ "actions" ] ~doc:"Actions to run.") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry as JSON instead of text.") in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a workload plus one crash/recovery and print every Rs_obs metric.")
+    Term.(const stats $ seed_arg $ scheme $ objects $ actions $ json)
+
+(* trace: deterministic 2PC-with-crash scenario, dump the event trace *)
+
+let trace seed capacity crash_after =
+  Rs_obs.Trace.set_capacity capacity;
+  Rs_obs.Trace.clear ();
+  let module System = Rs_guardian.System in
+  let module Heap = Rs_objstore.Heap in
+  let module Value = Rs_objstore.Value in
+  let g = Rs_util.Gid.of_int in
+  let sys = System.create ~seed ~n:2 () in
+  let set_var name v : System.work =
+   fun heap aid ->
+    match Heap.get_stable_var heap name with
+    | Some (Value.Ref a) -> Heap.set_current heap aid a (Value.Int v)
+    | Some _ -> failwith "bad var"
+    | None ->
+        let a = Heap.alloc_atomic heap ~creator:aid (Value.Int v) in
+        Heap.set_stable_var heap aid name (Value.Ref a)
+  in
+  let wait cb =
+    let r = ref None in
+    cb (fun o -> r := Some o);
+    System.quiesce sys;
+    !r
+  in
+  ignore
+    (wait (fun k ->
+         System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] (fun _ o -> k o)));
+  ignore
+    (wait (fun k ->
+         System.submit sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] (fun _ o -> k o)));
+  (* A distributed transfer interrupted mid-protocol: the participant
+     crashes after [crash_after] simulator events, restarts, and resolves
+     the in-doubt action through the query path (§2.2.3). *)
+  System.submit sys ~coordinator:(g 0)
+    ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
+    (fun _ _ -> ());
+  let rec steps n = if n > 0 && Rs_sim.Sim.step (System.sim sys) then steps (n - 1) in
+  steps crash_after;
+  System.crash sys (g 1);
+  ignore (System.restart sys (g 1));
+  System.quiesce sys;
+  print_string (Rs_obs.Trace.to_string ());
+  Printf.printf "-- %d events emitted, %d buffered\n" (Rs_obs.Trace.total ())
+    (List.length (Rs_obs.Trace.events ()));
+  0
+
+let trace_cmd =
+  let capacity =
+    Arg.(value & opt int 8192 & info [ "capacity" ] ~docv:"N" ~doc:"Trace ring capacity (events).")
+  in
+  let crash_after =
+    Arg.(value & opt int 12 & info [ "crash-after" ] ~docv:"N"
+           ~doc:"Simulator events to run before crashing the participant.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a seeded 2PC crash/recovery scenario and dump the structured event trace.")
+    Term.(const trace $ seed_arg $ capacity $ crash_after)
+
 (* walkthrough: replay the thesis's log scenarios (Figs. 3-7, 3-8, 3-10)
    and print the resulting tables, like the thesis's "at algorithm's end,
    the PT and OT contain" paragraphs. *)
@@ -245,4 +334,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "argusctl" ~doc)
-          [ bank_cmd; churn_cmd; log_cmd; verify_cmd; walkthrough_cmd ]))
+          [ bank_cmd; churn_cmd; log_cmd; verify_cmd; walkthrough_cmd; stats_cmd; trace_cmd ]))

@@ -6,6 +6,18 @@ module Heap = Rs_objstore.Heap
 module Flatten = Rs_objstore.Flatten
 module Log = Rs_slog.Stable_log
 module Log_dir = Rs_slog.Log_dir
+module Metrics = Rs_obs.Metrics
+module Trace = Rs_obs.Trace
+module Span = Rs_obs.Span
+
+let m_entries_written = Metrics.counter "hybrid_rs.entries_written"
+let m_prepares = Metrics.counter "hybrid_rs.prepares"
+let m_commits = Metrics.counter "hybrid_rs.commits"
+let m_aborts = Metrics.counter "hybrid_rs.aborts"
+let m_recoveries = Metrics.counter "hybrid_rs.recoveries"
+let m_recovery_entries = Metrics.counter "hybrid_rs.recovery_entries"
+let m_housekeepings = Metrics.counter "hybrid_rs.housekeepings"
+let h_checkpoint = Metrics.histogram "hybrid_rs.checkpoint_entries"
 
 type addr = Log_entry.addr
 
@@ -43,6 +55,7 @@ let create heap dir =
 (* Outcome entries are chained through [prev] and, during housekeeping,
    recorded in the OEL (§5.1.1). *)
 let append_outcome ?(force = false) t entry =
+  Metrics.incr m_entries_written;
   let entry = Log_entry.with_prev entry t.last_outcome in
   let raw = Log_entry.encode entry in
   let a = if force then Log.force_write t.log raw else Log.write t.log raw in
@@ -59,6 +72,7 @@ let pending_tbl t aid =
       tbl
 
 let write_data t aid ~uid ~otype version =
+  Metrics.incr m_entries_written;
   let a =
     Log.write t.log (Log_entry.encode (Log_entry.Data { uid = None; otype; aid = None; version }))
   in
@@ -102,6 +116,8 @@ let pairs_of t aid =
 let pending_pairs = pairs_of
 
 let prepare t aid mos =
+  Span.run "prepare.hybrid" @@ fun () ->
+  Metrics.incr m_prepares;
   ignore (write_mos t aid mos);
   let pairs = pairs_of t aid in
   ignore (append_outcome ~force:true t (Log_entry.Prepared { aid; pairs = Some pairs; prev = None }));
@@ -109,10 +125,13 @@ let prepare t aid mos =
   Aid.Tbl.replace t.pat aid ()
 
 let commit t aid =
+  Span.run "commit.hybrid" @@ fun () ->
+  Metrics.incr m_commits;
   ignore (append_outcome ~force:true t (Log_entry.Committed { aid; prev = None }));
   Aid.Tbl.remove t.pat aid
 
 let abort t aid =
+  Metrics.incr m_aborts;
   ignore (append_outcome ~force:true t (Log_entry.Aborted { aid; prev = None }));
   Aid.Tbl.remove t.pat aid;
   Aid.Tbl.remove t.pending aid
@@ -150,6 +169,8 @@ let fetch_data log a =
 (* Recovery (§4.3.3): walk the backward chain of outcome entries. *)
 
 let recover source_dir =
+  Span.run "recover.hybrid" @@ fun () ->
+  Metrics.incr m_recoveries;
   let dir = Log_dir.open_ source_dir in
   let log = Log_dir.current dir in
   let heap = Heap.create () in
@@ -200,6 +221,10 @@ let recover source_dir =
   walk !head;
   let ot_entries = Tables.Ot.to_list ctx.Restore.ot in
   let info = Restore.finish ctx ~uid_gen:(Heap.uid_gen heap) ~aid_gen:None in
+  Metrics.incr ~by:info.Tables.Recovery_info.entries_processed m_recovery_entries;
+  Trace.emit
+    (Trace.Recovery_scan
+       { system = "hybrid"; entries = info.Tables.Recovery_info.entries_processed });
   let t =
     {
       heap;
@@ -563,6 +588,14 @@ let finish_housekeeping (t : t) (job : job) =
   | Some new_as -> t.acc <- Uid.Set.inter t.acc new_as
   | None -> ()
 
+let technique_name = function Compaction -> "compaction" | Snapshot -> "snapshot"
+
 let housekeep t technique =
+  Span.run ("housekeep." ^ technique_name technique) @@ fun () ->
+  Metrics.incr m_housekeepings;
   let job = begin_housekeeping t technique in
-  finish_housekeeping t job
+  finish_housekeeping t job;
+  let entries = Log.entry_count t.log in
+  Metrics.observe h_checkpoint entries;
+  Trace.emit
+    (Trace.Checkpoint { system = "hybrid"; technique = technique_name technique; entries })

@@ -5,6 +5,18 @@ module Heap = Rs_objstore.Heap
 module Flatten = Rs_objstore.Flatten
 module Log = Rs_slog.Stable_log
 module Log_dir = Rs_slog.Log_dir
+module Metrics = Rs_obs.Metrics
+module Trace = Rs_obs.Trace
+module Span = Rs_obs.Span
+
+let m_entries_written = Metrics.counter "simple_rs.entries_written"
+let m_prepares = Metrics.counter "simple_rs.prepares"
+let m_commits = Metrics.counter "simple_rs.commits"
+let m_aborts = Metrics.counter "simple_rs.aborts"
+let m_recoveries = Metrics.counter "simple_rs.recoveries"
+let m_recovery_entries = Metrics.counter "simple_rs.recovery_entries"
+let m_snapshots = Metrics.counter "simple_rs.snapshots"
+let h_checkpoint = Metrics.histogram "simple_rs.checkpoint_entries"
 
 type t = {
   heap : Heap.t;
@@ -32,9 +44,17 @@ let create heap dir =
     committing_active = Aid.Tbl.create 4;
   }
 
-let append t entry = ignore (Log.write t.log (Log_entry.encode entry))
+let append t entry =
+  Metrics.incr m_entries_written;
+  ignore (Log.write t.log (Log_entry.encode entry))
+
+(* Forced outcome entries share the written-entries tally. *)
+let force_append t entry =
+  Metrics.incr m_entries_written;
+  ignore (Log.force_write t.log (Log_entry.encode entry))
 
 let write_data t aid ~uid ~otype version =
+  Metrics.incr m_entries_written;
   let a =
     Log.write t.log
       (Log_entry.encode (Log_entry.Data { uid = Some uid; otype; aid = Some aid; version }))
@@ -60,25 +80,27 @@ let prepare t aid mos =
       ~aid ~mos ~sink:(sink_for t aid)
   in
   ignore leftovers;
-  ignore
-    (Log.force_write t.log (Log_entry.encode (Log_entry.Prepared { aid; pairs = None; prev = None })));
+  Metrics.incr m_prepares;
+  force_append t (Log_entry.Prepared { aid; pairs = None; prev = None });
   Aid.Tbl.replace t.pat aid ()
 
 let commit t aid =
-  ignore (Log.force_write t.log (Log_entry.encode (Log_entry.Committed { aid; prev = None })));
+  Metrics.incr m_commits;
+  force_append t (Log_entry.Committed { aid; prev = None });
   Aid.Tbl.remove t.pat aid
 
 let abort t aid =
-  ignore (Log.force_write t.log (Log_entry.encode (Log_entry.Aborted { aid; prev = None })));
+  Metrics.incr m_aborts;
+  force_append t (Log_entry.Aborted { aid; prev = None });
   Aid.Tbl.remove t.pat aid
 
 let committing t aid gids =
   Aid.Tbl.replace t.committing_active aid gids;
-  ignore (Log.force_write t.log (Log_entry.encode (Log_entry.Committing { aid; gids; prev = None })))
+  force_append t (Log_entry.Committing { aid; gids; prev = None })
 
 let done_ t aid =
   Aid.Tbl.remove t.committing_active aid;
-  ignore (Log.force_write t.log (Log_entry.encode (Log_entry.Done { aid; prev = None })))
+  force_append t (Log_entry.Done { aid; prev = None })
 
 let prepared_actions t = Aid.Tbl.fold (fun a () acc -> a :: acc) t.pat []
 let accessible t u = Uid.Set.mem u t.acc
@@ -96,6 +118,8 @@ let fetch_data log a =
       failwith "Simple_rs: CSSL points at a non-data entry"
 
 let recover dir =
+  Span.run "recover.simple" @@ fun () ->
+  Metrics.incr m_recoveries;
   let dir = Log_dir.open_ dir in
   let log = Log_dir.current dir in
   let heap = Heap.create () in
@@ -128,6 +152,10 @@ let recover dir =
         (Log.read_backward log top));
   let ot_entries = Tables.Ot.to_list ctx.Restore.ot in
   let info = Restore.finish ctx ~uid_gen:(Heap.uid_gen heap) ~aid_gen:None in
+  Metrics.incr ~by:info.Tables.Recovery_info.entries_processed m_recovery_entries;
+  Trace.emit
+    (Trace.Recovery_scan
+       { system = "simple"; entries = info.Tables.Recovery_info.entries_processed });
   let t =
     {
       heap;
@@ -256,5 +284,10 @@ let finish_snapshot t job =
   t.acc <- Uid.Set.inter t.acc job.new_as
 
 let housekeep t =
+  Span.run "housekeep.simple" @@ fun () ->
+  Metrics.incr m_snapshots;
   let job = begin_snapshot t in
-  finish_snapshot t job
+  finish_snapshot t job;
+  let entries = Log.entry_count t.log in
+  Metrics.observe h_checkpoint entries;
+  Trace.emit (Trace.Checkpoint { system = "simple"; technique = "snapshot"; entries })

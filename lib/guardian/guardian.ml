@@ -6,6 +6,18 @@ module Sim = Rs_sim.Sim
 module Net = Rs_sim.Net
 module Twopc = Rs_twopc.Twopc
 module Hybrid_rs = Core.Hybrid_rs
+module Metrics = Rs_obs.Metrics
+module Trace = Rs_obs.Trace
+
+let m_prepares = Metrics.counter "guardian.prepares"
+let m_refusals = Metrics.counter "guardian.refusals"
+let m_commits = Metrics.counter "guardian.commits"
+let m_aborts = Metrics.counter "guardian.aborts"
+let m_crashes = Metrics.counter "guardian.crashes"
+let m_restarts = Metrics.counter "guardian.restarts"
+let m_hk_runs = Metrics.counter "guardian.housekeeping_runs"
+let gid_str g = Format.asprintf "%a" Gid.pp g
+let aid_str a = Format.asprintf "%a" Aid.pp a
 
 type t = {
   gid : Gid.t;
@@ -43,7 +55,8 @@ let maybe_housekeep t =
   | Some (threshold, technique)
     when Rs_slog.Stable_log.stream_bytes (Hybrid_rs.log t.rs) > threshold ->
       Hybrid_rs.housekeep t.rs technique;
-      t.hk_runs <- t.hk_runs + 1
+      t.hk_runs <- t.hk_runs + 1;
+      Metrics.incr m_hk_runs
   | Some _ | None -> ()
 
 let twopc t =
@@ -57,7 +70,13 @@ let hooks_of t : Twopc.hooks =
       (fun aid ->
         (* An action unknown here never ran, aborted locally, or was wiped
            out by a crash: refuse (§2.2.2). *)
-        if not (Aid.Set.mem aid t.known) then `Refused
+        if not (Aid.Set.mem aid t.known) then begin
+          Metrics.incr m_refusals;
+          if Trace.enabled () then
+            Trace.emit
+              (Trace.Action_prepare { gid = gid_str t.gid; aid = aid_str aid; refused = true });
+          `Refused
+        end
         else begin
           let mos =
             match Aid.Tbl.find_opt t.early aid with
@@ -66,17 +85,25 @@ let hooks_of t : Twopc.hooks =
           in
           Aid.Tbl.remove t.early aid;
           Hybrid_rs.prepare t.rs aid mos;
+          Metrics.incr m_prepares;
+          if Trace.enabled () then
+            Trace.emit
+              (Trace.Action_prepare { gid = gid_str t.gid; aid = aid_str aid; refused = false });
           `Prepared
         end);
     on_commit =
       (fun aid ->
-        (if Sys.getenv_opt "RS_TRACE" <> None then
-           Format.eprintf "[%a] on_commit %a@." Gid.pp t.gid Rs_util.Aid.pp aid);
+        Metrics.incr m_commits;
+        if Trace.enabled () then
+          Trace.emit (Trace.Action_commit { gid = gid_str t.gid; aid = aid_str aid });
         Hybrid_rs.commit t.rs aid;
         Heap.commit_action t.heap aid;
         maybe_housekeep t);
     on_abort =
       (fun aid ->
+        Metrics.incr m_aborts;
+        if Trace.enabled () then
+          Trace.emit (Trace.Action_abort { gid = gid_str t.gid; aid = aid_str aid });
         Hybrid_rs.abort t.rs aid;
         Heap.abort_action t.heap aid;
         maybe_housekeep t);
@@ -142,6 +169,8 @@ let crash t =
   if t.up then begin
     t.up <- false;
     t.crashes <- t.crashes + 1;
+    Metrics.incr m_crashes;
+    Trace.emit (Trace.Crash { gid = gid_str t.gid });
     Net.set_up t.net t.gid false;
     Twopc.stop (twopc t);
     t.known <- Aid.Set.empty;
@@ -174,10 +203,14 @@ let restart t =
     (fun (aid, gids) -> Twopc.resume_coordinator (twopc t) aid gids)
     (Core.Tables.Recovery_info.committing_actions info);
   (* ...and prepared participants chase their coordinators for verdicts. *)
-  (if Sys.getenv_opt "RS_TRACE" <> None then
-     Format.eprintf "[%a] restart: prepared=%d committing=%d@." Gid.pp t.gid
-       (List.length (Core.Tables.Recovery_info.prepared_actions info))
-       (List.length (Core.Tables.Recovery_info.committing_actions info)));
+  Metrics.incr m_restarts;
+  Trace.emit
+    (Trace.Restart
+       {
+         gid = gid_str t.gid;
+         prepared = List.length (Core.Tables.Recovery_info.prepared_actions info);
+         committing = List.length (Core.Tables.Recovery_info.committing_actions info);
+       });
   List.iter
     (fun aid ->
       Twopc.await_verdict (twopc t) aid ~coordinator:(Aid.coordinator aid);

@@ -10,6 +10,8 @@ type outcome = Committed | Aborted
 
 exception Abort_action
 
+let m_lock_conflicts = Rs_obs.Metrics.counter "guardian.lock_conflicts"
+
 type t = {
   sim : Sim.t;
   net : Twopc.msg Net.t;
@@ -21,6 +23,7 @@ let create ?(seed = 1) ?(latency = 1.0) ?(jitter = 0.0) ?(drop_prob = 0.0)
     ?(early_prepare = false) ~n () =
   if n <= 0 then invalid_arg "System.create: need at least one guardian";
   let sim = Sim.create ~seed () in
+  Rs_obs.Trace.set_clock (fun () -> Sim.now sim);
   let net = Net.create ~latency ~jitter ~drop_prob sim () in
   let guardians =
     Array.init n (fun i -> Guardian.create ~gid:(Gid.of_int i) ~sim ~net ())
@@ -76,7 +79,10 @@ let submit t ~coordinator ~steps callback =
           | () ->
               if t.early_prepare then Guardian.early_prepare target aid;
               exec rest
-          | exception (Heap.Lock_conflict _ | Abort_action) -> abort_all ()
+          | exception Heap.Lock_conflict _ ->
+              Rs_obs.Metrics.incr m_lock_conflicts;
+              abort_all ()
+          | exception Abort_action -> abort_all ()
         end
   in
   exec steps

@@ -1,6 +1,26 @@
 module Uid = Rs_util.Uid
 module Aid = Rs_util.Aid
 module Vec = Rs_util.Vec
+module Metrics = Rs_obs.Metrics
+module Trace = Rs_obs.Trace
+
+let m_read_locks = Metrics.counter "heap.read_locks"
+let m_write_locks = Metrics.counter "heap.write_locks"
+let m_lock_conflicts = Metrics.counter "heap.lock_conflicts"
+
+let aid_str aid = Format.asprintf "%a" Aid.pp aid
+
+(* A conflicting lock/possession request, counted and traced before the
+   exception reaches the guardian runtime. *)
+let conflict ~addr ~requester ~holder =
+  Metrics.incr m_lock_conflicts;
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Lock_conflict { aid = aid_str requester; holder = aid_str holder; addr })
+
+let trace_lock aid addr kind =
+  if Trace.enabled () then
+    Trace.emit (Trace.Lock_acquire { aid = aid_str aid; addr; kind })
 
 type addr = Value.addr
 
@@ -170,36 +190,54 @@ let read_atomic t aid a =
   match b.a_lock with
   | Write holder when Aid.equal holder aid -> (
       match b.a_cur with Some v -> v | None -> b.a_base)
-  | Write holder -> raise (Lock_conflict { addr = a; holder })
+  | Write holder ->
+      conflict ~addr:a ~requester:aid ~holder;
+      raise (Lock_conflict { addr = a; holder })
   | Free ->
       b.a_lock <- Read (Aid.Set.singleton aid);
       record t.locked aid a;
+      Metrics.incr m_read_locks;
+      trace_lock aid a Trace.Read;
       b.a_base
   | Read readers ->
       if not (Aid.Set.mem aid readers) then begin
         b.a_lock <- Read (Aid.Set.add aid readers);
-        record t.locked aid a
+        record t.locked aid a;
+        Metrics.incr m_read_locks;
+        trace_lock aid a Trace.Read
       end;
       b.a_base
 
 let write_lock t aid a =
   let b = atomic t a "write_lock" in
+  let acquired () =
+    Metrics.incr m_write_locks;
+    trace_lock aid a Trace.Write
+  in
   match b.a_lock with
   | Write holder when Aid.equal holder aid -> ()
-  | Write holder -> raise (Lock_conflict { addr = a; holder })
+  | Write holder ->
+      conflict ~addr:a ~requester:aid ~holder;
+      raise (Lock_conflict { addr = a; holder })
   | Free ->
       b.a_lock <- Write aid;
       b.a_cur <- Some (copy_version t b.a_base);
-      record t.locked aid a
+      record t.locked aid a;
+      acquired ()
   | Read readers ->
       (* Upgrade is allowed only for the sole reader. *)
       let others = Aid.Set.remove aid readers in
       if Aid.Set.is_empty others then begin
         b.a_lock <- Write aid;
         b.a_cur <- Some (copy_version t b.a_base);
-        record t.locked aid a
+        record t.locked aid a;
+        acquired ()
       end
-      else raise (Lock_conflict { addr = a; holder = Aid.Set.min_elt others })
+      else begin
+        let holder = Aid.Set.min_elt others in
+        conflict ~addr:a ~requester:aid ~holder;
+        raise (Lock_conflict { addr = a; holder })
+      end
 
 let set_current t aid a v =
   write_lock t aid a;
@@ -219,7 +257,9 @@ let current_of t aid a =
 let seize t aid a =
   let b = mutex t a "seize" in
   match b.m_owner with
-  | Some holder when not (Aid.equal holder aid) -> raise (Lock_conflict { addr = a; holder })
+  | Some holder when not (Aid.equal holder aid) ->
+      conflict ~addr:a ~requester:aid ~holder;
+      raise (Lock_conflict { addr = a; holder })
   | Some _ | None ->
       b.m_owner <- Some aid;
       b.m_cur
@@ -228,7 +268,9 @@ let set_mutex t aid a v =
   let b = mutex t a "set_mutex" in
   (match b.m_owner with
   | Some holder when Aid.equal holder aid -> ()
-  | Some holder -> raise (Lock_conflict { addr = a; holder })
+  | Some holder ->
+      conflict ~addr:a ~requester:aid ~holder;
+      raise (Lock_conflict { addr = a; holder })
   | None -> invalid_arg "Heap.set_mutex: possession not held");
   b.m_cur <- v;
   record t.modified aid a

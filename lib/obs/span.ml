@@ -1,0 +1,16 @@
+let close name t0 =
+  let dt = Trace.now () -. t0 in
+  Trace.emit (Trace.Span_end { name });
+  Metrics.observe (Metrics.histogram ("span." ^ name ^ ".vt")) (int_of_float (dt *. 1000.0))
+
+let run name f =
+  Trace.emit (Trace.Span_begin { name });
+  Metrics.incr (Metrics.counter ("span." ^ name));
+  let t0 = Trace.now () in
+  match f () with
+  | v ->
+      close name t0;
+      v
+  | exception e ->
+      close name t0;
+      raise e

@@ -1,0 +1,125 @@
+type lock_kind = Read | Write
+
+type event =
+  | Page_read of { page : int; ok : bool }
+  | Page_write of { page : int }
+  | Torn_write of { page : int }
+  | Page_decay of { page : int }
+  | Store_repair of { page : int }
+  | Log_write of { addr : int; bytes : int }
+  | Log_force of { entries : int; stream_bytes : int }
+  | Twopc_send of { src : string; dst : string; msg : string }
+  | Twopc_recv of { src : string; dst : string; msg : string }
+  | Lock_acquire of { aid : string; addr : int; kind : lock_kind }
+  | Lock_conflict of { aid : string; holder : string; addr : int }
+  | Action_prepare of { gid : string; aid : string; refused : bool }
+  | Action_commit of { gid : string; aid : string }
+  | Action_abort of { gid : string; aid : string }
+  | Recovery_scan of { system : string; entries : int }
+  | Checkpoint of { system : string; technique : string; entries : int }
+  | Crash of { gid : string }
+  | Restart of { gid : string; prepared : int; committing : int }
+  | Span_begin of { name : string }
+  | Span_end of { name : string }
+  | Note of string
+
+type record = { seq : int; time : float; event : event }
+
+(* The ring. A [None] cell was never written; once the buffer wraps, the
+   oldest cells are overwritten in place. *)
+type state = {
+  mutable ring : record option array;
+  mutable next_seq : int;
+  mutable clock : unit -> float;
+  mutable enabled : bool;
+  mutable echo : bool;
+}
+
+let zero_clock () = 0.0
+
+let st =
+  {
+    ring = Array.make 8192 None;
+    next_seq = 0;
+    clock = zero_clock;
+    enabled = true;
+    echo = Sys.getenv_opt "RS_TRACE" <> None;
+  }
+
+let set_clock f = st.clock <- f
+let clear_clock () = st.clock <- zero_clock
+let now () = st.clock ()
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  st.ring <- Array.make n None
+
+let set_enabled b = st.enabled <- b
+let enabled () = st.enabled
+let set_echo b = st.echo <- b
+
+let pp_lock_kind fmt = function
+  | Read -> Format.pp_print_string fmt "read"
+  | Write -> Format.pp_print_string fmt "write"
+
+let pp_event fmt = function
+  | Page_read { page; ok } -> Format.fprintf fmt "page_read{page=%d ok=%b}" page ok
+  | Page_write { page } -> Format.fprintf fmt "page_write{page=%d}" page
+  | Torn_write { page } -> Format.fprintf fmt "torn_write{page=%d}" page
+  | Page_decay { page } -> Format.fprintf fmt "page_decay{page=%d}" page
+  | Store_repair { page } -> Format.fprintf fmt "store_repair{page=%d}" page
+  | Log_write { addr; bytes } -> Format.fprintf fmt "log_write{addr=%d bytes=%d}" addr bytes
+  | Log_force { entries; stream_bytes } ->
+      Format.fprintf fmt "log_force{entries=%d stream_bytes=%d}" entries stream_bytes
+  | Twopc_send { src; dst; msg } -> Format.fprintf fmt "2pc_send{%s->%s %s}" src dst msg
+  | Twopc_recv { src; dst; msg } -> Format.fprintf fmt "2pc_recv{%s->%s %s}" src dst msg
+  | Lock_acquire { aid; addr; kind } ->
+      Format.fprintf fmt "lock_acquire{aid=%s addr=%d %a}" aid addr pp_lock_kind kind
+  | Lock_conflict { aid; holder; addr } ->
+      Format.fprintf fmt "lock_conflict{aid=%s holder=%s addr=%d}" aid holder addr
+  | Action_prepare { gid; aid; refused } ->
+      Format.fprintf fmt "action_prepare{gid=%s aid=%s refused=%b}" gid aid refused
+  | Action_commit { gid; aid } -> Format.fprintf fmt "action_commit{gid=%s aid=%s}" gid aid
+  | Action_abort { gid; aid } -> Format.fprintf fmt "action_abort{gid=%s aid=%s}" gid aid
+  | Recovery_scan { system; entries } ->
+      Format.fprintf fmt "recovery_scan{system=%s entries=%d}" system entries
+  | Checkpoint { system; technique; entries } ->
+      Format.fprintf fmt "checkpoint{system=%s technique=%s entries=%d}" system technique entries
+  | Crash { gid } -> Format.fprintf fmt "crash{gid=%s}" gid
+  | Restart { gid; prepared; committing } ->
+      Format.fprintf fmt "restart{gid=%s prepared=%d committing=%d}" gid prepared committing
+  | Span_begin { name } -> Format.fprintf fmt "span_begin{%s}" name
+  | Span_end { name } -> Format.fprintf fmt "span_end{%s}" name
+  | Note s -> Format.fprintf fmt "note{%s}" s
+
+let pp_record fmt r = Format.fprintf fmt "#%-6d t=%-12g %a" r.seq r.time pp_event r.event
+
+let emit ev =
+  if st.enabled then begin
+    let r = { seq = st.next_seq; time = st.clock (); event = ev } in
+    st.next_seq <- st.next_seq + 1;
+    st.ring.(r.seq mod Array.length st.ring) <- Some r;
+    if st.echo then Format.eprintf "[trace] %a@." pp_record r
+  end
+
+let total () = st.next_seq
+
+let events () =
+  let cap = Array.length st.ring in
+  let first = max 0 (st.next_seq - cap) in
+  let acc = ref [] in
+  for seq = st.next_seq - 1 downto first do
+    match st.ring.(seq mod cap) with Some r when r.seq = seq -> acc := r :: !acc | _ -> ()
+  done;
+  !acc
+
+let clear () =
+  Array.fill st.ring 0 (Array.length st.ring) None;
+  st.next_seq <- 0
+
+let to_string () =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_record r) (events ());
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf

@@ -1,0 +1,84 @@
+(** Structured, deterministic event tracing.
+
+    A bounded ring buffer of typed events, each stamped with a sequence
+    number and the current {e virtual} time. The clock is injected (the
+    guardian system installs [Sim.now]); wall-clock time is never consulted,
+    so two runs of the same seeded scenario serialize to byte-identical
+    traces — the "tracking in order to recover" discipline: recovery cost
+    claims are argued from the trace of what recovery actually touched.
+
+    Setting the [RS_TRACE] environment variable additionally echoes every
+    event to stderr as it is emitted (the switch the ad-hoc prints this
+    module replaced used). *)
+
+type lock_kind = Read | Write
+
+type event =
+  | Page_read of { page : int; ok : bool }  (** physical disk read *)
+  | Page_write of { page : int }  (** physical disk write *)
+  | Torn_write of { page : int }  (** a crash interrupted this write *)
+  | Page_decay of { page : int }
+  | Store_repair of { page : int }  (** stable-store recovery fixed a pair *)
+  | Log_write of { addr : int; bytes : int }  (** entry buffered in the log *)
+  | Log_force of { entries : int; stream_bytes : int }
+      (** pending entries pushed to stable storage *)
+  | Twopc_send of { src : string; dst : string; msg : string }
+  | Twopc_recv of { src : string; dst : string; msg : string }
+  | Lock_acquire of { aid : string; addr : int; kind : lock_kind }
+  | Lock_conflict of { aid : string; holder : string; addr : int }
+  | Action_prepare of { gid : string; aid : string; refused : bool }
+  | Action_commit of { gid : string; aid : string }
+  | Action_abort of { gid : string; aid : string }
+  | Recovery_scan of { system : string; entries : int }
+      (** one recovery pass: which recovery system, log entries visited *)
+  | Checkpoint of { system : string; technique : string; entries : int }
+  | Crash of { gid : string }
+  | Restart of { gid : string; prepared : int; committing : int }
+  | Span_begin of { name : string }
+  | Span_end of { name : string }
+  | Note of string
+
+type record = { seq : int; time : float; event : event }
+
+val set_clock : (unit -> float) -> unit
+(** Install the virtual clock used to stamp events (e.g.
+    [fun () -> Sim.now sim]). *)
+
+val clear_clock : unit -> unit
+(** Revert to the default clock, which always reads 0. *)
+
+val now : unit -> float
+(** Current virtual time as the trace sees it. *)
+
+val set_capacity : int -> unit
+(** Resize the ring (default 8192 events); drops all buffered events. *)
+
+val set_enabled : bool -> unit
+(** Master switch; emission is a no-op when disabled (default enabled). *)
+
+val enabled : unit -> bool
+(** Guard for call sites whose event {e construction} is itself costly
+    (string formatting on hot paths). *)
+
+val set_echo : bool -> unit
+(** Force stderr echo on/off (initialized from [RS_TRACE]). *)
+
+val emit : event -> unit
+
+val events : unit -> record list
+(** Buffered events, oldest first (at most capacity; earlier events are
+    overwritten once the ring wraps). *)
+
+val total : unit -> int
+(** Events emitted since the last {!clear} (including overwritten ones). *)
+
+val clear : unit -> unit
+(** Empty the ring and reset the sequence counter — run before each
+    determinism comparison. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_record : Format.formatter -> record -> unit
+
+val to_string : unit -> string
+(** The whole buffered trace, one record per line. Deterministic for
+    deterministic runs. *)

@@ -10,6 +10,8 @@ type t = {
   rng : Rs_util.Rng.t;
 }
 
+let m_events = Rs_obs.Metrics.counter "sim.events"
+
 let create ?(seed = 1) () =
   { heap = [||]; size = 0; clock = 0.0; next_seq = 0; rng = Rs_util.Rng.create seed }
 
@@ -71,6 +73,7 @@ let step t =
   else begin
     let ev = pop t in
     t.clock <- ev.time;
+    Rs_obs.Metrics.incr m_events;
     ev.thunk ();
     true
   end

@@ -1,6 +1,17 @@
 module Codec = Rs_util.Codec
 module Vec = Rs_util.Vec
 module Store = Rs_storage.Stable_store
+module Metrics = Rs_obs.Metrics
+module Trace = Rs_obs.Trace
+
+let m_writes = Metrics.counter "slog.writes"
+let m_forces = Metrics.counter "slog.forces"
+let m_cache_hits = Metrics.counter "slog.page_cache_hits"
+let m_cache_misses = Metrics.counter "slog.page_cache_misses"
+let m_entry_reads = Metrics.counter "slog.entry_reads"
+let m_bytes_read = Metrics.counter "slog.bytes_read"
+let g_stream_bytes = Metrics.gauge "slog.stream_bytes"
+let h_force_bytes = Metrics.histogram "slog.force_bytes"
 
 type addr = int
 
@@ -94,8 +105,11 @@ let open_ store =
 
 let page_data t p =
   match Hashtbl.find_opt t.pages p with
-  | Some data -> data
+  | Some data ->
+      Metrics.incr m_cache_hits;
+      data
   | None -> (
+      Metrics.incr m_cache_misses;
       match Store.get t.store (1 + p) with
       | Some data ->
           Hashtbl.replace t.pages p data;
@@ -159,6 +173,8 @@ let read t a =
   in
   t.entry_reads <- t.entry_reads + 1;
   t.bytes_read <- t.bytes_read + String.length payload;
+  Metrics.incr m_entry_reads;
+  Metrics.incr ~by:(String.length payload) m_bytes_read;
   payload
 
 (* Address of the entry preceding the one at [a], if any. *)
@@ -205,6 +221,8 @@ let write t entry =
   let a = t.forced_len + t.pending_bytes in
   Vec.push t.pending (a, entry);
   t.pending_bytes <- t.pending_bytes + frame_overhead + String.length entry;
+  Metrics.incr m_writes;
+  Trace.emit (Trace.Log_write { addr = a; bytes = String.length entry });
   a
 
 (* Flush the pending entries: extend the stream, rewrite the dirty pages
@@ -237,7 +255,11 @@ let force t =
     Vec.clear t.pending;
     t.pending_bytes <- 0;
     write_header t;
-    t.forces <- t.forces + 1
+    t.forces <- t.forces + 1;
+    Metrics.incr m_forces;
+    Metrics.observe h_force_bytes (t.forced_len - start);
+    Metrics.set g_stream_bytes t.forced_len;
+    Trace.emit (Trace.Log_force { entries = count; stream_bytes = t.forced_len })
   end
 
 let force_write t entry =

@@ -1,3 +1,6 @@
+module Metrics = Rs_obs.Metrics
+module Trace = Rs_obs.Trace
+
 type page = Good of string | Bad
 
 type stats = {
@@ -7,9 +10,20 @@ type stats = {
   mutable decays : int;
 }
 
+(* Process-wide totals in the observability registry; per-disk tallies live
+   in the fields below and surface through the [stats] compatibility
+   reader. *)
+let m_reads = Metrics.counter "disk.reads"
+let m_writes = Metrics.counter "disk.writes"
+let m_torn = Metrics.counter "disk.torn_writes"
+let m_decays = Metrics.counter "disk.decays"
+
 type t = {
   mutable pages : page array;
-  stats : stats;
+  mutable reads : int;
+  mutable writes : int;
+  mutable torn_writes : int;
+  mutable decays : int;
   rng : Rs_util.Rng.t option;
   decay_prob : float;
   mutable crash_in : int option; (* writes remaining before the armed crash *)
@@ -21,14 +35,18 @@ let create ?rng ?(decay_prob = 0.0) ~pages () =
   if pages <= 0 then invalid_arg "Disk.create: pages must be positive";
   {
     pages = Array.make pages Bad;
-    stats = { reads = 0; writes = 0; torn_writes = 0; decays = 0 };
+    reads = 0;
+    writes = 0;
+    torn_writes = 0;
+    decays = 0;
     rng;
     decay_prob;
     crash_in = None;
   }
 
 let pages t = Array.length t.pages
-let stats t = t.stats
+
+let stats t = { reads = t.reads; writes = t.writes; torn_writes = t.torn_writes; decays = t.decays }
 
 let check_nonneg p name =
   if p < 0 then invalid_arg (Printf.sprintf "Disk.%s: negative page %d" name p)
@@ -42,44 +60,56 @@ let grow_to t p =
     t.pages <- npages
   end
 
+let note_decay t p =
+  t.pages.(p) <- Bad;
+  t.decays <- t.decays + 1;
+  Metrics.incr m_decays;
+  Trace.emit (Trace.Page_decay { page = p })
+
 let maybe_decay t p =
   match t.rng with
-  | Some rng when t.decay_prob > 0.0 && Rs_util.Rng.bool rng t.decay_prob ->
-      t.pages.(p) <- Bad;
-      t.stats.decays <- t.stats.decays + 1
+  | Some rng when t.decay_prob > 0.0 && Rs_util.Rng.bool rng t.decay_prob -> note_decay t p
   | Some _ | None -> ()
 
 let read t p =
   check_nonneg p "read";
-  t.stats.reads <- t.stats.reads + 1;
-  if p >= Array.length t.pages then None
-  else begin
-    maybe_decay t p;
-    match t.pages.(p) with Good data -> Some data | Bad -> None
-  end
+  t.reads <- t.reads + 1;
+  Metrics.incr m_reads;
+  let result =
+    if p >= Array.length t.pages then None
+    else begin
+      maybe_decay t p;
+      match t.pages.(p) with Good data -> Some data | Bad -> None
+    end
+  in
+  Trace.emit (Trace.Page_read { page = p; ok = result <> None });
+  result
 
 let write t p data =
   check_nonneg p "write";
   grow_to t p;
-  t.stats.writes <- t.stats.writes + 1;
+  t.writes <- t.writes + 1;
+  Metrics.incr m_writes;
   match t.crash_in with
   | Some 0 ->
       (* The crash interrupts this write: the page is torn. *)
       t.pages.(p) <- Bad;
-      t.stats.torn_writes <- t.stats.torn_writes + 1;
+      t.torn_writes <- t.torn_writes + 1;
+      Metrics.incr m_torn;
+      Trace.emit (Trace.Torn_write { page = p });
       t.crash_in <- None;
       raise Crash
   | Some n ->
       t.crash_in <- Some (n - 1);
-      t.pages.(p) <- Good data
-  | None -> t.pages.(p) <- Good data
+      t.pages.(p) <- Good data;
+      Trace.emit (Trace.Page_write { page = p })
+  | None ->
+      t.pages.(p) <- Good data;
+      Trace.emit (Trace.Page_write { page = p })
 
 let decay t p =
   check_nonneg p "decay";
-  if p < Array.length t.pages then begin
-    t.pages.(p) <- Bad;
-    t.stats.decays <- t.stats.decays + 1
-  end
+  if p < Array.length t.pages then note_decay t p
 
 let set_crash_after t n =
   if n < 0 then invalid_arg "Disk.set_crash_after: negative";
@@ -87,17 +117,4 @@ let set_crash_after t n =
 
 let clear_crash t = t.crash_in <- None
 
-let snapshot t =
-  {
-    pages = Array.copy t.pages;
-    stats =
-      {
-        reads = t.stats.reads;
-        writes = t.stats.writes;
-        torn_writes = t.stats.torn_writes;
-        decays = t.stats.decays;
-      };
-    rng = t.rng;
-    decay_prob = t.decay_prob;
-    crash_in = t.crash_in;
-  }
+let snapshot t = { t with pages = Array.copy t.pages }

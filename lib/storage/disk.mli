@@ -21,6 +21,8 @@ type stats = {
   mutable torn_writes : int;  (** writes interrupted by a crash *)
   mutable decays : int;
 }
+(** Per-disk tallies. Process-wide totals live in the [Rs_obs] registry as
+    [disk.reads], [disk.writes], [disk.torn_writes], [disk.decays]. *)
 
 val create : ?rng:Rs_util.Rng.t -> ?decay_prob:float -> pages:int -> unit -> t
 (** [create ~pages ()] is a disk of initially [pages] pages, all bad
@@ -33,6 +35,8 @@ val pages : t -> int
 (** Current size (highest provisioned page + 1). *)
 
 val stats : t -> stats
+(** A point-in-time snapshot of this disk's tallies (a fresh record;
+    mutating it does not touch the disk). *)
 
 val read : t -> int -> string option
 (** [read t p] is [Some data] if page [p] is good, [None] if bad (torn,

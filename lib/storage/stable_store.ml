@@ -1,4 +1,13 @@
+module Metrics = Rs_obs.Metrics
+module Trace = Rs_obs.Trace
+
 type t = { a : Disk.t; b : Disk.t; mutable armed : int option }
+
+let m_phys_writes = Metrics.counter "stable_store.physical_writes"
+let m_puts = Metrics.counter "stable_store.logical_puts"
+let m_gets = Metrics.counter "stable_store.logical_gets"
+let m_recoveries = Metrics.counter "stable_store.recoveries"
+let m_repairs = Metrics.counter "stable_store.repairs"
 
 (* Values are framed with a CRC so a torn physical page that the disk model
    happens to keep readable would still be rejected; with our disk model
@@ -35,6 +44,7 @@ let read_rep disk p =
 
 let get t p =
   check t p "get";
+  Metrics.incr m_gets;
   match read_rep t.a p with
   | Some v -> Some v
   | None -> (
@@ -56,6 +66,7 @@ let countdown t =
       false
 
 let write_phys t disk p data =
+  Metrics.incr m_phys_writes;
   if countdown t then begin
     Disk.set_crash_after disk 0;
     Disk.write disk p data (* raises Disk.Crash, tearing the page *)
@@ -64,6 +75,7 @@ let write_phys t disk p data =
 
 let put t p data =
   check t p "put";
+  Metrics.incr m_puts;
   let framed = frame data in
   (* Careful put: write A, verify, then write B. The verify re-read models
      the Lampson–Sturgis careful write that retries until the page reads
@@ -80,15 +92,21 @@ let put t p data =
   careful t.b 5
 
 let recover t =
+  Metrics.incr m_recoveries;
+  let repair disk p framed =
+    Metrics.incr m_repairs;
+    Trace.emit (Trace.Store_repair { page = p });
+    Disk.write disk p framed
+  in
   for p = 0 to pages t - 1 do
     match (read_rep t.a p, read_rep t.b p) with
     | Some va, Some vb ->
         if not (String.equal va vb) then
           (* A crash fell between the two careful writes: A holds the newer
              value (A is always written first), so propagate it. *)
-          Disk.write t.b p (frame va)
-    | Some va, None -> Disk.write t.b p (frame va)
-    | None, Some vb -> Disk.write t.a p (frame vb)
+          repair t.b p (frame va)
+    | Some va, None -> repair t.b p (frame va)
+    | None, Some vb -> repair t.a p (frame vb)
     | None, None -> ()
   done
 

@@ -1,6 +1,8 @@
 module Aid = Rs_util.Aid
 module Gid = Rs_util.Gid
 module Sim = Rs_sim.Sim
+module Metrics = Rs_obs.Metrics
+module Trace = Rs_obs.Trace
 
 type msg =
   | Prepare of Aid.t
@@ -23,6 +25,30 @@ let pp_msg fmt m =
   | Abort a -> f "abort" a
   | Aborted_ack a -> f "aborted" a
   | Query a -> f "query" a
+
+let msg_kind = function
+  | Prepare _ -> "prepare"
+  | Prepared_reply _ -> "prepared"
+  | Refused_reply _ -> "refused"
+  | Commit _ -> "commit"
+  | Committed_ack _ -> "committed"
+  | Abort _ -> "abort"
+  | Aborted_ack _ -> "aborted"
+  | Query _ -> "query"
+
+let kind_counter prefix =
+  let tbl =
+    List.map
+      (fun k -> (k, Metrics.counter (prefix ^ k)))
+      [ "prepare"; "prepared"; "refused"; "commit"; "committed"; "abort"; "aborted"; "query" ]
+  in
+  fun m -> List.assoc (msg_kind m) tbl
+
+let send_counter = kind_counter "twopc.send."
+let recv_counter = kind_counter "twopc.recv."
+let m_retries = Metrics.counter "twopc.retries"
+let m_prepare_timeouts = Metrics.counter "twopc.prepare_timeouts"
+let gid_str g = Format.asprintf "%a" Gid.pp g
 
 type hooks = {
   on_prepare : Aid.t -> [ `Prepared | `Refused ];
@@ -79,6 +105,21 @@ let create ~gid ~sim ~send ~hooks ?(prepare_timeout = 10.0) ?(retry_interval = 5
 
 let gid t = t.gid
 
+let send_msg t ~dst msg =
+  Metrics.incr (send_counter msg);
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Twopc_send
+         { src = gid_str t.gid; dst = gid_str dst; msg = Format.asprintf "%a" pp_msg msg });
+  t.send ~dst msg
+
+let note_recv t ~src msg =
+  Metrics.incr (recv_counter msg);
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Twopc_recv
+         { src = gid_str src; dst = gid_str t.gid; msg = Format.asprintf "%a" pp_msg msg })
+
 let stop t =
   t.stopped <- true;
   Aid.Tbl.reset t.coords;
@@ -97,13 +138,14 @@ let begin_committing t aid coord =
   let waiting = Gid.Set.of_list coord.participants in
   coord.phase <- Committing { waiting };
   report coord `Committed;
-  List.iter (fun g -> t.send ~dst:g (Commit aid)) coord.participants;
+  List.iter (fun g -> send_msg t ~dst:g (Commit aid)) coord.participants;
   (* Re-send until everyone acknowledges; commit can never be undone. *)
   let rec retry () =
     if not t.stopped then
       match Aid.Tbl.find_opt t.coords aid with
       | Some { phase = Committing { waiting }; _ } when not (Gid.Set.is_empty waiting) ->
-          Gid.Set.iter (fun g -> t.send ~dst:g (Commit aid)) waiting;
+          Metrics.incr m_retries;
+          Gid.Set.iter (fun g -> send_msg t ~dst:g (Commit aid)) waiting;
           Sim.schedule t.sim ~delay:t.retry_interval retry
       | Some _ | None -> ()
   in
@@ -112,7 +154,7 @@ let begin_committing t aid coord =
 let begin_aborting t aid coord =
   coord.phase <- Aborting;
   report coord `Aborted;
-  List.iter (fun g -> t.send ~dst:g (Abort aid)) coord.participants;
+  List.iter (fun g -> send_msg t ~dst:g (Abort aid)) coord.participants;
   (* Aborts need no acknowledgement barrier: participants that missed the
      message resolve through queries. *)
   coord.phase <- Finished
@@ -123,12 +165,14 @@ let start_commit t aid ~participants ~on_result =
     { participants; phase = Preparing { waiting = Gid.Set.of_list participants }; on_result; reported = false }
   in
   Aid.Tbl.replace t.coords aid coord;
-  List.iter (fun g -> t.send ~dst:g (Prepare aid)) participants;
+  List.iter (fun g -> send_msg t ~dst:g (Prepare aid)) participants;
   (* Unilateral abort if the preparing phase stalls (§2.2.1). *)
   Sim.schedule t.sim ~delay:t.prepare_timeout (fun () ->
       if not t.stopped then
         match Aid.Tbl.find_opt t.coords aid with
-        | Some ({ phase = Preparing _; _ } as c) -> begin_aborting t aid c
+        | Some ({ phase = Preparing _; _ } as c) ->
+            Metrics.incr m_prepare_timeouts;
+            begin_aborting t aid c
         | Some _ | None -> ())
 
 let resume_coordinator t aid participants =
@@ -144,12 +188,13 @@ let resume_coordinator t aid participants =
     Aid.Tbl.replace t.coords aid coord;
     (* Some participants may already have committed; their re-acks drain
        the waiting set. *)
-    List.iter (fun g -> t.send ~dst:g (Commit aid)) participants;
+    List.iter (fun g -> send_msg t ~dst:g (Commit aid)) participants;
     let rec retry () =
       if not t.stopped then
         match Aid.Tbl.find_opt t.coords aid with
         | Some { phase = Committing { waiting }; _ } when not (Gid.Set.is_empty waiting) ->
-            Gid.Set.iter (fun g -> t.send ~dst:g (Commit aid)) waiting;
+            Metrics.incr m_retries;
+            Gid.Set.iter (fun g -> send_msg t ~dst:g (Commit aid)) waiting;
             Sim.schedule t.sim ~delay:t.retry_interval retry
         | Some _ | None -> ()
     in
@@ -163,7 +208,7 @@ let await_verdict t aid ~coordinator =
       if not t.stopped then
         match Aid.Tbl.find_opt t.parts aid with
         | Some Part_prepared ->
-            t.send ~dst:coordinator (Query aid);
+            send_msg t ~dst:coordinator (Query aid);
             Sim.schedule t.sim ~delay:t.retry_interval query
         | Some (Part_committed | Part_aborted) | None -> ()
     in
@@ -180,7 +225,7 @@ let part_commit t aid =
         (Format.asprintf "Twopc: %a received commit after aborting %a" Gid.pp t.gid Aid.pp aid)
   | Some Part_prepared | None -> t.hooks.on_commit aid);
   Aid.Tbl.replace t.parts aid Part_committed;
-  t.send ~dst:(Aid.coordinator aid) (Committed_ack aid)
+  send_msg t ~dst:(Aid.coordinator aid) (Committed_ack aid)
 
 let part_abort t aid =
   (match Aid.Tbl.find_opt t.parts aid with
@@ -190,30 +235,29 @@ let part_abort t aid =
         (Format.asprintf "Twopc: %a received abort after committing %a" Gid.pp t.gid Aid.pp aid)
   | Some Part_prepared | None -> t.hooks.on_abort aid);
   Aid.Tbl.replace t.parts aid Part_aborted;
-  t.send ~dst:(Aid.coordinator aid) (Aborted_ack aid)
+  send_msg t ~dst:(Aid.coordinator aid) (Aborted_ack aid)
 
 let handle t ~src msg =
-  (if Sys.getenv_opt "RS_TRACE" <> None then
-     Format.eprintf "[%a] recv %a from %a (stopped=%b)@." Gid.pp t.gid pp_msg msg Gid.pp src t.stopped);
+  note_recv t ~src msg;
   if not t.stopped then
     match msg with
     | Prepare aid -> (
         match t.hooks.on_prepare aid with
         | `Prepared ->
             Aid.Tbl.replace t.parts aid Part_prepared;
-            t.send ~dst:src (Prepared_reply aid);
+            send_msg t ~dst:src (Prepared_reply aid);
             (* If the verdict never arrives (lost message, coordinator
                crash), start querying. *)
             let rec query () =
               if not t.stopped then
                 match Aid.Tbl.find_opt t.parts aid with
                 | Some Part_prepared ->
-                    t.send ~dst:(Aid.coordinator aid) (Query aid);
+                    send_msg t ~dst:(Aid.coordinator aid) (Query aid);
                     Sim.schedule t.sim ~delay:t.retry_interval query
                 | Some (Part_committed | Part_aborted) | None -> ()
             in
             Sim.schedule t.sim ~delay:(2.0 *. t.retry_interval) query
-        | `Refused -> t.send ~dst:src (Refused_reply aid))
+        | `Refused -> send_msg t ~dst:src (Refused_reply aid))
     | Prepared_reply aid -> (
         match Aid.Tbl.find_opt t.coords aid with
         | Some ({ phase = Preparing p; _ } as coord) ->
@@ -246,9 +290,9 @@ let handle t ~src msg =
            where unknown means abort (§2.2.3). *)
         match Aid.Tbl.find_opt t.coords aid with
         | Some { phase = Preparing _; _ } -> ()
-        | Some { phase = Committing _; _ } -> t.send ~dst:src (Commit aid)
-        | Some { phase = Aborting; _ } -> t.send ~dst:src (Abort aid)
+        | Some { phase = Committing _; _ } -> send_msg t ~dst:src (Commit aid)
+        | Some { phase = Aborting; _ } -> send_msg t ~dst:src (Abort aid)
         | Some { phase = Finished; _ } | None -> (
             match t.hooks.coordinator_outcome aid with
-            | `Commit -> t.send ~dst:src (Commit aid)
-            | `Abort -> t.send ~dst:src (Abort aid)))
+            | `Commit -> send_msg t ~dst:src (Commit aid)
+            | `Abort -> send_msg t ~dst:src (Abort aid)))

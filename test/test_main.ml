@@ -19,4 +19,5 @@ let () =
       ("crash-io", Test_crash_io.suite);
       ("log-check", Test_log_check.suite);
       ("graph-fuzz", Test_graph_fuzz.suite);
+      ("obs", Test_obs.suite);
     ]
