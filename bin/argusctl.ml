@@ -260,6 +260,48 @@ let trace_cmd =
        ~doc:"Run a seeded 2PC crash/recovery scenario and dump the structured event trace.")
     Term.(const trace $ seed_arg $ capacity $ crash_after)
 
+(* explore: systematic crash-schedule exploration with invariant oracles *)
+
+let explore seed scheme_name budget max_depth break_force =
+  let targets =
+    match scheme_name with
+    | "all" -> [ "simple"; "hybrid"; "shadow"; "twopc" ]
+    | ("simple" | "hybrid" | "shadow" | "twopc") as s -> [ s ]
+    | s ->
+        Printf.eprintf "unknown target %s (simple|hybrid|shadow|twopc|all)\n" s;
+        exit 2
+  in
+  let config = { Rs_explore.Explore.seed; budget; max_depth } in
+  if break_force then Rs_slog.Stable_log.set_skip_header_write true;
+  let outcomes =
+    Fun.protect
+      ~finally:(fun () -> if break_force then Rs_slog.Stable_log.set_skip_header_write false)
+      (fun () -> List.map (Rs_explore.Explore.explore ~config) targets)
+  in
+  List.iter (fun o -> Format.printf "%a@." Rs_explore.Explore.pp_outcome o) outcomes;
+  if List.exists (fun o -> o.Rs_explore.Explore.counterexample <> None) outcomes then 1 else 0
+
+let explore_cmd =
+  let scheme =
+    Arg.(value & opt string "all" & info [ "scheme" ] ~doc:"simple|hybrid|shadow|twopc|all.")
+  in
+  let budget =
+    Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc:"Maximum crash schedules per target.")
+  in
+  let max_depth =
+    Arg.(value & opt int 2 & info [ "max-depth" ] ~docv:"D" ~doc:"Fault points per schedule (1 or 2).")
+  in
+  let break_force =
+    Arg.(value & flag
+         & info [ "break-force" ]
+             ~doc:"Seed a bug (log forces skip the header write) to prove the oracles catch it.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Enumerate crash schedules per recovery scheme, check invariant oracles after \
+             each recovery, and shrink any counterexample.")
+    Term.(const explore $ seed_arg $ scheme $ budget $ max_depth $ break_force)
+
 (* walkthrough: replay the thesis's log scenarios (Figs. 3-7, 3-8, 3-10)
    and print the resulting tables, like the thesis's "at algorithm's end,
    the PT and OT contain" paragraphs. *)
@@ -334,4 +376,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "argusctl" ~doc)
-          [ bank_cmd; churn_cmd; log_cmd; verify_cmd; walkthrough_cmd; stats_cmd; trace_cmd ]))
+          [
+            bank_cmd;
+            churn_cmd;
+            log_cmd;
+            verify_cmd;
+            walkthrough_cmd;
+            stats_cmd;
+            trace_cmd;
+            explore_cmd;
+          ]))

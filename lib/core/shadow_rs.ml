@@ -342,9 +342,15 @@ let recover old =
      - pairs of still-prepared actions are re-installed as pending, so a
        commit after recovery installs them in the map. *)
   let otype_of daddr = fst (fetch_data vlog daddr) in
-  List.iter
-    (fun (u, a) -> Uid.Tbl.replace t.map u (a, otype_of a))
-    (List.rev !seen_bc);
+  let stale = ref false in
+  let install u entry =
+    match Uid.Tbl.find_opt t.map u with
+    | Some e when e = entry -> ()
+    | Some _ | None ->
+        Uid.Tbl.replace t.map u entry;
+        stale := true
+  in
+  List.iter (fun (u, a) -> install u (a, otype_of a)) (List.rev !seen_bc);
   List.iter
     (fun (aid, pairs) ->
       let state = List.assoc_opt aid info.Tables.Recovery_info.pt in
@@ -352,13 +358,19 @@ let recover old =
         (fun (u, a) ->
           let ot = otype_of a in
           match state with
-          | Some Tables.Pt.Committed -> Uid.Tbl.replace t.map u (a, ot)
-          | Some Tables.Pt.Aborted ->
-              if ot = Log_entry.Mutex then Uid.Tbl.replace t.map u (a, ot)
+          | Some Tables.Pt.Committed -> install u (a, ot)
+          | Some Tables.Pt.Aborted -> if ot = Log_entry.Mutex then install u (a, ot)
           | Some Tables.Pt.Prepared -> Uid.Tbl.replace (pending_tbl t aid) u (a, ot)
           | None -> ())
         pairs)
     (List.rev !seen_prepared);
+  (* If the in-flight log contributed committed pairs the stable map does
+     not yet hold — the crash hit a commit between its committed record
+     and the map switch — complete the switch now. Leaving them volatile
+     is unsound: [maybe_truncate_ilog] assumes the stable map covers all
+     finished actions and may discard their only stable copy, so a second
+     crash would lose committed effects. *)
+  if !stale then install_map t;
   (t, info)
 
 let stable_stores t =

@@ -1,0 +1,480 @@
+module Scheme = Rs_workload.Scheme
+module Synth = Rs_workload.Synth
+module Store = Rs_storage.Stable_store
+module Disk = Rs_storage.Disk
+module Slog = Rs_slog.Stable_log
+module Trace = Rs_obs.Trace
+module Metrics = Rs_obs.Metrics
+module Rng = Rs_util.Rng
+
+let m_schedules = Metrics.counter "explore.schedules"
+let m_violations = Metrics.counter "explore.violations"
+
+type config = { seed : int; budget : int; max_depth : int }
+
+let default_config = { seed = 11; budget = 200; max_depth = 2 }
+
+type counterexample = { schedule : Fault.schedule; violation : Oracle.violation }
+
+type outcome = {
+  target : string;
+  points : int;
+  schedules : int;
+  counterexample : counterexample option;
+}
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+(* ------------------------------------------------------------------ *)
+(* Generic driver: run schedules until a violation, then shrink it.   *)
+
+(* Greedy delta-debugging: drop any slot whose removal still fails,
+   repeat until no single removal preserves the failure. *)
+let shrink run schedule v0 =
+  let rec go sched v =
+    let n = List.length sched in
+    let rec try_at i =
+      if i >= n then (sched, v)
+      else
+        let cand = List.filteri (fun j _ -> j <> i) sched in
+        match run cand with Some v' -> go cand v' | None -> try_at (i + 1)
+    in
+    if n = 0 then (sched, v) else try_at 0
+  in
+  go schedule v0
+
+let drive_schedules ~target ~points ~schedules ~run =
+  let rec go id = function
+    | [] ->
+        { target; points = List.length points; schedules = id; counterexample = None }
+    | sched :: rest -> (
+        Trace.emit (Trace.Explore_schedule { id; points = List.length sched });
+        match run sched with
+        | None -> go (id + 1) rest
+        | Some v ->
+            Metrics.incr m_violations;
+            Trace.emit
+              (Trace.Explore_violation
+                 { oracle = v.Oracle.oracle; schedule = Fault.schedule_to_string sched });
+            let shrunk, v' = shrink run sched v in
+            Trace.emit
+              (Trace.Explore_shrunk
+                 { points = List.length shrunk; schedule = Fault.schedule_to_string shrunk });
+            {
+              target;
+              points = List.length points;
+              schedules = id + 1;
+              counterexample = Some { schedule = shrunk; violation = v' };
+            })
+  in
+  go 0 schedules
+
+(* ------------------------------------------------------------------ *)
+(* Single-guardian targets: a Synth workload over one Scheme.         *)
+
+type op =
+  | Act of { indices : int list; outcome : [ `Commit | `Abort ] }
+  | Housekeep of Scheme.technique
+
+let base_acts =
+  [
+    Act { indices = [ 0; 3 ]; outcome = `Commit };
+    Act { indices = [ 1; 2 ]; outcome = `Abort };
+    Act { indices = [ 2; 4 ]; outcome = `Commit };
+  ]
+
+let tail_act = Act { indices = [ 0; 5 ]; outcome = `Commit }
+
+let ops_for = function
+  | "simple" -> base_acts @ [ Housekeep Scheme.Snapshot; tail_act ]
+  | "hybrid" ->
+      base_acts @ [ Housekeep Scheme.Compaction; tail_act; Housekeep Scheme.Snapshot ]
+  | "shadow" -> base_acts @ [ tail_act ]
+  | s -> invalid_arg ("Explore.explore_scheme: unknown scheme " ^ s)
+
+let make_scheme = function
+  | "simple" -> Scheme.simple ()
+  | "hybrid" -> Scheme.hybrid ()
+  | "shadow" -> Scheme.shadow ()
+  | s -> invalid_arg ("Explore.explore_scheme: unknown scheme " ^ s)
+
+let fresh_world cfg name =
+  let t = Synth.create ~seed:cfg.seed ~scheme:(make_scheme name) ~n_objects:8 () in
+  Synth.run_random_actions t ~n:4 ~objects_per_action:2 ~abort_rate:0.25 ();
+  t
+
+let exec_plain t op =
+  match op with
+  | Act { indices; outcome } -> Synth.run_action t ~indices ~outcome
+  | Housekeep tech -> Scheme.housekeep (Synth.scheme t) tech
+
+(* The serial state after [op] completes, given the state before it. *)
+let post_state expected op =
+  match op with
+  | Act { indices; outcome = `Commit } ->
+      let a = Array.copy expected in
+      List.iter (fun i -> a.(i) <- a.(i) + 1) indices;
+      a
+  | Act { outcome = `Abort; _ } | Housekeep _ -> Array.copy expected
+
+(* ---- census ------------------------------------------------------ *)
+
+type census = { writes : int array array; forces : int array }
+
+(* One clean run with the process-wide census hooks installed: per
+   operation, how many physical page writes land on each stable store
+   (both disk replicas counted together, matching what
+   [Store.arm_crash ~after_writes] counts) and how many log forces
+   complete. *)
+let take_census cfg name ops =
+  let t = fresh_world cfg name in
+  let stores = Scheme.stable_stores (Synth.scheme t) in
+  let disk_of =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           let a, b = Store.disks s in
+           [ (a, i); (b, i) ])
+         stores)
+  in
+  let n_ops = List.length ops in
+  let writes = Array.init n_ops (fun _ -> Array.make (List.length stores) 0) in
+  let forces = Array.make n_ops 0 in
+  let cur = ref (-1) in
+  Disk.set_write_hook
+    (Some
+       (fun d _page ->
+         if !cur >= 0 then
+           match List.find_opt (fun (d', _) -> d' == d) disk_of with
+           | Some (_, i) -> writes.(!cur).(i) <- writes.(!cur).(i) + 1
+           | None -> ()));
+  Slog.set_force_hook (Some (fun () -> if !cur >= 0 then forces.(!cur) <- forces.(!cur) + 1));
+  Fun.protect
+    ~finally:(fun () ->
+      Disk.set_write_hook None;
+      Slog.set_force_hook None)
+    (fun () ->
+      List.iteri
+        (fun j op ->
+          cur := j;
+          exec_plain t op)
+        ops);
+  { writes; forces }
+
+let points_of_census ops census =
+  List.concat
+    (List.mapi
+       (fun j op ->
+         let hk =
+           match op with
+           | Housekeep _ -> [ { Fault.op = j; point = Fault.Hk_boundary } ]
+           | Act _ -> []
+         in
+         let store_points =
+           List.concat
+             (List.mapi
+                (fun s w ->
+                  List.init w (fun k ->
+                      { Fault.op = j; point = Fault.Store_write { store = s; after_writes = k } }))
+                (Array.to_list census.writes.(j)))
+         in
+         let force_points =
+           List.init census.forces.(j) (fun k ->
+               { Fault.op = j; point = Fault.Force_boundary { nth = k + 1 } })
+         in
+         hk @ store_points @ force_points)
+       ops)
+
+(* Baseline first, then every depth-1 schedule in census order, then
+   depth-2 pairs (strictly increasing op index) in seeded-shuffle order
+   so a budget prefix samples the pair space evenly. *)
+let enumerate cfg points =
+  let singles = List.map (fun p -> [ p ]) points in
+  let pairs =
+    if cfg.max_depth < 2 then []
+    else begin
+      let arr =
+        Array.of_list
+          (List.concat_map
+             (fun p1 ->
+               List.filter_map
+                 (fun p2 -> if p1.Fault.op < p2.Fault.op then Some [ p1; p2 ] else None)
+                 points)
+             points)
+      in
+      Rng.shuffle (Rng.create (cfg.seed lxor 0x9e3779b9)) arr;
+      Array.to_list arr
+    end
+  in
+  take cfg.budget (([] : Fault.schedule) :: singles @ pairs)
+
+(* ---- one schedule ------------------------------------------------ *)
+
+(* Arm [point] around [f]; true iff the crash fired. Message points
+   never fire here (single-guardian world). *)
+let inject stores point f =
+  match point with
+  | Fault.Store_write { store; after_writes } -> (
+      match List.nth_opt stores store with
+      | None ->
+          f ();
+          false
+      | Some s ->
+          Store.arm_crash s ~after_writes;
+          Fun.protect
+            ~finally:(fun () -> List.iter Store.clear_crash stores)
+            (fun () -> match f () with () -> false | exception Disk.Crash -> true))
+  | Fault.Force_boundary { nth } ->
+      let count = ref 0 in
+      Slog.set_force_hook
+        (Some
+           (fun () ->
+             incr count;
+             if !count = nth then raise Disk.Crash));
+      Fun.protect
+        ~finally:(fun () -> Slog.set_force_hook None)
+        (fun () -> match f () with () -> false | exception Disk.Crash -> true)
+  | Fault.Hk_boundary | Fault.Msg_crash _ | Fault.Msg_drop _ | Fault.Msg_delay _ ->
+      f ();
+      false
+
+let run_scheme_schedule cfg name ops sched =
+  Metrics.incr m_schedules;
+  let t = ref (fresh_world cfg name) in
+  let expected = ref (Synth.counters !t) in
+  let found = ref None in
+  let note = function [] -> () | v :: _ -> if !found = None then found := Some v in
+  (* Crash recovery plus in-doubt resolution (presumed abort, §2.2.3),
+     then the full oracle suite. [allowed] lists the serial states the
+     recovered counters may land on. *)
+  let recover ~allowed =
+    let t', info = Synth.crash_recover !t in
+    t := t';
+    let scheme = Synth.scheme !t in
+    List.iter
+      (fun aid -> Scheme.abort scheme aid)
+      (Core.Tables.Recovery_info.prepared_actions info);
+    (match Synth.counters !t with
+    | actual ->
+        note (Oracle.check_counters ~oracle:"atomicity" ~allowed ~actual);
+        expected := actual
+    | exception Failure msg ->
+        (* objects vanished wholesale — committed state did not survive *)
+        note
+          [ { Oracle.oracle = "durability"; detail = "recovered state incomplete: " ^ msg } ]);
+    note (Oracle.check_scheme scheme)
+  in
+  (try
+     List.iteri
+       (fun j op ->
+         if !found = None then begin
+           let slot = List.find_opt (fun s -> s.Fault.op = j) sched in
+           let post = post_state !expected op in
+           match (op, slot) with
+           | Housekeep tech, Some { Fault.point = Fault.Hk_boundary; _ } -> (
+               (* stage one only: the half-built spare log must vanish *)
+               match Scheme.begin_housekeep (Synth.scheme !t) tech with
+               | None -> ()
+               | Some _abandoned -> recover ~allowed:[ !expected ])
+           | _, Some { Fault.point; _ } ->
+               let stores = Scheme.stable_stores (Synth.scheme !t) in
+               if inject stores point (fun () -> exec_plain !t op) then
+                 recover ~allowed:[ !expected; post ]
+               else expected := post
+           | _, None ->
+               exec_plain !t op;
+               expected := post
+         end)
+       ops;
+     (* Final durability probe: a cleanly committed action must survive a
+        crash that interrupts nothing — this is what catches a force that
+        lies about stability (e.g. the seeded skip-header mutation). *)
+     if !found = None then begin
+       let indices = [ 1; 4 ] in
+       Synth.run_action !t ~indices ~outcome:`Commit;
+       let after = post_state !expected (Act { indices; outcome = `Commit }) in
+       recover ~allowed:[ after ]
+     end
+   with exn ->
+     note [ { Oracle.oracle = "exception"; detail = Printexc.to_string exn } ]);
+  !found
+
+let explore_scheme ?(config = default_config) name =
+  let ops = ops_for name in
+  let census = take_census config name ops in
+  let points = points_of_census ops census in
+  let schedules = enumerate config points in
+  drive_schedules ~target:name ~points ~schedules
+    ~run:(run_scheme_schedule config name ops)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed target: a two-guardian transfer under 2PC.             *)
+
+let explore_twopc ?(config = default_config) () =
+  let module System = Rs_guardian.System in
+  let module Guardian = Rs_guardian.Guardian in
+  let module Sim = Rs_sim.Sim in
+  let module Net = Rs_sim.Net in
+  let module Heap = Rs_objstore.Heap in
+  let module Value = Rs_objstore.Value in
+  let g = Rs_util.Gid.of_int in
+  let set_var name v : System.work =
+   fun heap aid ->
+    match Heap.get_stable_var heap name with
+    | Some (Value.Ref a) -> Heap.set_current heap aid a (Value.Int v)
+    | Some _ -> failwith "Explore: stable var is not a ref"
+    | None ->
+        let a = Heap.alloc_atomic heap ~creator:aid (Value.Int v) in
+        Heap.set_stable_var heap aid name (Value.Ref a)
+  in
+  let stable_int sys i name =
+    let heap = Guardian.heap (System.guardian sys (g i)) in
+    match Heap.get_stable_var heap name with
+    | Some (Value.Ref a) -> (
+        match (Heap.atomic_view heap a).base with Value.Int v -> Some v | _ -> None)
+    | Some _ | None -> None
+  in
+  (* x on guardian 0, y on guardian 1, both committed to 1; the explored
+     action is the distributed transfer writing both to 2. *)
+  let build () =
+    let sys = System.create ~seed:config.seed ~n:2 () in
+    let wait cb =
+      let r = ref None in
+      cb (fun o -> r := Some o);
+      System.quiesce sys;
+      !r
+    in
+    ignore
+      (wait (fun k ->
+           System.submit sys ~coordinator:(g 0)
+             ~steps:[ (g 0, set_var "x" 1) ]
+             (fun _ o -> k o)));
+    ignore
+      (wait (fun k ->
+           System.submit sys ~coordinator:(g 0)
+             ~steps:[ (g 1, set_var "y" 1) ]
+             (fun _ o -> k o)));
+    sys
+  in
+  let transfer sys =
+    System.submit sys ~coordinator:(g 0)
+      ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
+      (fun _ _ -> ())
+  in
+  (* census: one clean transfer, counting message deliveries and sends *)
+  let deliveries, sends =
+    let sys = build () in
+    let net = System.net sys in
+    let d0 = Net.messages_delivered net and s0 = Net.messages_sent net in
+    transfer sys;
+    System.quiesce sys;
+    (Net.messages_delivered net - d0, Net.messages_sent net - s0)
+  in
+  let points =
+    List.concat
+      [
+        List.concat_map
+          (fun victim ->
+            List.init deliveries (fun k ->
+                { Fault.op = 0; point = Fault.Msg_crash { after_deliveries = k + 1; victim } }))
+          [ 1; 0 ];
+        List.init sends (fun k -> { Fault.op = 0; point = Fault.Msg_drop { nth = k + 1 } });
+        List.init sends (fun k ->
+            { Fault.op = 0; point = Fault.Msg_delay { nth = k + 1; by = 7.5 } });
+      ]
+  in
+  let run sched =
+    Metrics.incr m_schedules;
+    let sys = build () in
+    let net = System.net sys in
+    let d0 = Net.messages_delivered net in
+    let found = ref None in
+    let note = function [] -> () | v :: _ -> if !found = None then found := Some v in
+    (try
+       (match sched with
+        | [] ->
+            transfer sys;
+            System.quiesce sys
+        | { Fault.point = Fault.Msg_crash { after_deliveries; victim }; _ } :: _ ->
+            transfer sys;
+            let target = d0 + after_deliveries in
+            let rec spin () =
+              if Net.messages_delivered net < target && Sim.step (System.sim sys) then spin ()
+            in
+            spin ();
+            System.crash sys (g victim);
+            ignore (System.restart sys (g victim));
+            System.quiesce sys
+        | { Fault.point = Fault.Msg_drop { nth }; _ } :: _ ->
+            let count = ref 0 in
+            Net.set_send_hook
+              (Some
+                 (fun () ->
+                   incr count;
+                   if !count = nth then Net.Drop else Net.Deliver));
+            Fun.protect
+              ~finally:(fun () -> Net.set_send_hook None)
+              (fun () ->
+                transfer sys;
+                System.quiesce sys)
+        | { Fault.point = Fault.Msg_delay { nth; by }; _ } :: _ ->
+            let count = ref 0 in
+            Net.set_send_hook
+              (Some
+                 (fun () ->
+                   incr count;
+                   if !count = nth then Net.Delay by else Net.Deliver));
+            Fun.protect
+              ~finally:(fun () -> Net.set_send_hook None)
+              (fun () ->
+                transfer sys;
+                System.quiesce sys)
+        | { Fault.point = Fault.Store_write _ | Fault.Force_boundary _ | Fault.Hk_boundary; _ }
+          :: _ ->
+            transfer sys;
+            System.quiesce sys);
+       (* atomicity across guardians: both sides of the transfer, or neither *)
+       (let x = stable_int sys 0 "x" and y = stable_int sys 1 "y" in
+        match (x, y) with
+        | Some 2, Some 2 | Some 1, Some 1 -> ()
+        | x, y ->
+            let s = function None -> "?" | Some v -> string_of_int v in
+            note
+              [
+                {
+                  Oracle.oracle = "atomicity";
+                  detail = Printf.sprintf "x=%s y=%s after recovery" (s x) (s y);
+                };
+              ]);
+       List.iter
+         (fun gd ->
+           let rs = Guardian.rs gd in
+           note (Oracle.check_log (Some (Core.Hybrid_rs.log rs)));
+           note (Oracle.check_stores (Rs_slog.Log_dir.stores (Core.Hybrid_rs.dir rs))))
+         (System.guardians sys)
+     with exn -> note [ { Oracle.oracle = "liveness"; detail = Printexc.to_string exn } ]);
+    !found
+  in
+  let schedules = take config.budget (([] : Fault.schedule) :: List.map (fun p -> [ p ]) points) in
+  let outcome = drive_schedules ~target:"twopc" ~points ~schedules ~run in
+  Trace.clear_clock ();
+  outcome
+
+let explore ?config = function
+  | "twopc" -> explore_twopc ?config ()
+  | name -> explore_scheme ?config name
+
+(* ------------------------------------------------------------------ *)
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "explore target=%s points=%d schedules=%d violations=%d" o.target
+    o.points o.schedules
+    (match o.counterexample with None -> 0 | Some _ -> 1);
+  match o.counterexample with
+  | None -> ()
+  | Some { schedule; violation } ->
+      Format.fprintf fmt "@.  counterexample (%d points): %a@.  oracle %a"
+        (List.length schedule) Fault.pp_schedule schedule Oracle.pp_violation violation

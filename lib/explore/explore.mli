@@ -1,0 +1,59 @@
+(** Systematic crash-schedule exploration — a model-checker-style harness
+    over the recovery schemes.
+
+    For each target the engine (a) runs a fixed seeded scenario once with
+    census hooks installed ({!Rs_storage.Disk.set_write_hook},
+    {!Rs_slog.Stable_log.set_force_hook}, {!Rs_sim.Net.set_send_hook}) to
+    enumerate its fault points; (b) re-runs the scenario once per
+    schedule with the fault injected — [arm_crash] on the named store
+    write, a crash raised at the named force boundary, a crash between
+    the housekeeping stages, or a message crash/drop/delay in the
+    distributed case — recovering after every crash; and (c) checks the
+    {!Oracle} suite. The first violation is {e shrunk} to a minimal
+    counterexample (greedy delta-debugging: drop any slot whose removal
+    still fails) and reported through {!Rs_obs.Trace} events plus a
+    deterministic text dump. *)
+
+type config = {
+  seed : int;  (** scenario and schedule-shuffle seed *)
+  budget : int;  (** maximum schedules to run (census baseline included) *)
+  max_depth : int;  (** fault points per schedule (1 or 2) *)
+}
+
+val default_config : config
+(** [{ seed = 11; budget = 200; max_depth = 2 }] *)
+
+type counterexample = {
+  schedule : Fault.schedule;  (** minimal failing schedule after shrinking *)
+  violation : Oracle.violation;  (** what the oracle saw under it *)
+}
+
+type outcome = {
+  target : string;  (** ["simple"], ["hybrid"], ["shadow"] or ["twopc"] *)
+  points : int;  (** fault points the census found *)
+  schedules : int;  (** schedules actually run (≤ budget) *)
+  counterexample : counterexample option;  (** [None]: all oracles held *)
+}
+
+val explore_scheme : ?config:config -> string -> outcome
+(** Explore a single-guardian {!Rs_workload.Scheme} by name ("simple",
+    "hybrid" or "shadow"): a {!Rs_workload.Synth} workload of commits,
+    aborts and (where supported) staged housekeeping, with crash points
+    censused on every stable store and every log force. Stops at the
+    first violation. Raises [Invalid_argument] on an unknown name. *)
+
+val explore_twopc : ?config:config -> unit -> outcome
+(** Explore the distributed stack: a two-guardian transfer action under
+    2PC, with fault points at every message delivery (crash the
+    coordinator or the participant there), every message send (drop it),
+    and every message send again (delay it past later traffic). The
+    atomicity oracle demands both guardians land on the same side of the
+    transfer. *)
+
+val explore : ?config:config -> string -> outcome
+(** Dispatch: scheme names go to {!explore_scheme}, ["twopc"] to
+    {!explore_twopc}. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Deterministic report: a one-line summary, then — on violation — the
+    shrunk counterexample, slot by slot, with the oracle's detail. *)

@@ -1,0 +1,31 @@
+type point =
+  | Store_write of { store : int; after_writes : int }
+  | Force_boundary of { nth : int }
+  | Hk_boundary
+  | Msg_crash of { after_deliveries : int; victim : int }
+  | Msg_drop of { nth : int }
+  | Msg_delay of { nth : int; by : float }
+
+type slot = { op : int; point : point }
+type schedule = slot list
+
+let pp_point fmt = function
+  | Store_write { store; after_writes } ->
+      Format.fprintf fmt "store%d+%dw" store after_writes
+  | Force_boundary { nth } -> Format.fprintf fmt "force#%d" nth
+  | Hk_boundary -> Format.pp_print_string fmt "hk-boundary"
+  | Msg_crash { after_deliveries; victim } ->
+      Format.fprintf fmt "crash-g%d@msg%d" victim after_deliveries
+  | Msg_drop { nth } -> Format.fprintf fmt "drop-msg%d" nth
+  | Msg_delay { nth; by } -> Format.fprintf fmt "delay-msg%d+%g" nth by
+
+let pp_slot fmt { op; point } = Format.fprintf fmt "op%d:%a" op pp_point point
+
+let pp_schedule fmt = function
+  | [] -> Format.pp_print_string fmt "(empty)"
+  | slots ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+        pp_slot fmt slots
+
+let schedule_to_string s = Format.asprintf "%a" pp_schedule s

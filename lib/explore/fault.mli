@@ -1,0 +1,41 @@
+(** Fault points and crash schedules.
+
+    A {e fault point} names one place a crash (or message fault) can land
+    in a scenario: a particular physical write on a particular stable
+    store, the boundary right after a log force, the gap between the two
+    housekeeping stages, or the n-th 2PC message. A {e schedule} is a
+    list of fault points, each tied to the scenario operation it
+    interrupts; the explorer enumerates schedules, re-runs the scenario
+    under each, and checks the oracle suite after recovery. *)
+
+type point =
+  | Store_write of { store : int; after_writes : int }
+      (** tear the [(after_writes+1)]-th physical page write on stable
+          store [store] ({!Rs_storage.Stable_store.arm_crash}) *)
+  | Force_boundary of { nth : int }
+      (** crash immediately after the [nth] log force of the operation
+          completes: the force is stable, the continuation is lost *)
+  | Hk_boundary
+      (** crash between housekeeping stage one and stage two — the
+          half-built spare log must be discarded by recovery *)
+  | Msg_crash of { after_deliveries : int; victim : int }
+      (** distributed: crash guardian [victim] right after the
+          [after_deliveries]-th 2PC message delivery *)
+  | Msg_drop of { nth : int }  (** distributed: drop the [nth] message send *)
+  | Msg_delay of { nth : int; by : float }
+      (** distributed: deliver the [nth] send late by [by] time units,
+          reordering it past later traffic *)
+
+type slot = { op : int; point : point }
+(** [point], scheduled inside the [op]-th operation of the scenario. *)
+
+type schedule = slot list
+(** Fault points in scenario order (at most one per operation). *)
+
+val pp_point : Format.formatter -> point -> unit
+val pp_slot : Format.formatter -> slot -> unit
+val pp_schedule : Format.formatter -> schedule -> unit
+
+val schedule_to_string : schedule -> string
+(** One-line rendering, deterministic — used in trace events and the
+    counterexample dump. *)

@@ -1,0 +1,32 @@
+(** The invariant suite the explorer checks after every recovery.
+
+    Four families, straight from the thesis's reliability argument:
+    committed effects are durable and aborted/uncommitted effects are
+    invisible (checked by the engine against its own serial model of
+    counter values), the log is structurally well-formed
+    ({!Core.Log_check}), and the two disk copies of every stable store
+    agree once the Lampson–Sturgis repair pass has run. *)
+
+type violation = { oracle : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_counters :
+  oracle:string -> allowed:int array list -> actual:int array -> violation list
+(** [actual] must equal one of the [allowed] serial states — e.g. after a
+    crash mid-commit, either the pre-state (action rolled back) or the
+    post-state (commit record made it). Anything else is a partial
+    (non-atomic) state. *)
+
+val check_log : Rs_slog.Stable_log.t option -> violation list
+(** {!Core.Log_check.check_log} on the scheme's current log, one
+    violation per issue. [None] (shadow) passes vacuously. *)
+
+val check_stores : Rs_storage.Stable_store.t list -> violation list
+(** For each store: run {!Rs_storage.Stable_store.recover}, then demand
+    {!Rs_storage.Stable_store.agreement_issues} is empty — the two-copy
+    representation must be repairable back to full agreement. *)
+
+val check_scheme : Rs_workload.Scheme.t -> violation list
+(** {!check_log} on the scheme's current log plus {!check_stores} on all
+    its stable stores. *)

@@ -31,6 +31,7 @@ let create ?(seed = 1) ?(latency = 1.0) ?(jitter = 0.0) ?(drop_prob = 0.0)
   { sim; net; guardians; early_prepare }
 
 let sim t = t.sim
+let net t = t.net
 
 let guardian t gid =
   let i = Gid.to_int gid in

@@ -34,6 +34,11 @@ val create :
     its step, ahead of the prepare message (§4.4). *)
 
 val sim : t -> Rs_sim.Sim.t
+
+val net : t -> Rs_twopc.Twopc.msg Rs_sim.Net.t
+(** The shared network — for message-delivery census and fault injection
+    ({!Rs_sim.Net.set_send_hook}, delivery counters). *)
+
 val guardian : t -> Rs_util.Gid.t -> Guardian.t
 val guardians : t -> Guardian.t list
 val n_guardians : t -> int

@@ -21,6 +21,9 @@ type event =
   | Restart of { gid : string; prepared : int; committing : int }
   | Span_begin of { name : string }
   | Span_end of { name : string }
+  | Explore_schedule of { id : int; points : int }
+  | Explore_violation of { oracle : string; schedule : string }
+  | Explore_shrunk of { points : int; schedule : string }
   | Note of string
 
 type record = { seq : int; time : float; event : event }
@@ -90,6 +93,12 @@ let pp_event fmt = function
       Format.fprintf fmt "restart{gid=%s prepared=%d committing=%d}" gid prepared committing
   | Span_begin { name } -> Format.fprintf fmt "span_begin{%s}" name
   | Span_end { name } -> Format.fprintf fmt "span_end{%s}" name
+  | Explore_schedule { id; points } ->
+      Format.fprintf fmt "explore_schedule{id=%d points=%d}" id points
+  | Explore_violation { oracle; schedule } ->
+      Format.fprintf fmt "explore_violation{oracle=%s schedule=%s}" oracle schedule
+  | Explore_shrunk { points; schedule } ->
+      Format.fprintf fmt "explore_shrunk{points=%d schedule=%s}" points schedule
   | Note s -> Format.fprintf fmt "note{%s}" s
 
 let pp_record fmt r = Format.fprintf fmt "#%-6d t=%-12g %a" r.seq r.time pp_event r.event

@@ -36,6 +36,12 @@ type event =
   | Restart of { gid : string; prepared : int; committing : int }
   | Span_begin of { name : string }
   | Span_end of { name : string }
+  | Explore_schedule of { id : int; points : int }
+      (** one crash schedule about to run under the explorer *)
+  | Explore_violation of { oracle : string; schedule : string }
+      (** an oracle failed after recovery from this schedule *)
+  | Explore_shrunk of { points : int; schedule : string }
+      (** minimal counterexample after shrinking *)
   | Note of string
 
 type record = { seq : int; time : float; event : event }

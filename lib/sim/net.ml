@@ -13,6 +13,15 @@ type 'msg t = {
   mutable dropped : int;
 }
 
+type verdict = Deliver | Drop | Delay of float
+
+(* Fault-injection hook (Rs_explore): consulted once per send from an up
+   source, before the probabilistic drop. One slot; the explorer
+   installs/uninstalls it per explored schedule. *)
+let send_hook : (unit -> verdict) option ref = ref None
+
+let set_send_hook h = send_hook := h
+
 let create ?(latency = 1.0) ?(jitter = 0.0) ?(drop_prob = 0.0) sim () =
   {
     sim;
@@ -44,12 +53,16 @@ let send t ~src ~dst msg =
   let snode = node t src "send" in
   if snode.up then begin
     t.sent <- t.sent + 1;
+    let verdict = match !send_hook with Some f -> f () | None -> Deliver in
     let rng = Sim.rng t.sim in
-    if t.drop_prob > 0.0 && Rs_util.Rng.bool rng t.drop_prob then
+    if verdict = Drop then t.dropped <- t.dropped + 1
+    else if t.drop_prob > 0.0 && Rs_util.Rng.bool rng t.drop_prob then
       t.dropped <- t.dropped + 1
     else begin
       let delay =
-        t.latency +. (if t.jitter > 0.0 then Rs_util.Rng.float rng t.jitter else 0.0)
+        t.latency
+        +. (if t.jitter > 0.0 then Rs_util.Rng.float rng t.jitter else 0.0)
+        +. (match verdict with Delay d -> d | Deliver | Drop -> 0.0)
       in
       Sim.schedule t.sim ~delay (fun () ->
           let n = node t dst "deliver" in

@@ -6,6 +6,17 @@
 
 type 'msg t
 
+type verdict = Deliver | Drop | Delay of float
+(** What the fault-injection hook decides for one send: deliver normally,
+    drop it silently, or deliver with [Delay d] extra latency (which
+    reorders it past messages sent later). *)
+
+val set_send_hook : (unit -> verdict) option -> unit
+(** Install (or clear) the process-wide fault-injection hook, consulted
+    once per send from an up source ahead of the probabilistic drop.
+    [Rs_explore] uses it to census 2PC message sends and to drop or
+    reorder the n-th one. One client at a time. *)
+
 val create :
   ?latency:float -> ?jitter:float -> ?drop_prob:float -> Sim.t -> unit -> 'msg t
 (** Defaults: latency 1.0, jitter 0, drop 0. *)

@@ -19,6 +19,24 @@ type addr = int
    the offset of its leading length word in the stream. *)
 let frame_overhead = 8
 
+(* Fault-point census hook (Rs_explore): observes every completed force on
+   every log of the process. Raising from the hook models a crash landing
+   on the force boundary — the force is stable, the caller's continuation
+   is lost. One slot; the explorer installs/uninstalls it per run. *)
+let force_hook : (unit -> unit) option ref = ref None
+
+let set_force_hook h = force_hook := h
+
+(* Self-test mutation switch: when set, [force] "forgets" the header
+   write — the single atomic commit point of the force — so forced
+   entries silently fail to survive a crash. Exists only so the
+   Rs_explore oracle suite can prove it detects a recovery system whose
+   forces lie ([argusctl explore --break-force] and the explore
+   self-test). Never set outside those paths. *)
+let skip_header_write = ref false
+
+let set_skip_header_write b = skip_header_write := b
+
 type t = {
   store : Store.t;
   page_size : int;
@@ -254,12 +272,13 @@ let force t =
     t.last_offset <- last;
     Vec.clear t.pending;
     t.pending_bytes <- 0;
-    write_header t;
+    if not !skip_header_write then write_header t;
     t.forces <- t.forces + 1;
     Metrics.incr m_forces;
     Metrics.observe h_force_bytes (t.forced_len - start);
     Metrics.set g_stream_bytes t.forced_len;
-    Trace.emit (Trace.Log_force { entries = count; stream_bytes = t.forced_len })
+    Trace.emit (Trace.Log_force { entries = count; stream_bytes = t.forced_len });
+    match !force_hook with Some f -> f () | None -> ()
   end
 
 let force_write t entry =

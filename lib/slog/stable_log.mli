@@ -94,6 +94,20 @@ val bytes_read : t -> int
 
 val store : t -> Rs_storage.Stable_store.t
 
+val set_force_hook : (unit -> unit) option -> unit
+(** Install (or clear) the process-wide fault-point census hook: it runs
+    after every completed force, on every log. [Rs_explore] uses it both
+    to census force boundaries and to inject a crash {e on} one (by
+    raising {!Rs_storage.Disk.Crash} from the hook: the force itself is
+    stable, everything volatile after it is lost). One client at a time. *)
+
+val set_skip_header_write : bool -> unit
+(** Self-test mutation: make every subsequent [force] skip its header
+    write, so forced entries do not actually survive a crash. This
+    deliberately breaks the durability contract — it exists only so the
+    exploration oracle suite can verify that it catches a lying force
+    (the [--break-force] self-test). *)
+
 val destroy : t -> unit
 (** Invalidate the in-memory handle (the thesis's [destroy]); subsequent
     operations raise [Invalid_argument]. The underlying store can be

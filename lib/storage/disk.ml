@@ -31,6 +31,15 @@ type t = {
 
 exception Crash
 
+(* Fault-point census hook (Rs_explore): observes every physical write on
+   every disk of the process. One slot, not a list — the explorer is the
+   only client and installs/uninstalls it around each censused run. *)
+let write_hook : (t -> int -> unit) option ref = ref None
+
+let set_write_hook h = write_hook := h
+
+let note_write t p = match !write_hook with Some f -> f t p | None -> ()
+
 let create ?rng ?(decay_prob = 0.0) ~pages () =
   if pages <= 0 then invalid_arg "Disk.create: pages must be positive";
   {
@@ -90,6 +99,7 @@ let write t p data =
   grow_to t p;
   t.writes <- t.writes + 1;
   Metrics.incr m_writes;
+  note_write t p;
   match t.crash_in with
   | Some 0 ->
       (* The crash interrupts this write: the page is torn. *)

@@ -51,6 +51,13 @@ val decay : t -> int -> unit
 (** Force page [p] bad: simulates spontaneous storage decay. No-op beyond
     the end. *)
 
+val set_write_hook : (t -> int -> unit) option -> unit
+(** Install (or clear, with [None]) the process-wide fault-point census
+    hook: it observes every physical write on every disk, receiving the
+    disk and the page index before the write lands (torn writes
+    included). Used by [Rs_explore] to census crash points; exactly one
+    client at a time. *)
+
 val set_crash_after : t -> int -> unit
 (** [set_crash_after t n] makes the [n+1]-th subsequent write crash
     ([n = 0] crashes the very next write). *)

@@ -42,15 +42,29 @@ let check _t p name =
 let read_rep disk p =
   match Disk.read disk p with None -> None | Some s -> unframe s
 
+(* Read repair: a careful get that had to fall back to one replica
+   rewrites the unreadable partner on the spot (decay would otherwise
+   accumulate until only the periodic [recover] pass stood between the
+   page and catastrophe). Repairs write the disk directly — they are not
+   part of any careful-put write budget, so an armed crash countdown is
+   unaffected, like the repairs [recover] performs. *)
+let read_repair disk p data =
+  Metrics.incr m_repairs;
+  Trace.emit (Trace.Store_repair { page = p });
+  Disk.write disk p (frame data)
+
 let get t p =
   check t p "get";
   Metrics.incr m_gets;
-  match read_rep t.a p with
-  | Some v -> Some v
-  | None -> (
-      match read_rep t.b p with
-      | Some v -> Some v
-      | None -> None)
+  match (read_rep t.a p, read_rep t.b p) with
+  | Some va, Some _ -> Some va (* a is written first, so a is never older *)
+  | Some va, None ->
+      read_repair t.b p va;
+      Some va
+  | None, Some vb ->
+      read_repair t.a p vb;
+      Some vb
+  | None, None -> None
 
 (* Crash arming is coordinated across the two disks: a single countdown of
    physical writes, decremented here, delegated to whichever disk performs
@@ -121,6 +135,21 @@ let clear_crash t =
 
 let physical_writes t = (Disk.stats t.a).writes + (Disk.stats t.b).writes
 let physical_reads t = (Disk.stats t.a).reads + (Disk.stats t.b).reads
+let disks t = (t.a, t.b)
+
+let agreement_issues t =
+  let issues = ref [] in
+  for p = pages t - 1 downto 0 do
+    match (read_rep t.a p, read_rep t.b p) with
+    | Some va, Some vb ->
+        if not (String.equal va vb) then
+          issues := (p, Printf.sprintf "replicas diverge (%d vs %d bytes)"
+                       (String.length va) (String.length vb)) :: !issues
+    | Some _, None -> issues := (p, "replica b unreadable") :: !issues
+    | None, Some _ -> issues := (p, "replica a unreadable") :: !issues
+    | None, None -> () (* never written: legitimately absent on both *)
+  done;
+  !issues
 
 let decay_random_page t rng =
   let p = Rs_util.Rng.int rng (pages t) in

@@ -22,8 +22,12 @@ val pages : t -> int
 
 val get : t -> int -> string option
 (** [get t p] is the last value carefully put to logical page [p], or [None]
-    if never written. Raises [Failure] only if both representatives have
-    been lost (a catastrophe outside the fault model). *)
+    if never written or if both representatives have been lost (a
+    catastrophe outside the fault model). The get is {e careful with
+    read repair}: it verifies both representatives and rewrites an
+    unreadable one from its good partner on the spot (bumping the
+    [stable_store.repairs] counter), so isolated decay is healed by
+    ordinary traffic instead of waiting for the next {!recover} pass. *)
 
 val put : t -> int -> string -> unit
 (** Careful, atomic overwrite of logical page [p]. May raise {!Disk.Crash}
@@ -47,3 +51,16 @@ val physical_reads : t -> int
 val decay_random_page : t -> Rs_util.Rng.t -> unit
 (** Decay one random physical page — never both representatives of the same
     logical page (independent failure modes assumption, §1.1). *)
+
+val disks : t -> Disk.t * Disk.t
+(** The two underlying disks [(a, b)] — for fault-point census
+    ({!Disk.set_write_hook} attribution) and replica inspection in tests.
+    Writing them directly voids the atomicity warranty. *)
+
+val agreement_issues : t -> (int * string) list
+(** Logical pages whose two representatives do not currently agree —
+    one unreadable, or both readable with different contents — with a
+    description each. After {!recover} this must be empty: it is the
+    two-copy agreement oracle [Rs_explore] checks after every explored
+    crash schedule. Reads both replicas of every page (cost is fine;
+    it is a checker). *)

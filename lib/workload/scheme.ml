@@ -2,7 +2,7 @@ module Heap = Rs_objstore.Heap
 module Log_dir = Rs_slog.Log_dir
 module Log = Rs_slog.Stable_log
 
-type technique = Compaction | Snapshot
+type technique = Core.Hybrid_rs.technique = Compaction | Snapshot
 
 type impl =
   | Simple of { heap : Heap.t; dir : Log_dir.t; rs : Core.Simple_rs.t }
@@ -52,13 +52,25 @@ let crash_recover t =
       let rs, info = Core.Shadow_rs.recover rs in
       (Shadow { heap = Core.Shadow_rs.heap rs; rs }, info)
 
-let housekeep t technique =
+type hk_job =
+  | Hybrid_job of Core.Hybrid_rs.t * Core.Hybrid_rs.job
+  | Simple_job of Core.Simple_rs.t * Core.Simple_rs.job
+
+let begin_housekeep t technique =
   match (t, technique) with
-  | Hybrid { rs; _ }, Compaction -> Core.Hybrid_rs.housekeep rs Core.Hybrid_rs.Compaction
-  | Hybrid { rs; _ }, Snapshot -> Core.Hybrid_rs.housekeep rs Core.Hybrid_rs.Snapshot
-  | Simple { rs; _ }, Snapshot -> Core.Simple_rs.housekeep rs
-  | Simple _, Compaction -> () (* compaction needs the chain; not available *)
-  | Shadow _, (Compaction | Snapshot) -> ()
+  | Hybrid { rs; _ }, tech -> Some (Hybrid_job (rs, Core.Hybrid_rs.begin_housekeeping rs tech))
+  | Simple { rs; _ }, Snapshot -> Some (Simple_job (rs, Core.Simple_rs.begin_snapshot rs))
+  | Simple _, Compaction -> None (* compaction needs the chain; not available *)
+  | Shadow _, (Compaction | Snapshot) -> None
+
+let finish_housekeep _t = function
+  | Hybrid_job (rs, job) -> Core.Hybrid_rs.finish_housekeeping rs job
+  | Simple_job (rs, job) -> Core.Simple_rs.finish_snapshot rs job
+
+let housekeep t technique =
+  match begin_housekeep t technique with
+  | Some job -> finish_housekeep t job
+  | None -> ()
 
 let supports_housekeeping = function Hybrid _ | Simple _ -> true | Shadow _ -> false
 

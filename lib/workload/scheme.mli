@@ -3,7 +3,10 @@
     (§1.2.1) — so benchmarks and comparative tests can drive them
     identically. *)
 
-type technique = Compaction | Snapshot
+type technique = Core.Hybrid_rs.technique = Compaction | Snapshot
+(** Re-export of the one housekeeping-technique type
+    ({!Core.Hybrid_rs.technique}); the constructors are interchangeable
+    with the core ones at every call site. *)
 
 type t
 
@@ -27,7 +30,22 @@ val housekeep : t -> technique -> unit
 (** Hybrid: the Ch. 5 algorithms. Simple: [Snapshot] runs the transplanted
     stable-state snapshot ({!Core.Simple_rs.housekeep}, an ablation this
     repo adds); [Compaction] is a no-op (it needs the outcome chain).
-    Shadow: no-op (its map is already a checkpoint). *)
+    Shadow: no-op (its map is already a checkpoint). Equivalent to
+    {!begin_housekeep} immediately followed by {!finish_housekeep}. *)
+
+type hk_job
+(** A housekeeping pass caught between its two stages. *)
+
+val begin_housekeep : t -> technique -> hk_job option
+(** Stage one of the two-stage housekeeping structure: set the marker and
+    build the new stable state in the spare slot. [None] where the
+    combination is a no-op (shadow, or simple+compaction). Normal
+    operation — and a crash, which simply discards the half-built log —
+    may come between the stages; that boundary is one of the fault
+    points [Rs_explore] enumerates. *)
+
+val finish_housekeep : t -> hk_job -> unit
+(** Stage two: carry post-marker entries over and switch logs atomically. *)
 
 val supports_housekeeping : t -> bool
 

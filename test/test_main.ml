@@ -20,4 +20,5 @@ let () =
       ("log-check", Test_log_check.suite);
       ("graph-fuzz", Test_graph_fuzz.suite);
       ("obs", Test_obs.suite);
+      ("explore", Test_explore.suite);
     ]

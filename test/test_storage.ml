@@ -81,6 +81,34 @@ let test_store_decay_repair () =
       (Store.get s p)
   done
 
+(* A careful get is itself a repair point: decay one replica of a pair
+   and the next get must rewrite it from the good copy (bumping the
+   stable_store.repairs counter) — so repeated single-replica decay
+   never accumulates into a double failure. *)
+let test_store_get_read_repair () =
+  let repairs () =
+    Option.value ~default:0
+      (Rs_obs.Metrics.find_counter Rs_obs.Metrics.default "stable_store.repairs")
+  in
+  let rng = Rng.create 7 in
+  let s = Store.create ~pages:8 () in
+  for p = 0 to 7 do
+    Store.put s p (Printf.sprintf "page%d" p)
+  done;
+  let before = repairs () in
+  for _ = 1 to 50 do
+    Store.decay_random_page s rng;
+    for p = 0 to 7 do
+      Alcotest.(check (option string))
+        (Printf.sprintf "page %d readable" p)
+        (Some (Printf.sprintf "page%d" p))
+        (Store.get s p)
+    done
+  done;
+  Alcotest.(check bool) "get repaired the decayed replicas" true (repairs () > before);
+  Alcotest.(check (list (pair int string))) "replicas agree after repair" []
+    (Store.agreement_issues s)
+
 let test_store_crash_between_pages () =
   (* A multi-page update interrupted between logical pages: each page
      individually must be old-or-new. *)
@@ -124,6 +152,7 @@ let suite =
     Alcotest.test_case "store basics" `Quick test_store_basic;
     Alcotest.test_case "store atomicity sweep" `Quick test_store_atomicity_sweep;
     Alcotest.test_case "store decay repair" `Quick test_store_decay_repair;
+    Alcotest.test_case "store get read-repair" `Quick test_store_get_read_repair;
     Alcotest.test_case "store crash between pages" `Quick test_store_crash_between_pages;
     QCheck_alcotest.to_alcotest prop_store_atomic_random;
   ]
