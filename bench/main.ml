@@ -12,8 +12,9 @@
      e5  prepare latency with early prepare        (§4.4)
      e6  combined cost crossover vs crash rate     (§1.2.2 assumption)
      e7  2PC crash matrix                          (§2.2.3)
+     e8  group commit: forces/commit vs concurrency
 
-   Usage: dune exec bench/main.exe [-- e1|e2|...|e7|bechamel|all]
+   Usage: dune exec bench/main.exe [-- e1|e2|...|e8|bechamel|all]
    The default runs every experiment plus the Bechamel microbenchmarks. *)
 
 module Scheme = Rs_workload.Scheme
@@ -338,7 +339,86 @@ let e7 () =
     [ (g 1, "participant"); (g 0, "coordinator") ]
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel microbenchmarks: one Test.make per experiment kernel. *)
+(* e8 — group commit: physical writes and forces per committed action
+   vs concurrency, batched (window > 0) against unbatched (window 0),
+   for both logged schemes. Concurrent clients on a virtual-time
+   simulator run chained actions through the asynchronous commit path;
+   with a batching window the outcome entries of co-resident actions
+   ride one force, so forces/commit and pages/commit drop as
+   concurrency grows. Results are exported as e8.* gauges so check.sh
+   can assert the claimed reduction from BENCH_3.json. *)
+
+let e8_window = ref 2.0
+
+let e8 () =
+  header "e8: group commit — forces and pages per commit vs concurrency";
+  let module Sim = Rs_sim.Sim in
+  let module Fsched = Rs_slog.Force_scheduler in
+  let actions_per_client = 32 in
+  let run scheme_name ~conc ~window =
+    let scheme =
+      match scheme_name with "simple" -> Scheme.simple () | _ -> Scheme.hybrid ()
+    in
+    let t = Synth.create ~seed:42 ~scheme ~n_objects:conc ~payload_bytes:64 () in
+    let sim = Sim.create ~seed:7 () in
+    let sched = Option.get (Scheme.scheduler scheme) in
+    if window > 0.0 then
+      Fsched.configure sched ~window
+        ~timer:(Some (fun ~delay k -> Sim.schedule sim ~delay k));
+    let log () = Option.get (Scheme.current_log scheme) in
+    let w0 = Scheme.physical_writes scheme and f0 = Rs_slog.Stable_log.forces (log ()) in
+    let commits = ref 0 in
+    for c = 0 to conc - 1 do
+      let rec act k =
+        if k < actions_per_client then
+          Synth.run_action_async t ~indices:[ c ] ~outcome:`Commit
+            ~on_done:(fun () ->
+              incr commits;
+              Sim.schedule sim ~delay:0.5 (fun () -> act (k + 1)))
+      in
+      Sim.schedule sim ~delay:(0.1 *. float_of_int (c + 1)) (fun () -> act 0)
+    done;
+    ignore (Sim.run sim);
+    let dw = Scheme.physical_writes scheme - w0
+    and df = Rs_slog.Stable_log.forces (log ()) - f0 in
+    (!commits, dw, df)
+  in
+  row "%-8s %6s %8s %10s %12s %12s %14s\n" "scheme" "conc" "window" "commits"
+    "forces/act" "pages/act" "write speedup";
+  List.iter
+    (fun scheme_name ->
+      List.iter
+        (fun conc ->
+          let variants =
+            List.map
+              (fun (label, window) ->
+                let commits, dw, df = run scheme_name ~conc ~window in
+                List.iter
+                  (fun (metric, v) ->
+                    Rs_obs.Metrics.set
+                      (Rs_obs.Metrics.gauge
+                         (Printf.sprintf "e8.%s.c%d.%s.%s" scheme_name conc label metric))
+                      v)
+                  [ ("commits", commits); ("physical_writes", dw); ("forces", df) ];
+                (label, window, commits, dw, df))
+              [ ("nobatch", 0.0); ("batch", !e8_window) ]
+          in
+          let base_w =
+            match variants with (_, _, c, dw, _) :: _ -> float_of_int dw /. float_of_int c | [] -> nan
+          in
+          List.iter
+            (fun (label, window, commits, dw, df) ->
+              let per x = float_of_int x /. float_of_int (max commits 1) in
+              row "%-8s %6d %8g %10d %12.2f %12.2f %14s\n" scheme_name conc window commits
+                (per df) (per dw)
+                (if label = "batch" then Printf.sprintf "%.1fx" (base_w /. per dw) else "-"))
+            variants)
+        [ 1; 4; 8; 16 ])
+    [ "simple"; "hybrid" ];
+  print_endline
+    "shape: at window 0 every commit pays its own forces; with a batching window\n\
+     co-resident outcome entries share forces, so pages and forces per commit fall\n\
+     as concurrency grows — the group-commit claim."
 
 let bechamel_suite () =
   header "bechamel microbenchmarks (ns per operation, OLS estimate)";
@@ -418,6 +498,7 @@ let experiments =
     ("e5", e5);
     ("e6", e6);
     ("e7", e7);
+    ("e8", e8);
     ("bechamel", bechamel_suite);
   ]
 
@@ -435,6 +516,26 @@ let () =
     in
     strip [] args
   in
+  (* [--force-window W]: batching window (virtual time) for e8's batched
+     variant; 0 degenerates to the unbatched baseline. *)
+  let args =
+    let rec strip acc = function
+      | "--force-window" :: w :: rest -> (
+          match float_of_string_opt w with
+          | Some w when w >= 0.0 ->
+              e8_window := w;
+              List.rev_append acc rest
+          | Some _ | None ->
+              Printf.eprintf "--force-window requires a non-negative number\n";
+              exit 2)
+      | [ "--force-window" ] ->
+          Printf.eprintf "--force-window requires a value argument\n";
+          exit 2
+      | x :: rest -> strip (x :: acc) rest
+      | [] -> List.rev acc
+    in
+    strip [] args
+  in
   let to_run =
     match args with
     | [] | [ "all" ] -> experiments
@@ -444,7 +545,7 @@ let () =
             match List.assoc_opt n experiments with
             | Some f -> (n, f)
             | None ->
-                Printf.eprintf "unknown experiment %s (e1..e7, bechamel, all)\n" n;
+                Printf.eprintf "unknown experiment %s (e1..e8, bechamel, all)\n" n;
                 exit 2)
           names
   in

@@ -10,9 +10,10 @@ let seed_arg =
 
 (* bank: distributed transfers with crash injection *)
 
-let bank seed guardians accounts transfers crash_every drop =
+let bank seed guardians accounts transfers crash_every drop force_window =
   let system =
-    Rs_guardian.System.create ~seed ~latency:1.0 ~jitter:0.5 ~drop_prob:drop ~n:guardians ()
+    Rs_guardian.System.create ~seed ~latency:1.0 ~jitter:0.5 ~drop_prob:drop ~force_window
+      ~n:guardians ()
   in
   let bank =
     Rs_workload.Bank.create ~seed:(seed + 1) ~system ~accounts_per_guardian:accounts
@@ -39,9 +40,16 @@ let bank_cmd =
     Arg.(value & opt int 25 & info [ "crash-every" ] ~doc:"Crash a guardian every N transfers (0 = never).")
   in
   let drop = Arg.(value & opt float 0.02 & info [ "drop" ] ~doc:"Message loss probability.") in
+  let force_window =
+    Arg.(value
+         & opt float 0.0
+         & info [ "force-window" ]
+             ~doc:"Group-commit batching window in virtual time (0 = synchronous forces).")
+  in
   Cmd.v
     (Cmd.info "bank" ~doc:"Run the distributed bank workload with crash injection.")
-    Term.(const bank $ seed_arg $ guardians $ accounts $ transfers $ crash_every $ drop)
+    Term.(const bank $ seed_arg $ guardians $ accounts $ transfers $ crash_every $ drop
+          $ force_window)
 
 (* churn: single-guardian synthetic workload + housekeeping statistics *)
 
@@ -265,10 +273,10 @@ let trace_cmd =
 let explore seed scheme_name budget max_depth break_force =
   let targets =
     match scheme_name with
-    | "all" -> [ "simple"; "hybrid"; "shadow"; "twopc" ]
-    | ("simple" | "hybrid" | "shadow" | "twopc") as s -> [ s ]
+    | "all" -> [ "simple"; "hybrid"; "shadow"; "twopc"; "group" ]
+    | ("simple" | "hybrid" | "shadow" | "twopc" | "group") as s -> [ s ]
     | s ->
-        Printf.eprintf "unknown target %s (simple|hybrid|shadow|twopc|all)\n" s;
+        Printf.eprintf "unknown target %s (simple|hybrid|shadow|twopc|group|all)\n" s;
         exit 2
   in
   let config = { Rs_explore.Explore.seed; budget; max_depth } in
@@ -283,7 +291,9 @@ let explore seed scheme_name budget max_depth break_force =
 
 let explore_cmd =
   let scheme =
-    Arg.(value & opt string "all" & info [ "scheme" ] ~doc:"simple|hybrid|shadow|twopc|all.")
+    Arg.(value
+         & opt string "all"
+         & info [ "scheme" ] ~doc:"simple|hybrid|shadow|twopc|group|all.")
   in
   let budget =
     Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc:"Maximum crash schedules per target.")

@@ -38,8 +38,43 @@ else
   echo "metrics ok (python3 unavailable; key presence checked only)"
 fi
 
+echo "== bench smoke: e7 e8 --metrics-json -> BENCH_3.json =="
+# Committed artifact: e7 exercises the 2PC/guardian counters (all zero in
+# BENCH_2.json, whose dump runs before e7) and e8 measures group commit;
+# both are seeded and run on virtual time, so the JSON is deterministic.
+dune exec bench/main.exe -- e7 e8 --metrics-json BENCH_3.json >/dev/null
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_3.json <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+c, g = m["counters"], m["gauges"]
+assert c["guardian.prepares"] > 0, "e7 left guardian.prepares at zero"
+assert c["guardian.commits"] > 0, "e7 left guardian.commits at zero"
+assert c["slog.group_commits"] > 0, "e8 recorded no group commits"
+for conc in (8, 16):
+    def per(variant):
+        w = g[f"e8.hybrid.c{conc}.{variant}.physical_writes"]
+        n = g[f"e8.hybrid.c{conc}.{variant}.commits"]
+        return w / n
+    ratio = per("nobatch") / per("batch")
+    assert ratio >= 2.0, \
+        f"hybrid at conc {conc}: writes/commit only improved {ratio:.2f}x (< 2x)"
+    print(f"group commit ok: hybrid conc {conc} writes/commit down {ratio:.1f}x")
+print(f"metrics ok: guardian.prepares={c['guardian.prepares']}, "
+      f"guardian.commits={c['guardian.commits']}, "
+      f"group_commits={c['slog.group_commits']}")
+EOF
+else
+  grep -q '"slog.group_commits": [1-9]' BENCH_3.json ||
+    { echo "slog.group_commits missing or zero"; exit 1; }
+  grep -q '"guardian.commits": [1-9]' BENCH_3.json ||
+    { echo "guardian.commits missing or zero"; exit 1; }
+  echo "metrics ok (python3 unavailable; key presence checked only)"
+fi
+
 echo "== exploration gate: every target survives 200 crash schedules =="
-for target in simple hybrid shadow twopc; do
+for target in simple hybrid shadow twopc group; do
   OUT=$(dune exec bin/argusctl.exe -- explore --scheme "$target" --budget 200)
   echo "$OUT"
   case "$OUT" in

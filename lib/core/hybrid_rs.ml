@@ -6,6 +6,7 @@ module Heap = Rs_objstore.Heap
 module Flatten = Rs_objstore.Flatten
 module Log = Rs_slog.Stable_log
 module Log_dir = Rs_slog.Log_dir
+module Fsched = Rs_slog.Force_scheduler
 module Metrics = Rs_obs.Metrics
 module Trace = Rs_obs.Trace
 module Span = Rs_obs.Span
@@ -25,6 +26,7 @@ type t = {
   heap : Heap.t;
   mutable dir : Log_dir.t;
   mutable log : Log.t;
+  sched : Fsched.t; (* group-commit scheduler covering outcome forces *)
   mutable acc : Uid.Set.t; (* accessibility set (AS) *)
   pat : unit Aid.Tbl.t; (* prepared actions table *)
   pending : addr Uid.Tbl.t Aid.Tbl.t; (* per unprepared action: uid -> data-entry addr *)
@@ -37,12 +39,14 @@ type t = {
 let heap t = t.heap
 let log t = t.log
 let dir t = t.dir
+let scheduler t = t.sched
 
 let create heap dir =
   {
     heap;
     dir;
     log = Log_dir.current dir;
+    sched = Fsched.create (Log_dir.current dir);
     acc = Uid.Set.singleton Uid.stable_vars;
     pat = Aid.Tbl.create 8;
     pending = Aid.Tbl.create 8;
@@ -53,14 +57,19 @@ let create heap dir =
   }
 
 (* Outcome entries are chained through [prev] and, during housekeeping,
-   recorded in the OEL (§5.1.1). *)
-let append_outcome ?(force = false) t entry =
+   recorded in the OEL (§5.1.1). A forced append enqueues a durability
+   token with the group-commit scheduler instead of forcing inline: with
+   no batching window the token forces (and [on_durable] runs) before this
+   returns; with a window the entry rides the next covering force. *)
+let append_outcome ?(force = false) ?on_durable t entry =
   Metrics.incr m_entries_written;
   let entry = Log_entry.with_prev entry t.last_outcome in
   let raw = Log_entry.encode entry in
-  let a = if force then Log.force_write t.log raw else Log.write t.log raw in
+  let a = Log.write t.log raw in
   t.last_outcome <- Some a;
   (match t.oel with Some v -> Vec.push v a | None -> ());
+  if force then Fsched.enqueue t.sched ?on_durable ()
+  else Option.iter (fun k -> k ()) on_durable;
   a
 
 let pending_tbl t aid =
@@ -103,7 +112,9 @@ let write_mos t aid mos =
    prepare only forces its own outcome entry. *)
 let write_entry t aid mos =
   let leftovers = write_mos t aid mos in
-  Log.force t.log;
+  (* Under a batching window the data entries ride the next covering
+     force; pushing them eagerly would defeat the batching. *)
+  if not (Fsched.batched t.sched) then Log.force t.log;
   leftovers
 
 let pairs_of t aid =
@@ -115,34 +126,41 @@ let pairs_of t aid =
 
 let pending_pairs = pairs_of
 
-let prepare t aid mos =
+(* Table updates happen before the forced append: with a zero window the
+   durability callback runs inside [append_outcome], and it must observe
+   this action's state transition (e.g. a commit issued from a prepare's
+   [on_durable]). *)
+let prepare ?on_durable t aid mos =
   Span.run "prepare.hybrid" @@ fun () ->
   Metrics.incr m_prepares;
   ignore (write_mos t aid mos);
   let pairs = pairs_of t aid in
-  ignore (append_outcome ~force:true t (Log_entry.Prepared { aid; pairs = Some pairs; prev = None }));
   Aid.Tbl.remove t.pending aid;
-  Aid.Tbl.replace t.pat aid ()
+  Aid.Tbl.replace t.pat aid ();
+  ignore
+    (append_outcome ~force:true ?on_durable t
+       (Log_entry.Prepared { aid; pairs = Some pairs; prev = None }))
 
-let commit t aid =
+let commit ?on_durable t aid =
   Span.run "commit.hybrid" @@ fun () ->
   Metrics.incr m_commits;
-  ignore (append_outcome ~force:true t (Log_entry.Committed { aid; prev = None }));
-  Aid.Tbl.remove t.pat aid
-
-let abort t aid =
-  Metrics.incr m_aborts;
-  ignore (append_outcome ~force:true t (Log_entry.Aborted { aid; prev = None }));
   Aid.Tbl.remove t.pat aid;
-  Aid.Tbl.remove t.pending aid
+  ignore (append_outcome ~force:true ?on_durable t (Log_entry.Committed { aid; prev = None }))
 
-let committing t aid gids =
-  ignore (append_outcome ~force:true t (Log_entry.Committing { aid; gids; prev = None }));
-  Aid.Tbl.replace t.committing_active aid gids
+let abort ?on_durable t aid =
+  Metrics.incr m_aborts;
+  Aid.Tbl.remove t.pat aid;
+  Aid.Tbl.remove t.pending aid;
+  ignore (append_outcome ~force:true ?on_durable t (Log_entry.Aborted { aid; prev = None }))
 
-let done_ t aid =
-  ignore (append_outcome ~force:true t (Log_entry.Done { aid; prev = None }));
-  Aid.Tbl.remove t.committing_active aid
+let committing ?on_durable t aid gids =
+  Aid.Tbl.replace t.committing_active aid gids;
+  ignore
+    (append_outcome ~force:true ?on_durable t (Log_entry.Committing { aid; gids; prev = None }))
+
+let done_ ?on_durable t aid =
+  Aid.Tbl.remove t.committing_active aid;
+  ignore (append_outcome ~force:true ?on_durable t (Log_entry.Done { aid; prev = None }))
 
 let prepared_actions t = Aid.Tbl.fold (fun a () acc -> a :: acc) t.pat []
 let accessible t u = Uid.Set.mem u t.acc
@@ -230,6 +248,7 @@ let recover source_dir =
       heap;
       dir;
       log;
+      sched = Fsched.create log;
       acc = Uid.Set.add Uid.stable_vars (Heap.reachable_uids heap);
       pat = Aid.Tbl.create 8;
       pending = Aid.Tbl.create 8;
@@ -580,13 +599,19 @@ let finish_housekeeping (t : t) (job : job) =
   Log.force job.new_log;
   Log_dir.switch t.dir;
   t.log <- Log_dir.current t.dir;
+  Fsched.set_log t.sched t.log;
   t.last_outcome <- !head;
   t.oel <- None;
   Uid.Tbl.reset t.mt;
   Uid.Tbl.iter (fun u a -> Uid.Tbl.replace t.mt u a) job.new_mt;
-  match job.new_as with
+  (match job.new_as with
   | Some new_as -> t.acc <- Uid.Set.inter t.acc new_as
-  | None -> ()
+  | None -> ());
+  (* Settle tokens that were awaiting a force: their entries were carried
+     (stage 1 walks the full chain, stage 2 the OEL) and the new log was
+     just forced, so they are durable now. Runs last — a callback may
+     start fresh work against the switched log. *)
+  Fsched.flush t.sched
 
 let technique_name = function Compaction -> "compaction" | Snapshot -> "snapshot"
 

@@ -22,20 +22,30 @@ val heap : t -> Rs_objstore.Heap.t
 val log : t -> Rs_slog.Stable_log.t
 val dir : t -> Rs_slog.Log_dir.t
 
+val scheduler : t -> Rs_slog.Force_scheduler.t
+(** The group-commit scheduler covering the forced outcome appends. It is
+    created synchronous (zero window) so every [prepare]/[commit]/[abort]
+    forces before returning, exactly the classic contract; configure a
+    window and timer ({!Rs_slog.Force_scheduler.configure}) to batch. A
+    fresh {!recover} starts with a fresh synchronous scheduler. *)
+
 val write_entry : t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> Rs_objstore.Value.addr list
 (** Early prepare (§4.4): write data entries for the accessible objects of
     the MOS now, ahead of the prepare message. Returns MOS′ — the objects
     not written because they were inaccessible; the caller passes them
     back (with any further modifications) next time. *)
 
-val prepare : t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> unit
-(** Write data entries for whatever was not early-prepared, then force the
-    [prepared] entry carrying the action's accumulated ⟨uid, addr⟩ pairs. *)
+val prepare : ?on_durable:(unit -> unit) -> t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> unit
+(** Write data entries for whatever was not early-prepared, then enqueue
+    the [prepared] entry (carrying the action's accumulated ⟨uid, addr⟩
+    pairs) with the scheduler. [on_durable] fires once a force covering
+    the entry is stable — synchronously unless a batching window is
+    configured. *)
 
-val commit : t -> Rs_util.Aid.t -> unit
-val abort : t -> Rs_util.Aid.t -> unit
-val committing : t -> Rs_util.Aid.t -> Rs_util.Gid.t list -> unit
-val done_ : t -> Rs_util.Aid.t -> unit
+val commit : ?on_durable:(unit -> unit) -> t -> Rs_util.Aid.t -> unit
+val abort : ?on_durable:(unit -> unit) -> t -> Rs_util.Aid.t -> unit
+val committing : ?on_durable:(unit -> unit) -> t -> Rs_util.Aid.t -> Rs_util.Gid.t list -> unit
+val done_ : ?on_durable:(unit -> unit) -> t -> Rs_util.Aid.t -> unit
 
 val prepared_actions : t -> Rs_util.Aid.t list
 val accessible : t -> Rs_util.Uid.t -> bool

@@ -5,6 +5,7 @@ module Heap = Rs_objstore.Heap
 module Flatten = Rs_objstore.Flatten
 module Log = Rs_slog.Stable_log
 module Log_dir = Rs_slog.Log_dir
+module Fsched = Rs_slog.Force_scheduler
 module Metrics = Rs_obs.Metrics
 module Trace = Rs_obs.Trace
 module Span = Rs_obs.Span
@@ -22,6 +23,7 @@ type t = {
   heap : Heap.t;
   dir : Log_dir.t;
   mutable log : Log.t;
+  sched : Fsched.t; (* group-commit scheduler covering outcome forces *)
   mutable acc : Uid.Set.t; (* the accessibility set (AS) *)
   pat : unit Aid.Tbl.t; (* prepared actions table *)
   mt : Log.addr Uid.Tbl.t; (* latest mutex data entry, for snapshots *)
@@ -30,12 +32,14 @@ type t = {
 
 let heap t = t.heap
 let log t = t.log
+let scheduler t = t.sched
 
 let create heap dir =
   {
     heap;
     dir;
     log = Log_dir.current dir;
+    sched = Fsched.create (Log_dir.current dir);
     (* The stable-variables root is accessible by definition; initializing
        the AS with it subsumes §3.3.3.3 step 2. *)
     acc = Uid.Set.singleton Uid.stable_vars;
@@ -48,10 +52,13 @@ let append t entry =
   Metrics.incr m_entries_written;
   ignore (Log.write t.log (Log_entry.encode entry))
 
-(* Forced outcome entries share the written-entries tally. *)
-let force_append t entry =
+(* Forced outcome entries share the written-entries tally; the durability
+   token rides the group-commit scheduler (synchronous unless a batching
+   window is configured). *)
+let force_append ?on_durable t entry =
   Metrics.incr m_entries_written;
-  ignore (Log.force_write t.log (Log_entry.encode entry))
+  ignore (Log.write t.log (Log_entry.encode entry));
+  Fsched.enqueue t.sched ?on_durable ()
 
 let write_data t aid ~uid ~otype version =
   Metrics.incr m_entries_written;
@@ -71,7 +78,9 @@ let sink_for t aid : Write_objects.sink =
         append t (Log_entry.Prepared_data { uid; version; aid; prev = None }));
   }
 
-let prepare t aid mos =
+(* Table updates precede the forced append so a synchronous [on_durable]
+   callback observes the action's state transition. *)
+let prepare ?on_durable t aid mos =
   let leftovers =
     Write_objects.write_mos ~heap:t.heap
       ~accessible:(fun u -> Uid.Set.mem u t.acc)
@@ -81,26 +90,26 @@ let prepare t aid mos =
   in
   ignore leftovers;
   Metrics.incr m_prepares;
-  force_append t (Log_entry.Prepared { aid; pairs = None; prev = None });
-  Aid.Tbl.replace t.pat aid ()
+  Aid.Tbl.replace t.pat aid ();
+  force_append ?on_durable t (Log_entry.Prepared { aid; pairs = None; prev = None })
 
-let commit t aid =
+let commit ?on_durable t aid =
   Metrics.incr m_commits;
-  force_append t (Log_entry.Committed { aid; prev = None });
-  Aid.Tbl.remove t.pat aid
+  Aid.Tbl.remove t.pat aid;
+  force_append ?on_durable t (Log_entry.Committed { aid; prev = None })
 
-let abort t aid =
+let abort ?on_durable t aid =
   Metrics.incr m_aborts;
-  force_append t (Log_entry.Aborted { aid; prev = None });
-  Aid.Tbl.remove t.pat aid
+  Aid.Tbl.remove t.pat aid;
+  force_append ?on_durable t (Log_entry.Aborted { aid; prev = None })
 
-let committing t aid gids =
+let committing ?on_durable t aid gids =
   Aid.Tbl.replace t.committing_active aid gids;
-  force_append t (Log_entry.Committing { aid; gids; prev = None })
+  force_append ?on_durable t (Log_entry.Committing { aid; gids; prev = None })
 
-let done_ t aid =
+let done_ ?on_durable t aid =
   Aid.Tbl.remove t.committing_active aid;
-  force_append t (Log_entry.Done { aid; prev = None })
+  force_append ?on_durable t (Log_entry.Done { aid; prev = None })
 
 let prepared_actions t = Aid.Tbl.fold (fun a () acc -> a :: acc) t.pat []
 let accessible t u = Uid.Set.mem u t.acc
@@ -161,6 +170,7 @@ let recover dir =
       heap;
       dir;
       log;
+      sched = Fsched.create log;
       acc = Uid.Set.add Uid.stable_vars (Heap.reachable_uids heap);
       pat = Aid.Tbl.create 8;
       mt = Uid.Tbl.create 16;
@@ -279,9 +289,14 @@ let finish_snapshot t job =
   Log.force job.new_log;
   Log_dir.switch t.dir;
   t.log <- Log_dir.current t.dir;
+  Fsched.set_log t.sched t.log;
   Uid.Tbl.reset t.mt;
   Uid.Tbl.iter (fun u a -> Uid.Tbl.replace t.mt u a) job.new_mt;
-  t.acc <- Uid.Set.inter t.acc job.new_as
+  t.acc <- Uid.Set.inter t.acc job.new_as;
+  (* Tokens awaiting a force were carried by the snapshot (their effects
+     are in the heap traversal or the post-marker copy) and the new log
+     was just forced: settle them now. *)
+  Fsched.flush t.sched
 
 let housekeep t =
   Span.run "housekeep.simple" @@ fun () ->

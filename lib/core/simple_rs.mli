@@ -21,17 +21,22 @@ val create : Rs_objstore.Heap.t -> Rs_slog.Log_dir.t -> t
 val heap : t -> Rs_objstore.Heap.t
 val log : t -> Rs_slog.Stable_log.t
 
-val prepare : t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> unit
-(** §2.3 operation 1: write data entries for the accessible objects of the
-    MOS, then force the [prepared] outcome entry. On return the action is
-    prepared (it enters the PAT). *)
+val scheduler : t -> Rs_slog.Force_scheduler.t
+(** The group-commit scheduler covering the forced outcome appends;
+    synchronous (zero window) until configured with a window and timer. *)
 
-val commit : t -> Rs_util.Aid.t -> unit
+val prepare : ?on_durable:(unit -> unit) -> t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> unit
+(** §2.3 operation 1: write data entries for the accessible objects of the
+    MOS, then enqueue the [prepared] outcome entry for forcing. On return
+    the action is in the PAT; [on_durable] fires once the covering force
+    is stable (synchronously unless a batching window is configured). *)
+
+val commit : ?on_durable:(unit -> unit) -> t -> Rs_util.Aid.t -> unit
 (** §2.3 operation 2: force the [committed] outcome entry. *)
 
-val abort : t -> Rs_util.Aid.t -> unit
-val committing : t -> Rs_util.Aid.t -> Rs_util.Gid.t list -> unit
-val done_ : t -> Rs_util.Aid.t -> unit
+val abort : ?on_durable:(unit -> unit) -> t -> Rs_util.Aid.t -> unit
+val committing : ?on_durable:(unit -> unit) -> t -> Rs_util.Aid.t -> Rs_util.Gid.t list -> unit
+val done_ : ?on_durable:(unit -> unit) -> t -> Rs_util.Aid.t -> unit
 
 val prepared_actions : t -> Rs_util.Aid.t list
 (** Contents of the PAT (§3.3.3.2). *)

@@ -237,7 +237,8 @@ let inject stores point f =
       Fun.protect
         ~finally:(fun () -> Slog.set_force_hook None)
         (fun () -> match f () with () -> false | exception Disk.Crash -> true)
-  | Fault.Hk_boundary | Fault.Msg_crash _ | Fault.Msg_drop _ | Fault.Msg_delay _ ->
+  | Fault.Hk_boundary | Fault.Event_boundary _ | Fault.Msg_crash _ | Fault.Msg_drop _
+  | Fault.Msg_delay _ ->
       f ();
       false
 
@@ -432,7 +433,12 @@ let explore_twopc ?(config = default_config) () =
               (fun () ->
                 transfer sys;
                 System.quiesce sys)
-        | { Fault.point = Fault.Store_write _ | Fault.Force_boundary _ | Fault.Hk_boundary; _ }
+        | {
+            Fault.point =
+              ( Fault.Store_write _ | Fault.Force_boundary _ | Fault.Event_boundary _
+              | Fault.Hk_boundary );
+            _;
+          }
           :: _ ->
             transfer sys;
             System.quiesce sys);
@@ -463,8 +469,241 @@ let explore_twopc ?(config = default_config) () =
   Trace.clear_clock ();
   outcome
 
+(* ------------------------------------------------------------------ *)
+(* Group-commit target: concurrent clients over a windowed hybrid.    *)
+
+(* Three clients, each owning an object pair (2c, 2c+1) incremented
+   together, run chained actions on a virtual-time simulator while the
+   hybrid scheme batches forces under a group-commit window — an
+   e8-style workload. Fault points cover every store write, every
+   physical force (including one raised *inside* a flush, after the
+   waiters were cleared but before the force completed) and every
+   simulator event boundary, which lands crashes between a token's
+   enqueue and its covering flush. The oracle brackets each recovered
+   pair between the client's durably-acked floor and issued ceiling:
+   below the floor a confirmed commit was lost, above the ceiling a
+   phantom effect appeared, and a split pair breaks atomicity. *)
+let explore_group ?(config = default_config) () =
+  let module Sim = Rs_sim.Sim in
+  let module Fsched = Rs_slog.Force_scheduler in
+  let n_clients = 3 in
+  let window = 2.0 in
+  (* Actions per client per phase; client 0's second action of phase 0
+     aborts, so abort records ride the batches too. *)
+  let plan = [| [| 2; 2; 2 |]; [| 1; 1; 1 |] |] in
+  let aborts ~phase ~client ~k = phase = 0 && client = 0 && k = 1 in
+  let n_phases = Array.length plan in
+  let fresh () =
+    Synth.create ~seed:config.seed ~scheme:(Scheme.hybrid ())
+      ~n_objects:(2 * n_clients) ()
+  in
+  let scheduler t = Option.get (Scheme.scheduler (Synth.scheme t)) in
+  (* Launch one phase's clients on [sim]: chained actions, each next hop
+     scheduled from the previous one's durability callback, client
+     starts staggered so enqueues interleave inside the window. *)
+  let start_phase ~phase t issued acked sim =
+    Fsched.configure (scheduler t) ~window
+      ~timer:(Some (fun ~delay k -> Sim.schedule sim ~delay k));
+    for c = 0 to n_clients - 1 do
+      let rec act k =
+        if k < plan.(phase).(c) then begin
+          let outcome = if aborts ~phase ~client:c ~k then `Abort else `Commit in
+          if outcome = `Commit then issued.(c) <- issued.(c) + 1;
+          Synth.run_action_async t
+            ~indices:[ 2 * c; (2 * c) + 1 ]
+            ~outcome
+            ~on_done:(fun () ->
+              if outcome = `Commit then acked.(c) <- acked.(c) + 1;
+              Sim.schedule sim ~delay:0.5 (fun () -> act (k + 1)))
+        end
+      in
+      Sim.schedule sim ~delay:(0.3 *. float_of_int (c + 1)) (fun () -> act 0)
+    done
+  in
+  (* Drain [sim], optionally raising a crash right after its [crash_at]-th
+     event; returns the number of events run. *)
+  let drive ?crash_at sim =
+    let events = ref 0 in
+    let rec spin () =
+      if Sim.step sim then begin
+        incr events;
+        (match crash_at with
+        | Some n when !events = n -> raise Disk.Crash
+        | Some _ | None -> ());
+        spin ()
+      end
+    in
+    spin ();
+    !events
+  in
+  (* ---- census: one clean run, counting writes/forces/events per phase *)
+  let writes, forces, events =
+    let t = fresh () in
+    let stores = Scheme.stable_stores (Synth.scheme t) in
+    let disk_of =
+      List.concat
+        (List.mapi
+           (fun i s ->
+             let a, b = Store.disks s in
+             [ (a, i); (b, i) ])
+           stores)
+    in
+    let writes = Array.init n_phases (fun _ -> Array.make (List.length stores) 0) in
+    let forces = Array.make n_phases 0 in
+    let events = Array.make n_phases 0 in
+    let cur = ref (-1) in
+    Disk.set_write_hook
+      (Some
+         (fun d _page ->
+           if !cur >= 0 then
+             match List.find_opt (fun (d', _) -> d' == d) disk_of with
+             | Some (_, i) -> writes.(!cur).(i) <- writes.(!cur).(i) + 1
+             | None -> ()));
+    Slog.set_force_hook
+      (Some (fun () -> if !cur >= 0 then forces.(!cur) <- forces.(!cur) + 1));
+    Fun.protect
+      ~finally:(fun () ->
+        Disk.set_write_hook None;
+        Slog.set_force_hook None)
+      (fun () ->
+        let issued = Array.make n_clients 0 and acked = Array.make n_clients 0 in
+        for phase = 0 to n_phases - 1 do
+          cur := phase;
+          let sim = Sim.create ~seed:(config.seed + phase) () in
+          start_phase ~phase t issued acked sim;
+          events.(phase) <- drive sim
+        done);
+    (writes, forces, events)
+  in
+  let points =
+    List.concat
+      (List.init n_phases (fun phase ->
+           let store_points =
+             List.concat
+               (List.mapi
+                  (fun s w ->
+                    List.init w (fun k ->
+                        {
+                          Fault.op = phase;
+                          point = Fault.Store_write { store = s; after_writes = k };
+                        }))
+                  (Array.to_list writes.(phase)))
+           in
+           let force_points =
+             List.init forces.(phase) (fun k ->
+                 { Fault.op = phase; point = Fault.Force_boundary { nth = k + 1 } })
+           in
+           let event_points =
+             (* at most 20 event boundaries per phase, evenly spread *)
+             let n = events.(phase) in
+             let cap = min n 20 in
+             List.init cap (fun i -> 1 + (i * n / cap))
+             |> List.sort_uniq compare
+             |> List.map (fun nth ->
+                    { Fault.op = phase; point = Fault.Event_boundary { nth } })
+           in
+           store_points @ force_points @ event_points))
+  in
+  (* ---- one schedule --------------------------------------------- *)
+  let run sched =
+    Metrics.incr m_schedules;
+    let t = ref (fresh ()) in
+    let issued = Array.make n_clients 0 and acked = Array.make n_clients 0 in
+    let found = ref None in
+    let note = function [] -> () | v :: _ -> if !found = None then found := Some v in
+    let recover () =
+      let t', info = Synth.crash_recover !t in
+      t := t';
+      let scheme = Synth.scheme !t in
+      (* in-doubt actions resolve by presumed abort (§2.2.3) *)
+      List.iter
+        (fun aid -> Scheme.abort scheme aid)
+        (Core.Tables.Recovery_info.prepared_actions info);
+      (match Synth.counters !t with
+      | actual ->
+          for c = 0 to n_clients - 1 do
+            let a = actual.(2 * c) and b = actual.((2 * c) + 1) in
+            if a <> b then
+              note
+                [
+                  {
+                    Oracle.oracle = "atomicity";
+                    detail =
+                      Printf.sprintf "client %d: pair split %d/%d after recovery" c a b;
+                  };
+                ]
+            else begin
+              if a < acked.(c) then
+                note
+                  [
+                    {
+                      Oracle.oracle = "durability";
+                      detail =
+                        Printf.sprintf "client %d: %d commits durably acked, %d survived"
+                          c acked.(c) a;
+                    };
+                  ];
+              if a > issued.(c) then
+                note
+                  [
+                    {
+                      Oracle.oracle = "durability";
+                      detail =
+                        Printf.sprintf
+                          "client %d: %d effects recovered, only %d commits issued" c a
+                          issued.(c);
+                    };
+                  ];
+              (* the crash resolved every in-flight action: resync *)
+              acked.(c) <- a;
+              issued.(c) <- a
+            end
+          done
+      | exception Failure msg ->
+          note
+            [ { Oracle.oracle = "durability"; detail = "recovered state incomplete: " ^ msg } ]);
+      note (Oracle.check_scheme scheme)
+    in
+    (try
+       for phase = 0 to n_phases - 1 do
+         if !found = None then begin
+           let sim = Sim.create ~seed:(config.seed + phase) () in
+           start_phase ~phase !t issued acked sim;
+           let crashed =
+             match List.find_opt (fun s -> s.Fault.op = phase) sched with
+             | None ->
+                 ignore (drive sim);
+                 false
+             | Some { Fault.point = Fault.Event_boundary { nth }; _ } -> (
+                 match drive ~crash_at:nth sim with
+                 | _ -> false
+                 | exception Disk.Crash -> true)
+             | Some { Fault.point; _ } ->
+                 let stores = Scheme.stable_stores (Synth.scheme !t) in
+                 inject stores point (fun () -> ignore (drive sim))
+           in
+           if crashed then recover ()
+         end
+       done;
+       (* Final probe: drop back to synchronous forces and commit once
+          more — a scheduler that acked tokens before their covering
+          force was stable fails the acked floor here. *)
+       if !found = None then begin
+         Fsched.configure (scheduler !t) ~window:0.0 ~timer:None;
+         Synth.run_action !t ~indices:[ 0; 1 ] ~outcome:`Commit;
+         issued.(0) <- issued.(0) + 1;
+         acked.(0) <- acked.(0) + 1;
+         recover ()
+       end
+     with exn -> note [ { Oracle.oracle = "exception"; detail = Printexc.to_string exn } ]);
+    !found
+  in
+  let schedules = enumerate config points in
+  drive_schedules ~target:"group" ~points ~schedules ~run
+
 let explore ?config = function
   | "twopc" -> explore_twopc ?config ()
+  | "group" -> explore_group ?config ()
   | name -> explore_scheme ?config name
 
 (* ------------------------------------------------------------------ *)

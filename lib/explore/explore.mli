@@ -29,7 +29,8 @@ type counterexample = {
 }
 
 type outcome = {
-  target : string;  (** ["simple"], ["hybrid"], ["shadow"] or ["twopc"] *)
+  target : string;
+      (** ["simple"], ["hybrid"], ["shadow"], ["twopc"] or ["group"] *)
   points : int;  (** fault points the census found *)
   schedules : int;  (** schedules actually run (≤ budget) *)
   counterexample : counterexample option;  (** [None]: all oracles held *)
@@ -50,9 +51,21 @@ val explore_twopc : ?config:config -> unit -> outcome
     atomicity oracle demands both guardians land on the same side of the
     transfer. *)
 
+val explore_group : ?config:config -> unit -> outcome
+(** Explore the group-commit path: three concurrent clients over a
+    windowed hybrid scheme on a virtual-time simulator, each client
+    incrementing its own object pair through chained asynchronous
+    actions whose outcome records ride shared forces. Crash points land
+    on every store write, every physical force, and sampled simulator
+    event boundaries — including between a durability token's enqueue
+    and its covering flush. The oracle requires every recovered pair to
+    sit between the client's durably-acknowledged commit count (a lost
+    acked commit is a durability violation) and its issued count (an
+    effect beyond it is a phantom), with both pair members equal. *)
+
 val explore : ?config:config -> string -> outcome
 (** Dispatch: scheme names go to {!explore_scheme}, ["twopc"] to
-    {!explore_twopc}. *)
+    {!explore_twopc}, ["group"] to {!explore_group}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Deterministic report: a one-line summary, then — on violation — the

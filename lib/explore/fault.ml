@@ -1,6 +1,7 @@
 type point =
   | Store_write of { store : int; after_writes : int }
   | Force_boundary of { nth : int }
+  | Event_boundary of { nth : int }
   | Hk_boundary
   | Msg_crash of { after_deliveries : int; victim : int }
   | Msg_drop of { nth : int }
@@ -13,6 +14,7 @@ let pp_point fmt = function
   | Store_write { store; after_writes } ->
       Format.fprintf fmt "store%d+%dw" store after_writes
   | Force_boundary { nth } -> Format.fprintf fmt "force#%d" nth
+  | Event_boundary { nth } -> Format.fprintf fmt "event#%d" nth
   | Hk_boundary -> Format.pp_print_string fmt "hk-boundary"
   | Msg_crash { after_deliveries; victim } ->
       Format.fprintf fmt "crash-g%d@msg%d" victim after_deliveries

@@ -15,6 +15,10 @@ type point =
   | Force_boundary of { nth : int }
       (** crash immediately after the [nth] log force of the operation
           completes: the force is stable, the continuation is lost *)
+  | Event_boundary of { nth : int }
+      (** crash right after the [nth] simulator event of the operation —
+          lands crashes between a group-commit enqueue and its flush,
+          where durability tokens are buffered but not yet covered *)
   | Hk_boundary
       (** crash between housekeeping stage one and stage two — the
           half-built spare log must be discarded by recovery *)

@@ -25,6 +25,7 @@ type t = {
   net : Twopc.msg Net.t;
   dir : Log_dir.t;
   aid_gen : Aid.Gen.t;
+  force_window : float; (* group-commit window in virtual time; 0 = sync *)
   mutable heap : Heap.t;
   mutable rs : Hybrid_rs.t;
   mutable twopc : Twopc.t option;
@@ -119,16 +120,26 @@ let hooks_of t : Twopc.hooks =
         if Aid.Set.mem aid t.decided then `Commit else `Abort);
   }
 
+(* Attach the guardian's batching window (if any) to the current recovery
+   system's group-commit scheduler, on the simulator's virtual clock. *)
+let configure_scheduler t =
+  if t.force_window > 0.0 then
+    Rs_slog.Force_scheduler.configure (Hybrid_rs.scheduler t.rs) ~window:t.force_window
+      ~timer:(Some (fun ~delay k -> Sim.schedule t.sim ~delay k))
+
 let wire_protocol t =
   let endpoint =
     Twopc.create ~gid:t.gid ~sim:t.sim
       ~send:(fun ~dst msg -> Net.send t.net ~src:t.gid ~dst msg)
-      ~hooks:(hooks_of t) ()
+      ~hooks:(hooks_of t)
+      ~await_durable:(fun k ->
+        Rs_slog.Force_scheduler.enqueue (Hybrid_rs.scheduler t.rs) ~on_durable:k ())
+      ()
   in
   t.twopc <- Some endpoint;
   Net.register t.net t.gid (fun ~src msg -> Twopc.handle endpoint ~src msg)
 
-let create ~gid ~sim ~net ?(page_size = 1024) () =
+let create ~gid ~sim ~net ?(page_size = 1024) ?(force_window = 0.0) () =
   let dir = Log_dir.create ~page_size () in
   let heap = Heap.create () in
   let rs = Hybrid_rs.create heap dir in
@@ -139,6 +150,7 @@ let create ~gid ~sim ~net ?(page_size = 1024) () =
       net;
       dir;
       aid_gen = Aid.Gen.create gid;
+      force_window;
       heap;
       rs;
       twopc = None;
@@ -152,6 +164,7 @@ let create ~gid ~sim ~net ?(page_size = 1024) () =
     }
   in
   wire_protocol t;
+  configure_scheduler t;
   t
 
 let early_prepare t aid =
@@ -173,6 +186,9 @@ let crash t =
     Trace.emit (Trace.Crash { gid = gid_str t.gid });
     Net.set_up t.net t.gid false;
     Twopc.stop (twopc t);
+    (* Unforced tokens die with the crash; any armed flush timer still in
+       the simulator becomes a no-op. *)
+    Rs_slog.Force_scheduler.stop (Hybrid_rs.scheduler t.rs);
     t.known <- Aid.Set.empty;
     t.decided <- Aid.Set.empty;
     Aid.Tbl.reset t.early;
@@ -185,6 +201,7 @@ let restart t =
   let rs, info = Hybrid_rs.recover t.dir in
   t.rs <- rs;
   t.heap <- Hybrid_rs.heap rs;
+  configure_scheduler t; (* the recovered rs starts with a sync scheduler *)
   wire_protocol t;
   Net.set_up t.net t.gid true;
   t.up <- true;

@@ -15,8 +15,15 @@ val create :
   sim:Rs_sim.Sim.t ->
   net:Rs_twopc.Twopc.msg Rs_sim.Net.t ->
   ?page_size:int ->
+  ?force_window:float ->
   unit ->
   t
+(** [force_window] (default 0, i.e. synchronous forces): group-commit
+    batching window in virtual time. When positive, outcome records of
+    co-resident actions — including the 2PC coordinator's committing/done
+    records — ride shared forces, and every protocol message announcing an
+    outcome waits for its covering batch. The window survives crashes:
+    {!restart} re-attaches it to the recovered recovery system. *)
 
 val gid : t -> Rs_util.Gid.t
 val heap : t -> Rs_objstore.Heap.t

@@ -20,13 +20,13 @@ type t = {
 }
 
 let create ?(seed = 1) ?(latency = 1.0) ?(jitter = 0.0) ?(drop_prob = 0.0)
-    ?(early_prepare = false) ~n () =
+    ?(early_prepare = false) ?(force_window = 0.0) ~n () =
   if n <= 0 then invalid_arg "System.create: need at least one guardian";
   let sim = Sim.create ~seed () in
   Rs_obs.Trace.set_clock (fun () -> Sim.now sim);
   let net = Net.create ~latency ~jitter ~drop_prob sim () in
   let guardians =
-    Array.init n (fun i -> Guardian.create ~gid:(Gid.of_int i) ~sim ~net ())
+    Array.init n (fun i -> Guardian.create ~gid:(Gid.of_int i) ~sim ~net ~force_window ())
   in
   { sim; net; guardians; early_prepare }
 

@@ -26,12 +26,15 @@ val create :
   ?jitter:float ->
   ?drop_prob:float ->
   ?early_prepare:bool ->
+  ?force_window:float ->
   n:int ->
   unit ->
   t
 (** [n] guardians with gids 0..n-1. With [early_prepare] (default false),
     each guardian writes an action's data entries right after executing
-    its step, ahead of the prepare message (§4.4). *)
+    its step, ahead of the prepare message (§4.4). [force_window]
+    (default 0 = synchronous) enables group commit on every guardian: see
+    {!Guardian.create}. *)
 
 val sim : t -> Rs_sim.Sim.t
 

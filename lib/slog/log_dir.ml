@@ -31,7 +31,11 @@ let create ?(page_size = 1024) ?rng ?decay_prob () =
   { root; slots; page_size; cur = 0; cur_log; pending = None }
 
 let open_ t =
+  (* Recover every store, not just the root: a crash mid careful-put can
+     leave a log-slot store with diverged or torn replicas, and the slot
+     holding the current log is about to be read through [Stable_log]. *)
   Store.recover t.root;
+  Array.iter Store.recover t.slots;
   let cur =
     match Store.get t.root 0 with
     | Some s -> decode_root s

@@ -44,6 +44,11 @@ type t = {
   mutable forced_entries : int;
   mutable last_offset : int; (* address of the last forced entry; -1 if none *)
   pending : (addr * string) Vec.t; (* buffered entries with assigned addresses *)
+  pending_idx : (addr, string * addr option) Hashtbl.t;
+      (* address -> (entry, predecessor address); mirrors [pending] so
+         lookups over the unforced region are O(1) instead of a scan —
+         group commit can grow this region to many entries per force. *)
+  mutable last_pending : addr option; (* newest pending entry, if any *)
   mutable pending_bytes : int;
   pages : (int, string) Hashtbl.t; (* volatile page cache, page -> data *)
   mutable forces : int;
@@ -83,6 +88,8 @@ let create ?(page_size = 1024) store =
       forced_entries = 0;
       last_offset = -1;
       pending = Vec.create ();
+      pending_idx = Hashtbl.create 64;
+      last_pending = None;
       pending_bytes = 0;
       pages = Hashtbl.create 64;
       forces = 0;
@@ -109,6 +116,8 @@ let open_ store =
         forced_entries;
         last_offset;
         pending = Vec.create ();
+        pending_idx = Hashtbl.create 64;
+        last_pending = None;
         pending_bytes = 0;
         pages = Hashtbl.create 64;
         forces = 0;
@@ -169,9 +178,9 @@ let u32_to v =
 let frame entry = u32_to (String.length entry) ^ entry ^ u32_to (String.length entry)
 
 let find_pending t a =
-  let found = ref None in
-  Vec.iter (fun (pa, e) -> if pa = a then found := Some e) t.pending;
-  !found
+  match Hashtbl.find_opt t.pending_idx a with
+  | Some (e, _) -> Some e
+  | None -> None
 
 let read t a =
   check_alive t;
@@ -199,17 +208,27 @@ let read t a =
 let rec prev_addr t a =
   if a <= 0 then None
   else if a <= t.forced_len then begin
+    if a < 4 then invalid_arg "Stable_log.prev_addr: not an entry boundary";
+    (* The trailing length word comes off the (possibly corrupt) store:
+       bound it before trusting it, like [read] does for leading words. *)
     let len_prev = u32_of (read_forced_bytes t ~off:(a - 4) ~len:4) 0 in
-    Some (a - frame_overhead - len_prev)
+    let p = a - frame_overhead - len_prev in
+    if len_prev < 0 || p < 0 then
+      invalid_arg "Stable_log.prev_addr: not an entry boundary";
+    Some p
   end
-  else begin
-    (* [a] is in the pending region; scan the buffer. *)
-    let prev = ref None in
-    Vec.iter (fun (pa, _) -> if pa < a then prev := Some pa) t.pending;
-    match !prev with
-    | Some pa -> Some pa
-    | None -> if t.forced_len > 0 then prev_addr t t.forced_len else None
-  end
+  else
+    (* [a] is in the pending region; use the index. *)
+    match Hashtbl.find_opt t.pending_idx a with
+    | Some (_, prev) -> prev
+    | None ->
+        if a = t.forced_len + t.pending_bytes then
+          (* One past the newest entry: the predecessor is the newest
+             pending entry, or the last forced one. *)
+          match t.last_pending with
+          | Some pa -> Some pa
+          | None -> if t.forced_len > 0 then prev_addr t t.forced_len else None
+        else invalid_arg "Stable_log.prev_addr: not an entry boundary"
 
 let read_backward t a =
   check_alive t;
@@ -237,7 +256,14 @@ let read_forward t a =
 let write t entry =
   check_alive t;
   let a = t.forced_len + t.pending_bytes in
+  let prev =
+    match t.last_pending with
+    | Some _ as p -> p
+    | None -> if t.last_offset >= 0 then Some t.last_offset else None
+  in
   Vec.push t.pending (a, entry);
+  Hashtbl.replace t.pending_idx a (entry, prev);
+  t.last_pending <- Some a;
   t.pending_bytes <- t.pending_bytes + frame_overhead + String.length entry;
   Metrics.incr m_writes;
   Trace.emit (Trace.Log_write { addr = a; bytes = String.length entry });
@@ -271,6 +297,8 @@ let force t =
     t.forced_entries <- t.forced_entries + count;
     t.last_offset <- last;
     Vec.clear t.pending;
+    Hashtbl.reset t.pending_idx;
+    t.last_pending <- None;
     t.pending_bytes <- 0;
     if not !skip_header_write then write_header t;
     t.forces <- t.forces + 1;

@@ -57,7 +57,12 @@ let get t p =
   check t p "get";
   Metrics.incr m_gets;
   match (read_rep t.a p, read_rep t.b p) with
-  | Some va, Some _ -> Some va (* a is written first, so a is never older *)
+  | Some va, Some vb ->
+      (* A crash between the two careful writes leaves B readable but
+         stale; A is written first, so A is never older. Mend B now rather
+         than leaving the divergence for the next offline [recover]. *)
+      if not (String.equal va vb) then read_repair t.b p va;
+      Some va
   | Some va, None ->
       read_repair t.b p va;
       Some va

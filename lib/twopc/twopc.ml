@@ -61,6 +61,11 @@ type hooks = {
 
 type coord_phase =
   | Preparing of { mutable waiting : Gid.Set.t }
+  | Deciding
+      (* Committing record written but its covering force not yet stable:
+         the decision exists only in volatile memory, so nothing may be
+         announced — not even a query answer, or a crash before the force
+         would split the participants (Lindsay's hazard, one force later). *)
   | Committing of { mutable waiting : Gid.Set.t }
   | Aborting
   | Finished
@@ -83,6 +88,12 @@ type t = {
   sim : Sim.t;
   send : dst:Gid.t -> msg -> unit;
   hooks : hooks;
+  await_durable : (unit -> unit) -> unit;
+      (* [await_durable k] runs [k] once every log record written so far
+         is covered by a stable force. The default runs [k] immediately
+         (hooks force synchronously); a guardian with a group-commit
+         window passes its scheduler's [enqueue] so protocol messages
+         that announce an outcome wait for the covering batch. *)
   prepare_timeout : float;
   retry_interval : float;
   coords : coord Aid.Tbl.t;
@@ -90,12 +101,14 @@ type t = {
   mutable stopped : bool;
 }
 
-let create ~gid ~sim ~send ~hooks ?(prepare_timeout = 10.0) ?(retry_interval = 5.0) () =
+let create ~gid ~sim ~send ~hooks ?(prepare_timeout = 10.0) ?(retry_interval = 5.0)
+    ?(await_durable = fun k -> k ()) () =
   {
     gid;
     sim;
     send;
     hooks;
+    await_durable;
     prepare_timeout;
     retry_interval;
     coords = Aid.Tbl.create 8;
@@ -132,24 +145,35 @@ let report coord verdict =
   end
 
 (* Coordinator: enter phase two — the committing record is the commit
-   point (§2.2.1). *)
+   point (§2.2.1), but only once its covering force is stable. Until then
+   the coordinator sits in [Deciding]: no client report, no commit
+   messages, no query answers. A crash in the gap loses the record and
+   recovery presumes abort, which is consistent precisely because nothing
+   was announced. *)
 let begin_committing t aid coord =
   t.hooks.on_committing aid coord.participants;
-  let waiting = Gid.Set.of_list coord.participants in
-  coord.phase <- Committing { waiting };
-  report coord `Committed;
-  List.iter (fun g -> send_msg t ~dst:g (Commit aid)) coord.participants;
-  (* Re-send until everyone acknowledges; commit can never be undone. *)
-  let rec retry () =
-    if not t.stopped then
-      match Aid.Tbl.find_opt t.coords aid with
-      | Some { phase = Committing { waiting }; _ } when not (Gid.Set.is_empty waiting) ->
-          Metrics.incr m_retries;
-          Gid.Set.iter (fun g -> send_msg t ~dst:g (Commit aid)) waiting;
-          Sim.schedule t.sim ~delay:t.retry_interval retry
-      | Some _ | None -> ()
-  in
-  Sim.schedule t.sim ~delay:t.retry_interval retry
+  coord.phase <- Deciding;
+  t.await_durable (fun () ->
+      let still_current =
+        match Aid.Tbl.find_opt t.coords aid with Some c -> c == coord | None -> false
+      in
+      if (not t.stopped) && still_current && coord.phase = Deciding then begin
+        let waiting = Gid.Set.of_list coord.participants in
+        coord.phase <- Committing { waiting };
+        report coord `Committed;
+        List.iter (fun g -> send_msg t ~dst:g (Commit aid)) coord.participants;
+        (* Re-send until everyone acknowledges; commit can never be undone. *)
+        let rec retry () =
+          if not t.stopped then
+            match Aid.Tbl.find_opt t.coords aid with
+            | Some { phase = Committing { waiting }; _ } when not (Gid.Set.is_empty waiting) ->
+                Metrics.incr m_retries;
+                Gid.Set.iter (fun g -> send_msg t ~dst:g (Commit aid)) waiting;
+                Sim.schedule t.sim ~delay:t.retry_interval retry
+            | Some _ | None -> ()
+        in
+        Sim.schedule t.sim ~delay:t.retry_interval retry
+      end)
 
 let begin_aborting t aid coord =
   coord.phase <- Aborting;
@@ -217,6 +241,8 @@ let await_verdict t aid ~coordinator =
 
 (* Participant message handling. *)
 
+(* The ack rides [await_durable] in every case — including duplicates,
+   whose first ack may itself still be waiting on the covering force. *)
 let part_commit t aid =
   (match Aid.Tbl.find_opt t.parts aid with
   | Some Part_committed -> () (* duplicate commit: already applied *)
@@ -225,7 +251,8 @@ let part_commit t aid =
         (Format.asprintf "Twopc: %a received commit after aborting %a" Gid.pp t.gid Aid.pp aid)
   | Some Part_prepared | None -> t.hooks.on_commit aid);
   Aid.Tbl.replace t.parts aid Part_committed;
-  send_msg t ~dst:(Aid.coordinator aid) (Committed_ack aid)
+  t.await_durable (fun () ->
+      if not t.stopped then send_msg t ~dst:(Aid.coordinator aid) (Committed_ack aid))
 
 let part_abort t aid =
   (match Aid.Tbl.find_opt t.parts aid with
@@ -235,7 +262,8 @@ let part_abort t aid =
         (Format.asprintf "Twopc: %a received abort after committing %a" Gid.pp t.gid Aid.pp aid)
   | Some Part_prepared | None -> t.hooks.on_abort aid);
   Aid.Tbl.replace t.parts aid Part_aborted;
-  send_msg t ~dst:(Aid.coordinator aid) (Aborted_ack aid)
+  t.await_durable (fun () ->
+      if not t.stopped then send_msg t ~dst:(Aid.coordinator aid) (Aborted_ack aid))
 
 let handle t ~src msg =
   note_recv t ~src msg;
@@ -245,18 +273,25 @@ let handle t ~src msg =
         match t.hooks.on_prepare aid with
         | `Prepared ->
             Aid.Tbl.replace t.parts aid Part_prepared;
-            send_msg t ~dst:src (Prepared_reply aid);
-            (* If the verdict never arrives (lost message, coordinator
-               crash), start querying. *)
-            let rec query () =
-              if not t.stopped then
-                match Aid.Tbl.find_opt t.parts aid with
-                | Some Part_prepared ->
-                    send_msg t ~dst:(Aid.coordinator aid) (Query aid);
-                    Sim.schedule t.sim ~delay:t.retry_interval query
-                | Some (Part_committed | Part_aborted) | None -> ()
-            in
-            Sim.schedule t.sim ~delay:(2.0 *. t.retry_interval) query
+            (* The reply promises the prepared record survives a crash:
+               it must wait for the record's covering force. A crash in
+               the gap sends no reply, the coordinator times out, and
+               presumed abort resolves the action. *)
+            t.await_durable (fun () ->
+                if not t.stopped then begin
+                  send_msg t ~dst:src (Prepared_reply aid);
+                  (* If the verdict never arrives (lost message,
+                     coordinator crash), start querying. *)
+                  let rec query () =
+                    if not t.stopped then
+                      match Aid.Tbl.find_opt t.parts aid with
+                      | Some Part_prepared ->
+                          send_msg t ~dst:(Aid.coordinator aid) (Query aid);
+                          Sim.schedule t.sim ~delay:t.retry_interval query
+                      | Some (Part_committed | Part_aborted) | None -> ()
+                  in
+                  Sim.schedule t.sim ~delay:(2.0 *. t.retry_interval) query
+                end)
         | `Refused -> send_msg t ~dst:src (Refused_reply aid))
     | Prepared_reply aid -> (
         match Aid.Tbl.find_opt t.coords aid with
@@ -290,6 +325,8 @@ let handle t ~src msg =
            where unknown means abort (§2.2.3). *)
         match Aid.Tbl.find_opt t.coords aid with
         | Some { phase = Preparing _; _ } -> ()
+        | Some { phase = Deciding; _ } ->
+            () (* decision not yet durable: still undecided to the world *)
         | Some { phase = Committing _; _ } -> send_msg t ~dst:src (Commit aid)
         | Some { phase = Aborting; _ } -> send_msg t ~dst:src (Abort aid)
         | Some { phase = Finished; _ } | None -> (

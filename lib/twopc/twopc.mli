@@ -51,12 +51,24 @@ val create :
   hooks:hooks ->
   ?prepare_timeout:float ->
   ?retry_interval:float ->
+  ?await_durable:((unit -> unit) -> unit) ->
   unit ->
   t
 (** [prepare_timeout] (default 10): how long the coordinator waits for
     prepare replies before aborting unilaterally. [retry_interval]
     (default 5): re-send/query period for the committing phase and for
-    prepared participants. *)
+    prepared participants.
+
+    [await_durable k] must run [k] once every log record the hooks have
+    written so far is covered by a stable force; the default runs [k]
+    immediately, for guardians whose hooks force synchronously. Under
+    group commit the guardian passes its scheduler's [enqueue], so
+    everything that {e announces} an outcome — the prepared reply, the
+    client's committed report, commit messages, acks, query answers —
+    waits for the covering batch. Between writing its committing record
+    and that record's force the coordinator is in a [Deciding] phase and
+    answers no queries: announcing early would let a crash erase a
+    decision some participant already heard. *)
 
 val gid : t -> Rs_util.Gid.t
 

@@ -15,25 +15,36 @@ let name = function Simple _ -> "simple" | Hybrid _ -> "hybrid" | Shadow _ -> "s
 
 let heap = function Simple { heap; _ } | Hybrid { heap; _ } | Shadow { heap; _ } -> heap
 
-let prepare t aid mos =
+(* Shadow writes are synchronously durable, so [on_durable] fires
+   immediately; the logged schemes hand it to their group-commit
+   scheduler. Volatile lock-state updates happen before the recovery
+   system call: under a zero window the callback runs inside it, and must
+   see the heap already committed/aborted. *)
+let prepare ?on_durable t aid mos =
   match t with
-  | Simple { rs; _ } -> Core.Simple_rs.prepare rs aid mos
-  | Hybrid { rs; _ } -> Core.Hybrid_rs.prepare rs aid mos
-  | Shadow { rs; _ } -> Core.Shadow_rs.prepare rs aid mos
+  | Simple { rs; _ } -> Core.Simple_rs.prepare ?on_durable rs aid mos
+  | Hybrid { rs; _ } -> Core.Hybrid_rs.prepare ?on_durable rs aid mos
+  | Shadow { rs; _ } ->
+      Core.Shadow_rs.prepare rs aid mos;
+      Option.iter (fun k -> k ()) on_durable
 
-let commit t aid =
-  (match t with
-  | Simple { rs; _ } -> Core.Simple_rs.commit rs aid
-  | Hybrid { rs; _ } -> Core.Hybrid_rs.commit rs aid
-  | Shadow { rs; _ } -> Core.Shadow_rs.commit rs aid);
-  Heap.commit_action (heap t) aid
+let commit ?on_durable t aid =
+  Heap.commit_action (heap t) aid;
+  match t with
+  | Simple { rs; _ } -> Core.Simple_rs.commit ?on_durable rs aid
+  | Hybrid { rs; _ } -> Core.Hybrid_rs.commit ?on_durable rs aid
+  | Shadow { rs; _ } ->
+      Core.Shadow_rs.commit rs aid;
+      Option.iter (fun k -> k ()) on_durable
 
-let abort t aid =
-  (match t with
-  | Simple { rs; _ } -> Core.Simple_rs.abort rs aid
-  | Hybrid { rs; _ } -> Core.Hybrid_rs.abort rs aid
-  | Shadow { rs; _ } -> Core.Shadow_rs.abort rs aid);
-  Heap.abort_action (heap t) aid
+let abort ?on_durable t aid =
+  Heap.abort_action (heap t) aid;
+  match t with
+  | Simple { rs; _ } -> Core.Simple_rs.abort ?on_durable rs aid
+  | Hybrid { rs; _ } -> Core.Hybrid_rs.abort ?on_durable rs aid
+  | Shadow { rs; _ } ->
+      Core.Shadow_rs.abort rs aid;
+      Option.iter (fun k -> k ()) on_durable
 
 let early_prepare t aid mos =
   match t with
@@ -73,6 +84,11 @@ let housekeep t technique =
   | None -> ()
 
 let supports_housekeeping = function Hybrid _ | Simple _ -> true | Shadow _ -> false
+
+let scheduler = function
+  | Simple { rs; _ } -> Some (Core.Simple_rs.scheduler rs)
+  | Hybrid { rs; _ } -> Some (Core.Hybrid_rs.scheduler rs)
+  | Shadow _ -> None (* shadow writes are synchronously durable *)
 
 let current_log = function
   | Simple { rs; _ } -> Some (Core.Simple_rs.log rs)

@@ -13,11 +13,18 @@ type t
 val name : t -> string
 val heap : t -> Rs_objstore.Heap.t
 
-val prepare : t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> unit
-val commit : t -> Rs_util.Aid.t -> unit
-(** Writes the committed record and installs versions in the heap. *)
+val prepare : ?on_durable:(unit -> unit) -> t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> unit
+val commit : ?on_durable:(unit -> unit) -> t -> Rs_util.Aid.t -> unit
+(** Writes the committed record and installs versions in the heap.
+    [on_durable] fires once the outcome record's covering force is stable:
+    immediately for shadow, via the scheme's group-commit scheduler for
+    the logged schemes (synchronously unless a window is configured). *)
 
-val abort : t -> Rs_util.Aid.t -> unit
+val abort : ?on_durable:(unit -> unit) -> t -> Rs_util.Aid.t -> unit
+
+val scheduler : t -> Rs_slog.Force_scheduler.t option
+(** The logged schemes' group-commit scheduler ([None] for shadow);
+    configure it with a window and virtual-time timer to batch forces. *)
 
 val early_prepare : t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> Rs_objstore.Value.addr list
 (** Hybrid only; other schemes return the MOS unwritten. *)

@@ -103,6 +103,43 @@ let run_action t ~indices ~outcome =
   | `Commit -> Scheme.commit t.scheme aid
   | `Abort -> Scheme.abort t.scheme aid
 
+(* Asynchronous variant for group-commit workloads: the mutations and the
+   prepare are issued now, the commit/abort is issued from the prepare's
+   durability callback, and [on_done] fires once the outcome record itself
+   is durable. Under a zero window this completes before returning; under
+   a batching window the continuations ride the covering forces. The model
+   counts an atomic increment only when its commit becomes durable, so a
+   crash that swallows un-forced tokens leaves the model in step with what
+   recovery can observe. *)
+let run_action_async t ~indices ~outcome ~on_done =
+  let heap = Scheme.heap t.scheme in
+  let aid = fresh_aid t in
+  List.iter
+    (fun i ->
+      let addr = addr_of t i in
+      match t.kinds.(i) with
+      | K_atomic ->
+          let cur = counter_of heap i addr K_atomic in
+          Heap.set_current heap aid addr (obj_value (cur + 1) t.payload)
+      | K_mutex ->
+          ignore (Heap.seize heap aid addr);
+          let cur = counter_of heap i addr K_mutex in
+          Heap.set_mutex heap aid addr (obj_value (cur + 1) t.payload);
+          Heap.release heap aid addr;
+          t.model.(i) <- t.model.(i) + 1)
+    indices;
+  Scheme.prepare t.scheme aid (Heap.mos heap aid)
+    ~on_durable:(fun () ->
+      match outcome with
+      | `Commit ->
+          Scheme.commit t.scheme aid
+            ~on_durable:(fun () ->
+              List.iter
+                (fun i -> if t.kinds.(i) = K_atomic then t.model.(i) <- t.model.(i) + 1)
+                indices;
+              on_done ())
+      | `Abort -> Scheme.abort t.scheme aid ~on_durable:on_done)
+
 let run_random_actions t ~n ~objects_per_action ?(abort_rate = 0.0) () =
   let total = n_objects t in
   let k = min objects_per_action total in

@@ -26,6 +26,16 @@ val run_action : t -> indices:int list -> outcome:[ `Commit | `Abort ] -> unit
 (** One top-level action incrementing the counters of the given objects,
     then prepared and committed (or aborted). *)
 
+val run_action_async :
+  t -> indices:int list -> outcome:[ `Commit | `Abort ] -> on_done:(unit -> unit) -> unit
+(** Like {!run_action}, but for group-commit workloads: the commit (or
+    abort) is issued from the prepare's durability callback and [on_done]
+    fires once the outcome record is durable. Synchronous when the
+    scheme's scheduler has no batching window; otherwise the
+    continuations ride the covering forces, and a crash before the flush
+    drops them (the action resolves by presumed abort at recovery).
+    Atomic model counts advance only on durable commit. *)
+
 val run_random_actions :
   t -> n:int -> objects_per_action:int -> ?abort_rate:float -> unit -> unit
 (** [n] actions over uniformly chosen objects; [abort_rate] (default 0)

@@ -24,6 +24,33 @@ let test_hybrid_clean () = check_clean "hybrid"
 let test_shadow_clean () = check_clean "shadow"
 let test_twopc_clean () = check_clean "twopc"
 
+(* The group-commit target gets the full acceptance budget: committed
+   effects must be durable and pairs atomic at every batch boundary,
+   including crashes landing between a token's enqueue and its flush. *)
+let test_group_clean () =
+  let o = Explore.explore ~config:{ Explore.default_config with budget = 200 } "group" in
+  Alcotest.(check bool) "group: found fault points" true (o.Explore.points > 0);
+  Alcotest.(check int) "group: ran the full budget" 200 o.Explore.schedules;
+  match o.Explore.counterexample with
+  | None -> ()
+  | Some { Explore.schedule; violation } ->
+      Alcotest.failf "group: %s under [%s]"
+        (Format.asprintf "%a" Rs_explore.Oracle.pp_violation violation)
+        (Fault.schedule_to_string schedule)
+
+(* A scheduler whose covering forces lie about stability must fail the
+   group target's durably-acked floor. *)
+let test_group_broken_force_caught () =
+  Rs_slog.Stable_log.set_skip_header_write true;
+  let o =
+    Fun.protect
+      ~finally:(fun () -> Rs_slog.Stable_log.set_skip_header_write false)
+      (fun () -> Explore.explore_group ~config ())
+  in
+  match o.Explore.counterexample with
+  | None -> Alcotest.fail "broken force not detected by the group target"
+  | Some _ -> ()
+
 (* The self-test the subsystem ships with: break the force's atomic
    commit point (skip the header write) and the durability oracle must
    report a violation whose shrunk counterexample is tiny — the bug needs
@@ -56,6 +83,9 @@ let suite =
     Alcotest.test_case "hybrid survives exploration" `Quick test_hybrid_clean;
     Alcotest.test_case "shadow survives exploration" `Quick test_shadow_clean;
     Alcotest.test_case "twopc survives exploration" `Quick test_twopc_clean;
+    Alcotest.test_case "group commit survives exploration" `Quick test_group_clean;
     Alcotest.test_case "seeded broken force is caught" `Quick test_broken_force_caught;
+    Alcotest.test_case "group target catches broken force" `Quick
+      test_group_broken_force_caught;
     Alcotest.test_case "depth-1 exploration" `Quick test_depth_one;
   ]

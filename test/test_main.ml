@@ -20,5 +20,6 @@ let () =
       ("log-check", Test_log_check.suite);
       ("graph-fuzz", Test_graph_fuzz.suite);
       ("obs", Test_obs.suite);
+      ("group-commit", Test_group_commit.suite);
       ("explore", Test_explore.suite);
     ]

@@ -147,6 +147,61 @@ let test_log_dir_crash_before_switch () =
   let dir' = Log_dir.open_ dir in
   Alcotest.(check string) "old still current" "committed" (Log.read (Log_dir.current dir') 0)
 
+(* Regression: [Log_dir.open_] must recover every store, not only the
+   root. A crash landing between a slot store's two careful writes leaves
+   its replicas diverged; reopening the directory must mend them. *)
+let test_log_dir_recovers_slot_stores () =
+  let dir = Log_dir.create ~page_size:64 () in
+  let log = Log_dir.current dir in
+  ignore (Log.force_write log "seed");
+  ignore (Log.write log "doomed");
+  (* The force's first physical write (data page, replica A) succeeds;
+     the second (replica B) tears. *)
+  let slot = List.nth (Log_dir.stores dir) 1 in
+  Store.arm_crash slot ~after_writes:1;
+  (match Log.force log with
+  | () -> Alcotest.fail "expected crash"
+  | exception Disk.Crash -> ());
+  Store.clear_crash slot;
+  Alcotest.(check bool) "replicas diverged by the crash" true
+    (Store.agreement_issues slot <> []);
+  let dir' = Log_dir.open_ dir in
+  List.iter
+    (fun s ->
+      Alcotest.(check (list (pair int string))) "all stores agree after open_" []
+        (Store.agreement_issues s))
+    (Log_dir.stores dir');
+  Alcotest.(check string) "forced prefix intact" "seed" (Log.read (Log_dir.current dir') 0)
+
+(* Hardening: a corrupted length word read back from the store must raise
+   [Invalid_argument], never fabricate an entry or walk out of bounds. *)
+let test_corrupt_length_word () =
+  let store = Store.create ~pages:8 () in
+  let l = Log.create ~page_size:64 store in
+  let a0 = Log.write l "first-entry" in
+  let a1 = Log.write l "second-entry" in
+  Log.force l;
+  (* Smash the leading length word of entry 0 (stream bytes 0..3, on data
+     page 0 = store page 1) to a huge value through the store, then reopen
+     so reads bypass the volatile page cache. *)
+  let page = Option.get (Store.get store 1) in
+  let corrupt = "\xff\xff\xff\xff" ^ String.sub page 4 (String.length page - 4) in
+  Store.put store 1 corrupt;
+  let l' = Log.open_ store in
+  Alcotest.check_raises "read rejects the bogus length"
+    (Invalid_argument "Stable_log.read: not an entry boundary") (fun () ->
+      ignore (Log.read l' a0));
+  (* The trailing word of entry 0 backs [prev_addr] from entry 1: corrupt
+     it too and the backward walk must stop with the same error. *)
+  let page = Option.get (Store.get store 1) in
+  let b = Bytes.of_string page in
+  Bytes.blit_string "\xff\xff\xff\xff" 0 b (a1 - 4) 4;
+  Store.put store 1 (Bytes.to_string b);
+  let l'' = Log.open_ store in
+  Alcotest.check_raises "prev_addr rejects the bogus length"
+    (Invalid_argument "Stable_log.prev_addr: not an entry boundary") (fun () ->
+      ignore (List.of_seq (Log.read_backward l'' a1)))
+
 (* Property: under any sequence of writes, forces, and a final crash, the
    reopened log holds exactly the entries written before the last force,
    in order. *)
@@ -189,5 +244,8 @@ let suite =
     Alcotest.test_case "destroy" `Quick test_destroy;
     Alcotest.test_case "log dir switch" `Quick test_log_dir_switch;
     Alcotest.test_case "log dir crash before switch" `Quick test_log_dir_crash_before_switch;
+    Alcotest.test_case "log dir open recovers slot stores" `Quick
+      test_log_dir_recovers_slot_stores;
+    Alcotest.test_case "corrupt length word rejected" `Quick test_corrupt_length_word;
     QCheck_alcotest.to_alcotest prop_forced_prefix;
   ]

@@ -109,6 +109,32 @@ let test_store_get_read_repair () =
   Alcotest.(check (list (pair int string))) "replicas agree after repair" []
     (Store.agreement_issues s)
 
+(* A crash between the two careful writes leaves both replicas readable
+   but divergent — A new, B stale. A careful get must return A (never
+   older than B) and mend B in place, counted as a repair. *)
+let test_store_get_repairs_divergent_readable () =
+  let repairs () =
+    Option.value ~default:0
+      (Rs_obs.Metrics.find_counter Rs_obs.Metrics.default "stable_store.repairs")
+  in
+  let s = Store.create ~pages:4 () in
+  Store.put s 2 "old";
+  let _, b = Store.disks s in
+  (* Capture B's validly framed stale page, update both replicas, then
+     regress B — exactly the state a crash between the careful writes
+     leaves behind. *)
+  let stale = Option.get (Disk.read b 2) in
+  Store.put s 2 "new";
+  Disk.write b 2 stale;
+  Alcotest.(check bool) "replicas diverge" true (Store.agreement_issues s <> []);
+  let before = repairs () in
+  Alcotest.(check (option string)) "get returns the newer value" (Some "new")
+    (Store.get s 2);
+  Alcotest.(check int) "divergence repaired on the spot" (before + 1) (repairs ());
+  Alcotest.(check (list (pair int string))) "replicas agree again" []
+    (Store.agreement_issues s);
+  Alcotest.(check (option string)) "stable afterwards" (Some "new") (Store.get s 2)
+
 let test_store_crash_between_pages () =
   (* A multi-page update interrupted between logical pages: each page
      individually must be old-or-new. *)
@@ -153,6 +179,8 @@ let suite =
     Alcotest.test_case "store atomicity sweep" `Quick test_store_atomicity_sweep;
     Alcotest.test_case "store decay repair" `Quick test_store_decay_repair;
     Alcotest.test_case "store get read-repair" `Quick test_store_get_read_repair;
+    Alcotest.test_case "store get repairs divergent replicas" `Quick
+      test_store_get_repairs_divergent_readable;
     Alcotest.test_case "store crash between pages" `Quick test_store_crash_between_pages;
     QCheck_alcotest.to_alcotest prop_store_atomic_random;
   ]
