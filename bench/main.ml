@@ -13,8 +13,9 @@
      e6  combined cost crossover vs crash rate     (§1.2.2 assumption)
      e7  2PC crash matrix                          (§2.2.3)
      e8  group commit: forces/commit vs concurrency
+     e9  log footprint & recovery vs history under segment reclamation
 
-   Usage: dune exec bench/main.exe [-- e1|e2|...|e8|bechamel|all]
+   Usage: dune exec bench/main.exe [-- e1|e2|...|e9|bechamel|all]
    The default runs every experiment plus the Bechamel microbenchmarks. *)
 
 module Scheme = Rs_workload.Scheme
@@ -420,6 +421,65 @@ let e8 () =
      co-resident outcome entries share forces, so pages and forces per commit fall\n\
      as concurrency grows — the group-commit claim."
 
+(* ------------------------------------------------------------------ *)
+(* e9 — log footprint and recovery cost vs history length under online
+   segment reclamation. Each housekeeping checkpoint raises the old
+   log's low-water mark past its whole stream, so the switch retires
+   every old segment; provisioned pages should then track the live
+   checkpoint, not the accumulated history. Controls: the same scheme
+   never housekeeping (footprint and recovery grow with history) and a
+   monolithic directory (no segments to retire; the anchors are merely
+   reformatted). Results are exported as e9.* gauges so check.sh can
+   assert the reclamation bound from BENCH_4.json. *)
+
+let e9 () =
+  header "e9: log footprint & recovery vs history under segment reclamation";
+  let acts_per_cycle = 40 in
+  let run ~variant ~cycles =
+    let scheme =
+      match variant with
+      | `Seg | `Nohk -> Scheme.hybrid ~page_size:512 ~segment_pages:4 ()
+      | `Mono -> Scheme.hybrid ~page_size:512 ~segment_pages:0 ()
+    in
+    let t = Synth.create ~seed:91 ~scheme ~n_objects:16 ~payload_bytes:24 () in
+    for _ = 1 to cycles do
+      Synth.run_random_actions t ~n:acts_per_cycle ~objects_per_action:2 ~abort_rate:0.1 ();
+      if variant <> `Nohk then Scheme.housekeep scheme Scheme.Snapshot
+    done;
+    let dir = Option.get (Scheme.log_dir scheme) in
+    let live_pages = Rs_slog.Log_dir.live_pages dir in
+    let live_segments = Rs_slog.Log_dir.live_segments dir in
+    let retired = Rs_slog.Log_dir.segments_retired dir in
+    let entries, us = recovery_cost (Synth.scheme t) in
+    (live_pages, live_segments, retired, entries, us)
+  in
+  row "%-8s %7s %12s %10s %10s %12s %12s\n" "variant" "cycles" "live pages" "live segs"
+    "retired" "rec entries" "us/recover";
+  List.iter
+    (fun (label, variant) ->
+      List.iter
+        (fun cycles ->
+          let live_pages, live_segments, retired, entries, us = run ~variant ~cycles in
+          List.iter
+            (fun (metric, v) ->
+              Rs_obs.Metrics.set
+                (Rs_obs.Metrics.gauge (Printf.sprintf "e9.%s.c%d.%s" label cycles metric))
+                v)
+            [
+              ("live_pages", live_pages);
+              ("live_segments", live_segments);
+              ("retired_segments", retired);
+              ("recovery_entries", entries);
+            ];
+          row "%-8s %7d %12d %10d %10d %12d %12.1f\n" label cycles live_pages live_segments
+            retired entries us)
+        [ 2; 5; 10 ])
+    [ ("seg", `Seg); ("mono", `Mono); ("nohk", `Nohk) ];
+  print_endline
+    "shape: with housekeeping + segments, live pages and recovery entries are flat in\n\
+     history (retired grows instead); without housekeeping both grow with history —\n\
+     reclamation makes log cost a function of live state, not of time."
+
 let bechamel_suite () =
   header "bechamel microbenchmarks (ns per operation, OLS estimate)";
   let open Bechamel in
@@ -499,6 +559,7 @@ let experiments =
     ("e6", e6);
     ("e7", e7);
     ("e8", e8);
+    ("e9", e9);
     ("bechamel", bechamel_suite);
   ]
 
@@ -545,7 +606,7 @@ let () =
             match List.assoc_opt n experiments with
             | Some f -> (n, f)
             | None ->
-                Printf.eprintf "unknown experiment %s (e1..e8, bechamel, all)\n" n;
+                Printf.eprintf "unknown experiment %s (e1..e9, bechamel, all)\n" n;
                 exit 2)
           names
   in

@@ -162,7 +162,16 @@ let verify seed scheme_name actions housekeep =
       Printf.printf "checking %d log entries (%d bytes)...\n"
         (Rs_slog.Stable_log.entry_count log)
         (Rs_slog.Stable_log.stream_bytes log);
-      match Core.Log_check.check_log log with
+      let seg_issues =
+        match Rs_workload.Scheme.log_dir scheme with
+        | None -> []
+        | Some dir ->
+            Printf.printf "checking segment chain (%d live segments, %d retired)...\n"
+              (Rs_slog.Log_dir.live_segments dir)
+              (Rs_slog.Log_dir.segments_retired dir);
+            Core.Log_check.check_segments dir
+      in
+      match Core.Log_check.check_log log @ seg_issues with
       | [] ->
           print_endline "log structurally sound ✓";
           0
@@ -273,10 +282,10 @@ let trace_cmd =
 let explore seed scheme_name budget max_depth break_force =
   let targets =
     match scheme_name with
-    | "all" -> [ "simple"; "hybrid"; "shadow"; "twopc"; "group" ]
-    | ("simple" | "hybrid" | "shadow" | "twopc" | "group") as s -> [ s ]
+    | "all" -> [ "simple"; "hybrid"; "shadow"; "segments"; "twopc"; "group" ]
+    | ("simple" | "hybrid" | "shadow" | "segments" | "twopc" | "group") as s -> [ s ]
     | s ->
-        Printf.eprintf "unknown target %s (simple|hybrid|shadow|twopc|group|all)\n" s;
+        Printf.eprintf "unknown target %s (simple|hybrid|shadow|segments|twopc|group|all)\n" s;
         exit 2
   in
   let config = { Rs_explore.Explore.seed; budget; max_depth } in
@@ -293,7 +302,7 @@ let explore_cmd =
   let scheme =
     Arg.(value
          & opt string "all"
-         & info [ "scheme" ] ~doc:"simple|hybrid|shadow|twopc|group|all.")
+         & info [ "scheme" ] ~doc:"simple|hybrid|shadow|segments|twopc|group|all.")
   in
   let budget =
     Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc:"Maximum crash schedules per target.")

@@ -73,8 +73,51 @@ else
   echo "metrics ok (python3 unavailable; key presence checked only)"
 fi
 
+echo "== bench smoke: e9 --metrics-json -> BENCH_4.json =="
+# Committed artifact: e9 measures log footprint and recovery cost versus
+# history length for the segmented log. Seeded and deterministic. The
+# gates pin the reclamation bound (a bounded number of live segments no
+# matter how many housekeeping cycles ran) and history-independent
+# recovery, against a no-housekeeping control that grows in both.
+dune exec bench/main.exe -- e9 --metrics-json BENCH_4.json >/dev/null
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_4.json <<'EOF'
+import json, sys
+g = json.load(open(sys.argv[1]))["gauges"]
+def seg(c, k): return g[f"e9.seg.c{c}.{k}"]
+def nohk(c, k): return g[f"e9.nohk.c{c}.{k}"]
+# Reclamation bound: <= 2 live segments after 10 housekeeping cycles.
+assert seg(10, "live_segments") <= 2, \
+    f"live segments not bounded: {seg(10, 'live_segments')} after 10 cycles"
+# Footprint is flat in history: 10 cycles cost no more pages than 2.
+assert seg(10, "live_pages") <= seg(2, "live_pages"), \
+    f"live pages grew with history: {seg(2, 'live_pages')} -> {seg(10, 'live_pages')}"
+# Retirement actually happened, and kept happening.
+assert seg(10, "retired_segments") > seg(2, "retired_segments") > 0, \
+    "segment retirement did not track history"
+# Recovery is history-independent with housekeeping...
+assert seg(10, "recovery_entries") == seg(2, "recovery_entries"), \
+    f"recovery entries drifted: {seg(2, 'recovery_entries')} -> {seg(10, 'recovery_entries')}"
+# ...and history-proportional without it.
+assert nohk(10, "live_pages") > 2 * seg(10, "live_pages"), \
+    "no-housekeeping control did not outgrow the reclaimed log"
+assert nohk(10, "recovery_entries") > nohk(2, "recovery_entries"), \
+    "no-housekeeping control recovery did not grow with history"
+print(f"reclamation ok: live_segments={seg(10, 'live_segments')} (<=2), "
+      f"live_pages flat at {seg(10, 'live_pages')} "
+      f"(control: {nohk(10, 'live_pages')}), "
+      f"recovery entries flat at {seg(10, 'recovery_entries')} "
+      f"(control: {nohk(10, 'recovery_entries')})")
+EOF
+else
+  grep -q '"e9.seg.c10.live_segments": [12]\b' BENCH_4.json ||
+    { echo "e9.seg.c10.live_segments missing or > 2"; exit 1; }
+  echo "reclamation ok (python3 unavailable; key presence checked only)"
+fi
+
 echo "== exploration gate: every target survives 200 crash schedules =="
-for target in simple hybrid shadow twopc group; do
+for target in simple hybrid shadow segments twopc group; do
   OUT=$(dune exec bin/argusctl.exe -- explore --scheme "$target" --budget 200)
   echo "$OUT"
   case "$OUT" in

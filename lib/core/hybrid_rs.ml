@@ -597,7 +597,9 @@ let finish_housekeeping (t : t) (job : job) =
         rewrites)
     t.pending;
   Log.force job.new_log;
-  Log_dir.switch t.dir;
+  (* The checkpoint supersedes the whole old stream: everything below its
+     end is dead to recovery, so the switch can retire every old segment. *)
+  Log_dir.switch ~low_water:(Log.end_addr job.old_log) t.dir;
   t.log <- Log_dir.current t.dir;
   Fsched.set_log t.sched t.log;
   t.last_outcome <- !head;

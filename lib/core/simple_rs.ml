@@ -32,6 +32,7 @@ type t = {
 
 let heap t = t.heap
 let log t = t.log
+let dir t = t.dir
 let scheduler t = t.sched
 
 let create heap dir =
@@ -287,7 +288,9 @@ let finish_snapshot t job =
           ())
     (Log.read_forward job.old_log job.marker);
   Log.force job.new_log;
-  Log_dir.switch t.dir;
+  (* The snapshot plus the post-marker copy supersede the old stream:
+     the switch retires every old segment below its end. *)
+  Log_dir.switch ~low_water:(Log.end_addr job.old_log) t.dir;
   t.log <- Log_dir.current t.dir;
   Fsched.set_log t.sched t.log;
   Uid.Tbl.reset t.mt;

@@ -21,6 +21,11 @@ val create : Rs_objstore.Heap.t -> Rs_slog.Log_dir.t -> t
 val heap : t -> Rs_objstore.Heap.t
 val log : t -> Rs_slog.Stable_log.t
 
+val dir : t -> Rs_slog.Log_dir.t
+(** The log directory this system runs over. {!recover} builds a {e new}
+    directory record — callers holding the pre-crash one must switch to
+    this accessor's result. *)
+
 val scheduler : t -> Rs_slog.Force_scheduler.t
 (** The group-commit scheduler covering the forced outcome appends;
     synchronous (zero window) until configured with a window and timer. *)

@@ -93,12 +93,25 @@ let ops_for = function
   | "hybrid" ->
       base_acts @ [ Housekeep Scheme.Compaction; tail_act; Housekeep Scheme.Snapshot ]
   | "shadow" -> base_acts @ [ tail_act ]
+  | "segments" ->
+      (* Segment churn: tiny segments (two 128-byte pages) make every act
+         allocate and every housekeeping pass retire, so the census is
+         dense in Seg_alloc/Seg_link/Seg_retire boundaries. *)
+      base_acts
+      @ [
+          Housekeep Scheme.Compaction;
+          tail_act;
+          Act { indices = [ 1; 3 ]; outcome = `Commit };
+          Housekeep Scheme.Snapshot;
+          Act { indices = [ 2; 5 ]; outcome = `Commit };
+        ]
   | s -> invalid_arg ("Explore.explore_scheme: unknown scheme " ^ s)
 
 let make_scheme = function
   | "simple" -> Scheme.simple ()
   | "hybrid" -> Scheme.hybrid ()
   | "shadow" -> Scheme.shadow ()
+  | "segments" -> Scheme.hybrid ~page_size:128 ~segment_pages:2 ()
   | s -> invalid_arg ("Explore.explore_scheme: unknown scheme " ^ s)
 
 let fresh_world cfg name =
@@ -122,13 +135,23 @@ let post_state expected op =
 
 (* ---- census ------------------------------------------------------ *)
 
-type census = { writes : int array array; forces : int array }
+type census = { writes : int array array; forces : int array; segs : int array array }
+
+let seg_stages = [| Fault.Seg_alloc; Fault.Seg_link; Fault.Seg_retire |]
+
+let seg_stage_index : Slog.segment_event -> int = function
+  | Slog.Seg_alloc _ -> 0
+  | Slog.Seg_link -> 1
+  | Slog.Seg_retire _ -> 2
 
 (* One clean run with the process-wide census hooks installed: per
    operation, how many physical page writes land on each stable store
    (both disk replicas counted together, matching what
-   [Store.arm_crash ~after_writes] counts) and how many log forces
-   complete. *)
+   [Store.arm_crash ~after_writes] counts), how many log forces
+   complete, and how many segment events of each stage fire. Segments
+   allocated mid-run are invisible to the write census (their disks are
+   not in the start-of-run store list) — their crash windows are covered
+   by the segment-boundary points instead. *)
 let take_census cfg name ops =
   let t = fresh_world cfg name in
   let stores = Scheme.stable_stores (Synth.scheme t) in
@@ -143,6 +166,7 @@ let take_census cfg name ops =
   let n_ops = List.length ops in
   let writes = Array.init n_ops (fun _ -> Array.make (List.length stores) 0) in
   let forces = Array.make n_ops 0 in
+  let segs = Array.init n_ops (fun _ -> Array.make (Array.length seg_stages) 0) in
   let cur = ref (-1) in
   Disk.set_write_hook
     (Some
@@ -152,18 +176,29 @@ let take_census cfg name ops =
            | Some (_, i) -> writes.(!cur).(i) <- writes.(!cur).(i) + 1
            | None -> ()));
   Slog.set_force_hook (Some (fun () -> if !cur >= 0 then forces.(!cur) <- forces.(!cur) + 1));
+  Slog.set_segment_hook
+    (Some
+       (fun ev ->
+         if !cur >= 0 then
+           let s = seg_stage_index ev in
+           segs.(!cur).(s) <- segs.(!cur).(s) + 1));
   Fun.protect
     ~finally:(fun () ->
       Disk.set_write_hook None;
-      Slog.set_force_hook None)
+      Slog.set_force_hook None;
+      Slog.set_segment_hook None)
     (fun () ->
       List.iteri
         (fun j op ->
           cur := j;
           exec_plain t op)
         ops);
-  { writes; forces }
+  { writes; forces; segs }
 
+(* Per-op point order: housekeeping boundary, segment boundaries, force
+   boundaries, then the store-write sweep. Rarer, structural boundaries
+   come first so a modest budget's depth-1 prefix reaches them before the
+   long tail of store writes. *)
 let points_of_census ops census =
   List.concat
     (List.mapi
@@ -172,6 +207,17 @@ let points_of_census ops census =
            match op with
            | Housekeep _ -> [ { Fault.op = j; point = Fault.Hk_boundary } ]
            | Act _ -> []
+         in
+         let seg_points =
+           List.concat
+             (List.mapi
+                (fun s c ->
+                  List.init c (fun k ->
+                      {
+                        Fault.op = j;
+                        point = Fault.Segment_boundary { stage = seg_stages.(s); nth = k + 1 };
+                      }))
+                (Array.to_list census.segs.(j)))
          in
          let store_points =
            List.concat
@@ -185,7 +231,7 @@ let points_of_census ops census =
            List.init census.forces.(j) (fun k ->
                { Fault.op = j; point = Fault.Force_boundary { nth = k + 1 } })
          in
-         hk @ store_points @ force_points)
+         hk @ seg_points @ force_points @ store_points)
        ops)
 
 (* Baseline first, then every depth-1 schedule in census order, then
@@ -236,6 +282,18 @@ let inject stores point f =
              if !count = nth then raise Disk.Crash));
       Fun.protect
         ~finally:(fun () -> Slog.set_force_hook None)
+        (fun () -> match f () with () -> false | exception Disk.Crash -> true)
+  | Fault.Segment_boundary { stage; nth } ->
+      let count = ref 0 in
+      Slog.set_segment_hook
+        (Some
+           (fun ev ->
+             if seg_stages.(seg_stage_index ev) = stage then begin
+               incr count;
+               if !count = nth then raise Disk.Crash
+             end));
+      Fun.protect
+        ~finally:(fun () -> Slog.set_segment_hook None)
         (fun () -> match f () with () -> false | exception Disk.Crash -> true)
   | Fault.Hk_boundary | Fault.Event_boundary _ | Fault.Msg_crash _ | Fault.Msg_drop _
   | Fault.Msg_delay _ ->
@@ -435,8 +493,8 @@ let explore_twopc ?(config = default_config) () =
                 System.quiesce sys)
         | {
             Fault.point =
-              ( Fault.Store_write _ | Fault.Force_boundary _ | Fault.Event_boundary _
-              | Fault.Hk_boundary );
+              ( Fault.Store_write _ | Fault.Force_boundary _ | Fault.Segment_boundary _
+              | Fault.Event_boundary _ | Fault.Hk_boundary );
             _;
           }
           :: _ ->

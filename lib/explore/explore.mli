@@ -30,7 +30,8 @@ type counterexample = {
 
 type outcome = {
   target : string;
-      (** ["simple"], ["hybrid"], ["shadow"], ["twopc"] or ["group"] *)
+      (** ["simple"], ["hybrid"], ["shadow"], ["segments"], ["twopc"] or
+          ["group"] *)
   points : int;  (** fault points the census found *)
   schedules : int;  (** schedules actually run (≤ budget) *)
   counterexample : counterexample option;  (** [None]: all oracles held *)
@@ -40,8 +41,13 @@ val explore_scheme : ?config:config -> string -> outcome
 (** Explore a single-guardian {!Rs_workload.Scheme} by name ("simple",
     "hybrid" or "shadow"): a {!Rs_workload.Synth} workload of commits,
     aborts and (where supported) staged housekeeping, with crash points
-    censused on every stable store and every log force. Stops at the
-    first violation. Raises [Invalid_argument] on an unknown name. *)
+    censused on every stable store and every log force. The ["segments"]
+    target is a hybrid scheme with tiny log segments (two 128-byte pages)
+    under a churn-heavy scenario — two housekeeping passes between extra
+    commits — whose census adds a point at every segment alloc/link/retire
+    boundary and whose oracle suite includes the segment-chain fsck.
+    Stops at the first violation. Raises [Invalid_argument] on an unknown
+    name. *)
 
 val explore_twopc : ?config:config -> unit -> outcome
 (** Explore the distributed stack: a two-guardian transfer action under

@@ -1,6 +1,9 @@
+type seg_stage = Seg_alloc | Seg_link | Seg_retire
+
 type point =
   | Store_write of { store : int; after_writes : int }
   | Force_boundary of { nth : int }
+  | Segment_boundary of { stage : seg_stage; nth : int }
   | Event_boundary of { nth : int }
   | Hk_boundary
   | Msg_crash of { after_deliveries : int; victim : int }
@@ -14,6 +17,10 @@ let pp_point fmt = function
   | Store_write { store; after_writes } ->
       Format.fprintf fmt "store%d+%dw" store after_writes
   | Force_boundary { nth } -> Format.fprintf fmt "force#%d" nth
+  | Segment_boundary { stage; nth } ->
+      Format.fprintf fmt "seg-%s#%d"
+        (match stage with Seg_alloc -> "alloc" | Seg_link -> "link" | Seg_retire -> "retire")
+        nth
   | Event_boundary { nth } -> Format.fprintf fmt "event#%d" nth
   | Hk_boundary -> Format.pp_print_string fmt "hk-boundary"
   | Msg_crash { after_deliveries; victim } ->

@@ -8,6 +8,14 @@
     interrupts; the explorer enumerates schedules, re-runs the scenario
     under each, and checks the oracle suite after recovery. *)
 
+type seg_stage = Seg_alloc | Seg_link | Seg_retire
+    (** Segment lifecycle boundaries of a segmented stable log
+        ({!Rs_slog.Stable_log.segment_event}): after a fresh segment is
+        allocated and formatted but before any header links it; after a
+        header write that changed the segment table or low-water mark
+        (the link/retirement commit point); after a segment's pages were
+        returned to the pool. *)
+
 type point =
   | Store_write of { store : int; after_writes : int }
       (** tear the [(after_writes+1)]-th physical page write on stable
@@ -15,6 +23,10 @@ type point =
   | Force_boundary of { nth : int }
       (** crash immediately after the [nth] log force of the operation
           completes: the force is stable, the continuation is lost *)
+  | Segment_boundary of { stage : seg_stage; nth : int }
+      (** crash right after the [nth] segment event of [stage] within the
+          operation — lands crashes in the alloc/link/retire windows of
+          online log-space reclamation *)
   | Event_boundary of { nth : int }
       (** crash right after the [nth] simulator event of the operation —
           lands crashes between a group-commit enqueue and its flush,

@@ -50,5 +50,18 @@ let check_stores stores =
            (Store.agreement_issues store))
        stores)
 
+let check_segments = function
+  | None -> []
+  | Some dir ->
+      List.map
+        (fun issue ->
+          {
+            oracle = "segment-fsck";
+            detail = Format.asprintf "%a" Core.Log_check.pp_issue issue;
+          })
+        (Core.Log_check.check_segments dir)
+
 let check_scheme scheme =
-  check_log (Scheme.current_log scheme) @ check_stores (Scheme.stable_stores scheme)
+  check_log (Scheme.current_log scheme)
+  @ check_segments (Scheme.log_dir scheme)
+  @ check_stores (Scheme.stable_stores scheme)

@@ -1,11 +1,12 @@
 (** The invariant suite the explorer checks after every recovery.
 
-    Four families, straight from the thesis's reliability argument:
+    Five families, straight from the thesis's reliability argument:
     committed effects are durable and aborted/uncommitted effects are
     invisible (checked by the engine against its own serial model of
     counter values), the log is structurally well-formed
-    ({!Core.Log_check}), and the two disk copies of every stable store
-    agree once the Lampson–Sturgis repair pass has run. *)
+    ({!Core.Log_check}), the segmented log's segment chain tiles the live
+    stream with nothing orphaned, and the two disk copies of every stable
+    store agree once the Lampson–Sturgis repair pass has run. *)
 
 type violation = { oracle : string; detail : string }
 
@@ -21,6 +22,12 @@ val check_counters :
 val check_log : Rs_slog.Stable_log.t option -> violation list
 (** {!Core.Log_check.check_log} on the scheme's current log, one
     violation per issue. [None] (shadow) passes vacuously. *)
+
+val check_segments : Rs_slog.Log_dir.t option -> violation list
+(** {!Core.Log_check.check_segments} on the scheme's log directory, one
+    violation per issue — the segment chain must tile the live stream
+    with no orphans after every recovery. [None] (shadow) and monolithic
+    directories pass vacuously. *)
 
 val check_stores : Rs_storage.Stable_store.t list -> violation list
 (** For each store: run {!Rs_storage.Stable_store.recover}, then demand

@@ -8,6 +8,8 @@ type event =
   | Store_repair of { page : int }
   | Log_write of { addr : int; bytes : int }
   | Log_force of { entries : int; stream_bytes : int }
+  | Segment_alloc of { id : int; index : int }
+  | Segment_retire of { id : int }
   | Twopc_send of { src : string; dst : string; msg : string }
   | Twopc_recv of { src : string; dst : string; msg : string }
   | Lock_acquire of { aid : string; addr : int; kind : lock_kind }
@@ -74,6 +76,8 @@ let pp_event fmt = function
   | Log_write { addr; bytes } -> Format.fprintf fmt "log_write{addr=%d bytes=%d}" addr bytes
   | Log_force { entries; stream_bytes } ->
       Format.fprintf fmt "log_force{entries=%d stream_bytes=%d}" entries stream_bytes
+  | Segment_alloc { id; index } -> Format.fprintf fmt "segment_alloc{id=%d index=%d}" id index
+  | Segment_retire { id } -> Format.fprintf fmt "segment_retire{id=%d}" id
   | Twopc_send { src; dst; msg } -> Format.fprintf fmt "2pc_send{%s->%s %s}" src dst msg
   | Twopc_recv { src; dst; msg } -> Format.fprintf fmt "2pc_recv{%s->%s %s}" src dst msg
   | Lock_acquire { aid; addr; kind } ->

@@ -22,6 +22,10 @@ type event =
   | Log_write of { addr : int; bytes : int }  (** entry buffered in the log *)
   | Log_force of { entries : int; stream_bytes : int }
       (** pending entries pushed to stable storage *)
+  | Segment_alloc of { id : int; index : int }
+      (** a segmented log grew by one careful-replicated segment store *)
+  | Segment_retire of { id : int }
+      (** a dead segment's pages were returned to the directory pool *)
   | Twopc_send of { src : string; dst : string; msg : string }
   | Twopc_recv of { src : string; dst : string; msg : string }
   | Lock_acquire of { aid : string; addr : int; kind : lock_kind }

@@ -1,10 +1,57 @@
 module Store = Rs_storage.Stable_store
 module Codec = Rs_util.Codec
+module Metrics = Rs_obs.Metrics
+module Trace = Rs_obs.Trace
+
+let m_segments_retired = Metrics.counter "slog.segments_retired"
+let m_swept = Metrics.counter "slog.orphan_segments_swept"
+
+(* The segment pool shared by the two log generations. Stores are created
+   lazily on [alloc] and dropped from the registry on [release]; a
+   released store's I/O tallies and page count are folded into the
+   [retired_*] accumulators so the directory-wide totals stay monotone.
+   The pool is deliberately a separate record from [t]: the provider
+   closures the logs hold capture only the pool, so [create] can build the
+   first log before the directory record exists. *)
+type pool = {
+  mk : int -> Store.t;
+  registry : (int, Store.t) Hashtbl.t;
+  segment_pages : int;
+  mutable next_id : int;
+  mutable retired_writes : int;
+  mutable retired_reads : int;
+  mutable retired_pages : int;
+  mutable retired_count : int;
+}
+
+let pool_release pool id =
+  match Hashtbl.find_opt pool.registry id with
+  | None -> invalid_arg (Printf.sprintf "Log_dir: segment %d released twice" id)
+  | Some store ->
+      pool.retired_writes <- pool.retired_writes + Store.physical_writes store;
+      pool.retired_reads <- pool.retired_reads + Store.physical_reads store;
+      pool.retired_pages <- pool.retired_pages + Store.pages store;
+      pool.retired_count <- pool.retired_count + 1;
+      Hashtbl.remove pool.registry id
+
+let provider_of pool : Stable_log.provider =
+  {
+    alloc =
+      (fun () ->
+        let id = pool.next_id in
+        pool.next_id <- id + 1;
+        let store = pool.mk (1 + pool.segment_pages) in
+        Hashtbl.replace pool.registry id store;
+        (id, store));
+    lookup = (fun id -> Hashtbl.find_opt pool.registry id);
+    release = (fun id -> pool_release pool id);
+  }
 
 type t = {
   root : Store.t;
-  slots : Store.t array; (* two log slots *)
+  slots : Store.t array; (* two log-anchor slots *)
   page_size : int;
+  pool : pool option; (* None: monolithic logs *)
   mutable cur : int; (* index of the current slot, mirrored in [root] *)
   mutable cur_log : Stable_log.t;
   mutable pending : Stable_log.t option; (* new log under construction *)
@@ -22,30 +69,84 @@ let decode_root s =
   if cur <> 0 && cur <> 1 then failwith "Log_dir: corrupt root";
   cur
 
-let create ?(page_size = 1024) ?rng ?decay_prob () =
+let mk_log ~page_size pool store =
+  match pool with
+  | None -> Stable_log.create ~page_size store
+  | Some pool ->
+      Stable_log.create ~page_size ~segment_pages:pool.segment_pages
+        ~provider:(provider_of pool) store
+
+let create ?(page_size = 1024) ?(segment_pages = 8) ?rng ?decay_prob () =
+  if segment_pages < 0 then invalid_arg "Log_dir.create: segment_pages must be >= 0";
   let mk pages = Store.create ?rng ?decay_prob ~pages () in
+  let pool =
+    if segment_pages = 0 then None
+    else
+      Some
+        {
+          mk;
+          registry = Hashtbl.create 16;
+          segment_pages;
+          next_id = 0;
+          retired_writes = 0;
+          retired_reads = 0;
+          retired_pages = 0;
+          retired_count = 0;
+        }
+  in
   let root = mk 1 in
-  let slots = [| mk 8; mk 8 |] in
+  let anchor_pages = if segment_pages = 0 then 8 else 1 in
+  let slots = [| mk anchor_pages; mk anchor_pages |] in
   Store.put root 0 (encode_root 0);
-  let cur_log = Stable_log.create ~page_size slots.(0) in
-  { root; slots; page_size; cur = 0; cur_log; pending = None }
+  let cur_log = mk_log ~page_size pool slots.(0) in
+  { root; slots; page_size; pool; cur = 0; cur_log; pending = None }
 
 let open_ t =
   (* Recover every store, not just the root: a crash mid careful-put can
-     leave a log-slot store with diverged or torn replicas, and the slot
-     holding the current log is about to be read through [Stable_log]. *)
+     leave any store with diverged or torn replicas, and the current log's
+     anchor and segments are about to be read through [Stable_log]. *)
   Store.recover t.root;
   Array.iter Store.recover t.slots;
+  (match t.pool with
+  | None -> ()
+  | Some pool -> Hashtbl.iter (fun _ s -> Store.recover s) pool.registry);
   let cur =
     match Store.get t.root 0 with
     | Some s -> decode_root s
     | None -> failwith "Log_dir.open_: lost root page"
   in
-  let cur_log = Stable_log.open_ t.slots.(cur) in
+  let provider = Option.map provider_of t.pool in
+  let cur_log = Stable_log.open_ ?provider t.slots.(cur) in
+  (* Orphan sweep. A crash can strand segments no header reaches: a force
+     died between allocating a segment and the header write linking it; a
+     retirement or switch died between its commit write and the page
+     release; or a pending log (whose slot the root never came to name)
+     was simply abandoned. The current log's segment table is the sole
+     source of truth — every registered id outside it goes back to the
+     pool. Ids are never reused across the sweep: [next_id] is advanced
+     past every registered id first. *)
+  (match t.pool with
+  | None -> ()
+  | Some pool ->
+      pool.next_id <-
+        Hashtbl.fold (fun id _ acc -> max acc (id + 1)) pool.registry pool.next_id;
+      let live = List.map snd (Stable_log.segment_table cur_log) in
+      let orphans =
+        Hashtbl.fold (fun id _ acc -> if List.mem id live then acc else id :: acc)
+          pool.registry []
+      in
+      List.iter
+        (fun id ->
+          pool_release pool id;
+          Metrics.incr m_segments_retired;
+          Metrics.incr m_swept;
+          Trace.emit (Trace.Segment_retire { id }))
+        (List.sort compare orphans));
   {
     root = t.root;
     slots = t.slots;
     page_size = t.page_size;
+    pool = t.pool;
     cur;
     cur_log;
     pending = None;
@@ -55,30 +156,84 @@ let current t = t.cur_log
 
 let begin_new t =
   let spare = 1 - t.cur in
-  let log = Stable_log.create ~page_size:t.page_size t.slots.(spare) in
+  let log = mk_log ~page_size:t.page_size t.pool t.slots.(spare) in
   t.pending <- Some log;
   log
 
-let switch t =
+let switch ?low_water t =
   match t.pending with
   | None -> invalid_arg "Log_dir.switch: no pending log"
   | Some log ->
       Stable_log.force log;
+      let old = t.cur_log in
+      (* The root write is the atomic switch: from here the new log is
+         current and every page of the old generation is reclaimable. *)
       Store.put t.root 0 (encode_root (1 - t.cur));
-      Stable_log.destroy t.cur_log;
       t.cur <- 1 - t.cur;
       t.cur_log <- log;
-      t.pending <- None
+      t.pending <- None;
+      (* Retire the old generation below the checkpoint's low-water mark
+         through the documented commit point (header write, then page
+         release — a crash between the two leaves orphans for [open_]),
+         then destroy the handle, returning whatever remained. *)
+      let lw =
+        match low_water with Some a -> a | None -> Stable_log.end_addr old
+      in
+      Stable_log.retire_below old lw;
+      Stable_log.destroy old
 
 let page_size t = t.page_size
-let stores t = [ t.root; t.slots.(0); t.slots.(1) ]
+
+let segment_pages t = match t.pool with None -> 0 | Some p -> p.segment_pages
+
+let segment_ids t =
+  match t.pool with
+  | None -> []
+  | Some pool -> List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) pool.registry [])
+
+let segment_store t id =
+  match t.pool with None -> None | Some pool -> Hashtbl.find_opt pool.registry id
+
+let live_segments t = match t.pool with None -> 0 | Some p -> Hashtbl.length p.registry
+
+let segments_retired t = match t.pool with None -> 0 | Some p -> p.retired_count
+
+let retired_pages t = match t.pool with None -> 0 | Some p -> p.retired_pages
+
+let live_pages t =
+  let base = Store.pages t.root + Store.pages t.slots.(0) + Store.pages t.slots.(1) in
+  match t.pool with
+  | None -> base
+  | Some pool -> Hashtbl.fold (fun _ s acc -> acc + Store.pages s) pool.registry base
+
+let pending_log t = t.pending
+
+let stores t =
+  t.root :: t.slots.(0) :: t.slots.(1)
+  :: List.filter_map (fun id -> segment_store t id) (segment_ids t)
 
 let physical_writes t =
+  let seg =
+    match t.pool with
+    | None -> 0
+    | Some pool ->
+        Hashtbl.fold (fun _ s acc -> acc + Store.physical_writes s) pool.registry
+          pool.retired_writes
+  in
   Store.physical_writes t.root
   + Store.physical_writes t.slots.(0)
   + Store.physical_writes t.slots.(1)
+  + seg
 
 let physical_reads t =
+  let seg =
+    match t.pool with
+    | None -> 0
+    | Some pool ->
+        Hashtbl.fold (fun _ s acc -> acc + Store.physical_reads s) pool.registry
+          pool.retired_reads
+  in
   Store.physical_reads t.root
   + Store.physical_reads t.slots.(0)
   + Store.physical_reads t.slots.(1)
+  + seg

@@ -1,16 +1,21 @@
 module Codec = Rs_util.Codec
 module Vec = Rs_util.Vec
+module Lru = Rs_util.Lru
 module Store = Rs_storage.Stable_store
 module Metrics = Rs_obs.Metrics
 module Trace = Rs_obs.Trace
 
 let m_writes = Metrics.counter "slog.writes"
 let m_forces = Metrics.counter "slog.forces"
-let m_cache_hits = Metrics.counter "slog.page_cache_hits"
-let m_cache_misses = Metrics.counter "slog.page_cache_misses"
+let m_cache_hits = Metrics.counter "slog.cache_hits"
+let m_cache_misses = Metrics.counter "slog.cache_misses"
 let m_entry_reads = Metrics.counter "slog.entry_reads"
 let m_bytes_read = Metrics.counter "slog.bytes_read"
+let m_segments_allocated = Metrics.counter "slog.segments_allocated"
+let m_segments_retired = Metrics.counter "slog.segments_retired"
 let g_stream_bytes = Metrics.gauge "slog.stream_bytes"
+let g_live_bytes = Metrics.gauge "slog.live_bytes"
+let g_live_segments = Metrics.gauge "slog.live_segments"
 let h_force_bytes = Metrics.histogram "slog.force_bytes"
 
 type addr = int
@@ -37,10 +42,75 @@ let skip_header_write = ref false
 
 let set_skip_header_write b = skip_header_write := b
 
+(* ------------------------------------------------------------------ *)
+(* Segments. A segmented log spreads its stream pages over fixed-size
+   segment stores obtained from a provider (Log_dir's shared pool); the
+   anchor store then holds only the header page. Stream page [g] lives in
+   segment [g / segment_pages] at store page [1 + g mod segment_pages]
+   (page 0 of every segment store is its self-describing header). *)
+
+type provider = {
+  alloc : unit -> int * Store.t;
+  lookup : int -> Store.t option;
+  release : int -> unit;
+}
+
+type segment_event = Seg_alloc of int | Seg_link | Seg_retire of int
+
+(* Segment-boundary census hook (Rs_explore): fires after a segment store
+   is allocated and formatted (but before the log header links it), after
+   a header write that changed the segment table or low-water mark (the
+   chain-link/retirement commit point), and after each segment's pages
+   are returned. Raising [Disk.Crash] from the hook lands a crash exactly
+   on that boundary. One client at a time. *)
+let segment_hook : (segment_event -> unit) option ref = ref None
+
+let set_segment_hook h = segment_hook := h
+
+let seg_event ev = match !segment_hook with Some f -> f ev | None -> ()
+
+type segment_header = {
+  seg_id : int;
+  seg_index : int;
+  seg_prev_id : int option; (* segment holding the preceding index at alloc time *)
+  seg_base : addr; (* first stream byte this segment covers *)
+  seg_page_size : int;
+  seg_pages : int;
+}
+
+let encode_segment_header h =
+  let enc = Codec.Enc.create ~size:24 () in
+  Codec.Enc.varint enc h.seg_id;
+  Codec.Enc.varint enc h.seg_index;
+  Codec.Enc.option Codec.Enc.varint enc h.seg_prev_id;
+  Codec.Enc.varint enc h.seg_base;
+  Codec.Enc.varint enc h.seg_page_size;
+  Codec.Enc.varint enc h.seg_pages;
+  Codec.Enc.contents enc
+
+let decode_segment_header s =
+  let dec = Codec.Dec.of_string s in
+  let seg_id = Codec.Dec.varint dec in
+  let seg_index = Codec.Dec.varint dec in
+  let seg_prev_id = Codec.Dec.option Codec.Dec.varint dec in
+  let seg_base = Codec.Dec.varint dec in
+  let seg_page_size = Codec.Dec.varint dec in
+  let seg_pages = Codec.Dec.varint dec in
+  Codec.Dec.expect_end dec;
+  { seg_id; seg_index; seg_prev_id; seg_base; seg_page_size; seg_pages }
+
+type segmentation = {
+  provider : provider;
+  segment_pages : int; (* data pages per segment *)
+  mutable table : (int * int) list; (* index -> segment id, ascending index *)
+}
+
 type t = {
-  store : Store.t;
+  store : Store.t; (* the anchor: holds the header page *)
   page_size : int;
+  seg : segmentation option;
   mutable forced_len : int; (* stable stream bytes *)
+  mutable low_water : int; (* addresses below are retired: unreadable, unchained *)
   mutable forced_entries : int;
   mutable last_offset : int; (* address of the last forced entry; -1 if none *)
   pending : (addr * string) Vec.t; (* buffered entries with assigned addresses *)
@@ -50,21 +120,29 @@ type t = {
          group commit can grow this region to many entries per force. *)
   mutable last_pending : addr option; (* newest pending entry, if any *)
   mutable pending_bytes : int;
-  pages : (int, string) Hashtbl.t; (* volatile page cache, page -> data *)
+  pages : (int, string) Lru.t; (* bounded volatile page cache, page -> data *)
   mutable forces : int;
   mutable entry_reads : int;
   mutable bytes_read : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
   mutable alive : bool;
 }
 
 let check_alive t = if not t.alive then invalid_arg "Stable_log: destroyed handle"
 
 let encode_header t =
-  let enc = Codec.Enc.create ~size:24 () in
+  let enc = Codec.Enc.create ~size:48 () in
   Codec.Enc.varint enc t.forced_len;
   Codec.Enc.varint enc t.forced_entries;
   Codec.Enc.varint enc t.last_offset;
   Codec.Enc.varint enc t.page_size;
+  Codec.Enc.varint enc t.low_water;
+  Codec.Enc.varint enc (match t.seg with None -> 0 | Some s -> s.segment_pages);
+  Codec.Enc.list
+    (Codec.Enc.pair Codec.Enc.varint Codec.Enc.varint)
+    enc
+    (match t.seg with None -> [] | Some s -> s.table);
   Codec.Enc.contents enc
 
 let decode_header s =
@@ -73,75 +151,121 @@ let decode_header s =
   let forced_entries = Codec.Dec.varint dec in
   let last_offset = Codec.Dec.varint dec in
   let page_size = Codec.Dec.varint dec in
+  let low_water = Codec.Dec.varint dec in
+  let segment_pages = Codec.Dec.varint dec in
+  let table = Codec.Dec.list (Codec.Dec.pair Codec.Dec.varint Codec.Dec.varint) dec in
   Codec.Dec.expect_end dec;
-  (forced_len, forced_entries, last_offset, page_size)
+  (forced_len, forced_entries, last_offset, page_size, low_water, segment_pages, table)
 
 let write_header t = Store.put t.store 0 (encode_header t)
 
-let create ?(page_size = 1024) store =
+let update_liveness_gauges t =
+  Metrics.set g_stream_bytes t.forced_len;
+  Metrics.set g_live_bytes (t.forced_len - t.low_water);
+  match t.seg with
+  | Some s -> Metrics.set g_live_segments (List.length s.table)
+  | None -> ()
+
+let mk ~store ~page_size ~seg ~cache_pages ~forced_len ~low_water ~forced_entries
+    ~last_offset =
+  {
+    store;
+    page_size;
+    seg;
+    forced_len;
+    low_water;
+    forced_entries;
+    last_offset;
+    pending = Vec.create ();
+    pending_idx = Hashtbl.create 64;
+    last_pending = None;
+    pending_bytes = 0;
+    pages = Lru.create ~capacity:cache_pages ();
+    forces = 0;
+    entry_reads = 0;
+    bytes_read = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    alive = true;
+  }
+
+let create ?(page_size = 1024) ?(cache_pages = 128) ?segment_pages ?provider store =
   if page_size <= 0 then invalid_arg "Stable_log.create: page_size must be positive";
+  if cache_pages <= 0 then invalid_arg "Stable_log.create: cache_pages must be positive";
+  let seg =
+    match (segment_pages, provider) with
+    | (None | Some 0), _ -> None (* a provider alone leaves the log monolithic *)
+    | Some n, _ when n < 0 -> invalid_arg "Stable_log.create: segment_pages must be >= 0"
+    | Some _, None -> invalid_arg "Stable_log.create: segment_pages requires a provider"
+    | Some n, Some provider -> Some { provider; segment_pages = n; table = [] }
+  in
   let t =
-    {
-      store;
-      page_size;
-      forced_len = 0;
-      forced_entries = 0;
-      last_offset = -1;
-      pending = Vec.create ();
-      pending_idx = Hashtbl.create 64;
-      last_pending = None;
-      pending_bytes = 0;
-      pages = Hashtbl.create 64;
-      forces = 0;
-      entry_reads = 0;
-      bytes_read = 0;
-      alive = true;
-    }
+    mk ~store ~page_size ~seg ~cache_pages ~forced_len:0 ~low_water:0 ~forced_entries:0
+      ~last_offset:(-1)
   in
   write_header t;
+  (* Reformatting returns any data pages a previous occupant provisioned:
+     only the header page survives a [create]. Shrink strictly {e after}
+     the header put commits the empty log — a crash during that put leaves
+     the old header, which must still find its data pages. *)
+  Store.shrink store 1;
   t
 
-let open_ store =
+let open_ ?(cache_pages = 128) ?provider store =
   match Store.get store 0 with
   | None -> failwith "Stable_log.open_: no log header"
   | Some hdr ->
-      let forced_len, forced_entries, last_offset, page_size =
+      let forced_len, forced_entries, last_offset, page_size, low_water, segment_pages, table
+          =
         try decode_header hdr
         with Codec.Error msg -> failwith ("Stable_log.open_: bad header: " ^ msg)
       in
-      {
-        store;
-        page_size;
-        forced_len;
-        forced_entries;
-        last_offset;
-        pending = Vec.create ();
-        pending_idx = Hashtbl.create 64;
-        last_pending = None;
-        pending_bytes = 0;
-        pages = Hashtbl.create 64;
-        forces = 0;
-        entry_reads = 0;
-        bytes_read = 0;
-        alive = true;
-      }
+      let seg =
+        if segment_pages = 0 then None
+        else
+          match provider with
+          | Some provider -> Some { provider; segment_pages; table }
+          | None -> failwith "Stable_log.open_: segmented log needs a provider"
+      in
+      mk ~store ~page_size ~seg ~cache_pages ~forced_len ~low_water ~forced_entries
+        ~last_offset
 
-(* Byte access: stream byte [i] lives on logical page [1 + i/page_size].
-   Pages are fetched on demand and cached; absent bytes (never forced, or
-   in the pending region) come from the pending buffer. *)
+(* Byte access: stream byte [i] lives on stream page [i/page_size] —
+   store page [1 + that] of the anchor (monolithic) or of the covering
+   segment. Pages are fetched on demand through a bounded LRU cache;
+   absent bytes (never forced, or in the pending region) come from the
+   pending buffer. *)
+
+let fetch_page t p =
+  match t.seg with
+  | None -> (
+      match Store.get t.store (1 + p) with
+      | Some data -> data
+      | None -> failwith (Printf.sprintf "Stable_log: lost data page %d" p))
+  | Some s -> (
+      let idx = p / s.segment_pages in
+      match List.assoc_opt idx s.table with
+      | None -> failwith (Printf.sprintf "Stable_log: page %d has no live segment" p)
+      | Some id -> (
+          match s.provider.lookup id with
+          | None -> failwith (Printf.sprintf "Stable_log: segment %d not in the pool" id)
+          | Some store -> (
+              match Store.get store (1 + (p mod s.segment_pages)) with
+              | Some data -> data
+              | None -> failwith (Printf.sprintf "Stable_log: lost data page %d" p))))
 
 let page_data t p =
-  match Hashtbl.find_opt t.pages p with
+  match Lru.find t.pages p with
   | Some data ->
+      t.cache_hits <- t.cache_hits + 1;
       Metrics.incr m_cache_hits;
       data
-  | None -> (
+  | None ->
+      t.cache_misses <- t.cache_misses + 1;
       Metrics.incr m_cache_misses;
-      match Store.get t.store (1 + p) with
-      | Some data ->
-          Hashtbl.replace t.pages p data;
-          data
-      | None -> failwith (Printf.sprintf "Stable_log: lost data page %d" p))
+      let data = fetch_page t p in
+      ignore (Lru.put t.pages p data);
+      data
 
 (* Read [len] stream bytes at [off]; the range must lie in the forced
    region or entirely in the pending region. *)
@@ -185,6 +309,7 @@ let find_pending t a =
 let read t a =
   check_alive t;
   if a < 0 then invalid_arg "Stable_log.read: negative address";
+  if a < t.low_water then invalid_arg "Stable_log.read: address below the low-water mark";
   let payload =
     if a < t.forced_len then begin
       if a + 4 > t.forced_len then invalid_arg "Stable_log.read: bad address";
@@ -204,16 +329,18 @@ let read t a =
   Metrics.incr ~by:(String.length payload) m_bytes_read;
   payload
 
-(* Address of the entry preceding the one at [a], if any. *)
+(* Address of the entry preceding the one at [a], if any. The backward
+   chain terminates at the low-water mark: everything below was retired
+   by housekeeping. *)
 let rec prev_addr t a =
-  if a <= 0 then None
+  if a <= t.low_water then None
   else if a <= t.forced_len then begin
     if a < 4 then invalid_arg "Stable_log.prev_addr: not an entry boundary";
     (* The trailing length word comes off the (possibly corrupt) store:
        bound it before trusting it, like [read] does for leading words. *)
     let len_prev = u32_of (read_forced_bytes t ~off:(a - 4) ~len:4) 0 in
     let p = a - frame_overhead - len_prev in
-    if len_prev < 0 || p < 0 then
+    if len_prev < 0 || p < t.low_water then
       invalid_arg "Stable_log.prev_addr: not an entry boundary";
     Some p
   end
@@ -227,7 +354,7 @@ let rec prev_addr t a =
              pending entry, or the last forced one. *)
           match t.last_pending with
           | Some pa -> Some pa
-          | None -> if t.forced_len > 0 then prev_addr t t.forced_len else None
+          | None -> if t.forced_len > t.low_water then prev_addr t t.forced_len else None
         else invalid_arg "Stable_log.prev_addr: not an entry boundary"
 
 let read_backward t a =
@@ -259,7 +386,7 @@ let write t entry =
   let prev =
     match t.last_pending with
     | Some _ as p -> p
-    | None -> if t.last_offset >= 0 then Some t.last_offset else None
+    | None -> if t.last_offset >= t.low_water then Some t.last_offset else None
   in
   Vec.push t.pending (a, entry);
   Hashtbl.replace t.pending_idx a (entry, prev);
@@ -269,9 +396,46 @@ let write t entry =
   Trace.emit (Trace.Log_write { addr = a; bytes = String.length entry });
   a
 
+(* The store (and the store page within it) backing stream page [p],
+   allocating and formatting a fresh segment when the stream grows past
+   the current tail. A new segment is an {e orphan} until the log header
+   links it: a crash before that header write leaves it unreferenced, and
+   [Log_dir.open_] sweeps it back into the pool. *)
+let ensure_page_store t p =
+  match t.seg with
+  | None -> (t.store, 1 + p, false)
+  | Some s -> (
+      let idx = p / s.segment_pages in
+      let store_page = 1 + (p mod s.segment_pages) in
+      match List.assoc_opt idx s.table with
+      | Some id -> (
+          match s.provider.lookup id with
+          | Some store -> (store, store_page, false)
+          | None -> failwith (Printf.sprintf "Stable_log: segment %d not in the pool" id))
+      | None ->
+          let id, store = s.provider.alloc () in
+          let hdr =
+            {
+              seg_id = id;
+              seg_index = idx;
+              seg_prev_id = List.assoc_opt (idx - 1) s.table;
+              seg_base = idx * s.segment_pages * t.page_size;
+              seg_page_size = t.page_size;
+              seg_pages = s.segment_pages;
+            }
+          in
+          Store.put store 0 (encode_segment_header hdr);
+          s.table <- List.merge compare s.table [ (idx, id) ];
+          Metrics.incr m_segments_allocated;
+          Trace.emit (Trace.Segment_alloc { id; index = idx });
+          seg_event (Seg_alloc id);
+          (store, store_page, true))
+
 (* Flush the pending entries: extend the stream, rewrite the dirty pages
    (read-modify-write of the partial last page via the cache), then commit
-   by writing the header. *)
+   by writing the header. The header write is also what links any segments
+   allocated for the new pages into the chain — one atomic step commits
+   both the bytes and the segment table. *)
 let force t =
   check_alive t;
   if not (Vec.is_empty t.pending) then begin
@@ -284,12 +448,15 @@ let force t =
     Vec.iter (fun (_, e) -> Buffer.add_string buf (frame e)) t.pending;
     let data = Buffer.contents buf in
     let npages = (String.length data + t.page_size - 1) / t.page_size in
+    let linked = ref false in
     for i = 0 to npages - 1 do
       let off = i * t.page_size in
       let len = min t.page_size (String.length data - off) in
       let page = String.sub data off len in
-      Hashtbl.replace t.pages (first_page + i) page;
-      Store.put t.store (1 + first_page + i) page
+      let store, store_page, fresh = ensure_page_store t (first_page + i) in
+      if fresh then linked := true;
+      ignore (Lru.put t.pages (first_page + i) page);
+      Store.put store store_page page
     done;
     let count = Vec.length t.pending in
     let last, _ = Vec.last t.pending in
@@ -301,10 +468,11 @@ let force t =
     t.last_pending <- None;
     t.pending_bytes <- 0;
     if not !skip_header_write then write_header t;
+    if !linked then seg_event Seg_link;
     t.forces <- t.forces + 1;
     Metrics.incr m_forces;
     Metrics.observe h_force_bytes (t.forced_len - start);
-    Metrics.set g_stream_bytes t.forced_len;
+    update_liveness_gauges t;
     Trace.emit (Trace.Log_force { entries = count; stream_bytes = t.forced_len });
     match !force_hook with Some f -> f () | None -> ()
   end
@@ -314,9 +482,52 @@ let force_write t entry =
   force t;
   a
 
+(* Release one segment's pages back to the pool (volatile bookkeeping
+   only — the commit point is whichever header/root write made the
+   segment unreachable first). *)
+let release_segment s id =
+  s.provider.release id;
+  Metrics.incr m_segments_retired;
+  Trace.emit (Trace.Segment_retire { id });
+  seg_event (Seg_retire id)
+
+(* Online space reclamation: raise the low-water mark to [addr] (clamped
+   to the forced stream — pending bytes are volatile, there is nothing to
+   reclaim there) and retire every segment lying wholly below it. The
+   header write naming the new mark and the shrunken table is the single
+   atomic commit point; pages are returned only after it, so a crash
+   between the two leaves unreferenced segments for [Log_dir.open_] to
+   sweep. The segment containing the forced tail is never retired here —
+   it still backs the read-modify-write prefix of the next force —
+   [destroy] returns it when the whole log dies. *)
+let retire_below t addr =
+  check_alive t;
+  if addr < 0 then invalid_arg "Stable_log.retire_below: negative address";
+  let addr = min addr t.forced_len in
+  if addr > t.low_water then begin
+    t.low_water <- addr;
+    let dead =
+      match t.seg with
+      | None -> []
+      | Some s ->
+          let cap = s.segment_pages * t.page_size in
+          let dead, live = List.partition (fun (idx, _) -> ((idx + 1) * cap) <= addr) s.table in
+          s.table <- live;
+          List.map snd dead
+    in
+    write_header t;
+    seg_event Seg_link;
+    (match t.seg with
+    | Some s ->
+        List.iter (release_segment s) dead;
+        if dead <> [] then Lru.clear t.pages
+    | None -> ());
+    update_liveness_gauges t
+  end
+
 let get_top t =
   check_alive t;
-  if t.last_offset < 0 then None else Some t.last_offset
+  if t.last_offset < t.low_water then None else Some t.last_offset
 
 let entry_count t =
   check_alive t;
@@ -334,6 +545,20 @@ let stream_bytes t =
   check_alive t;
   t.forced_len
 
+let low_water t =
+  check_alive t;
+  t.low_water
+
+let live_bytes t =
+  check_alive t;
+  t.forced_len - t.low_water
+
+let page_size t = t.page_size
+
+let segment_pages t = match t.seg with None -> 0 | Some s -> s.segment_pages
+
+let segment_table t = match t.seg with None -> [] | Some s -> s.table
+
 let forces t =
   check_alive t;
   t.forces
@@ -346,5 +571,21 @@ let bytes_read t =
   check_alive t;
   t.bytes_read
 
+let cache_hits t = t.cache_hits
+let cache_misses t = t.cache_misses
 let store t = t.store
-let destroy t = t.alive <- false
+
+(* Invalidate the handle and return every live segment to the pool: once
+   a log is destroyed (the old log after a [Log_dir.switch]) nothing can
+   reference its pages again — the root no longer names its slot. *)
+let destroy t =
+  if t.alive then begin
+    t.alive <- false;
+    Lru.clear t.pages;
+    match t.seg with
+    | None -> ()
+    | Some s ->
+        let ids = List.map snd s.table in
+        s.table <- [];
+        List.iter (release_segment s) ids
+  end

@@ -9,16 +9,30 @@
     returning. After a crash the unforced suffix is gone — exactly the
     property two-phase commit relies on when it forces outcome entries.
 
-    On-disk layout (over an atomic {!Rs_storage.Stable_store}): logical
-    page 0 holds a header [(stream_length, entry_count, last_offset,
-    page_size)]; pages 1..n hold the entry stream, each entry framed as
+    On-disk layout (over atomic {!Rs_storage.Stable_store}s): logical page
+    0 of the {e anchor} store holds a header [(stream_length, entry_count,
+    last_offset, page_size, low_water, segment_pages, segment_table)];
+    the entry stream lives on data pages, each entry framed as
     [u32 length ++ payload ++ u32 length] — the trailing length lets
     {!read_backward} walk the log without an index. A force writes the
     dirty data pages and then the header; the header update is the single
     atomic commit point, so a crash mid-force leaves the previous
     consistent state.
 
-    Reads fetch pages {e on demand} (with a volatile page cache), so
+    {b Monolithic vs segmented.} By default the stream pages follow the
+    header on the anchor store itself, which can only grow. Given a
+    {!type-provider} and [~segment_pages:n], the stream is instead spread
+    over fixed-size {e segment} stores drawn from the provider's pool:
+    stream page [g] lives in segment [g / n] at store page
+    [1 + g mod n], and page 0 of each segment store carries a
+    self-describing {!type-segment_header}. The log header's segment
+    table is the chain spine: a segment exists only once a header write
+    names it (allocation commits with the same force that commits the
+    bytes), and {!retire_below} unlinks wholly-dead segments with one
+    header write before returning their pages — online space reclamation
+    with the header as the single commit point throughout.
+
+    Reads fetch pages {e on demand} through a bounded LRU page cache, so
     recovery pays I/O only for the entries it actually visits — the cost
     difference between the simple log (visits everything) and the hybrid
     log (visits the outcome chain) is real, measurable I/O. *)
@@ -29,15 +43,71 @@ type addr = int
 (** Byte offset of an entry frame; the [log_address] of the thesis.
     Addresses increase monotonically with write order. *)
 
-val create : ?page_size:int -> Rs_storage.Stable_store.t -> t
-(** [create store] formats [store] as a fresh, empty log. [page_size] is
-    the data bytes per logical page (default 1024). *)
+type provider = {
+  alloc : unit -> int * Rs_storage.Stable_store.t;
+      (** Draw a fresh, unused segment store from the pool; returns its
+          pool-wide id. *)
+  lookup : int -> Rs_storage.Stable_store.t option;
+      (** The store for a previously allocated id, if still in the pool. *)
+  release : int -> unit;
+      (** Return a segment's pages to the pool. Volatile bookkeeping: the
+          durable commit is the header write that unlinked the segment. *)
+}
+(** Segment pool interface, implemented by {!Log_dir} over a pool shared
+    between the two log generations. *)
 
-val open_ : Rs_storage.Stable_store.t -> t
+type segment_header = {
+  seg_id : int;  (** pool id of this segment store *)
+  seg_index : int;  (** position in the stream: covers pages [index*n ..] *)
+  seg_prev_id : int option;
+      (** id of the segment holding index-1 when this one was formatted;
+          the redundant back link the fsck checks against the table *)
+  seg_base : addr;  (** first stream byte covered *)
+  seg_page_size : int;
+  seg_pages : int;  (** data pages per segment, as the log was configured *)
+}
+(** Contents of logical page 0 of every segment store, written when the
+    segment is formatted and immutable thereafter. *)
+
+val decode_segment_header : string -> segment_header
+(** Decode a segment store's page 0. Raises {!Rs_util.Codec.Error} on
+    malformed input — used by the segment-chain fsck. *)
+
+type segment_event =
+  | Seg_alloc of int
+      (** a fresh segment store was drawn and formatted (not yet linked) *)
+  | Seg_link
+      (** a header write changed the segment table or low-water mark —
+          the chain-link / retirement commit point *)
+  | Seg_retire of int  (** a segment's pages were returned to the pool *)
+
+val set_segment_hook : (segment_event -> unit) option -> unit
+(** Install (or clear) the process-wide segment-boundary census hook.
+    [Rs_explore] uses it to census segment lifecycle boundaries and to
+    inject a crash {e on} one (by raising {!Rs_storage.Disk.Crash} from
+    the hook). One client at a time. *)
+
+val create :
+  ?page_size:int ->
+  ?cache_pages:int ->
+  ?segment_pages:int ->
+  ?provider:provider ->
+  Rs_storage.Stable_store.t ->
+  t
+(** [create store] formats [store] as a fresh, empty log; any data pages a
+    previous occupant provisioned are shrunk away. [page_size] is the data
+    bytes per logical page (default 1024); [cache_pages] bounds the
+    volatile LRU page cache (default 128). [segment_pages > 0] with a
+    [provider] makes the log segmented ([store] then only ever holds the
+    header page); [segment_pages] defaults to 0 (monolithic) and requires
+    [provider] when positive. *)
+
+val open_ : ?cache_pages:int -> ?provider:provider -> Rs_storage.Stable_store.t -> t
 (** [open_ store] re-opens a previously created log after a crash,
     recovering exactly the forced prefix. Reads only the header page —
     cost independent of log size. Raises [Failure] if [store] holds no
-    valid log header. *)
+    valid log header, or if the header says the log is segmented and no
+    [provider] is given. *)
 
 val write : t -> string -> addr
 (** Append an entry (buffered; not yet stable). Returns its address. *)
@@ -51,11 +121,13 @@ val force : t -> unit
 
 val read : t -> addr -> string
 (** [read t a] is the entry at address [a] (forced or still buffered).
-    Raises [Invalid_argument] if [a] is not an entry boundary. *)
+    Raises [Invalid_argument] if [a] is not an entry boundary or lies
+    below the low-water mark (its pages may be retired). *)
 
 val read_backward : t -> addr -> (addr * string) Seq.t
-(** Entries from address [a] down to the first entry (§3.1 operation 4),
-    using the trailing-length back chain. *)
+(** Entries from address [a] down to the first {e live} entry (§3.1
+    operation 4), using the trailing-length back chain; the walk stops at
+    the low-water mark. *)
 
 val read_forward : t -> addr -> (addr * string) Seq.t
 (** Entries from address [a] (inclusive) to the end of the log, buffered
@@ -68,7 +140,19 @@ val end_addr : t -> addr
 
 val get_top : t -> addr option
 (** Address of the last entry {e forced} to the log, or [None] if empty
-    (§3.1 operation 5). *)
+    or everything forced has been retired (§3.1 operation 5). *)
+
+val retire_below : t -> addr -> unit
+(** [retire_below t a] declares every entry below address [a] dead —
+    recovery will never visit it again — and reclaims the space it can:
+    the low-water mark rises to [a] (clamped to the forced stream) and,
+    in a segmented log, every segment wholly below the mark is unlinked
+    and its pages returned to the pool. The header write recording the
+    new mark and table is the single atomic commit point; pages are
+    released only after it, so a crash in between merely leaves orphan
+    segments for {!Log_dir.open_} to sweep. The segment containing the
+    forced tail survives even when wholly dead — it still backs the
+    read-modify-write prefix of the next force. *)
 
 val entry_count : t -> int
 (** Total entries including buffered ones. *)
@@ -77,8 +161,25 @@ val forced_count : t -> int
 val is_forced : t -> addr -> bool
 
 val stream_bytes : t -> int
-(** Bytes of entry stream forced so far — a size metric for housekeeping
-    policy and benchmarks. *)
+(** Bytes of entry stream forced so far (retired bytes included — stream
+    addresses are never reused). *)
+
+val low_water : t -> addr
+(** Addresses below this are retired: unreadable and unchained. 0 until
+    the first {!retire_below}. *)
+
+val live_bytes : t -> int
+(** [stream_bytes - low_water]: the stream bytes recovery could still
+    visit — the footprint metric housekeeping is meant to bound. *)
+
+val page_size : t -> int
+
+val segment_pages : t -> int
+(** Data pages per segment, or 0 for a monolithic log. *)
+
+val segment_table : t -> (int * int) list
+(** Live [(index, segment id)] pairs, ascending index; [] when
+    monolithic. *)
 
 val forces : t -> int
 (** Number of force operations performed (each costs synchronous I/O). *)
@@ -92,7 +193,14 @@ val entry_reads : t -> int
 val bytes_read : t -> int
 (** Total payload bytes handed out by reads. *)
 
+val cache_hits : t -> int
+(** Page-cache hits on this log (process-wide totals are the
+    [slog.cache_hits] / [slog.cache_misses] counters). *)
+
+val cache_misses : t -> int
 val store : t -> Rs_storage.Stable_store.t
+(** The anchor store (header page; plus the whole stream when
+    monolithic). *)
 
 val set_force_hook : (unit -> unit) option -> unit
 (** Install (or clear) the process-wide fault-point census hook: it runs
@@ -109,6 +217,7 @@ val set_skip_header_write : bool -> unit
     (the [--break-force] self-test). *)
 
 val destroy : t -> unit
-(** Invalidate the in-memory handle (the thesis's [destroy]); subsequent
-    operations raise [Invalid_argument]. The underlying store can be
-    reused. *)
+(** Invalidate the in-memory handle (the thesis's [destroy]) and, in a
+    segmented log, return every remaining segment to the pool — nothing
+    can name this log's pages once its slot is no longer current.
+    Subsequent operations raise [Invalid_argument]. *)

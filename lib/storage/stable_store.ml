@@ -129,6 +129,10 @@ let recover t =
     | None, None -> ()
   done
 
+let shrink t n =
+  Disk.shrink t.a n;
+  Disk.shrink t.b n
+
 let arm_crash t ~after_writes =
   if after_writes < 0 then invalid_arg "Stable_store.arm_crash: negative";
   t.armed <- Some after_writes

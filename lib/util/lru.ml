@@ -1,0 +1,88 @@
+(* Doubly-linked recency list threaded through a hash table. [first] is
+   the most recently used node, [last] the eviction candidate. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option; (* towards [first] *)
+  mutable next : ('k, 'v) node option; (* towards [last] *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable first : ('k, 'v) node option;
+  mutable last : ('k, 'v) node option;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { cap = capacity; tbl = Hashtbl.create (min capacity 64); first = None; last = None }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.last <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.first;
+  (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
+  t.first <- Some n
+
+let touch t n =
+  match t.first with
+  | Some f when f == n -> ()
+  | Some _ | None ->
+      unlink t n;
+      push_front t n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+      touch t n;
+      Some n.value
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let put t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      n.value <- v;
+      touch t n;
+      None
+  | None ->
+      let n = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.tbl k n;
+      push_front t n;
+      if Hashtbl.length t.tbl <= t.cap then None
+      else
+        match t.last with
+        | None -> None (* unreachable: cap >= 1 and we just inserted *)
+        | Some victim ->
+            unlink t victim;
+            Hashtbl.remove t.tbl victim.key;
+            Some (victim.key, victim.value)
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl k
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.first <- None;
+  t.last <- None
+
+let keys t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.first

@@ -1,0 +1,30 @@
+(** A bounded LRU map: hash table plus intrusive recency list.
+
+    Built for page caches — O(1) find/put/remove, a fixed capacity, and a
+    deterministic eviction order (least-recently-used first) that tests
+    can pin down via {!keys}. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> unit -> ('k, 'v) t
+(** Raises [Invalid_argument] unless [capacity >= 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Marks the binding most-recently-used when present. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Pure lookup: does {e not} touch recency. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Insert or overwrite, marking the binding most-recently-used. When the
+    insert pushes the map past capacity, the least-recently-used binding
+    is dropped and returned. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+val clear : ('k, 'v) t -> unit
+
+val keys : ('k, 'v) t -> 'k list
+(** Most-recently-used first — the reverse of eviction order. *)

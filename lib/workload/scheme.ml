@@ -55,10 +55,13 @@ let crash_recover t =
   match t with
   | Simple { dir; _ } ->
       let rs, info = Core.Simple_rs.recover dir in
-      (Simple { heap = Core.Simple_rs.heap rs; dir; rs }, info)
+      (* [recover] builds a fresh directory record over the surviving
+         stores; keep that one — the pre-crash record's volatile state
+         (current-log handle, segment table) is stale. *)
+      (Simple { heap = Core.Simple_rs.heap rs; dir = Core.Simple_rs.dir rs; rs }, info)
   | Hybrid { dir; _ } ->
       let rs, info = Core.Hybrid_rs.recover dir in
-      (Hybrid { heap = Core.Hybrid_rs.heap rs; dir; rs }, info)
+      (Hybrid { heap = Core.Hybrid_rs.heap rs; dir = Core.Hybrid_rs.dir rs; rs }, info)
   | Shadow { rs; _ } ->
       let rs, info = Core.Shadow_rs.recover rs in
       (Shadow { heap = Core.Shadow_rs.heap rs; rs }, info)
@@ -117,14 +120,18 @@ let log_bytes = function
   | Hybrid { rs; _ } -> Log.stream_bytes (Core.Hybrid_rs.log rs)
   | Shadow _ -> 0
 
-let simple () =
+let log_dir = function
+  | Simple { dir; _ } | Hybrid { dir; _ } -> Some dir
+  | Shadow _ -> None
+
+let simple ?page_size ?segment_pages () =
   let heap = Heap.create () in
-  let dir = Log_dir.create () in
+  let dir = Log_dir.create ?page_size ?segment_pages () in
   Simple { heap; dir; rs = Core.Simple_rs.create heap dir }
 
-let hybrid () =
+let hybrid ?page_size ?segment_pages () =
   let heap = Heap.create () in
-  let dir = Log_dir.create () in
+  let dir = Log_dir.create ?page_size ?segment_pages () in
   Hybrid { heap; dir; rs = Core.Hybrid_rs.create heap dir }
 
 let shadow () =

@@ -60,6 +60,11 @@ val current_log : t -> Rs_slog.Stable_log.t option
 (** The scheme's current log ([None] for shadow, whose stable layout is a
     map plus version store) — for validation with {!Core.Log_check}. *)
 
+val log_dir : t -> Rs_slog.Log_dir.t option
+(** The logged schemes' log directory ([None] for shadow) — for the
+    segment-chain fsck ({!Core.Log_check.check_segments}) and space
+    accounting. *)
+
 val stable_stores : t -> Rs_storage.Stable_store.t list
 (** Every stable store behind the scheme — for fault injection: arm a
     crash on one of these, run an operation, and recover. *)
@@ -73,8 +78,12 @@ val log_entries : t -> int
 
 val log_bytes : t -> int
 
-val simple : unit -> t
-val hybrid : unit -> t
+val simple : ?page_size:int -> ?segment_pages:int -> unit -> t
+val hybrid : ?page_size:int -> ?segment_pages:int -> unit -> t
+(** [page_size] and [segment_pages] configure the scheme's
+    {!Rs_slog.Log_dir.create}; [~segment_pages:0] selects monolithic
+    logs. *)
+
 val shadow : unit -> t
 val all : unit -> t list
 (** Fresh instances of all three, in [simple; hybrid; shadow] order. *)

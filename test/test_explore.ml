@@ -24,6 +24,12 @@ let test_hybrid_clean () = check_clean "hybrid"
 let test_shadow_clean () = check_clean "shadow"
 let test_twopc_clean () = check_clean "twopc"
 
+(* The segmented-log target: crash schedules over segment allocation,
+   link, and retirement boundaries (plus forces and store writes) in a
+   churn-heavy, housekeeping-heavy workload; oracles include the
+   segment-chain fsck. *)
+let test_segments_clean () = check_clean "segments"
+
 (* The group-commit target gets the full acceptance budget: committed
    effects must be durable and pairs atomic at every batch boundary,
    including crashes landing between a token's enqueue and its flush. *)
@@ -83,6 +89,7 @@ let suite =
     Alcotest.test_case "hybrid survives exploration" `Quick test_hybrid_clean;
     Alcotest.test_case "shadow survives exploration" `Quick test_shadow_clean;
     Alcotest.test_case "twopc survives exploration" `Quick test_twopc_clean;
+    Alcotest.test_case "segments survive exploration" `Quick test_segments_clean;
     Alcotest.test_case "group commit survives exploration" `Quick test_group_clean;
     Alcotest.test_case "seeded broken force is caught" `Quick test_broken_force_caught;
     Alcotest.test_case "group target catches broken force" `Quick

@@ -280,6 +280,10 @@ let cases =
             (Printf.sprintf "graph fuzz %s seed %d" name seed)
             `Slow (fuzz_scheme mk ~seed))
         [ 1; 2; 3; 4; 5 ])
-    [ ("simple", Scheme.simple); ("hybrid", Scheme.hybrid); ("shadow", Scheme.shadow) ]
+    [
+      ("simple", fun () -> Scheme.simple ());
+      ("hybrid", fun () -> Scheme.hybrid ());
+      ("shadow", Scheme.shadow);
+    ]
 
 let suite = cases

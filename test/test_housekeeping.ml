@@ -182,6 +182,111 @@ let test_snapshot_trims_as () =
   Rs.housekeep rs Rs.Snapshot;
   Alcotest.(check bool) "dropped after snapshot" false (Rs.accessible rs ua)
 
+(* Structural oracles shared by the crash tests below: the recovered log
+   validates clean and the segment chain has no orphans or gaps. *)
+let fsck rs label =
+  (match Core.Log_check.check_log (Rs.log rs) with
+  | [] -> ()
+  | issues ->
+      Alcotest.failf "%s: log fsck: %s" label
+        (String.concat "; " (List.map (Format.asprintf "%a" Core.Log_check.pp_issue) issues)));
+  match Core.Log_check.check_segments (Rs.dir rs) with
+  | [] -> ()
+  | issues ->
+      Alcotest.failf "%s: segment fsck: %s" label
+        (String.concat "; " (List.map (Format.asprintf "%a" Core.Log_check.pp_issue) issues))
+
+(* Commits and aborts interleave between the two stages: committed effects
+   carry over, aborted ones leave no trace, and the switched log passes
+   both fscks. *)
+let test_interleaved_commit_abort technique () =
+  let heap, dir, rs = fresh () in
+  for i = 0 to 9 do
+    commit_value heap rs ~seq:i ~name:"x" ~v:i
+  done;
+  let job = Rs.begin_housekeeping rs technique in
+  let abort_attempt seq v =
+    let t = aid seq in
+    (match Heap.get_stable_var heap "x" with
+    | Some (Value.Ref a) -> Heap.set_current heap t a (Value.Int v)
+    | Some _ | None -> Alcotest.fail "setup");
+    Rs.prepare rs t (Heap.mos heap t);
+    Rs.abort rs t;
+    Heap.abort_action heap t
+  in
+  commit_value heap rs ~seq:100 ~name:"x" ~v:100;
+  abort_attempt 101 666;
+  commit_value heap rs ~seq:102 ~name:"y" ~v:55;
+  abort_attempt 103 777;
+  commit_value heap rs ~seq:104 ~name:"x" ~v:104;
+  Rs.finish_housekeeping rs job;
+  fsck rs "after finish";
+  let rs', _ = Rs.recover dir in
+  let heap' = Rs.heap rs' in
+  Alcotest.(check int) "aborts left no trace on x" 104 (stable_int heap' "x");
+  Alcotest.(check int) "mid-housekeeping commit on y" 55 (stable_int heap' "y");
+  fsck rs' "after recovery"
+
+(* Crash exactly at the stage boundary, for both techniques: the old log
+   stays authoritative and the half-built pending log's segments are
+   swept back into the pool at recovery. *)
+let test_crash_at_stage_boundary technique () =
+  let heap, dir, rs = fresh () in
+  for i = 0 to 9 do
+    commit_value heap rs ~seq:i ~name:"x" ~v:i
+  done;
+  let _job = Rs.begin_housekeeping rs technique in
+  commit_value heap rs ~seq:50 ~name:"x" ~v:50;
+  (* Crash before finish_housekeeping ever runs. *)
+  let rs', _ = Rs.recover dir in
+  Alcotest.(check int) "old log authoritative" 50 (stable_int (Rs.heap rs') "x");
+  fsck rs' "recovered at stage boundary";
+  let dir' = Rs.dir rs' in
+  Alcotest.(check (option Alcotest.reject)) "pending log abandoned" None
+    (Option.map (fun _ -> ()) (Log_dir.pending_log dir'));
+  Alcotest.(check (list int)) "pending segments swept"
+    (List.sort compare (List.map snd (Log.segment_table (Rs.log rs'))))
+    (Log_dir.segment_ids dir')
+
+(* Crash on the retirement of an old-generation segment, after the root
+   flip made the new log current: recovery keeps every committed effect
+   (including post-marker traffic) and sweeps the stranded segments. *)
+let test_crash_at_segment_retirement technique () =
+  let heap = Heap.create () in
+  let dir = Log_dir.create ~page_size:128 ~segment_pages:2 () in
+  let rs = Rs.create heap dir in
+  for i = 0 to 19 do
+    commit_value heap rs ~seq:i ~name:(Printf.sprintf "k%d" (i mod 2)) ~v:i
+  done;
+  let job = Rs.begin_housekeeping rs technique in
+  commit_value heap rs ~seq:100 ~name:"k0" ~v:100;
+  let armed = ref true in
+  Log.set_segment_hook
+    (Some
+       (function
+         | Log.Seg_retire _ when !armed ->
+             armed := false;
+             raise Rs_storage.Disk.Crash
+         | _ -> ()));
+  let crashed =
+    match
+      Fun.protect
+        ~finally:(fun () -> Log.set_segment_hook None)
+        (fun () -> Rs.finish_housekeeping rs job)
+    with
+    | () -> false
+    | exception Rs_storage.Disk.Crash -> true
+  in
+  Alcotest.(check bool) "crash fired at retirement" true crashed;
+  let rs', _ = Rs.recover dir in
+  let heap' = Rs.heap rs' in
+  Alcotest.(check int) "post-marker commit durable" 100 (stable_int heap' "k0");
+  Alcotest.(check int) "pre-marker commit durable" 19 (stable_int heap' "k1");
+  fsck rs' "after retirement crash";
+  Alcotest.(check (list int)) "stranded segments swept"
+    (List.sort compare (List.map snd (Log.segment_table (Rs.log rs'))))
+    (Log_dir.segment_ids (Rs.dir rs'))
+
 let with_technique name f =
   [
     Alcotest.test_case (name ^ " (compaction)") `Quick (f Rs.Compaction);
@@ -294,6 +399,9 @@ let suite =
   @ with_technique "preserves mutex semantics" test_housekeep_preserves_mutex
   @ with_technique "two-stage interleaving" test_two_stage_interleaving
   @ with_technique "in-flight early prepare" test_inflight_early_prepare
+  @ with_technique "interleaved commits and aborts" test_interleaved_commit_abort
+  @ with_technique "crash at stage boundary" test_crash_at_stage_boundary
+  @ with_technique "crash at segment retirement" test_crash_at_segment_retirement
   @ [
       Alcotest.test_case "crash during housekeeping" `Quick test_crash_during_housekeeping;
       Alcotest.test_case "repeated housekeeping" `Quick test_repeated_housekeeping;

@@ -116,6 +116,62 @@ let test_housekept_logs_clean () =
             (String.concat "; " (List.map (Format.asprintf "%a" Check.pp_issue) issues)))
     [ Core.Hybrid_rs.Compaction; Core.Hybrid_rs.Snapshot ]
 
+(* ---------- Segment-chain fsck ---------- *)
+
+module Store = Rs_storage.Stable_store
+
+let seg_issues dir = Check.check_segments dir
+
+let test_check_segments_clean () =
+  (* Monolithic directories trivially validate. *)
+  Alcotest.(check int) "monolithic" 0
+    (List.length (seg_issues (Log_dir.create ~segment_pages:0 ())));
+  (* A segmented directory through churn, retirement, and housekeeping. *)
+  let scheme = Scheme.hybrid ~page_size:128 ~segment_pages:2 () in
+  let t = Synth.create ~seed:11 ~scheme ~n_objects:8 () in
+  let dir = Option.get (Scheme.log_dir scheme) in
+  Alcotest.(check int) "fresh" 0 (List.length (seg_issues dir));
+  Synth.run_random_actions t ~n:40 ~objects_per_action:2 ~abort_rate:0.2 ();
+  Alcotest.(check int) "after churn" 0 (List.length (seg_issues dir));
+  Scheme.housekeep scheme Scheme.Snapshot;
+  Alcotest.(check int) "after housekeeping" 0 (List.length (seg_issues dir));
+  Synth.run_random_actions t ~n:20 ~objects_per_action:2 ~abort_rate:0.2 ();
+  Scheme.housekeep scheme Scheme.Compaction;
+  Alcotest.(check int) "after second housekeeping" 0 (List.length (seg_issues dir))
+
+let test_check_segments_detects_corruption () =
+  let dir = Log_dir.create ~page_size:64 ~segment_pages:2 () in
+  let log = Log_dir.current dir in
+  for i = 0 to 9 do
+    ignore (Log.write log (String.make 40 (Char.chr (65 + i))))
+  done;
+  Log.force log;
+  Alcotest.(check int) "clean before corruption" 0 (List.length (seg_issues dir));
+  (* Smash a linked segment's self-describing header page. *)
+  let id = List.hd (Log_dir.segment_ids dir) in
+  let store = Option.get (Log_dir.segment_store dir id) in
+  Store.put store 0 "not a segment header";
+  (match seg_issues dir with
+  | [] -> Alcotest.fail "corrupted segment header not detected"
+  | issues ->
+      Alcotest.(check bool) "names the segment" true
+        (List.exists
+           (fun (i : Check.issue) ->
+             contains_substring (Format.asprintf "%a" Check.pp_issue i) "segment")
+           issues));
+  (* A header that decodes but describes the wrong slot is also caught:
+     swap two segments' headers. *)
+  match Log_dir.segment_ids dir with
+  | a :: b :: _ when a <> b ->
+      let sa = Option.get (Log_dir.segment_store dir a) in
+      let sb = Option.get (Log_dir.segment_store dir b) in
+      let ha = Option.get (Store.get sb 0) in
+      Store.put sa 0 ha;
+      (match seg_issues dir with
+      | [] -> Alcotest.fail "swapped segment header not detected"
+      | _ -> ())
+  | _ -> Alcotest.fail "expected at least two segments"
+
 let suite =
   [
     Alcotest.test_case "detects bad chain pointer" `Quick test_detects_forward_chain;
@@ -125,4 +181,7 @@ let suite =
     Alcotest.test_case "detects committed without prepared" `Quick test_detects_committed_without_prepared;
     Alcotest.test_case "workload logs validate clean" `Quick test_workload_logs_clean;
     Alcotest.test_case "housekept logs validate clean" `Quick test_housekept_logs_clean;
+    Alcotest.test_case "segment chain validates clean" `Quick test_check_segments_clean;
+    Alcotest.test_case "segment fsck detects corruption" `Quick
+      test_check_segments_detects_corruption;
   ]

@@ -202,6 +202,258 @@ let test_corrupt_length_word () =
     (Invalid_argument "Stable_log.prev_addr: not an entry boundary") (fun () ->
       ignore (List.of_seq (Log.read_backward l'' a1)))
 
+(* ---------- Segmented logs ---------- *)
+
+(* A minimal in-test segment pool: enough of [Log.provider] to run a
+   segmented log without a [Log_dir]. *)
+let mk_provider () =
+  let registry : (int, Store.t) Hashtbl.t = Hashtbl.create 8 in
+  let next = ref 0 in
+  let released = ref [] in
+  let provider =
+    {
+      Log.alloc =
+        (fun () ->
+          let id = !next in
+          incr next;
+          let s = Store.create ~pages:1 () in
+          Hashtbl.replace registry id s;
+          (id, s));
+      lookup = (fun id -> Hashtbl.find_opt registry id);
+      release =
+        (fun id ->
+          if not (Hashtbl.mem registry id) then invalid_arg "released unknown segment";
+          released := id :: !released;
+          Hashtbl.remove registry id);
+    }
+  in
+  (provider, registry, released)
+
+let test_segmented_write_read () =
+  let provider, registry, _ = mk_provider () in
+  let store = Store.create ~pages:1 () in
+  let l = Log.create ~page_size:32 ~segment_pages:2 ~provider store in
+  (* Entries sized to straddle pages and segment boundaries (64 bytes per
+     segment here). *)
+  let payload i = String.make (11 + (i * 13 mod 70)) (Char.chr (97 + (i mod 26))) in
+  let addrs = List.init 12 (fun i -> (i, Log.write l (payload i))) in
+  Log.force l;
+  Alcotest.(check bool) "spans several segments" true (List.length (Log.segment_table l) >= 3);
+  Alcotest.(check int) "registry matches table" (List.length (Log.segment_table l))
+    (Hashtbl.length registry);
+  List.iter
+    (fun (i, a) ->
+      Alcotest.(check string) (Printf.sprintf "entry %d" i) (payload i) (Log.read l a))
+    addrs;
+  (* Every segment header describes its table slot. *)
+  let cap = 2 * 32 in
+  List.iter
+    (fun (idx, id) ->
+      let s = Option.get (Hashtbl.find_opt registry id) in
+      let h = Log.decode_segment_header (Option.get (Store.get s 0)) in
+      Alcotest.(check int) "header id" id h.Log.seg_id;
+      Alcotest.(check int) "header index" idx h.Log.seg_index;
+      Alcotest.(check int) "header base" (idx * cap) h.Log.seg_base)
+    (Log.segment_table l);
+  (* Reopen from the anchor alone: only the header page is read, segments
+     resolve through the provider. *)
+  let l' = Log.open_ ~provider store in
+  Alcotest.(check int) "count survives" 12 (Log.entry_count l');
+  List.iter
+    (fun (i, a) ->
+      Alcotest.(check string) (Printf.sprintf "reopened %d" i) (payload i) (Log.read l' a))
+    addrs
+
+let test_segmented_retire () =
+  let provider, registry, released = mk_provider () in
+  let store = Store.create ~pages:1 () in
+  let l = Log.create ~page_size:32 ~segment_pages:2 ~provider store in
+  let addrs = List.init 12 (fun i -> Log.write l (String.make 20 (Char.chr (65 + i)))) in
+  Log.force l;
+  let before = List.length (Log.segment_table l) in
+  (* Retire below the 8th entry: frames are 28 bytes, so entries 0..7
+     cover stream bytes 0..223 — segments 0..2 (64 bytes each) die. *)
+  let cut = List.nth addrs 8 in
+  Log.retire_below l cut;
+  Alcotest.(check int) "low water" cut (Log.low_water l);
+  Alcotest.(check int) "live bytes" (Log.stream_bytes l - cut) (Log.live_bytes l);
+  Alcotest.(check bool) "segments unlinked" true (List.length (Log.segment_table l) < before);
+  Alcotest.(check bool) "pages returned" true (!released <> []);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "released id not in registry" false (Hashtbl.mem registry id))
+    !released;
+  (* Dead addresses are unreadable; live ones still read fine. *)
+  Alcotest.check_raises "retired address rejected"
+    (Invalid_argument "Stable_log.read: address below the low-water mark") (fun () ->
+      ignore (Log.read l (List.hd addrs)));
+  Alcotest.(check string) "live entry reads" (String.make 20 'I') (Log.read l cut);
+  (* The backward walk stops at the mark. *)
+  let top = Option.get (Log.get_top l) in
+  Alcotest.(check int) "walk covers live suffix" 4
+    (List.length (List.of_seq (Log.read_backward l top)));
+  (* Retiring the whole forced stream keeps the tail segment: it backs the
+     next force's read-modify-write. *)
+  Log.retire_below l (Log.end_addr l);
+  Alcotest.(check bool) "tail segment survives" true (List.length (Log.segment_table l) = 1);
+  Alcotest.(check (option int)) "nothing live to walk" None (Log.get_top l);
+  (* And the log keeps appending across the fully-retired boundary. *)
+  let a = Log.force_write l "after-retirement" in
+  Alcotest.(check string) "append after retirement" "after-retirement" (Log.read l a);
+  let l' = Log.open_ ~provider store in
+  Alcotest.(check string) "and survives reopen" "after-retirement" (Log.read l' a)
+
+(* Crash injected at each segment-lifecycle boundary via the census hook;
+   [Log_dir.open_] must recover the forced prefix and sweep any segment
+   the crash stranded between allocation and header-link. *)
+let test_segment_boundary_crashes () =
+  List.iter
+    (fun (stage, label, expect_entries) ->
+      let dir = Log_dir.create ~page_size:32 ~segment_pages:2 () in
+      let log = Log_dir.current dir in
+      ignore (Log.force_write log (String.make 40 'a'));
+      let live_before = Log_dir.live_segments dir in
+      Log.set_segment_hook
+        (Some
+           (fun ev ->
+             match (ev, stage) with
+             | Log.Seg_alloc _, `Alloc | Log.Seg_link, `Link -> raise Disk.Crash
+             | _ -> ()));
+      let crashed =
+        match
+          Fun.protect
+            ~finally:(fun () -> Log.set_segment_hook None)
+            (fun () ->
+              List.iter (fun _ -> ignore (Log.write log (String.make 40 'b'))) [ 1; 2; 3 ];
+              Log.force log)
+        with
+        | () -> false
+        | exception Disk.Crash -> true
+      in
+      Alcotest.(check bool) (label ^ ": crash fired") true crashed;
+      let dir' = Log_dir.open_ dir in
+      let log' = Log_dir.current dir' in
+      (* Seg_alloc fires before the header write: the interrupted force is
+         lost and only the pre-crash prefix survives. Seg_link fires after
+         it — the commit point — so there the force is already durable. *)
+      Alcotest.(check int) (label ^ ": forced prefix") expect_entries (Log.entry_count log');
+      Alcotest.(check string) (label ^ ": survivor") (String.make 40 'a') (Log.read log' 0);
+      (* No stranded segments: the pool holds exactly the table's ids. *)
+      if stage = `Alloc then
+        Alcotest.(check int)
+          (label ^ ": stranded segment swept") live_before (Log_dir.live_segments dir');
+      Alcotest.(check (list int))
+        (label ^ ": registry = table")
+        (List.sort compare (List.map snd (Log.segment_table log')))
+        (Log_dir.segment_ids dir');
+      (* And the survivor keeps working. *)
+      ignore (Log.force_write log' "onward"))
+    [ (`Alloc, "seg-alloc", 1); (`Link, "seg-link", 4) ]
+
+let test_lru_cache_metrics () =
+  (* Entries framed to exactly one 32-byte page each, so reads map 1:1 to
+     pages and the eviction order is pinned. *)
+  let store = Store.create ~pages:8 () in
+  let l = Log.create ~page_size:32 store in
+  let addrs = List.init 4 (fun i -> Log.write l (String.make 24 (Char.chr (65 + i)))) in
+  Log.force l;
+  let l = Log.open_ ~cache_pages:2 store in
+  let a n = List.nth addrs n in
+  (* A miss is a page fetch from the store, so miss counts pin the cache's
+     behavior exactly; a single [read] may consult its page several times
+     (length word, payload), so hit counts are only checked to grow. *)
+  let expect n misses label =
+    Alcotest.(check string) (label ^ ": payload") (String.make 24 (Char.chr (65 + n)))
+      (Log.read l (a n));
+    Alcotest.(check int) (label ^ ": misses") misses (Log.cache_misses l)
+  in
+  expect 0 1 "cold read fetches page 0";
+  let h = Log.cache_hits l in
+  expect 0 1 "re-read served from cache";
+  Alcotest.(check bool) "re-read registered hits" true (Log.cache_hits l > h);
+  expect 1 2 "second page fetched";
+  expect 0 2 "page 0 still cached";
+  expect 2 3 "third page fetched (evicts LRU page 1)";
+  expect 1 4 "page 1 was evicted";
+  expect 2 4 "page 2 still cached"
+
+(* Property: entry framing survives any mix of sizes straddling page and
+   segment boundaries, reopening after every force, with occasional
+   online retirement — the reopened log always reproduces exactly the
+   forced prefix above the low-water mark. *)
+let test_framing_fuzz () =
+  let rng = Rs_util.Rng.create 0xf5a9 in
+  for case = 0 to 549 do
+    let page_size = 16 + Rs_util.Rng.int rng 49 in
+    let segmented = Rs_util.Rng.int rng 4 > 0 in
+    let provider =
+      if segmented then Some (let p, _, _ = mk_provider () in p) else None
+    in
+    let segment_pages = if segmented then Some (1 + Rs_util.Rng.int rng 3) else None in
+    let store = Store.create ~pages:1 () in
+    let l = ref (Log.create ~page_size ?segment_pages ?provider store) in
+    (* Model: forced prefix, pending suffix, low-water mark. *)
+    let forced = ref [] (* newest first *) and pending = ref [] and lw = ref 0 in
+    let verify label =
+      let live () = List.filter (fun (a, _) -> a >= !lw) !forced in
+      (match (Log.get_top !l, live ()) with
+      | None, [] -> ()
+      | Some top, (a, _) :: _ when top = a ->
+          let walked = List.of_seq (Log.read_backward !l top) in
+          if walked <> live () then
+            Alcotest.failf "case %d (%s): backward walk diverges from model" case label
+      | top, liv ->
+          Alcotest.failf "case %d (%s): top %s, model %s" case label
+            (match top with None -> "none" | Some a -> string_of_int a)
+            (match liv with [] -> "empty" | (a, _) :: _ -> string_of_int a));
+      Alcotest.(check int)
+        (Printf.sprintf "case %d (%s): low water" case label)
+        !lw (Log.low_water !l)
+    in
+    for _op = 0 to 13 + Rs_util.Rng.int rng 10 do
+      match Rs_util.Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 | 4 | 5 ->
+          (* Sizes from empty through several pages (and, with small
+             segment_pages, whole segments). *)
+          let len = Rs_util.Rng.int rng (3 * page_size) in
+          let payload = String.init len (fun i -> Char.chr (32 + ((i + len) mod 90))) in
+          let a = Log.write !l payload in
+          pending := (a, payload) :: !pending
+      | 6 | 7 ->
+          Log.force !l;
+          forced := !pending @ !forced;
+          pending := [];
+          (* Reopen after every force: the crash contract in miniature. *)
+          l := Log.open_ ?provider store;
+          verify "reopen"
+      | 8 ->
+          let a = Log.force_write !l "marker" in
+          forced := ((a, "marker") :: !pending) @ !forced;
+          pending := [];
+          verify "force_write"
+      | _ ->
+          (* Retire at a random forced entry boundary (pending suffix kept:
+             the log clamps the mark to the forced stream). *)
+          Log.force !l;
+          forced := !pending @ !forced;
+          pending := [];
+          (match !forced with
+          | [] -> ()
+          | entries ->
+              let a, _ = List.nth entries (Rs_util.Rng.int rng (List.length entries)) in
+              if a > !lw then begin
+                Log.retire_below !l a;
+                lw := a
+              end);
+          verify "retire"
+    done;
+    Log.force !l;
+    forced := !pending @ !forced;
+    pending := [];
+    l := Log.open_ ?provider store;
+    verify "final"
+  done
+
 (* Property: under any sequence of writes, forces, and a final crash, the
    reopened log holds exactly the entries written before the last force,
    in order. *)
@@ -247,5 +499,10 @@ let suite =
     Alcotest.test_case "log dir open recovers slot stores" `Quick
       test_log_dir_recovers_slot_stores;
     Alcotest.test_case "corrupt length word rejected" `Quick test_corrupt_length_word;
+    Alcotest.test_case "segmented write/read/reopen" `Quick test_segmented_write_read;
+    Alcotest.test_case "segmented retirement" `Quick test_segmented_retire;
+    Alcotest.test_case "crash at segment boundaries" `Quick test_segment_boundary_crashes;
+    Alcotest.test_case "page cache hits and eviction" `Quick test_lru_cache_metrics;
+    Alcotest.test_case "framing fuzz (550 cases)" `Quick test_framing_fuzz;
     QCheck_alcotest.to_alcotest prop_forced_prefix;
   ]

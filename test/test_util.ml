@@ -138,6 +138,37 @@ let test_aid_gen () =
   Aid.Gen.reset_past g (Aid.make ~coordinator:(Gid.of_int 9) ~seq:1000);
   Alcotest.(check bool) "foreign aid ignored" true (Aid.seq (Aid.Gen.fresh g) < 1000)
 
+let test_lru_eviction_order () =
+  let module Lru = Rs_util.Lru in
+  let c = Lru.create ~capacity:3 () in
+  Alcotest.(check int) "capacity" 3 (Lru.capacity c);
+  Alcotest.(check (option (pair string int))) "no eviction below capacity" None
+    (Lru.put c "a" 1);
+  ignore (Lru.put c "b" 2);
+  ignore (Lru.put c "c" 3);
+  Alcotest.(check (list string)) "MRU first" [ "c"; "b"; "a" ] (Lru.keys c);
+  (* find bumps recency; mem does not. *)
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find c "a");
+  Alcotest.(check bool) "mem b" true (Lru.mem c "b");
+  Alcotest.(check (list string)) "a bumped, b not" [ "a"; "c"; "b" ] (Lru.keys c);
+  (* The insert past capacity drops the least recently used: b. *)
+  Alcotest.(check (option (pair string int))) "b evicted" (Some ("b", 2)) (Lru.put c "d" 4);
+  Alcotest.(check (list string)) "post-eviction order" [ "d"; "a"; "c" ] (Lru.keys c);
+  Alcotest.(check int) "length capped" 3 (Lru.length c);
+  (* Overwrite bumps without evicting. *)
+  Alcotest.(check (option (pair string int))) "overwrite c" None (Lru.put c "c" 33);
+  Alcotest.(check (option int)) "new value" (Some 33) (Lru.find c "c");
+  Alcotest.(check (list string)) "overwrite bumped c" [ "c"; "d"; "a" ] (Lru.keys c);
+  Lru.remove c "d";
+  Alcotest.(check (list string)) "removed" [ "c"; "a" ] (Lru.keys c);
+  Alcotest.(check (option (pair string int))) "room again" None (Lru.put c "e" 5);
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c);
+  Alcotest.(check (list string)) "cleared keys" [] (Lru.keys c);
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
+      ignore (Lru.create ~capacity:0 ()))
+
 (* Property: varint roundtrips for arbitrary ints. *)
 let prop_varint =
   QCheck.Test.make ~name:"varint roundtrip" ~count:1000 QCheck.int (fun v ->
@@ -165,6 +196,7 @@ let suite =
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
     Alcotest.test_case "uid generator" `Quick test_uid_gen;
     Alcotest.test_case "aid generator" `Quick test_aid_gen;
+    Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
     QCheck_alcotest.to_alcotest prop_varint;
     QCheck_alcotest.to_alcotest prop_string;
   ]
