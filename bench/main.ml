@@ -14,8 +14,9 @@
      e7  2PC crash matrix                          (§2.2.3)
      e8  group commit: forces/commit vs concurrency
      e9  log footprint & recovery vs history under segment reclamation
+     e10 load: throughput & tail latency vs concurrency/conflict/loss
 
-   Usage: dune exec bench/main.exe [-- e1|e2|...|e9|bechamel|all]
+   Usage: dune exec bench/main.exe [-- e1|e2|...|e10|bechamel|all]
    The default runs every experiment plus the Bechamel microbenchmarks. *)
 
 module Scheme = Rs_workload.Scheme
@@ -76,7 +77,7 @@ let e1 () =
 let recovery_cost scheme_t =
   let (recovered, info), dt = time_it (fun () -> Scheme.crash_recover scheme_t) in
   ignore recovered;
-  (info.Core.Tables.Recovery_info.entries_processed, dt *. 1e6)
+  (Core.Tables.Recovery_report.entries_processed info, dt *. 1e6)
 
 let e2 () =
   header "e2: recovery cost vs log length (§1.2.2, §4.1)";
@@ -303,25 +304,16 @@ let e7 () =
       let committed = ref 0 and aborted = ref 0 and split = ref 0 in
       for crash_after = 1 to 40 do
         let sys = System.create ~n:2 () in
-        let wait cb =
-          let r = ref None in
-          cb (fun o -> r := Some o);
-          System.quiesce sys;
-          !r
-        in
         ignore
-          (wait (fun k ->
-               System.submit sys ~coordinator:(g 0)
-                 ~steps:[ (g 0, set_var "x" 1) ]
-                 (fun _ o -> k o)));
+          (System.await sys
+             (System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ]));
         ignore
-          (wait (fun k ->
-               System.submit sys ~coordinator:(g 0)
-                 ~steps:[ (g 1, set_var "y" 1) ]
-                 (fun _ o -> k o)));
-        System.submit sys ~coordinator:(g 0)
-          ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-          (fun _ _ -> ());
+          (System.await sys
+             (System.submit sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ]));
+        System.quiesce sys;
+        ignore
+          (System.submit sys ~coordinator:(g 0)
+             ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]);
         let rec steps n = if n > 0 && Sim.step (System.sim sys) then steps (n - 1) in
         steps crash_after;
         System.crash sys victim;
@@ -480,6 +472,90 @@ let e9 () =
      history (retired grows instead); without housekeeping both grow with history —\n\
      reclamation makes log cost a function of live state, not of time."
 
+(* ------------------------------------------------------------------ *)
+(* e10 — load generator: throughput and tail latency under the wait-
+   queue runtime. Closed-loop sweeps over concurrency (fixed 10%
+   conflict: committed/sec must scale, p99 must stay bounded — waiting
+   FIFO beats abort-and-retry), over conflict probability at fixed
+   concurrency (the saturation knee), and over message loss (retry
+   cost); then an open-loop arrival sweep against a per-guardian
+   admission cap, where shedding, not collapse, absorbs overload.
+   Results are exported as e10.* gauges so check.sh can assert scaling
+   and the p99 bound from BENCH_5.json. *)
+
+let e10 () =
+  header "e10: load — throughput & tail latency vs concurrency, conflict, loss";
+  let module Load = Rs_load.Load in
+  let base =
+    {
+      Load.default with
+      guardians = 2;
+      duration = 300.0;
+      objects_per_guardian = 8;
+      conflict = 0.1;
+    }
+  in
+  row "%-16s %9s %8s %8s %7s %7s %11s %7s %7s\n" "variant" "committed" "aborted"
+    "retries" "sheds" "w-t/o" "thr/unit" "p50" "p99";
+  let run label cfg =
+    let s = Load.run cfg in
+    List.iter
+      (fun (metric, v) ->
+        Rs_obs.Metrics.set
+          (Rs_obs.Metrics.gauge (Printf.sprintf "e10.%s.%s" label metric))
+          v)
+      [
+        ("committed", s.Load.committed);
+        ("sheds", s.Load.sheds);
+        ("throughput_x1000", int_of_float (s.Load.throughput *. 1000.0));
+        ("p99_x10", int_of_float (s.Load.p99 *. 10.0));
+      ];
+    row "%-16s %9d %8d %8d %7d %7d %11.3f %7.1f %7.1f\n" label s.Load.committed
+      s.Load.aborted s.Load.retries s.Load.sheds s.Load.wait_timeouts s.Load.throughput
+      s.Load.p50 s.Load.p99
+  in
+  List.iter
+    (fun conc ->
+      run
+        (Printf.sprintf "conc%d" conc)
+        { base with mode = Load.Closed { clients = conc; think = 1.0 } })
+    [ 1; 4; 8; 16; 32 ];
+  List.iter
+    (fun pct ->
+      run
+        (Printf.sprintf "conflict%d" pct)
+        {
+          base with
+          conflict = float_of_int pct /. 100.0;
+          mode = Load.Closed { clients = 16; think = 1.0 };
+        })
+    [ 0; 50; 90 ];
+  List.iter
+    (fun pct ->
+      run
+        (Printf.sprintf "drop%d" pct)
+        {
+          base with
+          drop = float_of_int pct /. 100.0;
+          mode = Load.Closed { clients = 16; think = 1.0 };
+        })
+    [ 2; 5 ];
+  List.iter
+    (fun rate10 ->
+      run
+        (Printf.sprintf "open%d" rate10)
+        {
+          base with
+          mode = Load.Open { rate = float_of_int rate10 /. 10.0 };
+          max_in_flight = Some 8;
+        })
+    [ 5; 20; 80 ];
+  print_endline
+    "shape: closed-loop throughput scales with clients while 10%-conflict p99 stays\n\
+     bounded (FIFO lock waits, not abort storms); high conflict bends the curve at\n\
+     the hot object's service rate; drops cost retries, not correctness; open-loop\n\
+     overload is absorbed by admission-control sheds instead of queue collapse."
+
 let bechamel_suite () =
   header "bechamel microbenchmarks (ns per operation, OLS estimate)";
   let open Bechamel in
@@ -560,6 +636,7 @@ let experiments =
     ("e7", e7);
     ("e8", e8);
     ("e9", e9);
+    ("e10", e10);
     ("bechamel", bechamel_suite);
   ]
 
@@ -606,7 +683,7 @@ let () =
             match List.assoc_opt n experiments with
             | Some f -> (n, f)
             | None ->
-                Printf.eprintf "unknown experiment %s (e1..e9, bechamel, all)\n" n;
+                Printf.eprintf "unknown experiment %s (e1..e10, bechamel, all)\n" n;
                 exit 2)
           names
   in

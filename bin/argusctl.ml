@@ -78,9 +78,9 @@ let churn seed scheme_name objects actions housekeep_every =
     (Rs_workload.Scheme.log_entries sch)
     (Rs_workload.Scheme.log_bytes sch)
     (Rs_workload.Scheme.physical_writes sch);
-  let t', info = Rs_workload.Synth.crash_recover !t in
+  let t', report = Rs_workload.Synth.crash_recover !t in
   t := t';
-  Printf.printf "recovery processed %d entries\n" info.Core.Tables.Recovery_info.entries_processed;
+  Format.printf "%a@." Core.Tables.Recovery_report.pp report;
   match Rs_workload.Synth.check_consistent !t with
   | Ok () ->
       print_endline "state consistent after crash ✓";
@@ -202,9 +202,12 @@ let stats seed scheme_name objects actions json =
   in
   let t = Rs_workload.Synth.create ~seed ~scheme ~n_objects:objects () in
   Rs_workload.Synth.run_random_actions t ~n:actions ~objects_per_action:2 ~abort_rate:0.1 ();
-  ignore (Rs_workload.Synth.crash_recover t);
+  let _, report = Rs_workload.Synth.crash_recover t in
   if json then print_endline (Rs_obs.Metrics.to_json Rs_obs.Metrics.default)
-  else Format.printf "%a" Rs_obs.Metrics.pp Rs_obs.Metrics.default;
+  else begin
+    Format.printf "%a@." Core.Tables.Recovery_report.pp report;
+    Format.printf "%a" Rs_obs.Metrics.pp Rs_obs.Metrics.default
+  end;
   0
 
 let stats_cmd =
@@ -236,24 +239,17 @@ let trace seed capacity crash_after =
         let a = Heap.alloc_atomic heap ~creator:aid (Value.Int v) in
         Heap.set_stable_var heap aid name (Value.Ref a)
   in
-  let wait cb =
-    let r = ref None in
-    cb (fun o -> r := Some o);
-    System.quiesce sys;
-    !r
-  in
   ignore
-    (wait (fun k ->
-         System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] (fun _ o -> k o)));
+    (System.await sys (System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ]));
   ignore
-    (wait (fun k ->
-         System.submit sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] (fun _ o -> k o)));
+    (System.await sys (System.submit sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ]));
+  System.quiesce sys;
   (* A distributed transfer interrupted mid-protocol: the participant
      crashes after [crash_after] simulator events, restarts, and resolves
      the in-doubt action through the query path (§2.2.3). *)
-  System.submit sys ~coordinator:(g 0)
-    ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-    (fun _ _ -> ());
+  ignore
+    (System.submit sys ~coordinator:(g 0)
+       ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]);
   let rec steps n = if n > 0 && Rs_sim.Sim.step (System.sim sys) then steps (n - 1) in
   steps crash_after;
   System.crash sys (g 1);
@@ -282,10 +278,10 @@ let trace_cmd =
 let explore seed scheme_name budget max_depth break_force =
   let targets =
     match scheme_name with
-    | "all" -> [ "simple"; "hybrid"; "shadow"; "segments"; "twopc"; "group" ]
-    | ("simple" | "hybrid" | "shadow" | "segments" | "twopc" | "group") as s -> [ s ]
+    | "all" -> [ "simple"; "hybrid"; "shadow"; "segments"; "twopc"; "group"; "load" ]
+    | ("simple" | "hybrid" | "shadow" | "segments" | "twopc" | "group" | "load") as s -> [ s ]
     | s ->
-        Printf.eprintf "unknown target %s (simple|hybrid|shadow|segments|twopc|group|all)\n" s;
+        Printf.eprintf "unknown target %s (simple|hybrid|shadow|segments|twopc|group|load|all)\n" s;
         exit 2
   in
   let config = { Rs_explore.Explore.seed; budget; max_depth } in
@@ -302,7 +298,7 @@ let explore_cmd =
   let scheme =
     Arg.(value
          & opt string "all"
-         & info [ "scheme" ] ~doc:"simple|hybrid|shadow|segments|twopc|group|all.")
+         & info [ "scheme" ] ~doc:"simple|hybrid|shadow|segments|twopc|group|load|all.")
   in
   let budget =
     Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc:"Maximum crash schedules per target.")

@@ -116,8 +116,38 @@ else
   echo "reclamation ok (python3 unavailable; key presence checked only)"
 fi
 
+echo "== bench smoke: e10 --metrics-json -> BENCH_5.json =="
+# Committed artifact: e10 drives the Rs_load generator over virtual time
+# (closed-loop concurrency/conflict/drop sweeps, open-loop admission
+# sweep); seeded, so the JSON is deterministic. The gates pin the
+# wait-queue claims: throughput scales with concurrency at 10% conflict,
+# tail latency stays bounded, and open-loop overload shows shedding.
+dune exec bench/main.exe -- e10 --metrics-json BENCH_5.json >/dev/null
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_5.json <<'EOF'
+import json, sys
+g = json.load(open(sys.argv[1]))["gauges"]
+thr32 = g["e10.conc32.throughput_x1000"]
+assert thr32 > 0, "no throughput at concurrency 32 (hang or abort storm)"
+c1, c32 = g["e10.conc1.committed"], g["e10.conc32.committed"]
+assert c32 > 2 * c1, \
+    f"throughput did not scale: {c1} committed at conc 1 vs {c32} at conc 32"
+p99 = g["e10.conc32.p99_x10"] / 10
+assert p99 < 100, f"p99 unbounded at 10% conflict: {p99} time units"
+assert g["e10.open80.sheds"] > 0, "open-loop overload shed nothing"
+print(f"load ok: conc1->32 committed {c1}->{c32}, "
+      f"throughput {thr32/1000:.3f}/unit, p99 {p99:.1f}, "
+      f"sheds {g['e10.open80.sheds']}")
+EOF
+else
+  grep -q '"e10.conc32.throughput_x1000": [1-9]' BENCH_5.json ||
+    { echo "e10.conc32.throughput_x1000 missing or zero"; exit 1; }
+  echo "load ok (python3 unavailable; key presence checked only)"
+fi
+
 echo "== exploration gate: every target survives 200 crash schedules =="
-for target in simple hybrid shadow segments twopc group; do
+for target in simple hybrid shadow segments twopc group load; do
   OUT=$(dune exec bin/argusctl.exe -- explore --scheme "$target" --budget 200)
   echo "$OUT"
   case "$OUT" in

@@ -35,24 +35,22 @@ let stable_int gd name =
 
 let run_one ~victim ~crash_after =
   let sys = System.create ~n:2 () in
-  let wait cb =
-    let r = ref None in
-    cb (fun o -> r := Some o);
-    System.quiesce sys;
-    !r
-  in
   (* Baseline: x=1, y=1 committed. *)
-  ignore (wait (fun k -> System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] (fun _ o -> k o)));
-  ignore (wait (fun k -> System.submit sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] (fun _ o -> k o)));
-  let verdict = ref None in
-  System.submit sys ~coordinator:(g 0)
-    ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-    (fun _ o -> verdict := Some o);
+  ignore
+    (System.await sys (System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ]));
+  ignore
+    (System.await sys (System.submit sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ]));
+  System.quiesce sys;
+  let h =
+    System.submit sys ~coordinator:(g 0)
+      ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
+  in
   let rec steps n = if n > 0 && Sim.step (System.sim sys) then steps (n - 1) in
   steps crash_after;
   System.crash sys victim;
   ignore (System.restart sys victim);
   System.quiesce sys;
+  let verdict = ref (System.outcome h) in
   let x = stable_int (System.guardian sys (g 0)) "x" in
   let y = stable_int (System.guardian sys (g 1)) "y" in
   let outcome =

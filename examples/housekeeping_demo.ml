@@ -9,7 +9,7 @@ module Synth = Rs_workload.Synth
 
 let recovery_cost t =
   let t', info = Synth.crash_recover t in
-  (t', info.Core.Tables.Recovery_info.entries_processed)
+  (t', Core.Tables.Recovery_report.entries_processed info)
 
 let () =
   print_endline "== Hybrid-log housekeeping demo ==";

@@ -87,3 +87,37 @@ module Recovery_info = struct
     List.iter (fun (uid, vm) -> Format.fprintf fmt "  %a restored @@%d@," Uid.pp uid vm) t.objects;
     Format.fprintf fmt "@]"
 end
+
+module Recovery_report = struct
+  type t = { info : Recovery_info.t; repairs : int; segments_swept : int }
+
+  let entries_processed t = t.info.Recovery_info.entries_processed
+  let prepared_actions t = Recovery_info.prepared_actions t.info
+  let committing_actions t = Recovery_info.committing_actions t.info
+
+  (* The storage layers already count their recovery-time side work in
+     the default metrics registry; one recovery's contribution is the
+     delta across the wrapped call. *)
+  let measure f =
+    let counter name =
+      Option.value ~default:0 (Rs_obs.Metrics.find_counter Rs_obs.Metrics.default name)
+    in
+    let repairs0 = counter "stable_store.repairs" in
+    let swept0 = counter "slog.orphan_segments_swept" in
+    let x, info = f () in
+    ( x,
+      {
+        info;
+        repairs = counter "stable_store.repairs" - repairs0;
+        segments_swept = counter "slog.orphan_segments_swept" - swept0;
+      } )
+
+  let pp fmt t =
+    Format.fprintf fmt
+      "recovery: %d entries processed, %d prepared, %d committing, %d replica repairs, %d \
+       segments swept"
+      (entries_processed t)
+      (List.length (prepared_actions t))
+      (List.length (committing_actions t))
+      t.repairs t.segments_swept
+end

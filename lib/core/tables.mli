@@ -76,3 +76,27 @@ module Recovery_info : sig
 
   val pp : Format.formatter -> t -> unit
 end
+
+(** One recovery's unified report: the {!Recovery_info} the Argus system
+    resumes from, plus what the storage layers did along the way —
+    careful-replication pairs repaired and orphaned log segments swept.
+    Returned by both [Rs_workload.Scheme.crash_recover] and
+    [Rs_guardian.System.restart]. *)
+module Recovery_report : sig
+  type t = {
+    info : Recovery_info.t;
+    repairs : int;  (** stable-store replica pairs repaired during recovery *)
+    segments_swept : int;  (** orphaned log segments returned to the pool *)
+  }
+
+  val entries_processed : t -> int
+  val prepared_actions : t -> Rs_util.Aid.t list
+  val committing_actions : t -> (Rs_util.Aid.t * Rs_util.Gid.t list) list
+
+  val measure : (unit -> 'a * Recovery_info.t) -> 'a * t
+  (** Run a recovery function and wrap its info with the deltas of the
+      storage-layer counters ([stable_store.repairs],
+      [slog.orphan_segments_swept]) across the call. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -315,7 +315,7 @@ let run_scheme_schedule cfg name ops sched =
     let scheme = Synth.scheme !t in
     List.iter
       (fun aid -> Scheme.abort scheme aid)
-      (Core.Tables.Recovery_info.prepared_actions info);
+      (Core.Tables.Recovery_report.prepared_actions info);
     (match Synth.counters !t with
     | actual ->
         note (Oracle.check_counters ~oracle:"atomicity" ~allowed ~actual);
@@ -400,28 +400,17 @@ let explore_twopc ?(config = default_config) () =
      action is the distributed transfer writing both to 2. *)
   let build () =
     let sys = System.create ~seed:config.seed ~n:2 () in
-    let wait cb =
-      let r = ref None in
-      cb (fun o -> r := Some o);
-      System.quiesce sys;
-      !r
-    in
     ignore
-      (wait (fun k ->
-           System.submit sys ~coordinator:(g 0)
-             ~steps:[ (g 0, set_var "x" 1) ]
-             (fun _ o -> k o)));
+      (System.await sys (System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ]));
     ignore
-      (wait (fun k ->
-           System.submit sys ~coordinator:(g 0)
-             ~steps:[ (g 1, set_var "y" 1) ]
-             (fun _ o -> k o)));
+      (System.await sys (System.submit sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ]));
+    System.quiesce sys;
     sys
   in
   let transfer sys =
-    System.submit sys ~coordinator:(g 0)
-      ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-      (fun _ _ -> ())
+    ignore
+      (System.submit sys ~coordinator:(g 0)
+         ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ])
   in
   (* census: one clean transfer, counting message deliveries and sends *)
   let deliveries, sends =
@@ -676,7 +665,7 @@ let explore_group ?(config = default_config) () =
       (* in-doubt actions resolve by presumed abort (§2.2.3) *)
       List.iter
         (fun aid -> Scheme.abort scheme aid)
-        (Core.Tables.Recovery_info.prepared_actions info);
+        (Core.Tables.Recovery_report.prepared_actions info);
       (match Synth.counters !t with
       | actual ->
           for c = 0 to n_clients - 1 do
@@ -759,9 +748,102 @@ let explore_group ?(config = default_config) () =
   let schedules = enumerate config points in
   drive_schedules ~target:"group" ~points ~schedules ~run
 
+(* ------------------------------------------------------------------ *)
+(* Load target: crash guardians under closed-loop contended traffic.  *)
+
+(* A high-conflict Rs_load run over two guardians — every client fighting
+   for the hot objects keeps the wait queues populated, so event-boundary
+   crashes land while actions are parked on locks, mid-2PC, or both. Each
+   schedule replays the same seeded run, crashes a guardian at the chosen
+   simulator-event boundary (victim alternates with the boundary index),
+   restarts it, and drains. Oracles: the drain terminates (no action waits
+   forever on a lock whose holder died), every submitted handle resolved
+   (no lost or stuck actions), and the committed counters match the
+   model's committed increments exactly. *)
+let explore_load ?(config = default_config) () =
+  let module System = Rs_guardian.System in
+  let module Sim = Rs_sim.Sim in
+  let module Load = Rs_load.Load in
+  let cfg =
+    {
+      Load.default with
+      seed = config.seed;
+      guardians = 2;
+      conflict = 0.8;
+      duration = 40.0;
+      objects_per_guardian = 3;
+      mode = Load.Closed { clients = 6; think = 0.5 };
+      wait_timeout = 10.0;
+    }
+  in
+  (* census: one clean run, counting simulator events after start *)
+  let events =
+    let t = Load.create cfg in
+    Load.start t;
+    let sim = System.sim (Load.system t) in
+    let n = ref 0 in
+    while Sim.step sim do
+      incr n
+    done;
+    !n
+  in
+  let points =
+    let cap = min events 20 in
+    List.init cap (fun i -> 1 + (i * events / cap))
+    |> List.sort_uniq compare
+    (* one op ordinal per boundary so [enumerate] pairs distinct ones *)
+    |> List.mapi (fun i nth -> { Fault.op = i; point = Fault.Event_boundary { nth } })
+  in
+  let run sched =
+    Metrics.incr m_schedules;
+    let found = ref None in
+    let note = function [] -> () | v :: _ -> if !found = None then found := Some v in
+    (try
+       let t = Load.create cfg in
+       Load.start t;
+       let sys = Load.system t in
+       let sim = System.sim sys in
+       let stepped = ref 0 in
+       let crashes =
+         List.filter_map
+           (function { Fault.point = Fault.Event_boundary { nth }; _ } -> Some nth | _ -> None)
+           sched
+         |> List.sort_uniq compare
+       in
+       List.iteri
+         (fun i nth ->
+           while !stepped < nth && Sim.step sim do
+             incr stepped
+           done;
+           let victim = Rs_util.Gid.of_int ((nth + i) mod 2) in
+           System.crash sys victim;
+           ignore (System.restart sys victim))
+         crashes;
+       let s = Load.drain t in
+       if Load.unresolved t <> 0 then
+         note
+           [
+             {
+               Oracle.oracle = "liveness";
+               detail =
+                 Printf.sprintf "%d actions stuck after a quiescent drain" (Load.unresolved t);
+             };
+           ];
+       if s.Load.committed = 0 then
+         note [ { Oracle.oracle = "progress"; detail = "no action ever committed" } ];
+       match Load.check t with
+       | Ok () -> ()
+       | Error detail -> note [ { Oracle.oracle = "consistency"; detail } ]
+     with exn -> note [ { Oracle.oracle = "liveness"; detail = Printexc.to_string exn } ]);
+    !found
+  in
+  let schedules = enumerate config points in
+  drive_schedules ~target:"load" ~points ~schedules ~run
+
 let explore ?config = function
   | "twopc" -> explore_twopc ?config ()
   | "group" -> explore_group ?config ()
+  | "load" -> explore_load ?config ()
   | name -> explore_scheme ?config name
 
 (* ------------------------------------------------------------------ *)

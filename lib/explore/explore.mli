@@ -30,8 +30,8 @@ type counterexample = {
 
 type outcome = {
   target : string;
-      (** ["simple"], ["hybrid"], ["shadow"], ["segments"], ["twopc"] or
-          ["group"] *)
+      (** ["simple"], ["hybrid"], ["shadow"], ["segments"], ["twopc"],
+          ["group"] or ["load"] *)
   points : int;  (** fault points the census found *)
   schedules : int;  (** schedules actually run (≤ budget) *)
   counterexample : counterexample option;  (** [None]: all oracles held *)
@@ -69,9 +69,20 @@ val explore_group : ?config:config -> unit -> outcome
     acked commit is a durability violation) and its issued count (an
     effect beyond it is a phantom), with both pair members equal. *)
 
+val explore_load : ?config:config -> unit -> outcome
+(** Explore guardian crashes under contended closed-loop traffic: a
+    seeded {!Rs_load} run over two guardians at high conflict, so the
+    lock wait queues stay populated, with crash points at sampled
+    simulator event boundaries (the victim guardian alternates with the
+    boundary). After restart and a full drain the oracles demand
+    termination (no action parked forever on a dead holder's lock),
+    every submitted handle resolved, nonzero commits, and committed
+    counters equal to the model — no lost or phantom actions. *)
+
 val explore : ?config:config -> string -> outcome
 (** Dispatch: scheme names go to {!explore_scheme}, ["twopc"] to
-    {!explore_twopc}, ["group"] to {!explore_group}. *)
+    {!explore_twopc}, ["group"] to {!explore_group}, ["load"] to
+    {!explore_load}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Deterministic report: a one-line summary, then — on violation — the

@@ -26,6 +26,8 @@ type t = {
   dir : Log_dir.t;
   aid_gen : Aid.Gen.t;
   force_window : float; (* group-commit window in virtual time; 0 = sync *)
+  prepare_timeout : float option; (* 2PC knobs threaded to the endpoint *)
+  retry_interval : float option;
   mutable heap : Heap.t;
   mutable rs : Hybrid_rs.t;
   mutable twopc : Twopc.t option;
@@ -132,6 +134,7 @@ let wire_protocol t =
     Twopc.create ~gid:t.gid ~sim:t.sim
       ~send:(fun ~dst msg -> Net.send t.net ~src:t.gid ~dst msg)
       ~hooks:(hooks_of t)
+      ?prepare_timeout:t.prepare_timeout ?retry_interval:t.retry_interval
       ~await_durable:(fun k ->
         Rs_slog.Force_scheduler.enqueue (Hybrid_rs.scheduler t.rs) ~on_durable:k ())
       ()
@@ -139,7 +142,8 @@ let wire_protocol t =
   t.twopc <- Some endpoint;
   Net.register t.net t.gid (fun ~src msg -> Twopc.handle endpoint ~src msg)
 
-let create ~gid ~sim ~net ?(page_size = 1024) ?(force_window = 0.0) () =
+let create ~gid ~sim ~net ?(page_size = 1024) ?(force_window = 0.0) ?prepare_timeout
+    ?retry_interval () =
   let dir = Log_dir.create ~page_size () in
   let heap = Heap.create () in
   let rs = Hybrid_rs.create heap dir in
@@ -151,6 +155,8 @@ let create ~gid ~sim ~net ?(page_size = 1024) ?(force_window = 0.0) () =
       dir;
       aid_gen = Aid.Gen.create gid;
       force_window;
+      prepare_timeout;
+      retry_interval;
       heap;
       rs;
       twopc = None;
@@ -198,7 +204,10 @@ let crash t =
 
 let restart t =
   if t.up then invalid_arg "Guardian.restart: guardian is up";
-  let rs, info = Hybrid_rs.recover t.dir in
+  let rs, report =
+    Core.Tables.Recovery_report.measure (fun () -> Hybrid_rs.recover t.dir)
+  in
+  let info = report.Core.Tables.Recovery_report.info in
   t.rs <- rs;
   t.heap <- Hybrid_rs.heap rs;
   configure_scheduler t; (* the recovered rs starts with a sync scheduler *)
@@ -233,7 +242,7 @@ let restart t =
       Twopc.await_verdict (twopc t) aid ~coordinator:(Aid.coordinator aid);
       t.known <- Aid.Set.add aid t.known)
     (Core.Tables.Recovery_info.prepared_actions info);
-  info
+  report
 
 let housekeep t technique = Hybrid_rs.housekeep t.rs technique
 

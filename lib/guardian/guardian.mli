@@ -16,6 +16,8 @@ val create :
   net:Rs_twopc.Twopc.msg Rs_sim.Net.t ->
   ?page_size:int ->
   ?force_window:float ->
+  ?prepare_timeout:float ->
+  ?retry_interval:float ->
   unit ->
   t
 (** [force_window] (default 0, i.e. synchronous forces): group-commit
@@ -23,7 +25,10 @@ val create :
     co-resident actions — including the 2PC coordinator's committing/done
     records — ride shared forces, and every protocol message announcing an
     outcome waits for its covering batch. The window survives crashes:
-    {!restart} re-attaches it to the recovered recovery system. *)
+    {!restart} re-attaches it to the recovered recovery system.
+    [prepare_timeout]/[retry_interval] are threaded to
+    {!Rs_twopc.Twopc.create} (and survive restarts) so a load generator
+    can tune protocol patience against lock-wait timeouts. *)
 
 val gid : t -> Rs_util.Gid.t
 val heap : t -> Rs_objstore.Heap.t
@@ -57,9 +62,11 @@ val crash : t -> unit
 (** Node failure: volatile state is lost, the network stops delivering to
     this guardian, in-flight protocol work dies. Stable storage remains. *)
 
-val restart : t -> Core.Tables.Recovery_info.t
-(** Recover from stable storage and resume protocol duties. Raises
-    [Invalid_argument] if the guardian is up. *)
+val restart : t -> Core.Tables.Recovery_report.t
+(** Recover from stable storage and resume protocol duties. Returns the
+    unified {!Core.Tables.Recovery_report} (entries processed, replica
+    repairs, segments swept). Raises [Invalid_argument] if the guardian
+    is up. *)
 
 val housekeep : t -> Core.Hybrid_rs.technique -> unit
 

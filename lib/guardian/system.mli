@@ -2,23 +2,33 @@
     running top-level actions through two-phase commit.
 
     Handler calls are executed synchronously against the target guardian's
-    heap (the simulator is sequential; what must be asynchronous —
-    prepare/commit messaging, crashes, timeouts — is). An action whose
-    step hits a lock conflict or a crashed guardian aborts locally without
-    entering two-phase commit, like an Argus action aborting before
-    commit. *)
+    heap until one needs a lock another action holds; then the action's
+    fiber parks on the object's FIFO wait queue (see
+    {!Rs_objstore.Heap.set_runtime}) and resumes — in virtual time — when
+    the lock transfers. A wait that outlives the system's [wait_timeout]
+    becomes a deliberate abort, which is also the deadlock breaker: one
+    member of every cycle times out and releases its locks.
+
+    {!submit} returns an {!Action.handle}; poll it with {!outcome}, block
+    on it with {!await}, or pass [?on_result] for callback style. *)
 
 type t
 
 type work = Rs_objstore.Heap.t -> Rs_util.Aid.t -> unit
 (** One handler call's effect; may raise {!Rs_objstore.Heap.Lock_conflict}
-    or {!Abort_action}. *)
+    (only when waiting is impossible), {!Rs_objstore.Heap.Wait_timeout} or
+    {!Abort_action}. *)
 
 exception Abort_action
 (** Raised by a work function to abort the whole action deliberately
     (e.g. business-rule violation: insufficient funds, sold out). *)
 
-type outcome = Committed | Aborted
+exception Overloaded of { gid : Rs_util.Gid.t; in_flight : int }
+(** Raised synchronously by {!submit} when the coordinator already has
+    [max_in_flight] unresolved actions: admission control sheds the
+    request instead of queueing it (metric [guardian.sheds]). *)
+
+type outcome = Action.outcome = Committed | Aborted
 
 val create :
   ?seed:int ->
@@ -27,6 +37,10 @@ val create :
   ?drop_prob:float ->
   ?early_prepare:bool ->
   ?force_window:float ->
+  ?wait_timeout:float ->
+  ?max_in_flight:int ->
+  ?prepare_timeout:float ->
+  ?retry_interval:float ->
   n:int ->
   unit ->
   t
@@ -34,7 +48,11 @@ val create :
     each guardian writes an action's data entries right after executing
     its step, ahead of the prepare message (§4.4). [force_window]
     (default 0 = synchronous) enables group commit on every guardian: see
-    {!Guardian.create}. *)
+    {!Guardian.create}. [wait_timeout] (default 20.0 virtual time units)
+    bounds every lock wait; expiry aborts the waiting action
+    (metric [guardian.wait_aborts]). [max_in_flight] (unset = unlimited)
+    caps unresolved actions per coordinator; see {!Overloaded}.
+    [prepare_timeout]/[retry_interval] tune the 2PC endpoints. *)
 
 val sim : t -> Rs_sim.Sim.t
 
@@ -47,16 +65,41 @@ val guardians : t -> Guardian.t list
 val n_guardians : t -> int
 
 val submit :
+  ?on_result:(Rs_util.Aid.t -> outcome -> unit) ->
   t ->
   coordinator:Rs_util.Gid.t ->
   steps:(Rs_util.Gid.t * work) list ->
-  (Rs_util.Aid.t -> outcome -> unit) ->
-  unit
-(** Execute an action's steps now, then run 2PC asynchronously; the
-    callback fires with the coordinator's verdict. *)
+  Action.handle
+(** Begin an action: execute its steps (parking on lock queues as
+    needed), then run 2PC asynchronously. Returns immediately with a
+    handle — the action may still be executing (parked) when [submit]
+    returns; drive the simulator ({!run}, {!await}, {!quiesce}) to
+    progress it. [?on_result] is sugar for {!Action.on_resolve}.
+    Raises {!Overloaded} (before doing anything) if the coordinator is at
+    its admission cap, [Invalid_argument] if it is down. *)
+
+val outcome : Action.handle -> outcome option
+(** Peek without driving the simulator; [None] while in flight. *)
+
+val await : ?limit:float -> t -> Action.handle -> outcome
+(** Step the simulator until the handle resolves. Raises [Failure] if the
+    simulator drains or [limit] (default 10_000) virtual time units elapse
+    first — an unresolved handle over a drained simulator is a stuck
+    action, which the oracles treat as a bug. *)
+
+val in_flight : t -> Rs_util.Gid.t -> int
+(** Unresolved actions currently coordinated by [gid]. *)
 
 val crash : t -> Rs_util.Gid.t -> unit
-val restart : t -> Rs_util.Gid.t -> Core.Tables.Recovery_info.t
+(** Crash the guardian. Actions parked on its wait queues die with the
+    volatile heap: their waits fail deterministically (in aid order) and
+    they abort, releasing locks held on other guardians. *)
+
+val restart : t -> Rs_util.Gid.t -> Core.Tables.Recovery_report.t
+(** Recover the guardian from its stable log. Unresolved handles whose
+    actions it coordinated — except those still parked on another
+    guardian's queue — are resolved from the durable verdict: [Committed]
+    iff a committing/done record survives, else [Aborted] (§2.2.3). *)
 
 val partition : t -> Rs_util.Gid.t -> unit
 (** Cut the guardian off the network without crashing it: volatile state

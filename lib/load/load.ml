@@ -1,0 +1,427 @@
+module System = Rs_guardian.System
+module Action = Rs_guardian.Action
+module Guardian = Rs_guardian.Guardian
+module Heap = Rs_objstore.Heap
+module Value = Rs_objstore.Value
+module Gid = Rs_util.Gid
+module Rng = Rs_util.Rng
+module Sim = Rs_sim.Sim
+module Metrics = Rs_obs.Metrics
+
+type profile = Synthetic | Bank | Reservation
+type mode = Closed of { clients : int; think : float } | Open of { rate : float }
+
+type config = {
+  seed : int;
+  guardians : int;
+  latency : float;
+  jitter : float;
+  drop : float;
+  force_window : float;
+  wait_timeout : float;
+  max_in_flight : int option;
+  profile : profile;
+  mode : mode;
+  duration : float;
+  objects_per_guardian : int;
+  steps_per_action : int;
+  conflict : float;
+  abort_rate : float;
+  initial : int;
+  max_retries : int;
+  backoff_base : float;
+  backoff_cap : float;
+}
+
+let default =
+  {
+    seed = 1;
+    guardians = 2;
+    latency = 1.0;
+    jitter = 0.0;
+    drop = 0.0;
+    force_window = 0.0;
+    wait_timeout = 20.0;
+    max_in_flight = None;
+    profile = Synthetic;
+    mode = Closed { clients = 8; think = 1.0 };
+    duration = 200.0;
+    objects_per_guardian = 8;
+    steps_per_action = 2;
+    conflict = 0.1;
+    abort_rate = 0.0;
+    initial = 1000;
+    max_retries = 8;
+    backoff_base = 2.0;
+    backoff_cap = 64.0;
+  }
+
+type stats = {
+  submitted : int;
+  committed : int;
+  aborted : int;
+  deliberate_aborts : int;
+  sheds : int;
+  retries : int;
+  abandoned : int;
+  wait_timeouts : int;
+  elapsed : float;
+  throughput : float;
+  p50 : float;
+  p99 : float;
+}
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>submitted   %d@,committed   %d@,aborted     %d (+%d deliberate)@,\
+     sheds       %d@,retries     %d@,abandoned   %d@,wait t/o    %d@,\
+     elapsed     %.1f@,throughput  %.3f /unit@,latency     p50 %.1f  p99 %.1f@]"
+    s.submitted s.committed s.aborted s.deliberate_aborts s.sheds s.retries s.abandoned
+    s.wait_timeouts s.elapsed s.throughput s.p50 s.p99
+
+(* One logical operation: the retry loop resubmits the same targets, so
+   an operation that eventually commits commits exactly once. [deliberate]
+   is set by the step itself just before raising [Abort_action], which is
+   how the client distinguishes a business abort (terminal) from a
+   conflict/crash abort (retryable). *)
+type op = {
+  coord : Gid.t;
+  targets : (int * int * int) list; (* (guardian, object, delta), lock order *)
+  inject_abort : bool;
+  deliberate : bool ref;
+  client : bool; (* closed-loop client: issue a next operation when done *)
+}
+
+type t = {
+  cfg : config;
+  system : System.t;
+  rng : Rng.t;
+  hist : Metrics.histogram; (* commit latency, tenths of a time unit *)
+  model : int array array; (* per (guardian, object) committed increments *)
+  mutable bookings : int; (* Reservation: committed bookings *)
+  mutable inflight : int;
+  mutable start_now : float;
+  mutable stop_at : float;
+  mutable end_now : float;
+  mutable s_submitted : int;
+  mutable s_committed : int;
+  mutable s_aborted : int;
+  mutable s_deliberate : int;
+  mutable s_sheds : int;
+  mutable s_retries : int;
+  mutable s_abandoned : int;
+  wait_timeouts0 : int;
+}
+
+let system t = t.system
+let unresolved t = t.inflight
+let obj_name o = Printf.sprintf "obj%d" o
+
+let wait_timeouts_now () =
+  Option.value ~default:0 (Metrics.find_counter Metrics.default "heap.wait_timeouts")
+
+let latency_bounds = [| 0; 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000; 2000; 5000; 10000 |]
+
+let validate cfg =
+  if cfg.guardians <= 0 then invalid_arg "Load: need at least one guardian";
+  if cfg.objects_per_guardian <= 0 then invalid_arg "Load: need at least one object";
+  if cfg.steps_per_action <= 0 then invalid_arg "Load: steps_per_action must be positive";
+  if cfg.duration <= 0.0 then invalid_arg "Load: duration must be positive";
+  if cfg.max_retries < 0 then invalid_arg "Load: max_retries must be non-negative";
+  (match cfg.max_in_flight with
+  | Some c when c < 1 -> invalid_arg "Load: max_in_flight must be at least 1"
+  | Some _ | None -> ());
+  (match cfg.mode with
+  | Closed { clients; think } ->
+      if clients <= 0 then invalid_arg "Load: need at least one client";
+      if think < 0.0 then invalid_arg "Load: think time must be non-negative"
+  | Open { rate } -> if rate <= 0.0 then invalid_arg "Load: arrival rate must be positive");
+  if cfg.profile = Bank && cfg.guardians * cfg.objects_per_guardian < 2 then
+    invalid_arg "Load: Bank needs at least two accounts"
+
+let create cfg =
+  validate cfg;
+  let system =
+    System.create ~seed:cfg.seed ~latency:cfg.latency ~jitter:cfg.jitter
+      ~drop_prob:cfg.drop ~force_window:cfg.force_window ~wait_timeout:cfg.wait_timeout
+      ?max_in_flight:cfg.max_in_flight ~n:cfg.guardians ()
+  in
+  let initial = match cfg.profile with Synthetic -> 0 | Bank | Reservation -> cfg.initial in
+  for g = 0 to cfg.guardians - 1 do
+    let setup heap aid =
+      for o = 0 to cfg.objects_per_guardian - 1 do
+        let a = Heap.alloc_atomic heap ~creator:aid (Value.Int initial) in
+        Heap.set_stable_var heap aid (obj_name o) (Value.Ref a)
+      done
+    in
+    let rec go () =
+      let h =
+        System.submit system ~coordinator:(Gid.of_int g) ~steps:[ (Gid.of_int g, setup) ]
+      in
+      if System.await system h <> System.Committed then go ()
+    in
+    go ()
+  done;
+  (* [await] returns at the commit decision; the phase-two message that
+     installs the committed bindings may still be in flight. Settle before
+     any client can read the root. *)
+  System.quiesce system;
+  let registry = Metrics.create () in
+  {
+    cfg;
+    system;
+    rng = Rng.create (cfg.seed lxor 0x10ad);
+    hist = Metrics.histogram ~registry ~bounds:latency_bounds "load.latency_tenths";
+    model = Array.make_matrix cfg.guardians cfg.objects_per_guardian 0;
+    bookings = 0;
+    inflight = 0;
+    start_now = 0.0;
+    stop_at = 0.0;
+    end_now = 0.0;
+    s_submitted = 0;
+    s_committed = 0;
+    s_aborted = 0;
+    s_deliberate = 0;
+    s_sheds = 0;
+    s_retries = 0;
+    s_abandoned = 0;
+    wait_timeouts0 = wait_timeouts_now ();
+  }
+
+(* --- operation generation --------------------------------------------- *)
+
+let pick_target t =
+  let g = Rng.int t.rng t.cfg.guardians in
+  let o =
+    if t.cfg.objects_per_guardian = 1 || Rng.bool t.rng t.cfg.conflict then 0
+    else 1 + Rng.int t.rng (t.cfg.objects_per_guardian - 1)
+  in
+  (g, o)
+
+(* Steps acquire locks in sorted (guardian, object) order, so pure
+   write-write schedules cannot deadlock; read-then-upgrade still can
+   (two readers of a hot object both upgrading), which is what the wait
+   timeout is for. *)
+let sort_targets = List.sort (fun (g1, o1, _) (g2, o2, _) -> compare (g1, o1) (g2, o2))
+
+let gen_op t ~client =
+  let inject_abort = t.cfg.abort_rate > 0.0 && Rng.bool t.rng t.cfg.abort_rate in
+  match t.cfg.profile with
+  | Synthetic ->
+      let targets =
+        List.init t.cfg.steps_per_action (fun _ ->
+            let g, o = pick_target t in
+            (g, o, 1))
+      in
+      let coord = match targets with (g, _, _) :: _ -> g | [] -> assert false in
+      { coord = Gid.of_int coord; targets = sort_targets targets; inject_abort;
+        deliberate = ref false; client }
+  | Bank ->
+      let src = pick_target t in
+      let rec pick_dst () =
+        let d = pick_target t in
+        if d = src then pick_dst () else d
+      in
+      let dst = pick_dst () in
+      let targets =
+        sort_targets [ (fst src, snd src, -1); (fst dst, snd dst, 1) ]
+      in
+      { coord = Gid.of_int (fst src); targets; inject_abort; deliberate = ref false; client }
+  | Reservation ->
+      let g, o = pick_target t in
+      { coord = Gid.of_int g; targets = [ (g, o, -1) ]; inject_abort;
+        deliberate = ref false; client }
+
+let target_addr heap o =
+  match Heap.get_stable_var heap (obj_name o) with
+  | Some (Value.Ref a) -> a
+  | Some _ | None -> failwith (Printf.sprintf "Load: object %s missing" (obj_name o))
+
+let steps_of t op : (Gid.t * System.work) list =
+  let body =
+    List.map
+      (fun (g, o, delta) ->
+        let work heap aid =
+          let a = target_addr heap o in
+          (* Synthetic/Reservation write-lock up front: contention then
+             resolves by FIFO lock transfer. Bank reads first and
+             upgrades — the pattern that can deadlock two upgraders, so
+             the wait timeout stays exercised. *)
+          if t.cfg.profile <> Bank then Heap.write_lock heap aid a;
+          match Heap.read_atomic heap aid a with
+          | Value.Int v ->
+              if t.cfg.profile = Reservation && v <= 0 then begin
+                (* Sold out: a business decision, not a conflict. *)
+                op.deliberate := true;
+                raise System.Abort_action
+              end;
+              Heap.set_current heap aid a (Value.Int (v + delta))
+          | _ -> failwith "Load: object is not an int"
+        in
+        (Gid.of_int g, work))
+      op.targets
+  in
+  if op.inject_abort then
+    body
+    @ [
+        ( op.coord,
+          fun _heap _aid ->
+            op.deliberate := true;
+            raise System.Abort_action );
+      ]
+  else body
+
+let apply_model t op =
+  match t.cfg.profile with
+  | Synthetic -> List.iter (fun (g, o, d) -> t.model.(g).(o) <- t.model.(g).(o) + d) op.targets
+  | Bank -> ()
+  | Reservation -> t.bookings <- t.bookings + 1
+
+(* --- the client state machine ----------------------------------------- *)
+
+let rec attempt t op ~tries =
+  op.deliberate := false;
+  t.s_submitted <- t.s_submitted + 1;
+  match System.submit t.system ~coordinator:op.coord ~steps:(steps_of t op) with
+  | h ->
+      t.inflight <- t.inflight + 1;
+      Action.on_resolve h (fun h o -> resolved t op ~tries h o)
+  | exception System.Overloaded _ ->
+      t.s_sheds <- t.s_sheds + 1;
+      retry_or_finish t op ~tries
+  | exception Invalid_argument _ ->
+      (* Coordinator crashed; by the retry it may be back. *)
+      retry_or_finish t op ~tries
+
+and resolved t op ~tries h o =
+  t.inflight <- t.inflight - 1;
+  match o with
+  | Action.Committed ->
+      t.s_committed <- t.s_committed + 1;
+      (match Action.latency h with
+      | Some l -> Metrics.observe t.hist (int_of_float (l *. 10.0))
+      | None -> ());
+      apply_model t op;
+      next_op t op
+  | Action.Aborted when !(op.deliberate) ->
+      t.s_deliberate <- t.s_deliberate + 1;
+      next_op t op
+  | Action.Aborted ->
+      t.s_aborted <- t.s_aborted + 1;
+      retry_or_finish t op ~tries
+
+and retry_or_finish t op ~tries =
+  if tries < t.cfg.max_retries then begin
+    t.s_retries <- t.s_retries + 1;
+    let d = min t.cfg.backoff_cap (t.cfg.backoff_base *. (2.0 ** float_of_int tries)) in
+    let d = d *. (1.0 +. Rng.float t.rng 0.5) in
+    Sim.schedule (System.sim t.system) ~delay:d (fun () -> attempt t op ~tries:(tries + 1))
+  end
+  else begin
+    t.s_abandoned <- t.s_abandoned + 1;
+    next_op t op
+  end
+
+and next_op t op =
+  if op.client then
+    let sim = System.sim t.system in
+    if Sim.now sim < t.stop_at then
+      let think = match t.cfg.mode with Closed { think; _ } -> think | Open _ -> 0.0 in
+      Sim.schedule sim ~delay:think (fun () -> attempt t (gen_op t ~client:true) ~tries:0)
+
+let rec schedule_arrival t rate =
+  let sim = System.sim t.system in
+  let gap = -.log (1.0 -. Rng.float t.rng 1.0) /. rate in
+  Sim.schedule sim ~delay:gap (fun () ->
+      if Sim.now sim < t.stop_at then begin
+        attempt t (gen_op t ~client:false) ~tries:0;
+        schedule_arrival t rate
+      end)
+
+let start t =
+  let sim = System.sim t.system in
+  t.start_now <- Sim.now sim;
+  t.stop_at <- Sim.now sim +. t.cfg.duration;
+  match t.cfg.mode with
+  | Closed { clients; _ } ->
+      for _ = 1 to clients do
+        Sim.schedule sim ~delay:0.0 (fun () -> attempt t (gen_op t ~client:true) ~tries:0)
+      done
+  | Open { rate } -> schedule_arrival t rate
+
+let stats t =
+  let now = Sim.now (System.sim t.system) in
+  let elapsed = (if t.end_now > t.start_now then t.end_now else now) -. t.start_now in
+  {
+    submitted = t.s_submitted;
+    committed = t.s_committed;
+    aborted = t.s_aborted;
+    deliberate_aborts = t.s_deliberate;
+    sheds = t.s_sheds;
+    retries = t.s_retries;
+    abandoned = t.s_abandoned;
+    wait_timeouts = wait_timeouts_now () - t.wait_timeouts0;
+    elapsed;
+    throughput = (if elapsed > 0.0 then float_of_int t.s_committed /. elapsed else 0.0);
+    p50 = Metrics.histogram_quantile t.hist 0.5 /. 10.0;
+    p99 = Metrics.histogram_quantile t.hist 0.99 /. 10.0;
+  }
+
+let drain ?(limit = 100_000.0) t =
+  System.quiesce ~limit t.system;
+  t.end_now <- Sim.now (System.sim t.system);
+  stats t
+
+let run ?limit cfg =
+  let t = create cfg in
+  start t;
+  drain ?limit t
+
+(* --- invariants -------------------------------------------------------- *)
+
+let committed_value t g o =
+  let heap = Guardian.heap (System.guardian t.system (Gid.of_int g)) in
+  match Heap.get_stable_var heap (obj_name o) with
+  | Some (Value.Ref a) -> (
+      match (Heap.atomic_view heap a).Heap.base with
+      | Value.Int v -> v
+      | _ -> failwith "Load: object is not an int")
+  | Some _ | None -> failwith (Printf.sprintf "Load: object %s missing" (obj_name o))
+
+let check t =
+  if not (List.for_all Guardian.is_up (System.guardians t.system)) then
+    Error "a guardian is down; restart before checking"
+  else
+    let initial = match t.cfg.profile with Synthetic -> 0 | Bank | Reservation -> t.cfg.initial in
+    let problem = ref None in
+    let total = ref 0 in
+    for g = 0 to t.cfg.guardians - 1 do
+      for o = 0 to t.cfg.objects_per_guardian - 1 do
+        let v = committed_value t g o in
+        total := !total + v;
+        (match t.cfg.profile with
+        | Synthetic ->
+            if v <> t.model.(g).(o) && !problem = None then
+              problem :=
+                Some
+                  (Printf.sprintf "g%d/%s = %d, model says %d (lost or phantom action)" g
+                     (obj_name o) v t.model.(g).(o))
+        | Reservation ->
+            if (v < 0 || v > initial) && !problem = None then
+              problem := Some (Printf.sprintf "g%d/%s = %d seats (outside [0,%d])" g (obj_name o) v initial)
+        | Bank -> ())
+      done
+    done;
+    match !problem with
+    | Some p -> Error p
+    | None -> (
+        match t.cfg.profile with
+        | Synthetic -> Ok ()
+        | Bank ->
+            let expected = t.cfg.guardians * t.cfg.objects_per_guardian * t.cfg.initial in
+            if !total = expected then Ok ()
+            else Error (Printf.sprintf "total balance %d, expected %d" !total expected)
+        | Reservation ->
+            let sold = (t.cfg.guardians * t.cfg.objects_per_guardian * t.cfg.initial) - !total in
+            if sold = t.bookings then Ok ()
+            else Error (Printf.sprintf "%d seats sold, %d bookings committed" sold t.bookings))

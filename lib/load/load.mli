@@ -1,0 +1,111 @@
+(** Synthetic traffic against a {!Rs_guardian.System}: thousands of
+    concurrent actions over the virtual-time simulator, with latency
+    histograms, throughput counters, bounded retry with exponential
+    backoff, and admission-control shedding.
+
+    The generator drives one of three profiles in either of two shapes:
+
+    - {e closed loop}: a fixed population of clients, each submitting its
+      next operation a think-time after the previous one resolves — the
+      classic fixed-concurrency benchmark shape;
+    - {e open loop}: operations arrive at a Poisson rate regardless of how
+      many are still in flight — the shape that exposes saturation and
+      makes admission control ({!Rs_guardian.System.Overloaded}) earn its
+      keep.
+
+    Everything is deterministic from [cfg.seed]: the same configuration
+    replays the same schedule, latencies included, which is what lets
+    {!Rs_explore} enumerate crash points inside a load run. *)
+
+type profile =
+  | Synthetic  (** per-object increment counters; checkable sum *)
+  | Bank  (** transfers between accounts; conservation invariant *)
+  | Reservation  (** seat booking with deliberate sold-out aborts *)
+
+type mode =
+  | Closed of { clients : int; think : float }
+      (** [clients] concurrent clients, [think] virtual-time units between
+          an operation's resolution and the client's next submission. *)
+  | Open of { rate : float }
+      (** Poisson arrivals at [rate] operations per virtual-time unit. *)
+
+type config = {
+  seed : int;
+  guardians : int;
+  latency : float;  (** network latency, as {!Rs_guardian.System.create} *)
+  jitter : float;
+  drop : float;  (** message drop probability *)
+  force_window : float;  (** group-commit window; 0 = synchronous *)
+  wait_timeout : float;  (** lock-wait timeout (deadlock breaker) *)
+  max_in_flight : int option;  (** per-guardian admission cap *)
+  profile : profile;
+  mode : mode;
+  duration : float;  (** stop submitting new operations after this *)
+  objects_per_guardian : int;
+  steps_per_action : int;  (** objects touched per action *)
+  conflict : float;  (** probability a step targets its guardian's hot object *)
+  abort_rate : float;  (** probability an action deliberately aborts at the end *)
+  initial : int;  (** initial balance (Bank) / seats (Reservation) *)
+  max_retries : int;  (** per operation, after non-deliberate aborts *)
+  backoff_base : float;  (** first retry delay; doubles per attempt *)
+  backoff_cap : float;
+}
+
+val default : config
+(** 2 guardians, closed loop with 8 clients, Synthetic profile, 10%%
+    conflict, no drops, duration 200. Override with record update. *)
+
+type stats = {
+  submitted : int;  (** submission attempts, retries included *)
+  committed : int;
+  aborted : int;  (** conflict / timeout / crash aborts (retried) *)
+  deliberate_aborts : int;  (** the action itself chose to abort *)
+  sheds : int;  (** submissions refused by admission control *)
+  retries : int;
+  abandoned : int;  (** operations dropped after [max_retries] *)
+  wait_timeouts : int;  (** lock waits broken by the timeout *)
+  elapsed : float;  (** virtual time from start to drain *)
+  throughput : float;  (** committed actions per virtual-time unit *)
+  p50 : float;  (** commit-latency median, virtual-time units *)
+  p99 : float;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type t
+
+val create : config -> t
+(** Build the system and commit the per-guardian object population (one
+    setup action per guardian, driven to completion). *)
+
+val system : t -> Rs_guardian.System.t
+(** The system under load — exposed so a fault injector can crash and
+    restart guardians mid-run. *)
+
+val start : t -> unit
+(** Schedule the client population / arrival process. Returns immediately;
+    drive the simulator ({!drain}, or stepping {!Rs_guardian.System.sim})
+    to make traffic happen. *)
+
+val drain : ?limit:float -> t -> stats
+(** Run the simulator until quiescent (default limit 100_000 virtual-time
+    units — raises [Failure] beyond it) and return the run's statistics.
+    Restart any crashed guardian first or quiescence never comes. *)
+
+val run : ?limit:float -> config -> stats
+(** [create], {!start}, {!drain}. *)
+
+val stats : t -> stats
+(** Statistics so far (callable mid-run). *)
+
+val unresolved : t -> int
+(** Submitted actions not yet resolved. After {!drain} this must be 0 —
+    a positive value over a quiescent simulator is a stuck action, the
+    exact bug the explorer's [load] target hunts. *)
+
+val check : t -> (unit, string) result
+(** The profile invariant over committed state:
+    Synthetic — every counter equals the model's committed increments (no
+    lost or duplicated actions); Bank — total balance conserved;
+    Reservation — seats sold equals committed bookings and never
+    oversold. All guardians must be up. *)

@@ -7,16 +7,21 @@ module Trace = Rs_obs.Trace
 let m_read_locks = Metrics.counter "heap.read_locks"
 let m_write_locks = Metrics.counter "heap.write_locks"
 let m_lock_conflicts = Metrics.counter "heap.lock_conflicts"
+let m_lock_waits = Metrics.counter "heap.lock_waits"
+let m_wait_timeouts = Metrics.counter "heap.wait_timeouts"
 
 let aid_str aid = Format.asprintf "%a" Aid.pp aid
+let holders_str = function
+  | [] -> "-"
+  | hs -> String.concat ";" (List.map aid_str hs)
 
 (* A conflicting lock/possession request, counted and traced before the
    exception reaches the guardian runtime. *)
-let conflict ~addr ~requester ~holder =
+let conflict ~addr ~requester ~holders =
   Metrics.incr m_lock_conflicts;
   if Trace.enabled () then
     Trace.emit
-      (Trace.Lock_conflict { aid = aid_str requester; holder = aid_str holder; addr })
+      (Trace.Lock_conflict { aid = aid_str requester; holder = holders_str holders; addr })
 
 let trace_lock aid addr kind =
   if Trace.enabled () then
@@ -30,13 +35,23 @@ type atomic_view = { base : Value.t; cur : Value.t option; lock : lock }
 
 type kind = Atomic | Mutex | Regular | Placeholder
 
+(* FIFO wait queue entry: who waits and whether they want the write lock
+   (write includes a reader's upgrade request, queued at the front). *)
+type waiter = { w_aid : Aid.t; w_write : bool }
+
 type atomic_body = {
   mutable a_base : Value.t;
   mutable a_cur : Value.t option;
   mutable a_lock : lock;
+  mutable a_wait : waiter list;
 }
 
-type mutex_body = { mutable m_cur : Value.t; mutable m_owner : Aid.t option }
+type mutex_body = {
+  mutable m_cur : Value.t;
+  mutable m_owner : Aid.t option;
+  mutable m_wait : Aid.t list;
+}
+
 type regular_body = { mutable r_val : Value.t }
 
 type body =
@@ -46,6 +61,16 @@ type body =
   | B_placeholder of Uid.t
 
 type obj = { uid : Uid.t option; body : body }
+
+(* Hooks installed by a scheduling runtime (Rs_guardian.System). [block]
+   suspends the calling action until the lock has been transferred to it
+   (true) or the wait was cancelled — timeout or crash — (false); [wake]
+   tells the runtime a queued waiter now holds the lock. With no runtime
+   installed, conflicting requests raise {!Lock_conflict} immediately. *)
+type runtime = {
+  block : addr:addr -> aid:Aid.t -> bool;
+  wake : addr:addr -> aid:Aid.t -> unit;
+}
 
 type t = {
   objs : obj Vec.t;
@@ -57,9 +82,11 @@ type t = {
   modified : addr Vec.t Aid.Tbl.t;
   locked : addr Vec.t Aid.Tbl.t;
   root : addr;
+  mutable runtime : runtime option;
 }
 
-exception Lock_conflict of { addr : addr; holder : Aid.t }
+exception Lock_conflict of { addr : addr; holders : Aid.t list }
+exception Wait_timeout of { addr : addr; waiter : Aid.t }
 
 let obj t a =
   if a < 0 || a >= Vec.length t.objs then
@@ -86,17 +113,19 @@ let create () =
       modified = Aid.Tbl.create 16;
       locked = Aid.Tbl.create 16;
       root = 0;
+      runtime = None;
     }
   in
   let root =
     add_obj t ~uid:Uid.stable_vars
-      (B_atomic { a_base = Value.Tup [||]; a_cur = None; a_lock = Free })
+      (B_atomic { a_base = Value.Tup [||]; a_cur = None; a_lock = Free; a_wait = [] })
   in
   assert (root = 0);
   t
 
 let uid_gen t = t.gen
 let root_addr t = t.root
+let set_runtime t rt = t.runtime <- rt
 
 let kind_of t a =
   match (obj t a).body with
@@ -168,14 +197,16 @@ let copy_version t v =
 let alloc_atomic t ~creator base =
   let uid = Uid.Gen.fresh t.gen in
   let a =
-    add_obj t ~uid (B_atomic { a_base = base; a_cur = None; a_lock = Read (Aid.Set.singleton creator) })
+    add_obj t ~uid
+      (B_atomic
+         { a_base = base; a_cur = None; a_lock = Read (Aid.Set.singleton creator); a_wait = [] })
   in
   record t.locked creator a;
   a
 
 let alloc_mutex t v =
   let uid = Uid.Gen.fresh t.gen in
-  add_obj t ~uid (B_mutex { m_cur = v; m_owner = None })
+  add_obj t ~uid (B_mutex { m_cur = v; m_owner = None; m_wait = [] })
 
 let alloc_regular t v = add_obj t (B_regular { r_val = v })
 
@@ -185,59 +216,112 @@ let atomic_view t a =
   let b = atomic t a "atomic_view" in
   { base = b.a_base; cur = b.a_cur; lock = b.a_lock }
 
-let read_atomic t aid a =
+let atomic_holders b =
+  match b.a_lock with
+  | Free -> []
+  | Write h -> [ h ]
+  | Read readers -> Aid.Set.elements readers
+
+let grant_read t aid a b =
+  (match b.a_lock with
+  | Free -> b.a_lock <- Read (Aid.Set.singleton aid)
+  | Read readers -> b.a_lock <- Read (Aid.Set.add aid readers)
+  | Write _ -> assert false);
+  record t.locked aid a;
+  Metrics.incr m_read_locks;
+  trace_lock aid a Trace.Read
+
+let grant_write t aid a b =
+  b.a_lock <- Write aid;
+  b.a_cur <- Some (copy_version t b.a_base);
+  record t.locked aid a;
+  Metrics.incr m_write_locks;
+  trace_lock aid a Trace.Write
+
+(* Join the FIFO queue (front = an upgrade request, which must beat queued
+   writers: they cannot progress past the held read lock anyway) and
+   suspend through the runtime. Returns normally when the lock has been
+   transferred to [aid] — the caller re-examines the lock state — and
+   raises if the wait was cancelled. With no runtime, this degenerates to
+   the immediate {!Lock_conflict} of the abort-on-conflict model. *)
+let wait_atomic t aid a b ~write ~front =
+  let holders = List.filter (fun h -> not (Aid.equal h aid)) (atomic_holders b) in
+  match t.runtime with
+  | None ->
+      conflict ~addr:a ~requester:aid ~holders;
+      raise (Lock_conflict { addr = a; holders })
+  | Some rt ->
+      let w = { w_aid = aid; w_write = write } in
+      b.a_wait <- (if front then w :: b.a_wait else b.a_wait @ [ w ]);
+      Metrics.incr m_lock_waits;
+      if Trace.enabled () then
+        Trace.emit
+          (Trace.Lock_wait { aid = aid_str aid; holder = holders_str holders; addr = a });
+      if not (rt.block ~addr:a ~aid) then begin
+        Metrics.incr m_wait_timeouts;
+        if Trace.enabled () then Trace.emit (Trace.Lock_timeout { aid = aid_str aid; addr = a });
+        raise (Wait_timeout { addr = a; waiter = aid })
+      end
+
+(* Serve the queue head(s) after a lock release or a cancelled wait: grant
+   as long as the head is compatible (consecutive readers batch; a write
+   waiter needs the object free, or to be the sole remaining reader for an
+   upgrade), then notify the runtime in FIFO order. *)
+let service_atomic t a b =
+  let rec go () =
+    match b.a_wait with
+    | [] -> ()
+    | w :: rest ->
+        let can =
+          if w.w_write then
+            match b.a_lock with
+            | Free -> true
+            | Read readers -> Aid.Set.is_empty (Aid.Set.remove w.w_aid readers)
+            | Write _ -> false
+          else match b.a_lock with Free | Read _ -> true | Write _ -> false
+        in
+        if can then begin
+          b.a_wait <- rest;
+          if w.w_write then grant_write t w.w_aid a b else grant_read t w.w_aid a b;
+          (match t.runtime with Some rt -> rt.wake ~addr:a ~aid:w.w_aid | None -> ());
+          go ()
+        end
+  in
+  go ()
+
+let rec read_atomic t aid a =
   let b = atomic t a "read_atomic" in
   match b.a_lock with
   | Write holder when Aid.equal holder aid -> (
       match b.a_cur with Some v -> v | None -> b.a_base)
-  | Write holder ->
-      conflict ~addr:a ~requester:aid ~holder;
-      raise (Lock_conflict { addr = a; holder })
-  | Free ->
-      b.a_lock <- Read (Aid.Set.singleton aid);
-      record t.locked aid a;
-      Metrics.incr m_read_locks;
-      trace_lock aid a Trace.Read;
+  | Read readers when Aid.Set.mem aid readers -> b.a_base
+  | (Free | Read _) when b.a_wait = [] || t.runtime = None ->
+      grant_read t aid a b;
       b.a_base
-  | Read readers ->
-      if not (Aid.Set.mem aid readers) then begin
-        b.a_lock <- Read (Aid.Set.add aid readers);
-        record t.locked aid a;
-        Metrics.incr m_read_locks;
-        trace_lock aid a Trace.Read
-      end;
-      b.a_base
+  | Free | Read _ | Write _ ->
+      (* Held by a writer, or joining behind queued waiters (no barging
+         past a waiting writer — that would starve it). *)
+      wait_atomic t aid a b ~write:false ~front:false;
+      read_atomic t aid a
 
-let write_lock t aid a =
+let rec write_lock t aid a =
   let b = atomic t a "write_lock" in
-  let acquired () =
-    Metrics.incr m_write_locks;
-    trace_lock aid a Trace.Write
-  in
   match b.a_lock with
   | Write holder when Aid.equal holder aid -> ()
-  | Write holder ->
-      conflict ~addr:a ~requester:aid ~holder;
-      raise (Lock_conflict { addr = a; holder })
-  | Free ->
-      b.a_lock <- Write aid;
-      b.a_cur <- Some (copy_version t b.a_base);
-      record t.locked aid a;
-      acquired ()
-  | Read readers ->
-      (* Upgrade is allowed only for the sole reader. *)
-      let others = Aid.Set.remove aid readers in
-      if Aid.Set.is_empty others then begin
-        b.a_lock <- Write aid;
-        b.a_cur <- Some (copy_version t b.a_base);
-        record t.locked aid a;
-        acquired ()
-      end
-      else begin
-        let holder = Aid.Set.min_elt others in
-        conflict ~addr:a ~requester:aid ~holder;
-        raise (Lock_conflict { addr = a; holder })
-      end
+  | Free when b.a_wait = [] || t.runtime = None -> grant_write t aid a b
+  | Read readers
+    when Aid.Set.mem aid readers && Aid.Set.is_empty (Aid.Set.remove aid readers) ->
+      (* Sole reader: upgrade in place, ahead of any queued waiters. *)
+      grant_write t aid a b
+  | Read readers when Aid.Set.mem aid readers ->
+      (* Reader among others wanting an upgrade: wait at the queue front.
+         Two concurrent upgraders deadlock here; the wait timeout breaks
+         the tie by aborting one of them. *)
+      wait_atomic t aid a b ~write:true ~front:true;
+      write_lock t aid a
+  | Free | Read _ | Write _ ->
+      wait_atomic t aid a b ~write:true ~front:false;
+      write_lock t aid a
 
 let set_current t aid a v =
   write_lock t aid a;
@@ -254,23 +338,49 @@ let current_of t aid a =
 
 (* Mutex objects *)
 
-let seize t aid a =
+(* Transfer possession to the queue head once free. *)
+let service_mutex t a b =
+  match (b.m_owner, b.m_wait) with
+  | None, aid :: rest ->
+      b.m_wait <- rest;
+      b.m_owner <- Some aid;
+      (match t.runtime with Some rt -> rt.wake ~addr:a ~aid | None -> ())
+  | (Some _ | None), _ -> ()
+
+let rec seize t aid a =
   let b = mutex t a "seize" in
   match b.m_owner with
-  | Some holder when not (Aid.equal holder aid) ->
-      conflict ~addr:a ~requester:aid ~holder;
-      raise (Lock_conflict { addr = a; holder })
-  | Some _ | None ->
+  | Some holder when Aid.equal holder aid -> b.m_cur
+  | None when b.m_wait = [] || t.runtime = None ->
       b.m_owner <- Some aid;
       b.m_cur
+  | owner -> (
+      let holders = match owner with Some h -> [ h ] | None -> [] in
+      match t.runtime with
+      | None ->
+          conflict ~addr:a ~requester:aid ~holders;
+          raise (Lock_conflict { addr = a; holders })
+      | Some rt ->
+          b.m_wait <- b.m_wait @ [ aid ];
+          Metrics.incr m_lock_waits;
+          if Trace.enabled () then
+            Trace.emit
+              (Trace.Lock_wait { aid = aid_str aid; holder = holders_str holders; addr = a });
+          if rt.block ~addr:a ~aid then seize t aid a
+          else begin
+            Metrics.incr m_wait_timeouts;
+            if Trace.enabled () then
+              Trace.emit (Trace.Lock_timeout { aid = aid_str aid; addr = a });
+            raise (Wait_timeout { addr = a; waiter = aid })
+          end)
 
 let set_mutex t aid a v =
   let b = mutex t a "set_mutex" in
   (match b.m_owner with
   | Some holder when Aid.equal holder aid -> ()
   | Some holder ->
-      conflict ~addr:a ~requester:aid ~holder;
-      raise (Lock_conflict { addr = a; holder })
+      conflict ~addr:a ~requester:aid ~holders:[ holder ];
+      raise (Lock_conflict { addr = a; holders = [ holder ] })
   | None -> invalid_arg "Heap.set_mutex: possession not held");
   b.m_cur <- v;
   record t.modified aid a
@@ -278,7 +388,9 @@ let set_mutex t aid a v =
 let release t aid a =
   let b = mutex t a "release" in
   match b.m_owner with
-  | Some holder when Aid.equal holder aid -> b.m_owner <- None
+  | Some holder when Aid.equal holder aid ->
+      b.m_owner <- None;
+      service_mutex t a b
   | Some _ | None -> invalid_arg "Heap.release: possession not held"
 
 let mutex_value t a = (mutex t a "mutex_value").m_cur
@@ -297,19 +409,21 @@ let mos t aid =
 
 let drop_lock t aid a =
   match (obj t a).body with
-  | B_atomic b -> (
-      match b.a_lock with
+  | B_atomic b ->
+      (match b.a_lock with
       | Write holder when Aid.equal holder aid ->
           b.a_lock <- Free;
           b.a_cur <- None
       | Read readers when Aid.Set.mem aid readers ->
           let readers = Aid.Set.remove aid readers in
           b.a_lock <- (if Aid.Set.is_empty readers then Free else Read readers)
-      | Write _ | Read _ | Free -> ())
-  | B_mutex b -> (
-      match b.m_owner with
+      | Write _ | Read _ | Free -> ());
+      service_atomic t a b
+  | B_mutex b ->
+      (match b.m_owner with
       | Some holder when Aid.equal holder aid -> b.m_owner <- None
-      | Some _ | None -> ())
+      | Some _ | None -> ());
+      service_mutex t a b
   | B_regular _ | B_placeholder _ -> ()
 
 let finish ~commit t aid =
@@ -327,12 +441,32 @@ let finish ~commit t aid =
                      | Some v -> b.a_base <- v
                      | None -> ());
                   b.a_cur <- None;
-                  b.a_lock <- Free
+                  b.a_lock <- Free;
+                  service_atomic t a b
               | Write _ | Read _ | Free -> drop_lock t aid a)
           | B_mutex _ | B_regular _ | B_placeholder _ -> drop_lock t aid a)
         addrs);
   Aid.Tbl.remove t.locked aid;
   Aid.Tbl.remove t.modified aid
+
+(* A parked waiter whose wait was cancelled (timeout, or its guardian's
+   runtime abandoning it) leaves the queue; removing a blocking head may
+   unblock compatible waiters behind it. *)
+let cancel_wait t aid a =
+  match (obj t a).body with
+  | B_atomic b ->
+      b.a_wait <- List.filter (fun w -> not (Aid.equal w.w_aid aid)) b.a_wait;
+      service_atomic t a b
+  | B_mutex b ->
+      b.m_wait <- List.filter (fun x -> not (Aid.equal x aid)) b.m_wait;
+      service_mutex t a b
+  | B_regular _ | B_placeholder _ -> ()
+
+let waiting t a =
+  match (obj t a).body with
+  | B_atomic b -> List.map (fun w -> w.w_aid) b.a_wait
+  | B_mutex b -> b.m_wait
+  | B_regular _ | B_placeholder _ -> []
 
 let commit_action t aid = finish ~commit:true t aid
 let abort_action t aid = finish ~commit:false t aid
@@ -400,6 +534,7 @@ let install_atomic t ~uid ~base ~cur =
             a_base = (match base with Some v -> v | None -> Value.Unit);
             a_cur = (match cur with Some (_, v) -> Some v | None -> None);
             a_lock = (match cur with Some (aid, _) -> Write aid | None -> Free);
+            a_wait = [];
           }
       in
       let a = add_obj t ~uid body in
@@ -415,7 +550,7 @@ let install_mutex t ~uid v =
   | Some a ->
       (mutex t a "install_mutex").m_cur <- v;
       a
-  | None -> add_obj t ~uid (B_mutex { m_cur = v; m_owner = None })
+  | None -> add_obj t ~uid (B_mutex { m_cur = v; m_owner = None; m_wait = [] })
 
 let install_placeholder t uid =
   match Uid.Tbl.find_opt t.placeholders uid with

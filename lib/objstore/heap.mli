@@ -24,14 +24,45 @@ type atomic_view = { base : Value.t; cur : Value.t option; lock : lock }
 type kind = Atomic | Mutex | Regular | Placeholder
 type t
 
-exception Lock_conflict of { addr : addr; holder : Rs_util.Aid.t }
-(** Raised when a lock/possession request conflicts; the guardian runtime
-    turns this into an action abort. *)
+exception Lock_conflict of { addr : addr; holders : Rs_util.Aid.t list }
+(** Raised when a lock/possession request conflicts and no scheduling
+    runtime is installed (see {!set_runtime}); [holders] names the
+    blocking action(s) — several for a read-held object. The guardian
+    runtime turns this into an action abort. *)
+
+exception Wait_timeout of { addr : addr; waiter : Rs_util.Aid.t }
+(** Raised out of a blocking acquisition when the runtime cancelled the
+    wait (virtual-time timeout — presumed deadlock — or the guardian
+    crashed). The action must abort, releasing its other locks. *)
 
 val create : unit -> t
 (** A fresh heap containing only the stable-variables root: an atomic
     object with uid {!Rs_util.Uid.stable_vars} whose base version is the
     empty binding tuple. *)
+
+(** {1 Lock wait queues}
+
+    The Argus runtime makes actions {e wait} for locks (§2.1) rather than
+    abort on first conflict. A scheduling runtime installs [block]/[wake]
+    hooks: a conflicting request joins the object's FIFO wait queue and
+    [block]s; on release the lock is transferred to the compatible queue
+    head(s) — consecutive readers batch, an upgrade request waits at the
+    front — and [wake] fires for each grantee. [block] returns false when
+    the runtime cancelled the wait, turning it into {!Wait_timeout}. *)
+
+type runtime = {
+  block : addr:addr -> aid:Rs_util.Aid.t -> bool;
+  wake : addr:addr -> aid:Rs_util.Aid.t -> unit;
+}
+
+val set_runtime : t -> runtime option -> unit
+
+val cancel_wait : t -> Rs_util.Aid.t -> addr -> unit
+(** Remove [aid] from the wait queue of [addr] (timeout/crash path); may
+    grant the lock to waiters that were queued behind it. *)
+
+val waiting : t -> addr -> Rs_util.Aid.t list
+(** The object's wait queue, front first. *)
 
 val uid_gen : t -> Rs_util.Uid.Gen.t
 val root_addr : t -> addr
@@ -57,13 +88,16 @@ val atomic_view : t -> addr -> atomic_view
 val read_atomic : t -> Rs_util.Aid.t -> addr -> Value.t
 (** Acquire (or re-acquire) a read lock and return the version the action
     sees: its own current version if it holds the write lock, the base
-    version otherwise. Raises {!Lock_conflict} if another action holds the
-    write lock. *)
+    version otherwise. If another action holds the write lock (or writers
+    are queued ahead), waits through the runtime — or raises
+    {!Lock_conflict} when none is installed. *)
 
 val write_lock : t -> Rs_util.Aid.t -> addr -> unit
 (** Acquire the write lock, creating the current version (a copy).
-    Upgrades the action's own read lock if it is the sole reader. Raises
-    {!Lock_conflict} otherwise. Idempotent for the holder. *)
+    Upgrades the action's own read lock in place if it is the sole reader;
+    with other readers present the upgrade waits at the queue front.
+    Waits (or raises {!Lock_conflict}) otherwise. Idempotent for the
+    holder. *)
 
 val set_current : t -> Rs_util.Aid.t -> addr -> Value.t -> unit
 (** Replace the current version wholesale. Requires the write lock
@@ -77,7 +111,7 @@ val current_of : t -> Rs_util.Aid.t -> addr -> Value.t
 
 val seize : t -> Rs_util.Aid.t -> addr -> Value.t
 (** Gain possession of a mutex object and return its current version.
-    Raises {!Lock_conflict} if another action has possession. *)
+    Waits (or raises {!Lock_conflict}) if another action has possession. *)
 
 val set_mutex : t -> Rs_util.Aid.t -> addr -> Value.t -> unit
 (** Replace the mutex current version; requires possession. Marks the

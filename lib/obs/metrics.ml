@@ -102,6 +102,36 @@ let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
 let histogram_buckets h = (h.underflow, Array.copy h.interior, h.overflow)
 
+let histogram_quantile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.histogram_quantile: q outside [0,1]";
+  if h.h_count = 0 then 0.0
+  else begin
+    let n = Array.length h.bounds in
+    let rank = q *. float_of_int h.h_count in
+    (* Walk underflow, interior buckets, overflow cumulatively; linear
+       interpolation inside the containing interior bucket, clamping to
+       the nearest bound for the open-ended tails. *)
+    let result = ref None in
+    let cum = ref (float_of_int h.underflow) in
+    if h.underflow > 0 && !cum >= rank then result := Some (float_of_int h.bounds.(0));
+    let i = ref 0 in
+    while !result = None && !i < n - 1 do
+      let c = h.interior.(!i) in
+      if c > 0 then begin
+        let before = !cum in
+        cum := !cum +. float_of_int c;
+        if !cum >= rank then
+          let frac = (rank -. before) /. float_of_int c in
+          result :=
+            Some
+              (float_of_int h.bounds.(!i)
+              +. (frac *. float_of_int (h.bounds.(!i + 1) - h.bounds.(!i))))
+      end;
+      i := !i + 1
+    done;
+    match !result with Some v -> v | None -> float_of_int h.bounds.(n - 1)
+  end
+
 let find_counter registry name =
   match Hashtbl.find_opt registry.tbl name with
   | Some (Counter c) -> Some c.c_value

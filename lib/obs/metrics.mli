@@ -63,6 +63,12 @@ val histogram_buckets : histogram -> int * int array * int
 (** [(underflow, interior_counts, overflow)]; [interior_counts] has
     [Array.length bounds - 1] cells. *)
 
+val histogram_quantile : histogram -> float -> float
+(** Estimate the [q]-quantile (0 ≤ q ≤ 1) from the bucket counts: linear
+    interpolation within the containing interior bucket; the open-ended
+    underflow/overflow tails clamp to the first/last bound. 0 on an empty
+    histogram. Raises [Invalid_argument] if [q] is outside [0, 1]. *)
+
 val find_counter : t -> string -> int option
 (** Read a counter by name without creating it. *)
 

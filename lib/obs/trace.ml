@@ -14,6 +14,9 @@ type event =
   | Twopc_recv of { src : string; dst : string; msg : string }
   | Lock_acquire of { aid : string; addr : int; kind : lock_kind }
   | Lock_conflict of { aid : string; holder : string; addr : int }
+  | Lock_wait of { aid : string; holder : string; addr : int }
+  | Lock_timeout of { aid : string; addr : int }
+  | Action_shed of { gid : string; in_flight : int }
   | Action_prepare of { gid : string; aid : string; refused : bool }
   | Action_commit of { gid : string; aid : string }
   | Action_abort of { gid : string; aid : string }
@@ -84,6 +87,11 @@ let pp_event fmt = function
       Format.fprintf fmt "lock_acquire{aid=%s addr=%d %a}" aid addr pp_lock_kind kind
   | Lock_conflict { aid; holder; addr } ->
       Format.fprintf fmt "lock_conflict{aid=%s holder=%s addr=%d}" aid holder addr
+  | Lock_wait { aid; holder; addr } ->
+      Format.fprintf fmt "lock_wait{aid=%s holder=%s addr=%d}" aid holder addr
+  | Lock_timeout { aid; addr } -> Format.fprintf fmt "lock_timeout{aid=%s addr=%d}" aid addr
+  | Action_shed { gid; in_flight } ->
+      Format.fprintf fmt "action_shed{gid=%s in_flight=%d}" gid in_flight
   | Action_prepare { gid; aid; refused } ->
       Format.fprintf fmt "action_prepare{gid=%s aid=%s refused=%b}" gid aid refused
   | Action_commit { gid; aid } -> Format.fprintf fmt "action_commit{gid=%s aid=%s}" gid aid

@@ -30,6 +30,12 @@ type event =
   | Twopc_recv of { src : string; dst : string; msg : string }
   | Lock_acquire of { aid : string; addr : int; kind : lock_kind }
   | Lock_conflict of { aid : string; holder : string; addr : int }
+  | Lock_wait of { aid : string; holder : string; addr : int }
+      (** the requester joined the object's FIFO wait queue behind [holder] *)
+  | Lock_timeout of { aid : string; addr : int }
+      (** the wait timed out (presumed deadlock); the action aborts *)
+  | Action_shed of { gid : string; in_flight : int }
+      (** admission control refused a submission: guardian at capacity *)
   | Action_prepare of { gid : string; aid : string; refused : bool }
   | Action_commit of { gid : string; aid : string }
   | Action_abort of { gid : string; aid : string }

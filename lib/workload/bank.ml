@@ -42,17 +42,18 @@ let create ?(seed = 7) ~system ~accounts_per_guardian ~initial_balance () =
       done
     in
     let rec attempt () =
-      let result = ref None in
-      System.submit system ~coordinator:(Gid.of_int g)
-        ~steps:[ (Gid.of_int g, setup) ]
-        (fun _ outcome -> result := Some outcome);
-      System.quiesce system;
-      match !result with
-      | Some System.Committed -> ()
-      | Some System.Aborted | None -> attempt ()
+      let h =
+        System.submit system ~coordinator:(Gid.of_int g) ~steps:[ (Gid.of_int g, setup) ]
+      in
+      match System.await system h with
+      | System.Committed -> ()
+      | System.Aborted -> attempt ()
     in
     attempt ()
   done;
+  (* [await] returns at the commit decision; quiesce so the phase-two
+     message installs the account bindings before any transfer reads. *)
+  System.quiesce system;
   t
 
 (* An account is (guardian, local index). *)
@@ -80,13 +81,17 @@ let submit_transfer t ?(amount = 1) () =
     if d = (src_g, src_i) then pick_dst () else d
   in
   let dst_g, dst_i = pick_dst () in
-  System.submit t.system ~coordinator:src_g
-    ~steps:
-      [ (src_g, adjust (acct_name src_i) (-amount)); (dst_g, adjust (acct_name dst_i) amount) ]
-    (fun _ outcome ->
-      match outcome with
-      | System.Committed -> t.committed <- t.committed + 1
-      | System.Aborted -> t.aborted <- t.aborted + 1)
+  ignore
+    (System.submit t.system ~coordinator:src_g
+       ~steps:
+         [
+           (src_g, adjust (acct_name src_i) (-amount));
+           (dst_g, adjust (acct_name dst_i) amount);
+         ]
+       ~on_result:(fun _ outcome ->
+         match outcome with
+         | System.Committed -> t.committed <- t.committed + 1
+         | System.Aborted -> t.aborted <- t.aborted + 1))
 
 let run t ~n_transfers ?crash_every () =
   let submitted = ref 0 in

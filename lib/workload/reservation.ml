@@ -50,14 +50,16 @@ let create ?(seed = 17) ~system ~inventory ~offices ~n_flights ~capacity () =
     }
   in
   let rec attempt () =
-    let r = ref None in
-    System.submit system ~coordinator:inventory
-      ~steps:[ (inventory, setup_flights ~n_flights ~capacity) ]
-      (fun _ o -> r := Some o);
-    System.quiesce system;
-    if !r <> Some System.Committed then attempt ()
+    let h =
+      System.submit system ~coordinator:inventory
+        ~steps:[ (inventory, setup_flights ~n_flights ~capacity) ]
+    in
+    if System.await system h <> System.Committed then attempt ()
   in
   attempt ();
+  (* Quiesce so the committed flight bindings are installed before any
+     booking reads them. *)
+  System.quiesce system;
   t
 
 let book flight passenger : System.work =
@@ -86,12 +88,13 @@ let book flight passenger : System.work =
 let submit_booking t ~passenger =
   let office = t.offices.(Rng.int t.rng (Array.length t.offices)) in
   let flight = Rng.int t.rng t.n_flights in
-  System.submit t.system ~coordinator:office
-    ~steps:[ (t.inventory, book flight passenger) ]
-    (fun _ o ->
-      match o with
-      | System.Committed -> t.committed <- t.committed + 1
-      | System.Aborted -> t.aborted <- t.aborted + 1)
+  ignore
+    (System.submit t.system ~coordinator:office
+       ~steps:[ (t.inventory, book flight passenger) ]
+       ~on_result:(fun _ o ->
+         match o with
+         | System.Committed -> t.committed <- t.committed + 1
+         | System.Aborted -> t.aborted <- t.aborted + 1))
 
 let run t ~n_bookings ?crash_every () =
   for i = 1 to n_bookings do

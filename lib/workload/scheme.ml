@@ -52,19 +52,20 @@ let early_prepare t aid mos =
   | Simple _ | Shadow _ -> mos
 
 let crash_recover t =
-  match t with
-  | Simple { dir; _ } ->
-      let rs, info = Core.Simple_rs.recover dir in
-      (* [recover] builds a fresh directory record over the surviving
-         stores; keep that one — the pre-crash record's volatile state
-         (current-log handle, segment table) is stale. *)
-      (Simple { heap = Core.Simple_rs.heap rs; dir = Core.Simple_rs.dir rs; rs }, info)
-  | Hybrid { dir; _ } ->
-      let rs, info = Core.Hybrid_rs.recover dir in
-      (Hybrid { heap = Core.Hybrid_rs.heap rs; dir = Core.Hybrid_rs.dir rs; rs }, info)
-  | Shadow { rs; _ } ->
-      let rs, info = Core.Shadow_rs.recover rs in
-      (Shadow { heap = Core.Shadow_rs.heap rs; rs }, info)
+  Core.Tables.Recovery_report.measure (fun () ->
+      match t with
+      | Simple { dir; _ } ->
+          let rs, info = Core.Simple_rs.recover dir in
+          (* [recover] builds a fresh directory record over the surviving
+             stores; keep that one — the pre-crash record's volatile state
+             (current-log handle, segment table) is stale. *)
+          (Simple { heap = Core.Simple_rs.heap rs; dir = Core.Simple_rs.dir rs; rs }, info)
+      | Hybrid { dir; _ } ->
+          let rs, info = Core.Hybrid_rs.recover dir in
+          (Hybrid { heap = Core.Hybrid_rs.heap rs; dir = Core.Hybrid_rs.dir rs; rs }, info)
+      | Shadow { rs; _ } ->
+          let rs, info = Core.Shadow_rs.recover rs in
+          (Shadow { heap = Core.Shadow_rs.heap rs; rs }, info))
 
 type hk_job =
   | Hybrid_job of Core.Hybrid_rs.t * Core.Hybrid_rs.job

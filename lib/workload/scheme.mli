@@ -29,9 +29,11 @@ val scheduler : t -> Rs_slog.Force_scheduler.t option
 val early_prepare : t -> Rs_util.Aid.t -> Rs_objstore.Value.addr list -> Rs_objstore.Value.addr list
 (** Hybrid only; other schemes return the MOS unwritten. *)
 
-val crash_recover : t -> t * Core.Tables.Recovery_info.t
+val crash_recover : t -> t * Core.Tables.Recovery_report.t
 (** Simulate a node crash and run recovery; returns the recovered facade
-    (the old one must not be used again). *)
+    (the old one must not be used again) plus the unified
+    {!Core.Tables.Recovery_report} — the same record {!System.restart}
+    returns, so oracles and tools read one shape everywhere. *)
 
 val housekeep : t -> technique -> unit
 (** Hybrid: the Ch. 5 algorithms. Simple: [Snapshot] runs the transplanted

@@ -41,7 +41,7 @@ val run_random_actions :
 (** [n] actions over uniformly chosen objects; [abort_rate] (default 0)
     of them abort after preparing. *)
 
-val crash_recover : t -> t * Core.Tables.Recovery_info.t
+val crash_recover : t -> t * Core.Tables.Recovery_report.t
 (** Crash the guardian and recover from stable storage; the returned
     driver carries the recovered scheme, the same model and the same
     RNG. *)

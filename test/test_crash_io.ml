@@ -138,7 +138,7 @@ let crash_recover_continue which () =
          reachable coordinator does: abort (§2.2.3). *)
       List.iter
         (fun aid -> Scheme.abort (Synth.scheme !t) aid)
-        (Core.Tables.Recovery_info.prepared_actions info)
+        (Core.Tables.Recovery_report.prepared_actions info)
     end;
     (* Whatever happened, the system must accept and persist new work. *)
     Synth.run_random_actions !t ~n:3 ~objects_per_action:2 ();

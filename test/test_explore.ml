@@ -44,6 +44,21 @@ let test_group_clean () =
         (Format.asprintf "%a" Rs_explore.Oracle.pp_violation violation)
         (Fault.schedule_to_string schedule)
 
+(* The load target crashes guardians under contended closed-loop traffic;
+   every schedule must drain with all handles resolved and the committed
+   counters matching the model — this is the schedule family that caught
+   the zombie-fiber phantom (a lock grant in flight across a crash). *)
+let test_load_clean () =
+  let o = Explore.explore ~config:{ Explore.default_config with budget = 60 } "load" in
+  Alcotest.(check bool) "load: found fault points" true (o.Explore.points > 0);
+  Alcotest.(check bool) "load: ran schedules" true (o.Explore.schedules > 1);
+  match o.Explore.counterexample with
+  | None -> ()
+  | Some { Explore.schedule; violation } ->
+      Alcotest.failf "load: %s under [%s]"
+        (Format.asprintf "%a" Rs_explore.Oracle.pp_violation violation)
+        (Fault.schedule_to_string schedule)
+
 (* A scheduler whose covering forces lie about stability must fail the
    group target's durably-acked floor. *)
 let test_group_broken_force_caught () =
@@ -91,6 +106,7 @@ let suite =
     Alcotest.test_case "twopc survives exploration" `Quick test_twopc_clean;
     Alcotest.test_case "segments survive exploration" `Quick test_segments_clean;
     Alcotest.test_case "group commit survives exploration" `Quick test_group_clean;
+    Alcotest.test_case "load survives exploration" `Quick test_load_clean;
     Alcotest.test_case "seeded broken force is caught" `Quick test_broken_force_caught;
     Alcotest.test_case "group target catches broken force" `Quick
       test_group_broken_force_caught;

@@ -150,7 +150,7 @@ let test_crash_before_flush () =
   let t', info = Synth.crash_recover t in
   Alcotest.(check bool) "never acknowledged" false !done_;
   Alcotest.(check int) "nothing prepared survived" 0
-    (List.length (Core.Tables.Recovery_info.prepared_actions info));
+    (List.length (Core.Tables.Recovery_report.prepared_actions info));
   Alcotest.(check (array int)) "effects gone: presumed abort" [| 0; 0 |]
     (Synth.counters t');
   (* Counterpart: once the flushes happen and the action is acknowledged,

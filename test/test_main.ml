@@ -22,4 +22,5 @@ let () =
       ("obs", Test_obs.suite);
       ("group-commit", Test_group_commit.suite);
       ("explore", Test_explore.suite);
+      ("load", Test_load.suite);
     ]

@@ -48,8 +48,8 @@ let test_read_write_locks () =
     (Value.equal_shape (Heap.read_atomic h t1 a) (Value.Int 11));
   (match Heap.read_atomic h t2 a with
   | _ -> Alcotest.fail "expected conflict"
-  | exception Heap.Lock_conflict { holder; _ } ->
-      Alcotest.(check bool) "holder is t1" true (Aid.equal holder t1))
+  | exception Heap.Lock_conflict { holders; _ } ->
+      Alcotest.(check bool) "holder is t1" true (holders = [ t1 ]))
 
 let test_commit_installs_version () =
   let h = Heap.create () in
@@ -282,6 +282,124 @@ let test_heap_check_detects_lockless_current () =
        (Format.asprintf "%a" Rs_objstore.Heap_check.pp_issue)
        (Rs_objstore.Heap_check.check h))
 
+(* Wait-queue tests use a synchronous runtime: [block] parks by raising
+   (the waiter stays queued — the fiber analogue of suspending), [wake]
+   logs grants so FIFO order is observable. *)
+exception Parked
+
+let wait_runtime woken =
+  {
+    Heap.block = (fun ~addr:_ ~aid:_ -> raise Parked);
+    wake = (fun ~addr:_ ~aid -> woken := !woken @ [ aid ]);
+  }
+
+let park f =
+  match f () with
+  | _ -> Alcotest.fail "expected request to park"
+  | exception Parked -> ()
+
+let test_wait_queue_fifo () =
+  let h = Heap.create () in
+  let woken = ref [] in
+  Heap.set_runtime h (Some (wait_runtime woken));
+  let t1 = aid 1 and t2 = aid 2 and t3 = aid 3 in
+  let a = Heap.alloc_atomic h ~creator:t1 (Value.Int 0) in
+  Heap.commit_action h t1;
+  Heap.write_lock h t1 a;
+  park (fun () -> Heap.write_lock h t2 a);
+  park (fun () -> Heap.write_lock h t3 a);
+  Alcotest.(check bool) "queue front-first" true (Heap.waiting h a = [ t2; t3 ]);
+  Heap.commit_action h t1;
+  (* Write transfers to the head only; t3 stays queued behind t2. *)
+  Alcotest.(check bool) "head granted first" true (!woken = [ t2 ]);
+  Alcotest.(check bool) "t3 still queued" true (Heap.waiting h a = [ t3 ]);
+  (match (Heap.atomic_view h a).lock with
+  | Heap.Write w -> Alcotest.(check bool) "t2 holds write" true (Aid.equal w t2)
+  | Heap.Free | Heap.Read _ -> Alcotest.fail "expected write lock");
+  Heap.commit_action h t2;
+  Alcotest.(check bool) "FIFO order" true (!woken = [ t2; t3 ])
+
+let test_wait_readers_batch () =
+  let h = Heap.create () in
+  let woken = ref [] in
+  Heap.set_runtime h (Some (wait_runtime woken));
+  let t1 = aid 1 and t2 = aid 2 and t3 = aid 3 in
+  let a = Heap.alloc_atomic h ~creator:t1 (Value.Int 0) in
+  Heap.commit_action h t1;
+  Heap.write_lock h t1 a;
+  park (fun () -> ignore (Heap.read_atomic h t2 a));
+  park (fun () -> ignore (Heap.read_atomic h t3 a));
+  Heap.commit_action h t1;
+  (* Consecutive readers are granted together in queue order. *)
+  Alcotest.(check bool) "both readers woken in order" true (!woken = [ t2; t3 ]);
+  match (Heap.atomic_view h a).lock with
+  | Heap.Read rs ->
+      Alcotest.(check bool) "both hold read" true (Aid.Set.mem t2 rs && Aid.Set.mem t3 rs)
+  | Heap.Free | Heap.Write _ -> Alcotest.fail "expected read lock"
+
+let test_upgrade_waits_at_front () =
+  let h = Heap.create () in
+  let woken = ref [] in
+  Heap.set_runtime h (Some (wait_runtime woken));
+  let t1 = aid 1 and t2 = aid 2 and t3 = aid 3 in
+  let a = Heap.alloc_atomic h ~creator:t1 (Value.Int 0) in
+  Heap.commit_action h t1;
+  ignore (Heap.read_atomic h t1 a);
+  ignore (Heap.read_atomic h t2 a);
+  park (fun () -> Heap.write_lock h t3 a);
+  (* t1's upgrade outranks the queued writer: it already holds a read
+     lock t3 can never get past. *)
+  park (fun () -> Heap.write_lock h t1 a);
+  Alcotest.(check bool) "upgrade at queue front" true (Heap.waiting h a = [ t1; t3 ]);
+  Heap.abort_action h t2;
+  Alcotest.(check bool) "upgrader granted on sole-reader" true (!woken = [ t1 ]);
+  Alcotest.(check bool) "writer still queued" true (Heap.waiting h a = [ t3 ]);
+  match (Heap.atomic_view h a).lock with
+  | Heap.Write w -> Alcotest.(check bool) "t1 upgraded" true (Aid.equal w t1)
+  | Heap.Free | Heap.Read _ -> Alcotest.fail "expected write lock"
+
+let test_no_barging_past_queued_writer () =
+  let h = Heap.create () in
+  let woken = ref [] in
+  Heap.set_runtime h (Some (wait_runtime woken));
+  let t1 = aid 1 and t2 = aid 2 and t3 = aid 3 in
+  let a = Heap.alloc_atomic h ~creator:t1 (Value.Int 0) in
+  Heap.commit_action h t1;
+  ignore (Heap.read_atomic h t1 a);
+  park (fun () -> Heap.write_lock h t2 a);
+  (* Read-compatible with the held lock, but granting would starve the
+     queued writer: t3 waits its turn. *)
+  park (fun () -> ignore (Heap.read_atomic h t3 a));
+  Alcotest.(check bool) "reader queued behind writer" true (Heap.waiting h a = [ t2; t3 ]);
+  Alcotest.(check bool) "nobody woken yet" true (!woken = [])
+
+let test_cancel_wait_releases_queue () =
+  let h = Heap.create () in
+  let woken = ref [] in
+  Heap.set_runtime h (Some (wait_runtime woken));
+  let t1 = aid 1 and t2 = aid 2 and t3 = aid 3 in
+  let a = Heap.alloc_atomic h ~creator:t1 (Value.Int 0) in
+  Heap.commit_action h t1;
+  (* Cancelling a queued waiter removes it without granting. *)
+  Heap.write_lock h t1 a;
+  park (fun () -> Heap.write_lock h t2 a);
+  park (fun () -> Heap.write_lock h t3 a);
+  Heap.cancel_wait h t2 a;
+  Alcotest.(check bool) "t2 dequeued" true (Heap.waiting h a = [ t3 ]);
+  Alcotest.(check bool) "no grant from cancel alone" true (!woken = []);
+  Heap.commit_action h t1;
+  Alcotest.(check bool) "t3 not stranded" true (!woken = [ t3 ]);
+  Heap.commit_action h t3;
+  (* Cancelling a blocking head grants compatible waiters behind it. *)
+  let b = Heap.alloc_atomic h ~creator:t1 (Value.Int 0) in
+  Heap.commit_action h t1;
+  ignore (Heap.read_atomic h t1 b);
+  park (fun () -> Heap.write_lock h t2 b);
+  park (fun () -> ignore (Heap.read_atomic h t3 b));
+  woken := [];
+  Heap.cancel_wait h t2 b;
+  Alcotest.(check bool) "reader granted past cancelled writer" true (!woken = [ t3 ])
+
 let suite =
   [
     Alcotest.test_case "alloc kinds" `Quick test_alloc_kinds;
@@ -301,4 +419,9 @@ let suite =
     Alcotest.test_case "heap check: clean heap" `Quick test_heap_check_clean;
     Alcotest.test_case "heap check: detects placeholder" `Quick test_heap_check_detects_placeholder;
     Alcotest.test_case "heap check: lock/version pairing" `Quick test_heap_check_detects_lockless_current;
+    Alcotest.test_case "wait queue is FIFO" `Quick test_wait_queue_fifo;
+    Alcotest.test_case "wait queue batches readers" `Quick test_wait_readers_batch;
+    Alcotest.test_case "upgrade waits at queue front" `Quick test_upgrade_waits_at_front;
+    Alcotest.test_case "no barging past queued writer" `Quick test_no_barging_past_queued_writer;
+    Alcotest.test_case "cancel_wait releases queue" `Quick test_cancel_wait_releases_queue;
   ]

@@ -128,21 +128,14 @@ let scenario seed =
   Metrics.reset Metrics.default;
   Trace.clear ();
   let sys = System.create ~seed ~jitter:0.5 ~n:2 () in
-  let wait cb =
-    let r = ref None in
-    cb (fun o -> r := Some o);
-    System.quiesce sys;
-    !r
-  in
   ignore
-    (wait (fun k ->
-         System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] (fun _ o -> k o)));
+    (System.await sys (System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ]));
   ignore
-    (wait (fun k ->
-         System.submit sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] (fun _ o -> k o)));
-  System.submit sys ~coordinator:(g 0)
-    ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-    (fun _ _ -> ());
+    (System.await sys (System.submit sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ]));
+  System.quiesce sys;
+  ignore
+    (System.submit sys ~coordinator:(g 0)
+       ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]);
   let rec steps n = if n > 0 && Sim.step (System.sim sys) then steps (n - 1) in
   steps 12;
   System.crash sys (g 1);

@@ -32,10 +32,10 @@ let stable_int gd name =
   | Some _ | None -> None
 
 let submit_and_wait sys ~coordinator ~steps =
-  let result = ref None in
-  System.submit sys ~coordinator ~steps (fun aid outcome -> result := Some (aid, outcome));
+  let h = System.submit sys ~coordinator ~steps in
+  let outcome = System.await sys h in
   System.quiesce sys;
-  match !result with Some r -> r | None -> Alcotest.fail "action never resolved"
+  (Rs_guardian.Action.aid h, outcome)
 
 let test_distributed_commit () =
   let sys = System.create ~n:3 () in
@@ -85,9 +85,10 @@ let test_participant_crash_before_prepare_arrives () =
   let sys = System.create ~latency:2.0 ~n:2 () in
   let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
   let result = ref None in
-  System.submit sys ~coordinator:(g 0)
-    ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-    (fun _ o -> result := Some o);
+  ignore
+    (System.submit sys ~coordinator:(g 0)
+       ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
+       ~on_result:(fun _ o -> result := Some o));
   (* Crash g1 before any message can be delivered (latency 2). *)
   System.crash sys (g 1);
   ignore (System.restart sys (g 1));
@@ -109,9 +110,10 @@ let crash_matrix victim () =
     let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
     let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] in
     let verdict = ref None in
-    System.submit sys ~coordinator:(g 0)
-      ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-      (fun _ o -> verdict := Some o);
+    ignore
+      (System.submit sys ~coordinator:(g 0)
+         ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
+         ~on_result:(fun _ o -> verdict := Some o));
     (* Run exactly [crash_after] events, then crash the victim. *)
     let rec steps n = if n > 0 && Sim.step (System.sim sys) then steps (n - 1) in
     steps crash_after;
@@ -140,21 +142,109 @@ let crash_matrix victim () =
         (match y with Some v -> string_of_int v | None -> "-")
         (List.length !inconsistent)
 
-let test_lock_conflict_aborts () =
+let test_lock_wait_serializes () =
   let sys = System.create ~n:1 () in
   let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
-  (* Submit two actions concurrently touching x; the second's step runs
-     while the first holds the write lock, so it aborts. *)
+  (* Two actions concurrently write x. The second's step hits the first's
+     write lock and parks on the FIFO wait queue instead of aborting; when
+     the first commits, the lock transfers and the second runs. Both
+     commit, in submission order: last writer wins. *)
   let outcomes = ref [] in
-  System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 2) ] (fun _ o ->
-      outcomes := o :: !outcomes);
-  System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 3) ] (fun _ o ->
-      outcomes := o :: !outcomes);
+  ignore
+    (System.submit sys ~coordinator:(g 0)
+       ~steps:[ (g 0, set_var "x" 2) ]
+       ~on_result:(fun _ o -> outcomes := o :: !outcomes));
+  ignore
+    (System.submit sys ~coordinator:(g 0)
+       ~steps:[ (g 0, set_var "x" 3) ]
+       ~on_result:(fun _ o -> outcomes := o :: !outcomes));
   System.quiesce sys;
   let committed = List.length (List.filter (( = ) System.Committed) !outcomes) in
   let aborted = List.length (List.filter (( = ) System.Aborted) !outcomes) in
-  Alcotest.(check (pair int int)) "one commits, one aborts" (1, 1) (committed, aborted);
-  Alcotest.(check (option int)) "x = 2" (Some 2) (stable_int (System.guardian sys (g 0)) "x")
+  Alcotest.(check (pair int int)) "both commit" (2, 0) (committed, aborted);
+  Alcotest.(check (option int)) "x = 3 (FIFO order)" (Some 3)
+    (stable_int (System.guardian sys (g 0)) "x")
+
+let test_upgrade_deadlock_times_out () =
+  (* Two actions hold read locks on x and both try to upgrade to write: a
+     deadlock no queue order can resolve. The virtual-time wait timeout
+     aborts one deliberately; the survivor's upgrade is then granted —
+     the queued waiter is released, not stranded. Because steps execute
+     synchronously until they block, overlapping the read phase needs one
+     action parked elsewhere: A reads x, then parks on y (held by a
+     blocker on g1), while B reads x and tries to upgrade. *)
+  let sys = System.create ~n:2 ~wait_timeout:5.0 () in
+  let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 0) ] in
+  let _ = submit_and_wait sys ~coordinator:(g 1) ~steps:[ (g 1, set_var "y" 0) ] in
+  let read_x : System.work =
+   fun heap aid ->
+    match Heap.get_stable_var heap "x" with
+    | Some (Value.Ref a) -> ignore (Heap.read_atomic heap aid a)
+    | Some _ | None -> failwith "missing"
+  in
+  let bump_x : System.work =
+   fun heap aid ->
+    match Heap.get_stable_var heap "x" with
+    | Some (Value.Ref a) -> (
+        Heap.write_lock heap aid a;
+        match Heap.read_atomic heap aid a with
+        | Value.Int v -> Heap.set_current heap aid a (Value.Int (v + 1))
+        | _ -> failwith "bad")
+    | Some _ | None -> failwith "missing"
+  in
+  let before =
+    Option.value ~default:0
+      (Rs_obs.Metrics.find_counter Rs_obs.Metrics.default "heap.wait_timeouts")
+  in
+  (* Blocker holds y's write lock until its 2PC completes. *)
+  let _blocker = System.submit sys ~coordinator:(g 1) ~steps:[ (g 1, set_var "y" 1) ] in
+  (* A: read-locks x, parks on y, upgrades x when it resumes. *)
+  let a =
+    System.submit sys ~coordinator:(g 0)
+      ~steps:[ (g 0, read_x); (g 1, set_var "y" 2); (g 0, bump_x) ]
+  in
+  (* B: shares x's read lock with A, then tries to upgrade: parks. *)
+  let b = System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, read_x); (g 0, bump_x) ] in
+  System.quiesce sys;
+  let after =
+    Option.value ~default:0
+      (Rs_obs.Metrics.find_counter Rs_obs.Metrics.default "heap.wait_timeouts")
+  in
+  let outcomes = [ System.outcome a; System.outcome b ] in
+  let committed = List.length (List.filter (( = ) (Some System.Committed)) outcomes) in
+  let aborted = List.length (List.filter (( = ) (Some System.Aborted)) outcomes) in
+  Alcotest.(check (pair int int)) "one commits, one times out" (1, 1) (committed, aborted);
+  Alcotest.(check bool) "timeout counted" true (after > before);
+  Alcotest.(check (option int)) "x = 1 (exactly one increment)" (Some 1)
+    (stable_int (System.guardian sys (g 0)) "x")
+
+let test_crash_kills_lock_holder_mid_wait () =
+  (* A holds x's write lock on g0 and parks waiting for y on g1; B waits
+     behind A on x. Crashing g1 fails A's parked wait, so A aborts and x
+     transfers to B, which commits: a crash of the guardian an action is
+     waiting ON must unstick the queue it is holding up elsewhere. *)
+  let sys = System.create ~n:2 ~latency:1.0 () in
+  let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
+  let _ = submit_and_wait sys ~coordinator:(g 1) ~steps:[ (g 1, set_var "y" 1) ] in
+  (* Blocker: holds y's write lock on g1 and never finishes until drained. *)
+  let blocker = System.submit sys ~coordinator:(g 1) ~steps:[ (g 1, set_var "y" 2) ] in
+  (* A: takes x on g0, then parks behind the blocker on g1's y. *)
+  let a =
+    System.submit sys ~coordinator:(g 0)
+      ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 3) ]
+  in
+  (* B: parks behind A on g0's x. *)
+  let b = System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 4) ] in
+  Alcotest.(check bool) "A parked" true (System.outcome a = None);
+  System.crash sys (g 1);
+  ignore (System.restart sys (g 1));
+  System.quiesce sys;
+  Alcotest.(check bool) "A aborted (its wait died with g1)" true
+    (System.outcome a = Some System.Aborted);
+  Alcotest.(check bool) "B committed after the transfer" true
+    (System.outcome b = Some System.Committed);
+  ignore blocker;
+  Alcotest.(check (option int)) "x = 4" (Some 4) (stable_int (System.guardian sys (g 0)) "x")
 
 let test_message_loss_tolerated () =
   (* 20% message loss: retries and queries must still drive every action
@@ -162,9 +252,14 @@ let test_message_loss_tolerated () =
   let sys = System.create ~seed:99 ~drop_prob:0.2 ~n:2 () in
   let done_count = ref 0 in
   for i = 1 to 10 do
-    System.submit sys ~coordinator:(g 0)
-      ~steps:[ (g 0, set_var (Printf.sprintf "x%d" i) i); (g 1, set_var (Printf.sprintf "y%d" i) i) ]
-      (fun _ _ -> incr done_count)
+    ignore
+      (System.submit sys ~coordinator:(g 0)
+         ~steps:
+           [
+             (g 0, set_var (Printf.sprintf "x%d" i) i);
+             (g 1, set_var (Printf.sprintf "y%d" i) i);
+           ]
+         ~on_result:(fun _ _ -> incr done_count))
   done;
   System.quiesce ~limit:100_000.0 sys;
   Alcotest.(check int) "all actions resolved" 10 !done_count;
@@ -186,9 +281,10 @@ let test_query_during_preparing () =
   let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
   let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] in
   let verdict = ref None in
-  System.submit sys ~coordinator:(g 0)
-    ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-    (fun _ o -> verdict := Some o);
+  ignore
+    (System.submit sys ~coordinator:(g 0)
+       ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
+       ~on_result:(fun _ o -> verdict := Some o));
   (* Let the prepare reach g1 and its prepared record hit the log, then
      crash g1 so its Prepared_reply is lost and, on restart, it starts
      querying while g0 still waits in the preparing phase. *)
@@ -259,9 +355,9 @@ let crash_matrix_early victim () =
     let sys = System.create ~early_prepare:true ~n:2 () in
     let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
     let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] in
-    System.submit sys ~coordinator:(g 0)
-      ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-      (fun _ _ -> ());
+    ignore
+      (System.submit sys ~coordinator:(g 0)
+         ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]);
     let rec steps n = if n > 0 && Sim.step (System.sim sys) then steps (n - 1) in
     steps crash_after;
     System.crash sys victim;
@@ -312,9 +408,9 @@ let test_multi_action_crash_fuzz () =
         let b = 1 lsl ((round * 3) + k) in
         let src = Rs_util.Rng.int rng 3 and dst = Rs_util.Rng.int rng 3 in
         if src <> dst then
-          System.submit sys ~coordinator:(g src)
-            ~steps:[ (g src, add "v" b); (g dst, add "v" (-b)) ]
-            (fun _ _ -> ())
+          ignore
+            (System.submit sys ~coordinator:(g src)
+               ~steps:[ (g src, add "v" b); (g dst, add "v" (-b)) ])
       done;
       ignore (System.run ~until:(Sim.now (System.sim sys) +. 2.0) sys);
       let victim = g (Rs_util.Rng.int rng 3) in
@@ -335,9 +431,10 @@ let test_partition_blocks_then_heals () =
   let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
   let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] in
   let verdict = ref None in
-  System.submit sys ~coordinator:(g 0)
-    ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-    (fun _ o -> verdict := Some o);
+  ignore
+    (System.submit sys ~coordinator:(g 0)
+       ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
+       ~on_result:(fun _ o -> verdict := Some o));
   (* Let g1 prepare, then cut it off before the commit arrives. *)
   let rec until_prepared n =
     if
@@ -390,7 +487,10 @@ let suite =
     Alcotest.test_case "crash before prepare arrives" `Quick test_participant_crash_before_prepare_arrives;
     Alcotest.test_case "crash matrix: participant" `Slow (crash_matrix (g 1));
     Alcotest.test_case "crash matrix: coordinator" `Slow (crash_matrix (g 0));
-    Alcotest.test_case "lock conflict aborts" `Quick test_lock_conflict_aborts;
+    Alcotest.test_case "lock wait serializes writers" `Quick test_lock_wait_serializes;
+    Alcotest.test_case "upgrade deadlock times out" `Quick test_upgrade_deadlock_times_out;
+    Alcotest.test_case "crash kills lock holder mid-wait" `Quick
+      test_crash_kills_lock_holder_mid_wait;
     Alcotest.test_case "message loss tolerated" `Quick test_message_loss_tolerated;
     Alcotest.test_case "query during preparing phase" `Quick test_query_during_preparing;
     Alcotest.test_case "bank sweep over seeds" `Slow test_bank_many_seeds;
