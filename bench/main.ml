@@ -15,8 +15,9 @@
      e8  group commit: forces/commit vs concurrency
      e9  log footprint & recovery vs history under segment reclamation
      e10 load: throughput & tail latency vs concurrency/conflict/loss
+     e11 directory: committed/sec vs shard count x cross-shard ratio
 
-   Usage: dune exec bench/main.exe [-- e1|e2|...|e10|bechamel|all]
+   Usage: dune exec bench/main.exe [-- e1|e2|...|e11|bechamel|all]
    The default runs every experiment plus the Bechamel microbenchmarks. *)
 
 module Scheme = Rs_workload.Scheme
@@ -556,6 +557,61 @@ let e10 () =
      the hot object's service rate; drops cost retries, not correctness; open-loop\n\
      overload is absorbed by admission-control sheds instead of queue collapse."
 
+(* e11 — sharded placement directory: committed actions vs shard count
+   at fixed per-shard load (closed loop, clients = 3 x shards), with and
+   without cross-shard traffic. Objects are global keys placed by hash;
+   uids come from the master's batched reservations; cross-shard
+   operations run 2PC across two shards picked by placement. The claim:
+   adding shards adds throughput — per-shard load is constant, so total
+   committed work should rise with the shard count, and a 10% cross-shard
+   mix pays a 2PC tax but must not flatten the curve. Results are
+   exported as e11.* gauges so check.sh can assert scaling from
+   BENCH_6.json. *)
+
+let e11 () =
+  header "e11: directory — committed/sec vs shard count x cross-shard ratio";
+  let module Load = Rs_load.Load in
+  row "%-16s %9s %8s %8s %9s %11s %7s\n" "variant" "committed" "aborted" "retries"
+    "reroutes" "thr/unit" "p99";
+  let run label cfg =
+    let s = Load.run cfg in
+    List.iter
+      (fun (metric, v) ->
+        Rs_obs.Metrics.set
+          (Rs_obs.Metrics.gauge (Printf.sprintf "e11.%s.%s" label metric))
+          v)
+      [
+        ("committed", s.Load.committed);
+        ("throughput_x1000", int_of_float (s.Load.throughput *. 1000.0));
+        ("p99_x10", int_of_float (s.Load.p99 *. 10.0));
+      ];
+    row "%-16s %9d %8d %8d %9d %11.3f %7.1f\n" label s.Load.committed s.Load.aborted
+      s.Load.retries s.Load.reroutes s.Load.throughput s.Load.p99
+  in
+  List.iter
+    (fun cross_pct ->
+      List.iter
+        (fun shards ->
+          run
+            (Printf.sprintf "s%d.x%d" shards cross_pct)
+            {
+              Load.default with
+              guardians = shards;
+              directory = true;
+              cross_shard = float_of_int cross_pct /. 100.0;
+              uid_batch = 64;
+              duration = 300.0;
+              objects_per_guardian = 8;
+              conflict = 0.1;
+              mode = Load.Closed { clients = 3 * shards; think = 1.0 };
+            })
+        [ 1; 2; 4; 8 ])
+    [ 0; 10 ];
+  print_endline
+    "shape: per-shard load is fixed (3 clients/shard), so committed work scales\n\
+     with the shard count; the 10% cross-shard mix adds 2PC rounds between two\n\
+     shards per crossing action — a latency tax, not a scaling ceiling."
+
 let bechamel_suite () =
   header "bechamel microbenchmarks (ns per operation, OLS estimate)";
   let open Bechamel in
@@ -637,6 +693,7 @@ let experiments =
     ("e8", e8);
     ("e9", e9);
     ("e10", e10);
+    ("e11", e11);
     ("bechamel", bechamel_suite);
   ]
 
@@ -683,7 +740,7 @@ let () =
             match List.assoc_opt n experiments with
             | Some f -> (n, f)
             | None ->
-                Printf.eprintf "unknown experiment %s (e1..e10, bechamel, all)\n" n;
+                Printf.eprintf "unknown experiment %s (e1..e11, bechamel, all)\n" n;
                 exit 2)
           names
   in

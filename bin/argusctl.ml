@@ -278,10 +278,12 @@ let trace_cmd =
 let explore seed scheme_name budget max_depth break_force =
   let targets =
     match scheme_name with
-    | "all" -> [ "simple"; "hybrid"; "shadow"; "segments"; "twopc"; "group"; "load" ]
-    | ("simple" | "hybrid" | "shadow" | "segments" | "twopc" | "group" | "load") as s -> [ s ]
+    | "all" -> [ "simple"; "hybrid"; "shadow"; "segments"; "twopc"; "group"; "load"; "shards" ]
+    | ("simple" | "hybrid" | "shadow" | "segments" | "twopc" | "group" | "load" | "shards") as s
+      -> [ s ]
     | s ->
-        Printf.eprintf "unknown target %s (simple|hybrid|shadow|segments|twopc|group|load|all)\n" s;
+        Printf.eprintf
+          "unknown target %s (simple|hybrid|shadow|segments|twopc|group|load|shards|all)\n" s;
         exit 2
   in
   let config = { Rs_explore.Explore.seed; budget; max_depth } in
@@ -298,7 +300,7 @@ let explore_cmd =
   let scheme =
     Arg.(value
          & opt string "all"
-         & info [ "scheme" ] ~doc:"simple|hybrid|shadow|segments|twopc|group|load|all.")
+         & info [ "scheme" ] ~doc:"simple|hybrid|shadow|segments|twopc|group|load|shards|all.")
   in
   let budget =
     Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc:"Maximum crash schedules per target.")
@@ -316,6 +318,79 @@ let explore_cmd =
        ~doc:"Enumerate crash schedules per recovery scheme, check invariant oracles after \
              each recovery, and shrink any counterexample.")
     Term.(const explore $ seed_arg $ scheme $ budget $ max_depth $ break_force)
+
+(* shards: directory-mode load demo — placement routing, batched uid
+   reservation, cross-shard 2PC — with the uniqueness and atomicity
+   invariants checked at the end. *)
+
+let shards seed guardians cross duration clients batch =
+  let module Load = Rs_load.Load in
+  let module Directory = Rs_dir.Directory in
+  let cfg =
+    {
+      Load.default with
+      seed;
+      guardians;
+      directory = true;
+      cross_shard = cross;
+      uid_batch = batch;
+      duration;
+      objects_per_guardian = 4;
+      mode = Load.Closed { clients; think = 1.0 };
+    }
+  in
+  let t = Load.create cfg in
+  Load.start t;
+  let s = Load.drain t in
+  let d = Option.get (Load.directory t) in
+  Format.printf "%a@." Load.pp_stats s;
+  Printf.printf
+    "directory: master=G%d watermark=%d reserved_ranges=%d pool_batch=%d leaked=%d\n"
+    (Rs_util.Gid.to_int (Directory.master d))
+    (Directory.watermark d)
+    (List.length (Directory.reserved_ranges d))
+    (Directory.batch d) (Directory.leaked d);
+  let uids_ok =
+    match Directory.verify_unique_uids d with
+    | Ok () ->
+        print_endline "uid uniqueness ✓";
+        true
+    | Error msg ->
+        print_endline ("UID VIOLATION: " ^ msg);
+        false
+  in
+  match Load.check t with
+  | Ok () when uids_ok ->
+      print_endline "cross-shard atomicity ✓";
+      0
+  | Ok () -> 1
+  | Error msg ->
+      print_endline ("VIOLATION: " ^ msg);
+      1
+
+let shards_cmd =
+  let guardians =
+    Arg.(value & opt int 4 & info [ "guardians" ] ~docv:"N" ~doc:"Number of shards.")
+  in
+  let cross =
+    Arg.(value
+         & opt float 0.2
+         & info [ "cross" ] ~docv:"P" ~doc:"Probability an operation spans two shards.")
+  in
+  let duration =
+    Arg.(value & opt float 200.0 & info [ "duration" ] ~docv:"T" ~doc:"Virtual-time load window.")
+  in
+  let clients =
+    Arg.(value & opt int 12 & info [ "clients" ] ~docv:"N" ~doc:"Closed-loop client population.")
+  in
+  let batch =
+    Arg.(value & opt int 16 & info [ "batch" ] ~docv:"N" ~doc:"Uids per batched reservation.")
+  in
+  Cmd.v
+    (Cmd.info "shards"
+       ~doc:"Run directory-routed load across shards (batched uid reservation, cross-shard \
+             2PC) and check uid uniqueness and the committed-state invariant.")
+    Term.(const shards $ seed_arg $ guardians $ cross $ duration $ clients $ batch)
 
 (* walkthrough: replay the thesis's log scenarios (Figs. 3-7, 3-8, 3-10)
    and print the resulting tables, like the thesis's "at algorithm's end,
@@ -400,4 +475,5 @@ let () =
             stats_cmd;
             trace_cmd;
             explore_cmd;
+            shards_cmd;
           ]))

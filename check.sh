@@ -146,8 +146,32 @@ else
   echo "load ok (python3 unavailable; key presence checked only)"
 fi
 
+echo "== bench smoke: e11 --metrics-json -> BENCH_6.json =="
+# Committed artifact: e11 sweeps the Rs_dir placement directory over
+# shard count x cross-shard ratio at fixed per-shard load (3 closed-loop
+# clients per shard); seeded, so the JSON is deterministic. The gates pin
+# the sharding claim: committed work rises monotonically with the shard
+# count, with and without a 10% cross-shard 2PC mix.
+dune exec bench/main.exe -- e11 --metrics-json BENCH_6.json >/dev/null
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_6.json <<'EOF'
+import json, sys
+g = json.load(open(sys.argv[1]))["gauges"]
+for cross in (0, 10):
+    series = [g[f"e11.s{s}.x{cross}.committed"] for s in (1, 2, 4, 8)]
+    assert all(b > a for a, b in zip(series, series[1:])), \
+        f"committed not increasing with shards at {cross}% cross: {series}"
+    print(f"shards ok at {cross}% cross: committed 1->2->4->8 shards = {series}")
+EOF
+else
+  grep -q '"e11.s8.x10.committed": [1-9]' BENCH_6.json ||
+    { echo "e11.s8.x10.committed missing or zero"; exit 1; }
+  echo "shards ok (python3 unavailable; key presence checked only)"
+fi
+
 echo "== exploration gate: every target survives 200 crash schedules =="
-for target in simple hybrid shadow segments twopc group load; do
+for target in simple hybrid shadow segments twopc group load shards; do
   OUT=$(dune exec bin/argusctl.exe -- explore --scheme "$target" --budget 200)
   echo "$OUT"
   case "$OUT" in

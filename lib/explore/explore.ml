@@ -840,10 +840,133 @@ let explore_load ?(config = default_config) () =
   let schedules = enumerate config points in
   drive_schedules ~target:"load" ~points ~schedules ~run
 
+(* ------------------------------------------------------------------ *)
+(* Shards target: crash guardians under directory-routed traffic.     *)
+
+(* Directory-mode Rs_load over three shards with a deliberately tiny uid
+   batch, plus a drip of object creates scheduled mid-run: every few time
+   units a create forces another batch reservation against the master, so
+   event-boundary crashes land inside reservations, routed submits and
+   cross-shard 2PC alike. The victim rotates over all shards including
+   the master. Crashes and restarts go through the directory (pools
+   dropped, uid sources reinstalled). Oracles: the drain terminates,
+   every handle resolved, committed state matches the model (cross-shard
+   atomicity: a routed action lands on all its shards or none), and no
+   uid is ever bound on two guardians (duplicate-uid check over durable
+   state, plus the reserved ranges staying disjoint and below the
+   watermark). *)
+let explore_shards ?(config = default_config) () =
+  let module System = Rs_guardian.System in
+  let module Sim = Rs_sim.Sim in
+  let module Load = Rs_load.Load in
+  let module Directory = Rs_dir.Directory in
+  let module Value = Rs_objstore.Value in
+  let shards = 3 in
+  let cfg =
+    {
+      Load.default with
+      seed = config.seed;
+      guardians = shards;
+      directory = true;
+      cross_shard = 0.4;
+      uid_batch = 4;
+      conflict = 0.5;
+      duration = 40.0;
+      objects_per_guardian = 2;
+      mode = Load.Closed { clients = 5; think = 0.5 };
+      wait_timeout = 10.0;
+    }
+  in
+  let setup () =
+    let t = Load.create cfg in
+    Load.start t;
+    let d = Option.get (Load.directory t) in
+    let minted = ref [] in
+    let sim = System.sim (Load.system t) in
+    List.iteri
+      (fun i delay ->
+        Sim.schedule sim ~delay (fun () ->
+            Directory.create_object_async d
+              ~key:(Printf.sprintf "extra%d" i)
+              ~init:(Value.Int 0)
+              ~on_done:(fun u -> minted := u :: !minted)))
+      [ 2.0; 6.0; 10.0; 14.0; 18.0; 22.0 ];
+    (t, d, minted)
+  in
+  (* census: one clean run, counting simulator events after start *)
+  let events =
+    let t, _, _ = setup () in
+    let sim = System.sim (Load.system t) in
+    let n = ref 0 in
+    while Sim.step sim do
+      incr n
+    done;
+    !n
+  in
+  let points =
+    let cap = min events 20 in
+    List.init cap (fun i -> 1 + (i * events / cap))
+    |> List.sort_uniq compare
+    (* one op ordinal per boundary so [enumerate] pairs distinct ones *)
+    |> List.mapi (fun i nth -> { Fault.op = i; point = Fault.Event_boundary { nth } })
+  in
+  let run sched =
+    Metrics.incr m_schedules;
+    let found = ref None in
+    let note = function [] -> () | v :: _ -> if !found = None then found := Some v in
+    (try
+       let t, d, minted = setup () in
+       let sim = System.sim (Load.system t) in
+       let stepped = ref 0 in
+       let crashes =
+         List.filter_map
+           (function { Fault.point = Fault.Event_boundary { nth }; _ } -> Some nth | _ -> None)
+           sched
+         |> List.sort_uniq compare
+       in
+       List.iteri
+         (fun i nth ->
+           while !stepped < nth && Sim.step sim do
+             incr stepped
+           done;
+           let victim = Rs_util.Gid.of_int ((nth + i) mod shards) in
+           Directory.crash d victim;
+           ignore (Directory.restart d victim))
+         crashes;
+       let s = Load.drain t in
+       if Load.unresolved t <> 0 then
+         note
+           [
+             {
+               Oracle.oracle = "liveness";
+               detail =
+                 Printf.sprintf "%d actions stuck after a quiescent drain" (Load.unresolved t);
+             };
+           ];
+       if s.Load.committed = 0 then
+         note [ { Oracle.oracle = "progress"; detail = "no action ever committed" } ];
+       (* The scripted creates all eventually commit (they retry through
+          crashes) and must have minted distinct uids. *)
+       let us = List.sort_uniq Rs_util.Uid.compare !minted in
+       if List.length us <> List.length !minted then
+         note [ { Oracle.oracle = "uid-unique"; detail = "a create observed a reused uid" } ];
+       (match Directory.verify_unique_uids d with
+       | Ok () -> ()
+       | Error detail -> note [ { Oracle.oracle = "uid-unique"; detail } ]);
+       match Load.check t with
+       | Ok () -> ()
+       | Error detail -> note [ { Oracle.oracle = "atomicity"; detail } ]
+     with exn -> note [ { Oracle.oracle = "liveness"; detail = Printexc.to_string exn } ]);
+    !found
+  in
+  let schedules = enumerate config points in
+  drive_schedules ~target:"shards" ~points ~schedules ~run
+
 let explore ?config = function
   | "twopc" -> explore_twopc ?config ()
   | "group" -> explore_group ?config ()
   | "load" -> explore_load ?config ()
+  | "shards" -> explore_shards ?config ()
   | name -> explore_scheme ?config name
 
 (* ------------------------------------------------------------------ *)

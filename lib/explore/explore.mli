@@ -31,7 +31,7 @@ type counterexample = {
 type outcome = {
   target : string;
       (** ["simple"], ["hybrid"], ["shadow"], ["segments"], ["twopc"],
-          ["group"] or ["load"] *)
+          ["group"], ["load"] or ["shards"] *)
   points : int;  (** fault points the census found *)
   schedules : int;  (** schedules actually run (≤ budget) *)
   counterexample : counterexample option;  (** [None]: all oracles held *)
@@ -79,10 +79,24 @@ val explore_load : ?config:config -> unit -> outcome
     every submitted handle resolved, nonzero commits, and committed
     counters equal to the model — no lost or phantom actions. *)
 
+val explore_shards : ?config:config -> unit -> outcome
+(** Explore guardian crashes under directory-routed traffic: a
+    directory-mode {!Rs_load} run over three shards with cross-shard
+    actions and a deliberately tiny uid batch, plus scripted object
+    creates dripped in mid-run so batch reservations stay in flight.
+    Crash points land at sampled simulator event boundaries; the victim
+    rotates over every shard, the master allocator included, and goes
+    down and up through {!Rs_dir.Directory.crash}/[restart]. Oracles:
+    the drain terminates, every handle resolved, nonzero commits, no
+    uid ever minted or bound by two guardians (bounded-leak batch
+    reservation), reserved ranges disjoint and below the watermark, and
+    committed counters equal to the model — a cross-shard action lands
+    on all its shards or none. *)
+
 val explore : ?config:config -> string -> outcome
 (** Dispatch: scheme names go to {!explore_scheme}, ["twopc"] to
     {!explore_twopc}, ["group"] to {!explore_group}, ["load"] to
-    {!explore_load}. *)
+    {!explore_load}, ["shards"] to {!explore_shards}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Deterministic report: a one-line summary, then — on violation — the

@@ -10,6 +10,7 @@ type outcome = Action.outcome = Committed | Aborted
 
 exception Abort_action
 exception Overloaded of { gid : Gid.t; in_flight : int }
+exception Guardian_down of { gid : Gid.t }
 
 let m_lock_conflicts = Rs_obs.Metrics.counter "guardian.lock_conflicts"
 let m_wait_aborts = Rs_obs.Metrics.counter "guardian.wait_aborts"
@@ -147,7 +148,7 @@ let run_fiber t f =
 
 let submit ?on_result t ~coordinator ~steps =
   let coord = guardian t coordinator in
-  if not (Guardian.is_up coord) then invalid_arg "System.submit: coordinator is down";
+  if not (Guardian.is_up coord) then raise (Guardian_down { gid = coordinator });
   let ci = Gid.to_int coordinator in
   (match t.max_in_flight with
   | Some cap when t.in_flight.(ci) >= cap ->

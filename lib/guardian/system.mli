@@ -28,6 +28,12 @@ exception Overloaded of { gid : Rs_util.Gid.t; in_flight : int }
     [max_in_flight] unresolved actions: admission control sheds the
     request instead of queueing it (metric [guardian.sheds]). *)
 
+exception Guardian_down of { gid : Rs_util.Gid.t }
+(** Raised synchronously by {!submit} when the named coordinator is
+    crashed. Distinct from {!Overloaded} so clients can tell shed (retry
+    the same guardian after backoff) from dead (re-route to another
+    shard). *)
+
 type outcome = Action.outcome = Committed | Aborted
 
 val create :
@@ -76,7 +82,7 @@ val submit :
     returns; drive the simulator ({!run}, {!await}, {!quiesce}) to
     progress it. [?on_result] is sugar for {!Action.on_resolve}.
     Raises {!Overloaded} (before doing anything) if the coordinator is at
-    its admission cap, [Invalid_argument] if it is down. *)
+    its admission cap, {!Guardian_down} if it is down. *)
 
 val outcome : Action.handle -> outcome option
 (** Peek without driving the simulator; [None] while in flight. *)

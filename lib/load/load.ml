@@ -7,6 +7,8 @@ module Gid = Rs_util.Gid
 module Rng = Rs_util.Rng
 module Sim = Rs_sim.Sim
 module Metrics = Rs_obs.Metrics
+module Directory = Rs_dir.Directory
+module Placement = Rs_dir.Placement
 
 type profile = Synthetic | Bank | Reservation
 type mode = Closed of { clients : int; think : float } | Open of { rate : float }
@@ -31,6 +33,9 @@ type config = {
   max_retries : int;
   backoff_base : float;
   backoff_cap : float;
+  directory : bool;
+  cross_shard : float;
+  uid_batch : int;
 }
 
 let default =
@@ -54,6 +59,9 @@ let default =
     max_retries = 8;
     backoff_base = 2.0;
     backoff_cap = 64.0;
+    directory = false;
+    cross_shard = 0.0;
+    uid_batch = 64;
   }
 
 type stats = {
@@ -63,6 +71,7 @@ type stats = {
   deliberate_aborts : int;
   sheds : int;
   retries : int;
+  reroutes : int;
   abandoned : int;
   wait_timeouts : int;
   elapsed : float;
@@ -74,10 +83,10 @@ type stats = {
 let pp_stats fmt s =
   Format.fprintf fmt
     "@[<v>submitted   %d@,committed   %d@,aborted     %d (+%d deliberate)@,\
-     sheds       %d@,retries     %d@,abandoned   %d@,wait t/o    %d@,\
+     sheds       %d@,retries     %d@,reroutes    %d@,abandoned   %d@,wait t/o    %d@,\
      elapsed     %.1f@,throughput  %.3f /unit@,latency     p50 %.1f  p99 %.1f@]"
-    s.submitted s.committed s.aborted s.deliberate_aborts s.sheds s.retries s.abandoned
-    s.wait_timeouts s.elapsed s.throughput s.p50 s.p99
+    s.submitted s.committed s.aborted s.deliberate_aborts s.sheds s.retries s.reroutes
+    s.abandoned s.wait_timeouts s.elapsed s.throughput s.p50 s.p99
 
 (* One logical operation: the retry loop resubmits the same targets, so
    an operation that eventually commits commits exactly once. [deliberate]
@@ -85,8 +94,10 @@ let pp_stats fmt s =
    how the client distinguishes a business abort (terminal) from a
    conflict/crash abort (retryable). *)
 type op = {
-  coord : Gid.t;
-  targets : (int * int * int) list; (* (guardian, object, delta), lock order *)
+  mutable coord : Gid.t; (* rerouted to another shard when found dead *)
+  targets : (int * int * int) list;
+      (* (guardian, object, delta) in lock order. Directory mode: object
+         is a *global* key index and guardian its placement-owned shard. *)
   inject_abort : bool;
   deliberate : bool ref;
   client : bool; (* closed-loop client: issue a next operation when done *)
@@ -95,9 +106,13 @@ type op = {
 type t = {
   cfg : config;
   system : System.t;
+  dir : Directory.t option; (* directory mode: placement routing *)
   rng : Rng.t;
   hist : Metrics.histogram; (* commit latency, tenths of a time unit *)
   model : int array array; (* per (guardian, object) committed increments *)
+  dmodel : int array; (* directory mode: per-key committed increments *)
+  shard_keys : int list array; (* directory mode: key indices owned per shard *)
+  occupied : int array; (* directory mode: shards owning at least one key *)
   mutable bookings : int; (* Reservation: committed bookings *)
   mutable inflight : int;
   mutable start_now : float;
@@ -109,11 +124,13 @@ type t = {
   mutable s_deliberate : int;
   mutable s_sheds : int;
   mutable s_retries : int;
+  mutable s_reroutes : int;
   mutable s_abandoned : int;
   wait_timeouts0 : int;
 }
 
 let system t = t.system
+let directory t = t.dir
 let unresolved t = t.inflight
 let obj_name o = Printf.sprintf "obj%d" o
 
@@ -137,7 +154,14 @@ let validate cfg =
       if think < 0.0 then invalid_arg "Load: think time must be non-negative"
   | Open { rate } -> if rate <= 0.0 then invalid_arg "Load: arrival rate must be positive");
   if cfg.profile = Bank && cfg.guardians * cfg.objects_per_guardian < 2 then
-    invalid_arg "Load: Bank needs at least two accounts"
+    invalid_arg "Load: Bank needs at least two accounts";
+  if cfg.cross_shard < 0.0 || cfg.cross_shard > 1.0 then
+    invalid_arg "Load: cross_shard must be a probability";
+  if cfg.cross_shard > 0.0 && not cfg.directory then
+    invalid_arg "Load: cross_shard needs directory routing";
+  if cfg.directory && cfg.profile <> Synthetic then
+    invalid_arg "Load: directory mode drives the Synthetic profile";
+  if cfg.uid_batch <= 0 then invalid_arg "Load: uid_batch must be positive"
 
 let create cfg =
   validate cfg;
@@ -147,21 +171,54 @@ let create cfg =
       ?max_in_flight:cfg.max_in_flight ~n:cfg.guardians ()
   in
   let initial = match cfg.profile with Synthetic -> 0 | Bank | Reservation -> cfg.initial in
-  for g = 0 to cfg.guardians - 1 do
-    let setup heap aid =
-      for o = 0 to cfg.objects_per_guardian - 1 do
-        let a = Heap.alloc_atomic heap ~creator:aid (Value.Int initial) in
-        Heap.set_stable_var heap aid (obj_name o) (Value.Ref a)
-      done
-    in
-    let rec go () =
-      let h =
-        System.submit system ~coordinator:(Gid.of_int g) ~steps:[ (Gid.of_int g, setup) ]
+  let n_keys = cfg.guardians * cfg.objects_per_guardian in
+  let dir, shard_keys, occupied =
+    if cfg.directory then begin
+      (* Keys are global; placement decides which shard binds each one, so
+         the population setup routes every create through the directory
+         (each create mints from a reserved batch). *)
+      let placement =
+        Placement.create ~seed:cfg.seed
+          ~shards:(List.init cfg.guardians Gid.of_int)
+          ()
       in
-      if System.await system h <> System.Committed then go ()
-    in
-    go ()
-  done;
+      let d =
+        Directory.create ~batch:cfg.uid_batch ~system ~placement ()
+      in
+      let shard_keys = Array.make cfg.guardians [] in
+      for k = n_keys - 1 downto 0 do
+        let g = Gid.to_int (Placement.shard_of_key placement (obj_name k)) in
+        shard_keys.(g) <- k :: shard_keys.(g)
+      done;
+      for k = 0 to n_keys - 1 do
+        ignore (Directory.create_object d ~key:(obj_name k) ~init:(Value.Int initial))
+      done;
+      let occupied =
+        List.init cfg.guardians Fun.id
+        |> List.filter (fun g -> shard_keys.(g) <> [])
+        |> Array.of_list
+      in
+      (Some d, shard_keys, occupied)
+    end
+    else begin
+      for g = 0 to cfg.guardians - 1 do
+        let setup heap aid =
+          for o = 0 to cfg.objects_per_guardian - 1 do
+            let a = Heap.alloc_atomic heap ~creator:aid (Value.Int initial) in
+            Heap.set_stable_var heap aid (obj_name o) (Value.Ref a)
+          done
+        in
+        let rec go () =
+          let h =
+            System.submit system ~coordinator:(Gid.of_int g) ~steps:[ (Gid.of_int g, setup) ]
+          in
+          if System.await system h <> System.Committed then go ()
+        in
+        go ()
+      done;
+      (None, [||], [||])
+    end
+  in
   (* [await] returns at the commit decision; the phase-two message that
      installs the committed bindings may still be in flight. Settle before
      any client can read the root. *)
@@ -170,9 +227,13 @@ let create cfg =
   {
     cfg;
     system;
+    dir;
     rng = Rng.create (cfg.seed lxor 0x10ad);
     hist = Metrics.histogram ~registry ~bounds:latency_bounds "load.latency_tenths";
     model = Array.make_matrix cfg.guardians cfg.objects_per_guardian 0;
+    dmodel = Array.make n_keys 0;
+    shard_keys;
+    occupied;
     bookings = 0;
     inflight = 0;
     start_now = 0.0;
@@ -184,6 +245,7 @@ let create cfg =
     s_deliberate = 0;
     s_sheds = 0;
     s_retries = 0;
+    s_reroutes = 0;
     s_abandoned = 0;
     wait_timeouts0 = wait_timeouts_now ();
   }
@@ -204,8 +266,60 @@ let pick_target t =
    timeout is for. *)
 let sort_targets = List.sort (fun (g1, o1, _) (g2, o2, _) -> compare (g1, o1) (g2, o2))
 
+(* Directory mode: pick a key on a given shard, honouring the conflict
+   knob (the shard's first key is its hot object). *)
+let pick_shard t =
+  t.occupied.(Rng.int t.rng (Array.length t.occupied))
+
+let pick_key_on t g =
+  let keys = t.shard_keys.(g) in
+  match keys with
+  | [] -> assert false
+  | hot :: rest ->
+      if rest = [] || Rng.bool t.rng t.cfg.conflict then hot
+      else List.nth rest (Rng.int t.rng (List.length rest))
+
+(* A directory-mode operation: all steps on one shard, or — with
+   probability [cross_shard] — spanning two distinct shards, the shape
+   that exercises placement-chosen 2PC. *)
+let gen_op_directory t ~client ~inject_abort =
+  let cross =
+    Array.length t.occupied > 1
+    && t.cfg.steps_per_action > 1
+    && t.cfg.cross_shard > 0.0
+    && Rng.bool t.rng t.cfg.cross_shard
+  in
+  let targets =
+    if cross then begin
+      let a = pick_shard t in
+      let rec other () =
+        let b = pick_shard t in
+        if b = a then other () else b
+      in
+      let b = other () in
+      let first = (a, pick_key_on t a, 1) in
+      let second = (b, pick_key_on t b, 1) in
+      let rest =
+        List.init
+          (max 0 (t.cfg.steps_per_action - 2))
+          (fun _ ->
+            let g = pick_shard t in
+            (g, pick_key_on t g, 1))
+      in
+      first :: second :: rest
+    end
+    else
+      let g = pick_shard t in
+      List.init t.cfg.steps_per_action (fun _ -> (g, pick_key_on t g, 1))
+  in
+  let targets = sort_targets targets in
+  let coord = match targets with (g, _, _) :: _ -> g | [] -> assert false in
+  { coord = Gid.of_int coord; targets; inject_abort; deliberate = ref false; client }
+
 let gen_op t ~client =
   let inject_abort = t.cfg.abort_rate > 0.0 && Rng.bool t.rng t.cfg.abort_rate in
+  if t.dir <> None then gen_op_directory t ~client ~inject_abort
+  else
   match t.cfg.profile with
   | Synthetic ->
       let targets =
@@ -237,60 +351,80 @@ let target_addr heap o =
   | Some (Value.Ref a) -> a
   | Some _ | None -> failwith (Printf.sprintf "Load: object %s missing" (obj_name o))
 
+let step_work t op o delta : System.work =
+ fun heap aid ->
+  let a = target_addr heap o in
+  (* Synthetic/Reservation write-lock up front: contention then
+     resolves by FIFO lock transfer. Bank reads first and
+     upgrades — the pattern that can deadlock two upgraders, so
+     the wait timeout stays exercised. *)
+  if t.cfg.profile <> Bank then Heap.write_lock heap aid a;
+  match Heap.read_atomic heap aid a with
+  | Value.Int v ->
+      if t.cfg.profile = Reservation && v <= 0 then begin
+        (* Sold out: a business decision, not a conflict. *)
+        op.deliberate := true;
+        raise System.Abort_action
+      end;
+      Heap.set_current heap aid a (Value.Int (v + delta))
+  | _ -> failwith "Load: object is not an int"
+
+let abort_step op : System.work =
+ fun _heap _aid ->
+  op.deliberate := true;
+  raise System.Abort_action
+
 let steps_of t op : (Gid.t * System.work) list =
-  let body =
-    List.map
-      (fun (g, o, delta) ->
-        let work heap aid =
-          let a = target_addr heap o in
-          (* Synthetic/Reservation write-lock up front: contention then
-             resolves by FIFO lock transfer. Bank reads first and
-             upgrades — the pattern that can deadlock two upgraders, so
-             the wait timeout stays exercised. *)
-          if t.cfg.profile <> Bank then Heap.write_lock heap aid a;
-          match Heap.read_atomic heap aid a with
-          | Value.Int v ->
-              if t.cfg.profile = Reservation && v <= 0 then begin
-                (* Sold out: a business decision, not a conflict. *)
-                op.deliberate := true;
-                raise System.Abort_action
-              end;
-              Heap.set_current heap aid a (Value.Int (v + delta))
-          | _ -> failwith "Load: object is not an int"
-        in
-        (Gid.of_int g, work))
-      op.targets
-  in
+  let body = List.map (fun (g, o, delta) -> (Gid.of_int g, step_work t op o delta)) op.targets in
+  if op.inject_abort then body @ [ (op.coord, abort_step op) ] else body
+
+(* Directory mode: steps name objects by key; the directory resolves them
+   back to shards (and counts/traces the route). *)
+let key_steps_of t op : (string * System.work) list =
+  let body = List.map (fun (_, o, delta) -> (obj_name o, step_work t op o delta)) op.targets in
   if op.inject_abort then
-    body
-    @ [
-        ( op.coord,
-          fun _heap _aid ->
-            op.deliberate := true;
-            raise System.Abort_action );
-      ]
+    match op.targets with
+    | (_, o, _) :: _ -> body @ [ (obj_name o, abort_step op) ]
+    | [] -> body
   else body
 
 let apply_model t op =
-  match t.cfg.profile with
-  | Synthetic -> List.iter (fun (g, o, d) -> t.model.(g).(o) <- t.model.(g).(o) + d) op.targets
-  | Bank -> ()
-  | Reservation -> t.bookings <- t.bookings + 1
+  if t.dir <> None then
+    List.iter (fun (_, k, d) -> t.dmodel.(k) <- t.dmodel.(k) + d) op.targets
+  else
+    match t.cfg.profile with
+    | Synthetic -> List.iter (fun (g, o, d) -> t.model.(g).(o) <- t.model.(g).(o) + d) op.targets
+    | Bank -> ()
+    | Reservation -> t.bookings <- t.bookings + 1
 
 (* --- the client state machine ----------------------------------------- *)
 
 let rec attempt t op ~tries =
   op.deliberate := false;
   t.s_submitted <- t.s_submitted + 1;
-  match System.submit t.system ~coordinator:op.coord ~steps:(steps_of t op) with
+  let submit () =
+    match t.dir with
+    | Some d -> Directory.submit d ~coordinator:op.coord ~steps:(key_steps_of t op)
+    | None -> System.submit t.system ~coordinator:op.coord ~steps:(steps_of t op)
+  in
+  match submit () with
   | h ->
       t.inflight <- t.inflight + 1;
       Action.on_resolve h (fun h o -> resolved t op ~tries h o)
   | exception System.Overloaded _ ->
+      (* Shed: the coordinator is alive but at capacity — back off and
+         retry the *same* shard. *)
       t.s_sheds <- t.s_sheds + 1;
       retry_or_finish t op ~tries
-  | exception Invalid_argument _ ->
-      (* Coordinator crashed; by the retry it may be back. *)
+  | exception System.Guardian_down _ ->
+      (* Dead, not shed: re-route the retry to another coordinator (it
+         need not own any step's object). The steps themselves still
+         abort while their shard is down, which the plain retry covers. *)
+      t.s_reroutes <- t.s_reroutes + 1;
+      if t.cfg.guardians > 1 then begin
+        let c = Gid.to_int op.coord in
+        op.coord <- Gid.of_int ((c + 1 + Rng.int t.rng (t.cfg.guardians - 1)) mod t.cfg.guardians)
+      end;
       retry_or_finish t op ~tries
 
 and resolved t op ~tries h o =
@@ -359,6 +493,7 @@ let stats t =
     deliberate_aborts = t.s_deliberate;
     sheds = t.s_sheds;
     retries = t.s_retries;
+    reroutes = t.s_reroutes;
     abandoned = t.s_abandoned;
     wait_timeouts = wait_timeouts_now () - t.wait_timeouts0;
     elapsed;
@@ -388,10 +523,32 @@ let committed_value t g o =
       | _ -> failwith "Load: object is not an int")
   | Some _ | None -> failwith (Printf.sprintf "Load: object %s missing" (obj_name o))
 
+let check_directory t d =
+  let n_keys = t.cfg.guardians * t.cfg.objects_per_guardian in
+  let problem = ref None in
+  for k = 0 to n_keys - 1 do
+    match Directory.read_committed d (obj_name k) with
+    | Some (Value.Int v) ->
+        if v <> t.dmodel.(k) && !problem = None then
+          problem :=
+            Some
+              (Printf.sprintf "%s = %d, model says %d (lost or phantom action)" (obj_name k) v
+                 t.dmodel.(k))
+    | Some _ -> if !problem = None then problem := Some (obj_name k ^ " is not an int")
+    | None -> if !problem = None then problem := Some (obj_name k ^ " missing")
+  done;
+  (match Directory.verify_unique_uids d with
+  | Ok () -> ()
+  | Error e -> if !problem = None then problem := Some e);
+  match !problem with Some p -> Error p | None -> Ok ()
+
 let check t =
   if not (List.for_all Guardian.is_up (System.guardians t.system)) then
     Error "a guardian is down; restart before checking"
   else
+    match t.dir with
+    | Some d -> check_directory t d
+    | None ->
     let initial = match t.cfg.profile with Synthetic -> 0 | Bank | Reservation -> t.cfg.initial in
     let problem = ref None in
     let total = ref 0 in

@@ -49,6 +49,14 @@ type config = {
   max_retries : int;  (** per operation, after non-deliberate aborts *)
   backoff_base : float;  (** first retry delay; doubles per attempt *)
   backoff_cap : float;
+  directory : bool;
+      (** route through an {!Rs_dir.Directory}: objects become global keys
+          placed on shards by hash, uids come from batched reservations,
+          and actions are routed by placement (Synthetic profile only) *)
+  cross_shard : float;
+      (** probability an operation spans two distinct shards (directory
+          mode; steps_per_action must be > 1 for it to bite) *)
+  uid_batch : int;  (** uids per directory reservation *)
 }
 
 val default : config
@@ -62,6 +70,9 @@ type stats = {
   deliberate_aborts : int;  (** the action itself chose to abort *)
   sheds : int;  (** submissions refused by admission control *)
   retries : int;
+  reroutes : int;
+      (** retries redirected to another coordinator because {!submit}
+          raised [Guardian_down] — dead shard, not admission shed *)
   abandoned : int;  (** operations dropped after [max_retries] *)
   wait_timeouts : int;  (** lock waits broken by the timeout *)
   elapsed : float;  (** virtual time from start to drain *)
@@ -81,6 +92,11 @@ val create : config -> t
 val system : t -> Rs_guardian.System.t
 (** The system under load — exposed so a fault injector can crash and
     restart guardians mid-run. *)
+
+val directory : t -> Rs_dir.Directory.t option
+(** The placement directory in directory mode ([None] otherwise). Fault
+    injectors must crash/restart through it ({!Rs_dir.Directory.crash})
+    so shard pools are dropped and uid sources reinstalled. *)
 
 val start : t -> unit
 (** Schedule the client population / arrival process. Returns immediately;

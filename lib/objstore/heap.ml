@@ -5,6 +5,7 @@ module Metrics = Rs_obs.Metrics
 module Trace = Rs_obs.Trace
 
 let m_read_locks = Metrics.counter "heap.read_locks"
+let m_uids_minted = Metrics.counter "heap.uids_minted"
 let m_write_locks = Metrics.counter "heap.write_locks"
 let m_lock_conflicts = Metrics.counter "heap.lock_conflicts"
 let m_lock_waits = Metrics.counter "heap.lock_waits"
@@ -83,6 +84,10 @@ type t = {
   locked : addr Vec.t Aid.Tbl.t;
   root : addr;
   mutable runtime : runtime option;
+  (* Every fresh uid is minted through here; [None] means the guardian's
+     own stable counter [gen]. A placement directory installs a batched
+     range pool instead (globally-unique uids, see Rs_dir). *)
+  mutable uid_source : Uid.Source.t option;
 }
 
 exception Lock_conflict of { addr : addr; holders : Aid.t list }
@@ -114,6 +119,7 @@ let create () =
       locked = Aid.Tbl.create 16;
       root = 0;
       runtime = None;
+      uid_source = None;
     }
   in
   let root =
@@ -126,6 +132,27 @@ let create () =
 let uid_gen t = t.gen
 let root_addr t = t.root
 let set_runtime t rt = t.runtime <- rt
+let set_uid_source t s = t.uid_source <- s
+let uid_source t = t.uid_source
+
+(* The single minting point: every allocation of a recoverable object goes
+   through the source interface, so a directory-managed heap cannot leak a
+   locally-generated uid past the allocator. *)
+let mint_uid t =
+  let source, u =
+    match t.uid_source with
+    | Some s ->
+        let u = s.Uid.Source.mint () in
+        (* The local counter shadows the pool: recovery resets [gen] past
+           every uid in the log, and a later fallback to the local source
+           must not collide with pooled uids already handed out. *)
+        Uid.Gen.reset_past t.gen u;
+        (s.Uid.Source.label, u)
+    | None -> ("local", Uid.Gen.fresh t.gen)
+  in
+  Metrics.incr m_uids_minted;
+  if Trace.enabled () then Trace.emit (Trace.Uid_mint { source; uid = Uid.to_int u });
+  u
 
 let kind_of t a =
   match (obj t a).body with
@@ -195,7 +222,7 @@ let copy_version t v =
 (* Allocation *)
 
 let alloc_atomic t ~creator base =
-  let uid = Uid.Gen.fresh t.gen in
+  let uid = mint_uid t in
   let a =
     add_obj t ~uid
       (B_atomic
@@ -205,7 +232,7 @@ let alloc_atomic t ~creator base =
   a
 
 let alloc_mutex t v =
-  let uid = Uid.Gen.fresh t.gen in
+  let uid = mint_uid t in
   add_obj t ~uid (B_mutex { m_cur = v; m_owner = None; m_wait = [] })
 
 let alloc_regular t v = add_obj t (B_regular { r_val = v })

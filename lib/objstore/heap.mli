@@ -65,6 +65,17 @@ val waiting : t -> addr -> Rs_util.Aid.t list
 (** The object's wait queue, front first. *)
 
 val uid_gen : t -> Rs_util.Uid.Gen.t
+
+val set_uid_source : t -> Rs_util.Uid.Source.t option -> unit
+(** Install (or clear) the uid source consulted by {!alloc_atomic} and
+    {!alloc_mutex}. [None] (the default) mints from the guardian's own
+    stable counter; a placement directory installs a pool of batched,
+    globally-unique ranges. Every mint emits a [Uid_mint] trace event and
+    bumps the [heap.uids_minted] counter. Pool-minted uids also advance
+    the local counter past themselves, so a later fallback to the local
+    source cannot collide. *)
+
+val uid_source : t -> Rs_util.Uid.Source.t option
 val root_addr : t -> addr
 val kind_of : t -> addr -> kind
 val uid_of : t -> addr -> Rs_util.Uid.t option

@@ -17,6 +17,9 @@ type event =
   | Lock_wait of { aid : string; holder : string; addr : int }
   | Lock_timeout of { aid : string; addr : int }
   | Action_shed of { gid : string; in_flight : int }
+  | Uid_mint of { source : string; uid : int }
+  | Uid_reserve of { gid : string; lo : int; count : int }
+  | Dir_route of { coordinator : string; shards : int; cross : bool }
   | Action_prepare of { gid : string; aid : string; refused : bool }
   | Action_commit of { gid : string; aid : string }
   | Action_abort of { gid : string; aid : string }
@@ -92,6 +95,11 @@ let pp_event fmt = function
   | Lock_timeout { aid; addr } -> Format.fprintf fmt "lock_timeout{aid=%s addr=%d}" aid addr
   | Action_shed { gid; in_flight } ->
       Format.fprintf fmt "action_shed{gid=%s in_flight=%d}" gid in_flight
+  | Uid_mint { source; uid } -> Format.fprintf fmt "uid_mint{source=%s uid=%d}" source uid
+  | Uid_reserve { gid; lo; count } ->
+      Format.fprintf fmt "uid_reserve{gid=%s lo=%d count=%d}" gid lo count
+  | Dir_route { coordinator; shards; cross } ->
+      Format.fprintf fmt "dir_route{coord=%s shards=%d cross=%b}" coordinator shards cross
   | Action_prepare { gid; aid; refused } ->
       Format.fprintf fmt "action_prepare{gid=%s aid=%s refused=%b}" gid aid refused
   | Action_commit { gid; aid } -> Format.fprintf fmt "action_commit{gid=%s aid=%s}" gid aid

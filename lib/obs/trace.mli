@@ -36,6 +36,15 @@ type event =
       (** the wait timed out (presumed deadlock); the action aborts *)
   | Action_shed of { gid : string; in_flight : int }
       (** admission control refused a submission: guardian at capacity *)
+  | Uid_mint of { source : string; uid : int }
+      (** a heap minted a fresh uid through its source ("local" = the
+          guardian's own stable counter, "pool:G<i>" = a directory range) *)
+  | Uid_reserve of { gid : string; lo : int; count : int }
+      (** the master allocator committed a uid batch [lo, lo+count) to shard
+          [gid] *)
+  | Dir_route of { coordinator : string; shards : int; cross : bool }
+      (** the placement directory routed an action: how many distinct shards
+          its steps span, and whether it crossed shards *)
   | Action_prepare of { gid : string; aid : string; refused : bool }
   | Action_commit of { gid : string; aid : string }
   | Action_abort of { gid : string; aid : string }

@@ -14,7 +14,10 @@ module Ord = struct
   type nonrec t = t
 
   let compare = compare
+  let equal = equal
+  let hash = hash
 end
 
 module Set = Set.Make (Ord)
 module Map = Map.Make (Ord)
+module Tbl = Hashtbl.Make (Ord)

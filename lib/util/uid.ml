@@ -36,3 +36,9 @@ module Gen = struct
   let last g = g.next - 1
   let reset_past g u = if u >= g.next then g.next <- u + 1
 end
+
+module Source = struct
+  type nonrec t = { label : string; mint : unit -> t }
+
+  let of_gen g = { label = "local"; mint = (fun () -> Gen.fresh g) }
+end

@@ -46,3 +46,15 @@ module Gen : sig
       recovery to reset the stable counter to the largest uid in the OT
       (§3.4.4 step 3). Never moves the counter backwards. *)
 end
+
+(** Where a heap's fresh uids come from. The default source wraps the
+    guardian's own stable counter; a placement directory replaces it with a
+    pool of globally-unique ranges reserved in batches from a master
+    allocator (see [Rs_dir.Directory]), so shards mint without per-action
+    coordination. [label] names the source in trace events. *)
+module Source : sig
+  type uid := t
+  type t = { label : string; mint : unit -> uid }
+
+  val of_gen : Gen.t -> t
+end

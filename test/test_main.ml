@@ -23,4 +23,5 @@ let () =
       ("group-commit", Test_group_commit.suite);
       ("explore", Test_explore.suite);
       ("load", Test_load.suite);
+      ("dir", Test_dir.suite);
     ]
