@@ -16,8 +16,9 @@
      e9  log footprint & recovery vs history under segment reclamation
      e10 load: throughput & tail latency vs concurrency/conflict/loss
      e11 directory: committed/sec vs shard count x cross-shard ratio
+     e12 replication: ship overhead + failover vs cold restart
 
-   Usage: dune exec bench/main.exe [-- e1|e2|...|e11|bechamel|all]
+   Usage: dune exec bench/main.exe [-- e1|e2|...|e12|bechamel|all]
    The default runs every experiment plus the Bechamel microbenchmarks. *)
 
 module Scheme = Rs_workload.Scheme
@@ -612,6 +613,120 @@ let e11 () =
      with the shard count; the 10% cross-shard mix adds 2PC rounds between two\n\
      shards per crossing action — a latency tax, not a scaling ceiling."
 
+(* e12 — replication: ship overhead on the commit path, and failover vs
+   cold restart at the same log length. The pair ships every forced
+   entry to a warm standby, so the commit path pays serialization plus
+   one message per force; the payoff is failover — promoting the warm
+   image skips the log replay a cold restart must do, so time from
+   primary death to the first new commit drops. Results are exported as
+   e12.* gauges so check.sh can assert the failover win from
+   BENCH_7.json. *)
+
+let e12 () =
+  header "e12: replication — ship overhead + failover vs cold restart";
+  let module System = Rs_guardian.System in
+  let module Pair = Rs_repl.Repl.Pair in
+  let g = Gid.of_int in
+  let counter name = Rs_obs.Metrics.counter_value (Rs_obs.Metrics.counter name) in
+  let gauge name v = Rs_obs.Metrics.set (Rs_obs.Metrics.gauge ("e12." ^ name)) v in
+  let bump : System.work =
+   fun heap aid ->
+    match Heap.get_stable_var heap "x" with
+    | Some (Value.Ref a) -> (
+        Heap.write_lock heap aid a;
+        match Heap.read_atomic heap aid a with
+        | Value.Int v -> Heap.set_current heap aid a (Value.Int (v + 1))
+        | _ -> failwith "not an int")
+    | Some _ -> failwith "stable var is not a ref"
+    | None ->
+        let a = Heap.alloc_atomic heap ~creator:aid (Value.Int 1) in
+        Heap.set_stable_var heap aid "x" (Value.Ref a)
+  in
+  let run_actions sys target n =
+    let committed = ref 0 in
+    for _ = 1 to n do
+      match
+        System.await sys (System.submit sys ~coordinator:target ~steps:[ (target, bump) ])
+      with
+      | System.Committed -> incr committed
+      | System.Aborted -> ()
+    done;
+    System.quiesce sys;
+    !committed
+  in
+  (* Part 1 — commit-path overhead: the same committed workload with and
+     without a standby attached. *)
+  let acts = 300 in
+  let solo_committed, solo_us =
+    let sys = System.create ~seed:51 ~latency:1.0 ~n:2 () in
+    let c, dt = time_it (fun () -> run_actions sys (g 0) acts) in
+    (c, dt *. 1e6)
+  in
+  let repl_committed, repl_us, ship_bytes =
+    let sys = System.create ~seed:51 ~latency:1.0 ~n:2 () in
+    let b0 = counter "repl.ship_bytes" in
+    let p = Pair.create ~system:sys ~primary:(g 0) ~standby:(g 1) () in
+    let c, dt = time_it (fun () -> run_actions sys (g 0) acts) in
+    assert (Pair.lag_entries p = 0);
+    (c, dt *. 1e6, counter "repl.ship_bytes" - b0)
+  in
+  row "%-10s %9s %12s %10s\n" "variant" "committed" "us/commit" "ship KiB";
+  row "%-10s %9d %12.1f %10s\n" "solo" solo_committed (solo_us /. float_of_int acts) "-";
+  row "%-10s %9d %12.1f %10.1f\n" "replicated" repl_committed
+    (repl_us /. float_of_int acts)
+    (float_of_int ship_bytes /. 1024.0);
+  gauge "solo.committed" solo_committed;
+  gauge "repl.committed" repl_committed;
+  gauge "solo.us" (int_of_float solo_us);
+  gauge "repl.us" (int_of_float repl_us);
+  gauge "ship_bytes" ship_bytes;
+  (* Part 2 — failover vs cold restart over an identical history: time
+     from primary death to the first new committed action. *)
+  let history = 600 in
+  let build seed =
+    let sys = System.create ~seed ~latency:1.0 ~n:2 () in
+    let p = Pair.create ~system:sys ~primary:(g 0) ~standby:(g 1) () in
+    ignore (run_actions sys (g 0) history);
+    Pair.crash p (g 0);
+    System.quiesce sys (* in-flight ships land before the driver acts *);
+    (sys, p)
+  in
+  let cold_entries, cold_us =
+    let sys, p = build 52 in
+    let report, dt =
+      time_it (fun () ->
+          let report = Pair.restart_primary p in
+          ignore (run_actions sys (g 0) 1);
+          report)
+    in
+    (Core.Tables.Recovery_report.entries_processed report, dt *. 1e6)
+  in
+  let failover_entries, failover_us =
+    let sys, p = build 52 in
+    assert (Pair.promotable p);
+    let applied =
+      match Pair.replica p with Some r -> Rs_repl.Repl.Replica.applied_entries r | None -> 0
+    in
+    let _, dt =
+      time_it (fun () ->
+          ignore (Pair.promote p);
+          ignore (run_actions sys (g 1) 1))
+    in
+    (applied, dt *. 1e6)
+  in
+  row "%-10s %16s %14s\n" "driver" "entries scanned" "us to commit";
+  row "%-10s %16d %14.0f\n" "cold" cold_entries cold_us;
+  row "%-10s %16d %14.0f\n" "failover" 0 failover_us;
+  gauge "cold.entries" cold_entries;
+  gauge "cold.us" (int_of_float cold_us);
+  gauge "failover.us" (int_of_float failover_us);
+  gauge "failover.applied_entries" failover_entries;
+  Printf.printf
+    "shape: shipping pays one encoded copy per force (%d KiB over %d commits); failover\n\
+     promotes the warm image without rescanning the %d-entry log a cold restart replays,\n\
+     so time-to-first-commit drops (%0.0f us vs %0.0f us here).\n"
+    (ship_bytes / 1024) repl_committed cold_entries failover_us cold_us
+
 let bechamel_suite () =
   header "bechamel microbenchmarks (ns per operation, OLS estimate)";
   let open Bechamel in
@@ -694,6 +809,7 @@ let experiments =
     ("e9", e9);
     ("e10", e10);
     ("e11", e11);
+    ("e12", e12);
     ("bechamel", bechamel_suite);
   ]
 
@@ -740,13 +856,17 @@ let () =
             match List.assoc_opt n experiments with
             | Some f -> (n, f)
             | None ->
-                Printf.eprintf "unknown experiment %s (e1..e11, bechamel, all)\n" n;
+                Printf.eprintf "unknown experiment %s (e1..e12, bechamel, all)\n" n;
                 exit 2)
           names
   in
   print_endline "Reliable Object Storage to Support Atomic Actions — benchmark harness";
   print_endline "(thesis has no measured tables; experiments per EXPERIMENTS.md)";
   List.iter (fun (_, f) -> f ()) to_run;
+  (* The always-on spec monitors judge the whole run's trace: a bench
+     that committed without a covering force, or shipped backwards, is a
+     bug regardless of its numbers. *)
+  Rs_obs.Monitor.assert_ok ~where:"bench" ();
   match metrics_json with
   | None -> ()
   | Some path ->

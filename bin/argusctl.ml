@@ -278,12 +278,13 @@ let trace_cmd =
 let explore seed scheme_name budget max_depth break_force =
   let targets =
     match scheme_name with
-    | "all" -> [ "simple"; "hybrid"; "shadow"; "segments"; "twopc"; "group"; "load"; "shards" ]
-    | ("simple" | "hybrid" | "shadow" | "segments" | "twopc" | "group" | "load" | "shards") as s
-      -> [ s ]
+    | "all" ->
+        [ "simple"; "hybrid"; "shadow"; "segments"; "twopc"; "group"; "load"; "shards"; "repl" ]
+    | ( "simple" | "hybrid" | "shadow" | "segments" | "twopc" | "group" | "load" | "shards"
+      | "repl" ) as s -> [ s ]
     | s ->
         Printf.eprintf
-          "unknown target %s (simple|hybrid|shadow|segments|twopc|group|load|shards|all)\n" s;
+          "unknown target %s (simple|hybrid|shadow|segments|twopc|group|load|shards|repl|all)\n" s;
         exit 2
   in
   let config = { Rs_explore.Explore.seed; budget; max_depth } in
@@ -294,7 +295,15 @@ let explore seed scheme_name budget max_depth break_force =
       (fun () -> List.map (Rs_explore.Explore.explore ~config) targets)
   in
   List.iter (fun o -> Format.printf "%a@." Rs_explore.Explore.pp_outcome o) outcomes;
-  if List.exists (fun o -> o.Rs_explore.Explore.counterexample <> None) outcomes then 1 else 0
+  (* The always-on spec monitors double-check whatever the trace ring
+     still holds from the last runs. *)
+  let monitor_violations = Rs_obs.Monitor.check () in
+  List.iter (fun v -> Format.printf "MONITOR %a@." Rs_obs.Monitor.pp_violation v) monitor_violations;
+  if
+    List.exists (fun o -> o.Rs_explore.Explore.counterexample <> None) outcomes
+    || monitor_violations <> []
+  then 1
+  else 0
 
 let explore_cmd =
   let scheme =
@@ -392,6 +401,82 @@ let shards_cmd =
              2PC) and check uid uniqueness and the committed-state invariant.")
     Term.(const shards $ seed_arg $ guardians $ cross $ duration $ clients $ batch)
 
+(* repl: primary/backup replication demo — log shipping, a mid-run
+   failover, a rejoin — ending in the pair status line, the repl.*
+   metrics, and the spec monitors. *)
+
+let repl seed actions failover_at json =
+  let module System = Rs_guardian.System in
+  let module Heap = Rs_objstore.Heap in
+  let module Value = Rs_objstore.Value in
+  let module Pair = Rs_repl.Repl.Pair in
+  let g = Rs_util.Gid.of_int in
+  let sys = System.create ~seed ~latency:1.0 ~n:2 () in
+  let p = Pair.create ~system:sys ~primary:(g 0) ~standby:(g 1) () in
+  System.quiesce sys;
+  let bump : System.work =
+   fun heap aid ->
+    match Heap.get_stable_var heap "x" with
+    | Some (Value.Ref a) -> (
+        Heap.write_lock heap aid a;
+        match Heap.read_atomic heap aid a with
+        | Value.Int v -> Heap.set_current heap aid a (Value.Int (v + 1))
+        | _ -> failwith "not an int")
+    | Some _ -> failwith "stable var is not a ref"
+    | None ->
+        let a = Heap.alloc_atomic heap ~creator:aid (Value.Int 1) in
+        Heap.set_stable_var heap aid "x" (Value.Ref a)
+  in
+  let committed = ref 0 in
+  for i = 1 to actions do
+    let target = Pair.primary p in
+    (match System.await sys (System.submit sys ~coordinator:target ~steps:[ (target, bump) ]) with
+    | System.Committed -> incr committed
+    | System.Aborted -> ());
+    System.quiesce sys;
+    if i = failover_at then begin
+      Printf.printf "-- failover after action %d --\n" i;
+      Pair.crash p (Pair.primary p);
+      System.quiesce sys;
+      ignore (Pair.promote p);
+      Pair.rejoin p;
+      System.quiesce sys
+    end
+  done;
+  System.quiesce sys;
+  if json then print_endline (Rs_obs.Metrics.to_json Rs_obs.Metrics.default)
+  else begin
+    print_endline (Pair.status p);
+    List.iter
+      (fun name ->
+        Printf.printf "%-18s %d\n" name (Rs_obs.Metrics.counter_value (Rs_obs.Metrics.counter name)))
+      [ "repl.ships"; "repl.ship_bytes"; "repl.applies"; "repl.resets"; "repl.resyncs";
+        "repl.fenced"; "repl.failovers" ];
+    Printf.printf "committed: %d/%d\n" !committed actions
+  end;
+  match Rs_obs.Monitor.check () with
+  | [] ->
+      if not json then print_endline "spec monitors clean ✓";
+      0
+  | vs ->
+      List.iter (fun v -> Format.printf "MONITOR %a@." Rs_obs.Monitor.pp_violation v) vs;
+      1
+
+let repl_cmd =
+  let actions = Arg.(value & opt int 40 & info [ "actions" ] ~doc:"Client actions to run.") in
+  let failover_at =
+    Arg.(value
+         & opt int 20
+         & info [ "failover-at" ] ~docv:"N"
+             ~doc:"Crash the primary and promote after N actions (0 = never).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the metrics registry as JSON.") in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:"Run a replicated guardian pair (log shipping), fail over mid-run, and print the \
+             replication status, metrics and spec-monitor verdict.")
+    Term.(const repl $ seed_arg $ actions $ failover_at $ json)
+
 (* walkthrough: replay the thesis's log scenarios (Figs. 3-7, 3-8, 3-10)
    and print the resulting tables, like the thesis's "at algorithm's end,
    the PT and OT contain" paragraphs. *)
@@ -476,4 +561,5 @@ let () =
             trace_cmd;
             explore_cmd;
             shards_cmd;
+            repl_cmd;
           ]))

@@ -23,12 +23,17 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 c = json.load(open(sys.argv[1]))["counters"]
 pw = c["stable_store.physical_writes"]
+wr = c["stable_store.write_rounds"]
 simple = c["simple_rs.recovery_entries"]
 hybrid = c["hybrid_rs.recovery_entries"]
 assert pw > 0, f"no physical writes recorded ({pw})"
+# Careful writes run as overlapped mirrored rounds: one round per logical
+# put, two physical writes per round (a repair retries singles).
+assert wr > 0 and pw >= int(1.9 * wr), \
+    f"expected ~2 physical writes per round, got {pw} writes / {wr} rounds"
 assert 0 < hybrid < simple, \
     f"expected 0 < hybrid ({hybrid}) < simple ({simple}) recovery entries"
-print(f"metrics ok: physical_writes={pw}, "
+print(f"metrics ok: physical_writes={pw} over {wr} rounds, "
       f"recovery entries hybrid={hybrid} < simple={simple}")
 EOF
 else
@@ -170,8 +175,38 @@ else
   echo "shards ok (python3 unavailable; key presence checked only)"
 fi
 
+echo "== bench smoke: e12 --metrics-json -> BENCH_7.json =="
+# Committed artifact: e12 measures the replication pair — ship overhead
+# on the commit path, then failover vs cold restart over an identical
+# history. Counters (ship bytes, applies, failovers) are seeded and
+# deterministic; the us gauges are wall-clock and drift run to run, but
+# the gate they carry — promoting the warm standby strictly beats
+# replaying the log — holds with a wide margin at this history length.
+dune exec bench/main.exe -- e12 --metrics-json BENCH_7.json >/dev/null
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_7.json <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+g, c = d["gauges"], d["counters"]
+assert g["e12.repl.committed"] == g["e12.solo.committed"] > 0, \
+    "replication changed the committed count"
+assert g["e12.ship_bytes"] > 0 and c["repl.applies"] > 0, "nothing was shipped"
+cold, fo = g["e12.cold.us"], g["e12.failover.us"]
+assert g["e12.cold.entries"] > 0, "cold restart replayed no entries"
+assert fo < cold, \
+    f"failover-to-first-commit ({fo}us) not below cold restart ({cold}us)"
+print(f"repl ok: {g['e12.ship_bytes']} bytes shipped, failover {fo}us < "
+      f"cold {cold}us over {g['e12.cold.entries']} replayed entries")
+EOF
+else
+  grep -q '"repl.ship_bytes": [1-9]' BENCH_7.json ||
+    { echo "repl.ship_bytes missing or zero"; exit 1; }
+  echo "repl ok (python3 unavailable; key presence checked only)"
+fi
+
 echo "== exploration gate: every target survives 200 crash schedules =="
-for target in simple hybrid shadow segments twopc group load shards; do
+for target in simple hybrid shadow segments twopc group load shards repl; do
   OUT=$(dune exec bin/argusctl.exe -- explore --scheme "$target" --budget 200)
   echo "$OUT"
   case "$OUT" in

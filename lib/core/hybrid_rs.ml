@@ -269,6 +269,37 @@ let recover source_dir =
     (Tables.Recovery_info.committing_actions info);
   (t, info)
 
+(* Promotion (warm failover): build a recovery system around a heap that a
+   standby restored from its continuously applied warm image, skipping the
+   backward log walk entirely — the caller already fed [Restore] and holds
+   the finished [info]. [dir] is the standby's replica directory, whose
+   current log is byte-identical to the shipped prefix of the dead
+   primary's; appends chain onto [last_outcome] exactly as they would have
+   on the primary. *)
+let adopt ~heap ~dir ~last_outcome ~info ~mutexes =
+  let log = Log_dir.current dir in
+  let t =
+    {
+      heap;
+      dir;
+      log;
+      sched = Fsched.create log;
+      acc = Uid.Set.add Uid.stable_vars (Heap.reachable_uids heap);
+      pat = Aid.Tbl.create 8;
+      pending = Aid.Tbl.create 8;
+      mt = Uid.Tbl.create 16;
+      committing_active = Aid.Tbl.create 4;
+      last_outcome;
+      oel = None;
+    }
+  in
+  List.iter (fun (uid, src) -> Uid.Tbl.replace t.mt uid src) mutexes;
+  List.iter (fun aid -> Aid.Tbl.replace t.pat aid ()) (Tables.Recovery_info.prepared_actions info);
+  List.iter
+    (fun (aid, gids) -> Aid.Tbl.replace t.committing_active aid gids)
+    (Tables.Recovery_info.committing_actions info);
+  t
+
 (* Housekeeping (Chapter 5). *)
 
 type technique = Compaction | Snapshot

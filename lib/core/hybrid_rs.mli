@@ -58,6 +58,22 @@ val mutex_table : t -> (Rs_util.Uid.t * Log_entry.addr) list
 val recover : Rs_slog.Log_dir.t -> t * Tables.Recovery_info.t
 (** Rebuild a fresh heap by walking the outcome-entry chain (§4.3.3). *)
 
+val adopt :
+  heap:Rs_objstore.Heap.t ->
+  dir:Rs_slog.Log_dir.t ->
+  last_outcome:Log_entry.addr option ->
+  info:Tables.Recovery_info.t ->
+  mutexes:(Rs_util.Uid.t * Log_entry.addr) list ->
+  t
+(** Warm promotion: wrap a recovery system around a heap restored from a
+    standby's continuously applied image, with no log walk. [dir] is the
+    standby's replica log directory (byte-identical to the shipped prefix
+    of the primary's), [last_outcome] the address of the newest applied
+    outcome entry (new appends chain onto it), [info] the finished
+    {!Restore} result, and [mutexes] the MT: latest data-entry address per
+    live mutex object. Cost is proportional to the {e live} image, not the
+    log — the point of failing over instead of cold-restarting. *)
+
 (** {1 Housekeeping (Chapter 5)} *)
 
 type technique = Compaction  (** §5.1: rebuild the state from the log *)

@@ -29,7 +29,7 @@ type pool = {
 type t = {
   system : System.t;
   placement : Placement.t;
-  master : Gid.t;
+  mutable master : Gid.t; (* re-pointed when the master's shard fails over *)
   batch : int;
   base : int;
   debug_checks : bool;
@@ -40,6 +40,8 @@ type t = {
   mutable leaked : int;
   (* Debug ledger of every pool-minted uid and the shard that minted it. *)
   minted : Gid.t Uid.Tbl.t;
+  (* Failover redirects applied after placement: dead shard gid -> heir. *)
+  redirects : Gid.t Gid.Tbl.t;
 }
 
 let system t = t.system
@@ -48,7 +50,18 @@ let master t = t.master
 let batch t = t.batch
 let base t = t.base
 let leaked t = t.leaked
-let locate t key = Placement.shard_of_key t.placement key
+
+(* Follow failover redirects (bounded: redirect chains only grow one hop
+   per promotion and promotions re-point existing entries, but stay safe
+   against a cycle from pathological retarget calls). *)
+let resolve t g =
+  let rec go g n =
+    if n = 0 then g
+    else match Gid.Tbl.find_opt t.redirects g with Some g' -> go g' (n - 1) | None -> g
+  in
+  go g 8
+
+let locate t key = resolve t (Placement.shard_of_key t.placement key)
 let gid_str g = Format.asprintf "%a" Gid.pp g
 
 let pool t g =
@@ -195,6 +208,7 @@ let create ?(batch = 64) ?(base = 1024) ?master ?(debug_checks = true) ~system ~
       max_hi = base;
       leaked = 0;
       minted = Uid.Tbl.create 256;
+      redirects = Gid.Tbl.create 4;
     }
   in
   (* Bootstrap the watermark through the master's *local* uid source —
@@ -319,6 +333,28 @@ let restart t g =
      from the directory. *)
   if Gid.Tbl.mem t.pools g then install_source t g;
   report
+
+(* --- failover ----------------------------------------------------------- *)
+
+let retarget t ~from_ ~to_ =
+  if Gid.equal from_ to_ then Gid.Tbl.remove t.redirects from_
+  else begin
+    (* Re-point existing redirects that land on [from_] too, so chains
+       stay one hop long across repeated failovers. *)
+    Gid.Tbl.iter
+      (fun g dst -> if Gid.equal dst from_ then Gid.Tbl.replace t.redirects g to_)
+      (Gid.Tbl.copy t.redirects);
+    Gid.Tbl.replace t.redirects from_ to_;
+    (* The dead shard's unused uid pool leaked with its volatile state;
+       the heir mints from a fresh pool under its own gid. *)
+    note_crash t from_;
+    if Gid.Tbl.mem t.pools from_ then begin
+      if not (Gid.Tbl.mem t.pools to_) then
+        Gid.Tbl.replace t.pools to_ { ranges = []; reserving = false; waiters = [] };
+      install_source t to_
+    end;
+    if Gid.equal t.master from_ then t.master <- to_
+  end
 
 (* --- oracles ----------------------------------------------------------- *)
 

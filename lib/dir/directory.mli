@@ -89,7 +89,12 @@ val locate_uid : t -> Rs_util.Uid.t -> Rs_util.Gid.t option
 (** {1 Routing} *)
 
 val locate : t -> string -> Rs_util.Gid.t
-(** Owning shard for a key (pure placement). *)
+(** Owning shard for a key: pure placement, then any failover redirect
+    ({!retarget}). *)
+
+val resolve : t -> Rs_util.Gid.t -> Rs_util.Gid.t
+(** Follow failover redirects from a placement shard to the guardian
+    currently serving it (identity when no failover happened). *)
 
 val submit :
   ?on_result:(Rs_util.Aid.t -> System.outcome -> unit) ->
@@ -126,6 +131,15 @@ val crash : t -> Rs_util.Gid.t -> unit
 val restart : t -> Rs_util.Gid.t -> Core.Tables.Recovery_report.t
 (** {!System.restart} plus reinstalling the pool-backed uid source on the
     recovered heap (recovery rebuilt it with a plain local source). *)
+
+val retarget : t -> from_:Rs_util.Gid.t -> to_:Rs_util.Gid.t -> unit
+(** Failover re-pointing: keys (and redirects) placed on [from_] now
+    resolve to [to_]. The dead shard's unused uid pool is dropped
+    (counted in {!leaked}) and the heir gets a pool-backed uid source
+    under its own gid; if [from_] was the master, [to_] becomes the
+    master — its adopted heap carries the replicated watermark. Called by
+    the replication failover driver after promoting [to_].
+    [retarget ~from_:g ~to_:g] clears [g]'s redirect. *)
 
 (** {1 Oracles} *)
 

@@ -962,11 +962,231 @@ let explore_shards ?(config = default_config) () =
   let schedules = enumerate config points in
   drive_schedules ~target:"shards" ~points ~schedules ~run
 
+let explore_repl ?(config = default_config) () =
+  let module System = Rs_guardian.System in
+  let module Guardian = Rs_guardian.Guardian in
+  let module Sim = Rs_sim.Sim in
+  let module Heap = Rs_objstore.Heap in
+  let module Value = Rs_objstore.Value in
+  let module Pair = Rs_repl.Repl.Pair in
+  let n_actions = 12 in
+  (* One logical client action: read-modify-write increment of both "x"
+     and "y" on the current primary, so the pair of counters moves in
+     lockstep — the cross-variable consistency oracle. *)
+  let bump key heap aid =
+    match Heap.get_stable_var heap key with
+    | Some (Value.Ref a) -> (
+        Heap.write_lock heap aid a;
+        match Heap.read_atomic heap aid a with
+        | Value.Int v -> Heap.set_current heap aid a (Value.Int (v + 1))
+        | _ -> failwith "not an int")
+    | Some _ | None -> failwith ("counter " ^ key ^ " not bootstrapped")
+  in
+  let work : System.work = fun heap aid -> bump "x" heap aid; bump "y" heap aid in
+  let setup () =
+    let sys = System.create ~seed:config.seed ~latency:1.0 ~n:2 () in
+    let p =
+      Pair.create ~system:sys ~primary:(Rs_util.Gid.of_int 0)
+        ~standby:(Rs_util.Gid.of_int 1) ()
+    in
+    (* Bootstrap both counters in one awaited action, so the clients
+       never race on the first binding (two concurrent first writers
+       would each allocate their own counter object and strand the
+       loser's increments behind a superseded binding). *)
+    let init : System.work =
+     fun heap aid ->
+      List.iter
+        (fun key ->
+          let a = Heap.alloc_atomic heap ~creator:aid (Value.Int 0) in
+          Heap.set_stable_var heap aid key (Value.Ref a))
+        [ "x"; "y" ]
+    in
+    ignore
+      (System.await sys
+         (System.submit sys ~coordinator:(Rs_util.Gid.of_int 0)
+            ~steps:[ (Rs_util.Gid.of_int 0, init) ]));
+    System.quiesce sys;
+    let sim = System.sim sys in
+    let issued = ref 0 and committed = ref 0 and resolved = ref 0 in
+    (* A closed-loop client per logical action: re-route to the current
+       primary on Guardian_down (the failover path Rs_load/Rs_dir take)
+       and retry aborts — including the presumed-abort resolution an
+       orphaned handle gets at promotion — until one attempt commits. *)
+    let rec attempt tries () =
+      if tries > 0 then begin
+        let target = Pair.primary p in
+        match
+          System.submit sys ~coordinator:target
+            ~on_result:(fun _ o ->
+              incr resolved;
+              match o with
+              | System.Committed -> incr committed
+              | System.Aborted -> Sim.schedule sim ~delay:1.0 (attempt (tries - 1)))
+            ~steps:[ (target, work) ]
+        with
+        | _h -> incr issued
+        | exception System.Guardian_down _ ->
+            Sim.schedule sim ~delay:1.5 (attempt (tries - 1))
+        | exception System.Overloaded _ ->
+            Sim.schedule sim ~delay:1.5 (attempt (tries - 1))
+      end
+    in
+    List.iteri
+      (fun i () -> Sim.schedule sim ~delay:(1.0 +. (float_of_int i *. 2.0)) (attempt 25))
+      (List.init n_actions (fun _ -> ()));
+    (sys, p, sim, issued, committed, resolved)
+  in
+  let events =
+    let _, _, sim, _, _, _ = setup () in
+    let n = ref 0 in
+    while Sim.step sim do
+      incr n
+    done;
+    !n
+  in
+  let points =
+    let cap = min events 20 in
+    List.init cap (fun i -> 1 + (i * events / cap))
+    |> List.sort_uniq compare
+    |> List.mapi (fun i nth -> { Fault.op = i; point = Fault.Event_boundary { nth } })
+  in
+  let stable_int sys gid name =
+    let heap = Guardian.heap (System.guardian sys gid) in
+    match Heap.get_stable_var heap name with
+    | Some (Value.Ref a) -> (
+        match (Heap.atomic_view heap a).base with Value.Int v -> Some v | _ -> None)
+    | Some _ | None -> None
+  in
+  let run sched =
+    Metrics.incr m_schedules;
+    (* Each schedule is its own world: scrub the ring so the spec
+       monitors judge this run alone (epochs restart at 1 here). *)
+    Rs_obs.Trace.clear ();
+    let found = ref None in
+    let note = function [] -> () | v :: _ -> if !found = None then found := Some v in
+    (try
+       let sys, p, sim, issued, committed, resolved = setup () in
+       let drain_ships () =
+         (* Let in-flight ships land before promoting: the commit point
+            guarantees every acked commit's ship is already in the
+            network, one latency from the standby. *)
+         let until = Sim.now sim +. 2.5 in
+         while Sim.now sim < until && Sim.step sim do
+           ()
+         done
+       in
+       let fail_over () =
+         drain_ships ();
+         if Pair.promotable p then begin
+           ignore (Pair.promote p);
+           Pair.rejoin p
+         end
+         else
+           (* Overlapping faults left the replica stale or missing (the
+              single-fault model's edge: the lost tail lives only in the
+              dead primary's own log) — the operator falls back to a
+              cold restart instead of promoting away acked commits. *)
+           ignore (Pair.restart_primary p)
+       in
+       let stepped = ref 0 in
+       let crashes =
+         List.filter_map
+           (function { Fault.point = Fault.Event_boundary { nth }; _ } -> Some nth | _ -> None)
+           sched
+         |> List.sort_uniq compare
+       in
+       List.iteri
+         (fun i nth ->
+           while !stepped < nth && Sim.step sim do
+             incr stepped
+           done;
+           if (nth + i) mod 2 = 0 then begin
+             (* primary death at a ship boundary: promote the standby *)
+             Pair.crash p (Pair.primary p);
+             fail_over ()
+           end
+           else begin
+             (* standby death at an apply boundary: cold-restart it and
+                let the resync request pull the missed tail *)
+             Pair.crash p (Pair.standby p);
+             Sim.schedule sim ~delay:2.0 (fun () -> Pair.restart_standby p)
+           end)
+         crashes;
+       while Sim.step sim do
+         ()
+       done;
+       (* Every schedule ends with a failover probe: kill whichever
+          guardian is primary now and promote — all acked commits must
+          be present on the heir. *)
+       Pair.crash p (Pair.primary p);
+       fail_over ();
+       while Sim.step sim do
+         ()
+       done;
+       let heir = Pair.primary p in
+       let x = stable_int sys heir "x" and y = stable_int sys heir "y" in
+       (match Pair.diverged p with
+       | None -> ()
+       | Some detail -> note [ { Oracle.oracle = "divergence"; detail } ]);
+       if x <> y then
+         note
+           [
+             {
+               Oracle.oracle = "consistency";
+               detail =
+                 Printf.sprintf "x and y split after failover: x=%s y=%s"
+                   (match x with Some v -> string_of_int v | None -> "-")
+                   (match y with Some v -> string_of_int v | None -> "-");
+             };
+           ];
+       let xv = Option.value x ~default:0 in
+       if xv < !committed then
+         note
+           [
+             {
+               Oracle.oracle = "commit-survival";
+               detail =
+                 Printf.sprintf "%d commits acked but only %d increments survived failover"
+                   !committed xv;
+             };
+           ];
+       if xv > !issued then
+         note
+           [
+             {
+               Oracle.oracle = "ceiling";
+               detail =
+                 Printf.sprintf "%d increments survived but only %d attempts were issued" xv
+                   !issued;
+             };
+           ];
+       if !resolved <> !issued then
+         note
+           [
+             {
+               Oracle.oracle = "liveness";
+               detail =
+                 Printf.sprintf "%d of %d handles never resolved" (!issued - !resolved) !issued;
+             };
+           ];
+       if !committed = 0 then
+         note [ { Oracle.oracle = "progress"; detail = "no action ever committed" } ];
+       List.iter
+         (fun (v : Rs_obs.Monitor.violation) ->
+           note [ { Oracle.oracle = "monitor:" ^ v.monitor; detail = v.detail } ])
+         (Rs_obs.Monitor.check ())
+     with exn -> note [ { Oracle.oracle = "liveness"; detail = Printexc.to_string exn } ]);
+    !found
+  in
+  let schedules = enumerate config points in
+  drive_schedules ~target:"repl" ~points ~schedules ~run
+
 let explore ?config = function
   | "twopc" -> explore_twopc ?config ()
   | "group" -> explore_group ?config ()
   | "load" -> explore_load ?config ()
   | "shards" -> explore_shards ?config ()
+  | "repl" -> explore_repl ?config ()
   | name -> explore_scheme ?config name
 
 (* ------------------------------------------------------------------ *)

@@ -93,10 +93,27 @@ val explore_shards : ?config:config -> unit -> outcome
     committed counters equal to the model — a cross-shard action lands
     on all its shards or none. *)
 
+val explore_repl : ?config:config -> unit -> outcome
+(** Explore crashes under primary/backup replication: a two-guardian
+    {!Rs_repl.Repl.Pair} with closed-loop clients incrementing a pair of
+    counters on whichever guardian is primary, re-routing through
+    [Guardian_down] after a failover. Crash points land at sampled
+    simulator event boundaries; the victim alternates between the
+    primary (killed at a ship boundary, then promoted over after the
+    in-flight ships drain) and the standby (killed at an apply boundary,
+    then cold-restarted into a resync). Every schedule ends with a final
+    failover probe — kill the current primary and promote. Oracles: the
+    replica never diverges from the primary's forced prefix, both
+    counters stay equal on the heir, every acked commit survives the
+    failover (floor) with no phantom increments (ceiling), every handle
+    resolves, and the always-on spec monitors stay clean over the
+    schedule's own trace. *)
+
 val explore : ?config:config -> string -> outcome
 (** Dispatch: scheme names go to {!explore_scheme}, ["twopc"] to
     {!explore_twopc}, ["group"] to {!explore_group}, ["load"] to
-    {!explore_load}, ["shards"] to {!explore_shards}. *)
+    {!explore_load}, ["shards"] to {!explore_shards}, ["repl"] to
+    {!explore_repl}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Deterministic report: a one-line summary, then — on violation — the

@@ -23,7 +23,7 @@ type t = {
   gid : Gid.t;
   sim : Sim.t;
   net : Twopc.msg Net.t;
-  dir : Log_dir.t;
+  mutable dir : Log_dir.t; (* replaced on promotion: the standby's replica dir *)
   aid_gen : Aid.Gen.t;
   force_window : float; (* group-commit window in virtual time; 0 = sync *)
   prepare_timeout : float option; (* 2PC knobs threaded to the endpoint *)
@@ -44,6 +44,7 @@ type t = {
 let gid t = t.gid
 let heap t = t.heap
 let rs t = t.rs
+let log_dir t = t.dir
 let is_up t = t.up
 let fresh_aid t = Aid.Gen.fresh t.aid_gen
 let note_participation t aid = t.known <- Aid.Set.add aid t.known
@@ -132,7 +133,7 @@ let configure_scheduler t =
 let wire_protocol t =
   let endpoint =
     Twopc.create ~gid:t.gid ~sim:t.sim
-      ~send:(fun ~dst msg -> Net.send t.net ~src:t.gid ~dst msg)
+      ~send:(fun ~src ~dst msg -> Net.send t.net ~src ~dst msg)
       ~hooks:(hooks_of t)
       ?prepare_timeout:t.prepare_timeout ?retry_interval:t.retry_interval
       ~await_durable:(fun k ->
@@ -145,6 +146,7 @@ let wire_protocol t =
 let create ~gid ~sim ~net ?(page_size = 1024) ?(force_window = 0.0) ?prepare_timeout
     ?retry_interval () =
   let dir = Log_dir.create ~page_size () in
+  Log_dir.set_label dir (gid_str gid);
   let heap = Heap.create () in
   let rs = Hybrid_rs.create heap dir in
   let t =
@@ -202,15 +204,11 @@ let crash t =
     t.heap <- Heap.create ()
   end
 
-let restart t =
-  if t.up then invalid_arg "Guardian.restart: guardian is up";
-  let rs, report =
-    Core.Tables.Recovery_report.measure (fun () -> Hybrid_rs.recover t.dir)
-  in
-  let info = report.Core.Tables.Recovery_report.info in
-  t.rs <- rs;
-  t.heap <- Hybrid_rs.heap rs;
-  configure_scheduler t; (* the recovered rs starts with a sync scheduler *)
+(* Common tail of [restart] and [adopt]: wire the (already rebuilt) rs back
+   into the protocol and resume in-flight 2PC duties from the tables. *)
+let resume_duties t info =
+  t.heap <- Hybrid_rs.heap t.rs;
+  configure_scheduler t; (* the rebuilt rs starts with a sync scheduler *)
   wire_protocol t;
   Net.set_up t.net t.gid true;
   t.up <- true;
@@ -229,6 +227,19 @@ let restart t =
     (fun (aid, gids) -> Twopc.resume_coordinator (twopc t) aid gids)
     (Core.Tables.Recovery_info.committing_actions info);
   (* ...and prepared participants chase their coordinators for verdicts. *)
+  List.iter
+    (fun aid ->
+      Twopc.await_verdict (twopc t) aid ~coordinator:(Aid.coordinator aid);
+      t.known <- Aid.Set.add aid t.known)
+    (Core.Tables.Recovery_info.prepared_actions info)
+
+let restart t =
+  if t.up then invalid_arg "Guardian.restart: guardian is up";
+  let rs, report =
+    Core.Tables.Recovery_report.measure (fun () -> Hybrid_rs.recover t.dir)
+  in
+  let info = report.Core.Tables.Recovery_report.info in
+  t.rs <- rs;
   Metrics.incr m_restarts;
   Trace.emit
     (Trace.Restart
@@ -237,12 +248,23 @@ let restart t =
          prepared = List.length (Core.Tables.Recovery_info.prepared_actions info);
          committing = List.length (Core.Tables.Recovery_info.committing_actions info);
        });
-  List.iter
-    (fun aid ->
-      Twopc.await_verdict (twopc t) aid ~coordinator:(Aid.coordinator aid);
-      t.known <- Aid.Set.add aid t.known)
-    (Core.Tables.Recovery_info.prepared_actions info);
+  resume_duties t info;
   report
+
+let adopt t ~dir ~info rs =
+  if t.up then invalid_arg "Guardian.adopt: guardian is up";
+  t.dir <- dir;
+  Log_dir.set_label dir (gid_str t.gid);
+  t.rs <- rs;
+  resume_duties t info
+
+let take_over_address t ~gid:old =
+  if not t.up then invalid_arg "Guardian.take_over_address: guardian is down";
+  (* Dynamic dispatch: the registration survives a later re-wire of the
+     heir's endpoint (its own crash/restart cycle), and goes quiet while
+     the heir is down. *)
+  Net.register t.net old (fun ~src msg -> if t.up then Twopc.handle ~self:old (twopc t) ~src msg);
+  Net.set_up t.net old true
 
 let housekeep t technique = Hybrid_rs.housekeep t.rs technique
 

@@ -33,6 +33,7 @@ val create :
 val gid : t -> Rs_util.Gid.t
 val heap : t -> Rs_objstore.Heap.t
 val rs : t -> Core.Hybrid_rs.t
+val log_dir : t -> Rs_slog.Log_dir.t
 val is_up : t -> bool
 val fresh_aid : t -> Rs_util.Aid.t
 
@@ -67,6 +68,24 @@ val restart : t -> Core.Tables.Recovery_report.t
     unified {!Core.Tables.Recovery_report} (entries processed, replica
     repairs, segments swept). Raises [Invalid_argument] if the guardian
     is up. *)
+
+val adopt :
+  t -> dir:Rs_slog.Log_dir.t -> info:Core.Tables.Recovery_info.t -> Core.Hybrid_rs.t -> unit
+(** Promotion: bring a {e down} guardian up around a warm recovery system
+    built by {!Core.Hybrid_rs.adopt} (no log walk). [dir] becomes the
+    guardian's log directory — the standby's replica of the dead
+    primary's log — and [info] drives the same duty resumption as
+    {!restart}: committing coordinators resume phase two, prepared
+    participants chase verdicts, aid generation skips past everything in
+    the tables. Raises [Invalid_argument] if the guardian is up. *)
+
+val take_over_address : t -> gid:Rs_util.Gid.t -> unit
+(** Point [gid]'s network address at this (up) guardian's 2PC endpoint and
+    mark it reachable: after promotion the heir answers protocol traffic
+    addressed to the dead primary — verdict queries for actions it
+    coordinated, acks from its participants — exactly as a same-gid
+    restart would. The registration follows the heir across its own later
+    crash/restart cycles and goes quiet while it is down. *)
 
 val housekeep : t -> Core.Hybrid_rs.technique -> unit
 

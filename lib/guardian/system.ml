@@ -270,27 +270,19 @@ let crash t gid =
     victims;
   install_runtime t gid
 
-let restart t gid =
-  let report = Guardian.restart (guardian t gid) in
-  install_runtime t gid;
-  (* Resolve in-flight handles this guardian coordinated: clients survive
-     the crash (they are outside the fault model), so the handle is the
-     one place the verdict can land. The durable committing record is the
-     commit point; an action without one died with the volatile state and
-     is presumed aborted (§2.2.3). Parked fibers are skipped — they are
-     still executing steps and will resolve through their own 2PC run. *)
-  let decided =
-    List.fold_left
-      (fun acc (aid, state) ->
-        match state with
-        | Core.Tables.Ct.Committing _ | Core.Tables.Ct.Done -> Aid.Set.add aid acc)
-      Aid.Set.empty
-      report.Core.Tables.Recovery_report.info.Core.Tables.Recovery_info.ct
-  in
+(* Resolve in-flight handles [coordinator] coordinated: clients survive
+   the crash (they are outside the fault model), so the handle is the one
+   place the verdict can land. The durable committing record is the commit
+   point; an action without one died with the volatile state and is
+   presumed aborted (§2.2.3). Parked fibers are skipped — they are still
+   executing steps and will resolve through their own 2PC run. Used by
+   [restart] and, with the standby's recovered commit table, by the
+   replication failover driver after a promotion. *)
+let resolve_orphans t ~coordinator ~decided =
   let orphans =
     Aid.Tbl.fold
       (fun aid h acc ->
-        if Gid.equal (Aid.coordinator aid) gid && not (Aid.Tbl.mem t.parked aid) then
+        if Gid.equal (Aid.coordinator aid) coordinator && not (Aid.Tbl.mem t.parked aid) then
           (aid, h) :: acc
         else acc)
       t.handles []
@@ -300,7 +292,25 @@ let restart t gid =
     (fun (aid, h) ->
       resolve_handle t h (if Aid.Set.mem aid decided then Committed else Aborted))
     orphans;
+  List.length orphans
+
+let decided_of_info info =
+  List.fold_left
+    (fun acc (aid, state) ->
+      match state with
+      | Core.Tables.Ct.Committing _ | Core.Tables.Ct.Done -> Aid.Set.add aid acc)
+    Aid.Set.empty info.Core.Tables.Recovery_info.ct
+
+let restart t gid =
+  let report = Guardian.restart (guardian t gid) in
+  install_runtime t gid;
+  let decided = decided_of_info report.Core.Tables.Recovery_report.info in
+  ignore (resolve_orphans t ~coordinator:gid ~decided);
   report
+
+let reinstall_runtime t gid = install_runtime t gid
+
+let epoch t gid = t.epochs.(Gid.to_int gid)
 
 let partition t gid = Net.set_up t.net gid false
 let heal t gid = Net.set_up t.net gid true

@@ -107,6 +107,26 @@ val restart : t -> Rs_util.Gid.t -> Core.Tables.Recovery_report.t
     guardian's queue — are resolved from the durable verdict: [Committed]
     iff a committing/done record survives, else [Aborted] (§2.2.3). *)
 
+val reinstall_runtime : t -> Rs_util.Gid.t -> unit
+(** Re-wire the guardian's (possibly replaced) heap to the system's wait
+    queues and fiber scheduler. {!restart} does this itself; a promotion
+    that swaps the heap through {!Guardian.adopt} must call it
+    explicitly. *)
+
+val resolve_orphans :
+  t -> coordinator:Rs_util.Gid.t -> decided:Rs_util.Aid.Set.t -> int
+(** Resolve unresolved handles coordinated by [coordinator] (skipping
+    parked fibers): [Committed] iff the aid is in [decided] — the set of
+    actions with a durable committing/done record — else presumed
+    [Aborted]. Returns how many were resolved. {!restart} applies this
+    with the recovered commit table; the replication failover driver
+    applies it with the standby's warm table after promoting. *)
+
+val epoch : t -> Rs_util.Gid.t -> int
+(** The guardian's incarnation epoch (bumped at every {!crash}); fibers
+    compare epochs to detect staleness, and replication folds it into its
+    fencing epoch. *)
+
 val partition : t -> Rs_util.Gid.t -> unit
 (** Cut the guardian off the network without crashing it: volatile state
     and timers survive, messages in either direction are dropped. A

@@ -1,0 +1,90 @@
+(* Always-on spec monitors over the trace ring (ROADMAP item 5). *)
+
+type violation = { monitor : string; detail : string }
+
+let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.monitor v.detail
+
+(* commit-implies-durable: every [Action_commit {gid}] must be followed by a
+   [Log_force] on that guardian's log — the commit record is appended and
+   forced only after the hook fires, so a quiesced run always shows the
+   covering force later in the ring. A later [Crash {gid}] forgives a missing
+   force: the commit died unacknowledged with the guardian. Sound under ring
+   truncation because the force always carries a higher sequence number than
+   the commit it covers. *)
+let commit_implies_durable_on records =
+  (* Scan backward: remember, per guardian label, whether a force or crash
+     has been seen later in the ring. *)
+  let forced : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let violations = ref [] in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Trace.Log_force { log; _ } when log <> "" -> Hashtbl.replace forced log ()
+      | Trace.Crash { gid } -> Hashtbl.replace forced gid ()
+      | Trace.Action_commit { gid; aid } ->
+          if not (Hashtbl.mem forced gid) then
+            violations :=
+              {
+                monitor = "commit-implies-durable";
+                detail =
+                  Printf.sprintf "commit of %s on %s (seq %d) has no covering log force" aid gid
+                    r.seq;
+              }
+              :: !violations
+      | _ -> ())
+    (List.rev records);
+  !violations
+
+(* repl-ship-order: the replication stream must respect the epoch fence —
+   per (src,dst) pair, shipped epochs never go backward, and per standby the
+   applied epochs never go backward either. The applied watermark must be
+   monotone within an epoch, except across a standby crash or a reset ship
+   (base 0 re-seeds the replica after a housekeeping log switch). *)
+let repl_ship_order_on records =
+  let ship_epoch : (string * string, int) Hashtbl.t = Hashtbl.create 8 in
+  let apply_state : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+  (* gid -> (epoch, watermark) *)
+  let reset_ok : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let violations = ref [] in
+  let bad monitor fmt = Printf.ksprintf (fun detail -> violations := { monitor; detail } :: !violations) fmt in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Trace.Repl_ship { src; dst; epoch; base; _ } ->
+          (match Hashtbl.find_opt ship_epoch (src, dst) with
+          | Some e when epoch < e ->
+              bad "repl-ship-order" "ship %s->%s epoch went backward %d -> %d (seq %d)" src dst e
+                epoch r.seq
+          | _ -> ());
+          Hashtbl.replace ship_epoch (src, dst) epoch;
+          if base = 0 then Hashtbl.replace reset_ok dst ()
+      | Trace.Crash { gid } -> Hashtbl.replace reset_ok gid ()
+      | Trace.Repl_apply { gid; epoch; watermark; _ } ->
+          (match Hashtbl.find_opt apply_state gid with
+          | Some (e, _) when epoch < e ->
+              bad "repl-ship-order" "apply on %s epoch went backward %d -> %d (seq %d)" gid e
+                epoch r.seq
+          | Some (e, w) when epoch = e && watermark < w && not (Hashtbl.mem reset_ok gid) ->
+              bad "repl-ship-order" "apply watermark on %s went backward %d -> %d (seq %d)" gid w
+                watermark r.seq
+          | _ -> ());
+          Hashtbl.remove reset_ok gid;
+          Hashtbl.replace apply_state gid (epoch, watermark)
+      | _ -> ())
+    records;
+  List.rev !violations
+
+let commit_implies_durable () = commit_implies_durable_on (Trace.events ())
+let repl_ship_order () = repl_ship_order_on (Trace.events ())
+
+let check () = commit_implies_durable () @ repl_ship_order ()
+
+let assert_ok ~where () =
+  match check () with
+  | [] -> ()
+  | vs ->
+      let buf = Buffer.create 256 in
+      List.iter (fun v -> Buffer.add_string buf (Format.asprintf "  %a\n" pp_violation v)) vs;
+      failwith
+        (Printf.sprintf "spec monitors failed (%s): %d violation(s)\n%s" where (List.length vs)
+           (Buffer.contents buf))

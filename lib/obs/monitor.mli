@@ -1,0 +1,30 @@
+(** Always-on spec monitors over the deterministic trace ring.
+
+    Declarative safety checks in the style of oswald's PSpec monitors,
+    evaluated against whatever the ring currently holds. They are meant to
+    run at the end of {e every} test and bench run (and inside explorer
+    passes), not only when a scenario explicitly exercises the property.
+    Ring truncation is handled: each rule only relates an event to {e later}
+    events, which by construction survive in the ring whenever the earlier
+    event does. *)
+
+type violation = { monitor : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val commit_implies_durable : unit -> violation list
+(** Every [Action_commit {gid}] must be followed by a [Log_force] on the
+    log labeled [gid] — or by a [Crash {gid}], which means the commit died
+    unacknowledged. Catches commit records that escape their covering
+    force. *)
+
+val repl_ship_order : unit -> violation list
+(** Replication stream sanity: shipped and applied epochs never move
+    backward, and a standby's applied watermark is monotone within an epoch
+    (except across a standby crash or a base-0 reset ship). *)
+
+val check : unit -> violation list
+(** All monitors over the current ring, in order. *)
+
+val assert_ok : where:string -> unit -> unit
+(** Run {!check} and [failwith] a formatted report if anything fired. *)

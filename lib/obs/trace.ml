@@ -7,9 +7,12 @@ type event =
   | Page_decay of { page : int }
   | Store_repair of { page : int }
   | Log_write of { addr : int; bytes : int }
-  | Log_force of { entries : int; stream_bytes : int }
+  | Log_force of { log : string; entries : int; stream_bytes : int }
   | Segment_alloc of { id : int; index : int }
   | Segment_retire of { id : int }
+  | Repl_ship of { src : string; dst : string; epoch : int; base : int; entries : int; bytes : int }
+  | Repl_apply of { gid : string; epoch : int; watermark : int; entries : int }
+  | Repl_promote of { heir : string; for_ : string; epoch : int; watermark : int }
   | Twopc_send of { src : string; dst : string; msg : string }
   | Twopc_recv of { src : string; dst : string; msg : string }
   | Lock_acquire of { aid : string; addr : int; kind : lock_kind }
@@ -80,8 +83,17 @@ let pp_event fmt = function
   | Page_decay { page } -> Format.fprintf fmt "page_decay{page=%d}" page
   | Store_repair { page } -> Format.fprintf fmt "store_repair{page=%d}" page
   | Log_write { addr; bytes } -> Format.fprintf fmt "log_write{addr=%d bytes=%d}" addr bytes
-  | Log_force { entries; stream_bytes } ->
-      Format.fprintf fmt "log_force{entries=%d stream_bytes=%d}" entries stream_bytes
+  | Log_force { log; entries; stream_bytes } ->
+      Format.fprintf fmt "log_force{log=%s entries=%d stream_bytes=%d}" log entries stream_bytes
+  | Repl_ship { src; dst; epoch; base; entries; bytes } ->
+      Format.fprintf fmt "repl_ship{%s->%s epoch=%d base=%d entries=%d bytes=%d}" src dst epoch
+        base entries bytes
+  | Repl_apply { gid; epoch; watermark; entries } ->
+      Format.fprintf fmt "repl_apply{gid=%s epoch=%d watermark=%d entries=%d}" gid epoch watermark
+        entries
+  | Repl_promote { heir; for_; epoch; watermark } ->
+      Format.fprintf fmt "repl_promote{heir=%s for=%s epoch=%d watermark=%d}" heir for_ epoch
+        watermark
   | Segment_alloc { id; index } -> Format.fprintf fmt "segment_alloc{id=%d index=%d}" id index
   | Segment_retire { id } -> Format.fprintf fmt "segment_retire{id=%d}" id
   | Twopc_send { src; dst; msg } -> Format.fprintf fmt "2pc_send{%s->%s %s}" src dst msg

@@ -20,12 +20,21 @@ type event =
   | Page_decay of { page : int }
   | Store_repair of { page : int }  (** stable-store recovery fixed a pair *)
   | Log_write of { addr : int; bytes : int }  (** entry buffered in the log *)
-  | Log_force of { entries : int; stream_bytes : int }
-      (** pending entries pushed to stable storage *)
+  | Log_force of { log : string; entries : int; stream_bytes : int }
+      (** pending entries pushed to stable storage; [log] is the owning
+          log's label ("G0", "G1:standby", …; "" if unlabeled) *)
   | Segment_alloc of { id : int; index : int }
       (** a segmented log grew by one careful-replicated segment store *)
   | Segment_retire of { id : int }
       (** a dead segment's pages were returned to the directory pool *)
+  | Repl_ship of { src : string; dst : string; epoch : int; base : int; entries : int; bytes : int }
+      (** a primary shipped one forced batch to its standby *)
+  | Repl_apply of { gid : string; epoch : int; watermark : int; entries : int }
+      (** a standby appended + warm-applied a shipped batch; [watermark] is
+          its applied (durable) prefix after the batch *)
+  | Repl_promote of { heir : string; for_ : string; epoch : int; watermark : int }
+      (** failover: [heir] took over [for_]'s duties at the applied
+          watermark, under the freshly bumped epoch *)
   | Twopc_send of { src : string; dst : string; msg : string }
   | Twopc_recv of { src : string; dst : string; msg : string }
   | Lock_acquire of { aid : string; addr : int; kind : lock_kind }

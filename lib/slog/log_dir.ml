@@ -55,6 +55,10 @@ type t = {
   mutable cur : int; (* index of the current slot, mirrored in [root] *)
   mutable cur_log : Stable_log.t;
   mutable pending : Stable_log.t option; (* new log under construction *)
+  mutable label : string; (* owner tag, stamped on every log generation *)
+  mutable on_switch : (unit -> unit) option;
+      (* fires after a completed [switch] — replication re-seeds the
+         standby from the new generation here *)
 }
 
 let encode_root cur =
@@ -99,7 +103,7 @@ let create ?(page_size = 1024) ?(segment_pages = 8) ?rng ?decay_prob () =
   let slots = [| mk anchor_pages; mk anchor_pages |] in
   Store.put root 0 (encode_root 0);
   let cur_log = mk_log ~page_size pool slots.(0) in
-  { root; slots; page_size; pool; cur = 0; cur_log; pending = None }
+  { root; slots; page_size; pool; cur = 0; cur_log; pending = None; label = ""; on_switch = None }
 
 let open_ t =
   (* Recover every store, not just the root: a crash mid careful-put can
@@ -142,6 +146,7 @@ let open_ t =
           Metrics.incr m_swept;
           Trace.emit (Trace.Segment_retire { id }))
         (List.sort compare orphans));
+  Stable_log.set_label cur_log t.label;
   {
     root = t.root;
     slots = t.slots;
@@ -150,13 +155,25 @@ let open_ t =
     cur;
     cur_log;
     pending = None;
+    label = t.label;
+    on_switch = None;
   }
 
 let current t = t.cur_log
 
+let set_label t s =
+  t.label <- s;
+  Stable_log.set_label t.cur_log s;
+  match t.pending with Some log -> Stable_log.set_label log s | None -> ()
+
+let label t = t.label
+
+let set_on_switch t h = t.on_switch <- h
+
 let begin_new t =
   let spare = 1 - t.cur in
   let log = mk_log ~page_size:t.page_size t.pool t.slots.(spare) in
+  Stable_log.set_label log t.label;
   t.pending <- Some log;
   log
 
@@ -180,7 +197,8 @@ let switch ?low_water t =
         match low_water with Some a -> a | None -> Stable_log.end_addr old
       in
       Stable_log.retire_below old lw;
-      Stable_log.destroy old
+      Stable_log.destroy old;
+      (match t.on_switch with Some f -> f () | None -> ())
 
 let page_size t = t.page_size
 

@@ -42,6 +42,19 @@ val open_ : t -> t
 
 val current : t -> Stable_log.t
 
+val set_label : t -> string -> unit
+(** Tag the directory with its owner's name; propagated to the current log,
+    any pending log, and every future generation (see
+    {!Stable_log.set_label}). *)
+
+val label : t -> string
+
+val set_on_switch : t -> (unit -> unit) option -> unit
+(** Install (or clear) a hook that fires after every completed {!switch},
+    once the new generation is current and the old one is retired.
+    Replication uses it to re-seed the standby: a switch restarts log
+    addresses from zero, so the shipped stream must restart too. *)
+
 val begin_new : t -> Stable_log.t
 (** Format the spare slot as a fresh empty log and return it. Any previous
     contents of the spare slot are discarded. *)

@@ -127,6 +127,17 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable alive : bool;
+  mutable label : string; (* owner tag stamped on Log_force trace events *)
+  mutable on_force : (force_batch -> unit) option;
+      (* per-instance observer of every completed force — the replication
+         ship point. Distinct from the process-wide explorer [force_hook]. *)
+}
+
+and force_batch = {
+  fb_base : addr; (* stream length before the force *)
+  fb_entries : (addr * string) list; (* covered entries, in address order *)
+  fb_table : (int * int) list; (* segment table after the force *)
+  fb_low_water : addr; (* low-water mark after the force *)
 }
 
 let check_alive t = if not t.alive then invalid_arg "Stable_log: destroyed handle"
@@ -187,7 +198,13 @@ let mk ~store ~page_size ~seg ~cache_pages ~forced_len ~low_water ~forced_entrie
     cache_hits = 0;
     cache_misses = 0;
     alive = true;
+    label = "";
+    on_force = None;
   }
+
+let set_label t s = t.label <- s
+let label t = t.label
+let set_on_force t h = t.on_force <- h
 
 let create ?(page_size = 1024) ?(cache_pages = 128) ?segment_pages ?provider store =
   if page_size <= 0 then invalid_arg "Stable_log.create: page_size must be positive";
@@ -460,6 +477,16 @@ let force t =
     done;
     let count = Vec.length t.pending in
     let last, _ = Vec.last t.pending in
+    (* Capture the covered batch before clearing — the ship observer gets
+       exactly the entries this force made durable. *)
+    let batch =
+      match t.on_force with
+      | None -> None
+      | Some _ ->
+          let entries = ref [] in
+          Vec.iter (fun e -> entries := e :: !entries) t.pending;
+          Some (List.rev !entries)
+    in
     t.forced_len <- start + t.pending_bytes;
     t.forced_entries <- t.forced_entries + count;
     t.last_offset <- last;
@@ -473,7 +500,17 @@ let force t =
     Metrics.incr m_forces;
     Metrics.observe h_force_bytes (t.forced_len - start);
     update_liveness_gauges t;
-    Trace.emit (Trace.Log_force { entries = count; stream_bytes = t.forced_len });
+    Trace.emit (Trace.Log_force { log = t.label; entries = count; stream_bytes = t.forced_len });
+    (match (t.on_force, batch) with
+    | Some f, Some entries ->
+        f
+          {
+            fb_base = start;
+            fb_entries = entries;
+            fb_table = (match t.seg with None -> [] | Some s -> s.table);
+            fb_low_water = t.low_water;
+          }
+    | _ -> ());
     match !force_hook with Some f -> f () | None -> ()
   end
 

@@ -87,6 +87,29 @@ val set_segment_hook : (segment_event -> unit) option -> unit
     inject a crash {e on} one (by raising {!Rs_storage.Disk.Crash} from
     the hook). One client at a time. *)
 
+type force_batch = {
+  fb_base : addr;  (** stream length before the force *)
+  fb_entries : (addr * string) list;  (** covered entries, in address order *)
+  fb_table : (int * int) list;  (** segment table after the force *)
+  fb_low_water : addr;  (** low-water mark after the force *)
+}
+(** Exactly what one {!force} made durable, plus the segment-framing
+    control state the header write committed alongside it — the unit of
+    replication shipping. *)
+
+val set_on_force : t -> (force_batch -> unit) option -> unit
+(** Install (or clear) this log's per-instance force observer, called after
+    every completed force with the covered batch. [Rs_repl] ships each
+    batch to the standby from here. Unlike {!set_force_hook} (the
+    process-wide explorer census), this follows the log instance. *)
+
+val set_label : t -> string -> unit
+(** Tag the log with its owner's name ("G0", "G1:standby", …); stamped on
+    [Log_force] trace events so spec monitors can relate a guardian's
+    commits to its forces. *)
+
+val label : t -> string
+
 val create :
   ?page_size:int ->
   ?cache_pages:int ->

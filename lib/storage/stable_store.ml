@@ -9,6 +9,10 @@ let m_gets = Metrics.counter "stable_store.logical_gets"
 let m_recoveries = Metrics.counter "stable_store.recoveries"
 let m_repairs = Metrics.counter "stable_store.repairs"
 
+let m_write_rounds = Metrics.counter "stable_store.write_rounds"
+(* One overlapped write+verify round per logical put (mirror cost paid
+   once, not twice); extra rounds only on decay/torn retries. *)
+
 (* Values are framed with a CRC so a torn physical page that the disk model
    happens to keep readable would still be rejected; with our disk model
    torn pages already read as Bad, so the CRC guards decode bugs. *)
@@ -96,19 +100,28 @@ let put t p data =
   check t p "put";
   Metrics.incr m_puts;
   let framed = frame data in
-  (* Careful put: write A, verify, then write B. The verify re-read models
-     the Lampson–Sturgis careful write that retries until the page reads
-     back; with our deterministic disks one attempt suffices unless decay
-     intervenes, in which case we retry a bounded number of times. *)
-  let rec careful disk attempts =
+  (* Careful put, mirrors overlapped: issue the write to A then to B
+     back-to-back, then verify both re-reads — one round instead of two
+     fully serialized write+verify cycles (the verify re-read models the
+     Lampson–Sturgis careful write that retries until the page reads back;
+     with our deterministic disks one round suffices unless decay
+     intervenes, in which case only the failed replica retries).
+
+     The recovery invariant "when both replicas are readable, A is never
+     older than B" is preserved: within every round the write to A is
+     issued before the write to B, so a crash mid-round can tear B with A
+     already new, but never the reverse. *)
+  let ok disk = match read_rep disk p with Some v -> String.equal v data | None -> false in
+  let rec round need_a need_b attempts =
     if attempts = 0 then failwith "Stable_store.put: persistent device failure";
-    write_phys t disk p framed;
-    match read_rep disk p with
-    | Some v when String.equal v data -> ()
-    | Some _ | None -> careful disk (attempts - 1)
+    if need_a then write_phys t t.a p framed;
+    if need_b then write_phys t t.b p framed;
+    Metrics.incr m_write_rounds;
+    let a_ok = (not need_a) || ok t.a in
+    let b_ok = (not need_b) || ok t.b in
+    if not (a_ok && b_ok) then round (not a_ok) (not b_ok) (attempts - 1)
   in
-  careful t.a 5;
-  careful t.b 5
+  round true true 5
 
 let recover t =
   Metrics.incr m_recoveries;

@@ -86,7 +86,7 @@ type part_state = Part_prepared | Part_committed | Part_aborted
 type t = {
   gid : Gid.t;
   sim : Sim.t;
-  send : dst:Gid.t -> msg -> unit;
+  send : src:Gid.t -> dst:Gid.t -> msg -> unit;
   hooks : hooks;
   await_durable : (unit -> unit) -> unit;
       (* [await_durable k] runs [k] once every log record written so far
@@ -118,13 +118,19 @@ let create ~gid ~sim ~send ~hooks ?(prepare_timeout = 10.0) ?(retry_interval = 5
 
 let gid t = t.gid
 
-let send_msg t ~dst msg =
+(* [send_as t ~self] sends speaking as [self] — normally [t.gid], but a
+   guardian answering mail addressed to a gid it took over (failover
+   promotion) must reply under that name, or the peer's per-gid waiting
+   sets never recognise the ack. *)
+let send_as t ~self ~dst msg =
   Metrics.incr (send_counter msg);
   if Trace.enabled () then
     Trace.emit
       (Trace.Twopc_send
-         { src = gid_str t.gid; dst = gid_str dst; msg = Format.asprintf "%a" pp_msg msg });
-  t.send ~dst msg
+         { src = gid_str self; dst = gid_str dst; msg = Format.asprintf "%a" pp_msg msg });
+  t.send ~src:self ~dst msg
+
+let send_msg t ~dst msg = send_as t ~self:t.gid ~dst msg
 
 let note_recv t ~src msg =
   Metrics.incr (recv_counter msg);
@@ -243,7 +249,7 @@ let await_verdict t aid ~coordinator =
 
 (* The ack rides [await_durable] in every case — including duplicates,
    whose first ack may itself still be waiting on the covering force. *)
-let part_commit t aid =
+let part_commit t ~self aid =
   (match Aid.Tbl.find_opt t.parts aid with
   | Some Part_committed -> () (* duplicate commit: already applied *)
   | Some Part_aborted ->
@@ -252,9 +258,9 @@ let part_commit t aid =
   | Some Part_prepared | None -> t.hooks.on_commit aid);
   Aid.Tbl.replace t.parts aid Part_committed;
   t.await_durable (fun () ->
-      if not t.stopped then send_msg t ~dst:(Aid.coordinator aid) (Committed_ack aid))
+      if not t.stopped then send_as t ~self ~dst:(Aid.coordinator aid) (Committed_ack aid))
 
-let part_abort t aid =
+let part_abort t ~self aid =
   (match Aid.Tbl.find_opt t.parts aid with
   | Some Part_aborted -> ()
   | Some Part_committed ->
@@ -263,9 +269,15 @@ let part_abort t aid =
   | Some Part_prepared | None -> t.hooks.on_abort aid);
   Aid.Tbl.replace t.parts aid Part_aborted;
   t.await_durable (fun () ->
-      if not t.stopped then send_msg t ~dst:(Aid.coordinator aid) (Aborted_ack aid))
+      if not t.stopped then send_as t ~self ~dst:(Aid.coordinator aid) (Aborted_ack aid))
 
-let handle t ~src msg =
+let handle ?self t ~src msg =
+  (* [self] is the gid this message was addressed to: the endpoint's own
+     gid normally, or a taken-over gid when a promoted heir answers its
+     dead primary's mail. Replies and acks go out under that name so the
+     peer's per-gid bookkeeping (waiting sets keyed by the gid it wrote
+     to) recognises them. *)
+  let self = match self with Some g -> g | None -> t.gid in
   note_recv t ~src msg;
   if not t.stopped then
     match msg with
@@ -279,20 +291,20 @@ let handle t ~src msg =
                presumed abort resolves the action. *)
             t.await_durable (fun () ->
                 if not t.stopped then begin
-                  send_msg t ~dst:src (Prepared_reply aid);
+                  send_as t ~self ~dst:src (Prepared_reply aid);
                   (* If the verdict never arrives (lost message,
                      coordinator crash), start querying. *)
                   let rec query () =
                     if not t.stopped then
                       match Aid.Tbl.find_opt t.parts aid with
                       | Some Part_prepared ->
-                          send_msg t ~dst:(Aid.coordinator aid) (Query aid);
+                          send_as t ~self ~dst:(Aid.coordinator aid) (Query aid);
                           Sim.schedule t.sim ~delay:t.retry_interval query
                       | Some (Part_committed | Part_aborted) | None -> ()
                   in
                   Sim.schedule t.sim ~delay:(2.0 *. t.retry_interval) query
                 end)
-        | `Refused -> send_msg t ~dst:src (Refused_reply aid))
+        | `Refused -> send_as t ~self ~dst:src (Refused_reply aid))
     | Prepared_reply aid -> (
         match Aid.Tbl.find_opt t.coords aid with
         | Some ({ phase = Preparing p; _ } as coord) ->
@@ -303,8 +315,8 @@ let handle t ~src msg =
         match Aid.Tbl.find_opt t.coords aid with
         | Some ({ phase = Preparing _; _ } as coord) -> begin_aborting t aid coord
         | Some _ | None -> ())
-    | Commit aid -> part_commit t aid
-    | Abort aid -> part_abort t aid
+    | Commit aid -> part_commit t ~self aid
+    | Abort aid -> part_abort t ~self aid
     | Committed_ack aid -> (
         match Aid.Tbl.find_opt t.coords aid with
         | Some ({ phase = Committing c; _ } as coord) ->
@@ -327,9 +339,9 @@ let handle t ~src msg =
         | Some { phase = Preparing _; _ } -> ()
         | Some { phase = Deciding; _ } ->
             () (* decision not yet durable: still undecided to the world *)
-        | Some { phase = Committing _; _ } -> send_msg t ~dst:src (Commit aid)
-        | Some { phase = Aborting; _ } -> send_msg t ~dst:src (Abort aid)
+        | Some { phase = Committing _; _ } -> send_as t ~self ~dst:src (Commit aid)
+        | Some { phase = Aborting; _ } -> send_as t ~self ~dst:src (Abort aid)
         | Some { phase = Finished; _ } | None -> (
             match t.hooks.coordinator_outcome aid with
-            | `Commit -> send_msg t ~dst:src (Commit aid)
-            | `Abort -> send_msg t ~dst:src (Abort aid)))
+            | `Commit -> send_as t ~self ~dst:src (Commit aid)
+            | `Abort -> send_as t ~self ~dst:src (Abort aid)))

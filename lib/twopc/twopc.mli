@@ -47,7 +47,7 @@ type t
 val create :
   gid:Rs_util.Gid.t ->
   sim:Rs_sim.Sim.t ->
-  send:(dst:Rs_util.Gid.t -> msg -> unit) ->
+  send:(src:Rs_util.Gid.t -> dst:Rs_util.Gid.t -> msg -> unit) ->
   hooks:hooks ->
   ?prepare_timeout:float ->
   ?retry_interval:float ->
@@ -83,8 +83,13 @@ val start_commit :
     abort). The protocol keeps running after the callback until every
     participant acknowledged and the done record is written. *)
 
-val handle : t -> src:Rs_util.Gid.t -> msg -> unit
-(** Feed an incoming message (wire this to the network). *)
+val handle : ?self:Rs_util.Gid.t -> t -> src:Rs_util.Gid.t -> msg -> unit
+(** Feed an incoming message (wire this to the network). [self] is the
+    gid the message was addressed to, defaulting to the endpoint's own;
+    a promoted heir handling mail for a taken-over gid passes that gid
+    so its replies and acks go out under the dead primary's name —
+    otherwise a peer coordinator waiting on the old gid would never
+    recognise the ack and re-send its verdict forever. *)
 
 val resume_coordinator : t -> Rs_util.Aid.t -> Rs_util.Gid.t list -> unit
 (** Resume phase two after recovery for an action whose committing record

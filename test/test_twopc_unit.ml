@@ -37,7 +37,7 @@ let probe ~gid ~sim ?(prepare_result = `Prepared) ?(outcome = `Abort) () =
   in
   let endpoint =
     Twopc.create ~gid ~sim
-      ~send:(fun ~dst msg -> sent := (dst, msg) :: !sent)
+      ~send:(fun ~src:_ ~dst msg -> sent := (dst, msg) :: !sent)
       ~hooks ()
   in
   { endpoint; events; sent }
