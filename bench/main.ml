@@ -17,8 +17,9 @@
      e10 load: throughput & tail latency vs concurrency/conflict/loss
      e11 directory: committed/sec vs shard count x cross-shard ratio
      e12 replication: ship overhead + failover vs cold restart
+     e13 bounded restart: incremental checkpoints + parallel recovery
 
-   Usage: dune exec bench/main.exe [-- e1|e2|...|e12|bechamel|all]
+   Usage: dune exec bench/main.exe [-- e1|e2|...|e13|bechamel|all]
    The default runs every experiment plus the Bechamel microbenchmarks. *)
 
 module Scheme = Rs_workload.Scheme
@@ -727,6 +728,109 @@ let e12 () =
      so time-to-first-commit drops (%0.0f us vs %0.0f us here).\n"
     (ship_bytes / 1024) repl_committed cold_entries failover_us cold_us
 
+(* ------------------------------------------------------------------ *)
+(* e13 — bounded restart: incremental background checkpointing keeps the
+   live log (and hence restart cost) flat as history grows, and
+   segment-parallel recovery replaces the chain walk's per-entry random
+   reads with one bulk read per live segment. The wall clock of an
+   in-memory store shows parity between the two recovery paths — the
+   decisive column is read operations against stable storage, which is
+   what a seek-bound 1985 disk charges for. *)
+
+let e13 () =
+  header "e13: bounded restart — incremental checkpoints + segment-parallel recovery";
+  let module Rs = Core.Hybrid_rs in
+  let module Log = Rs_slog.Stable_log in
+  let module Log_dir = Rs_slog.Log_dir in
+  let gauge name v = Rs_obs.Metrics.set (Rs_obs.Metrics.gauge ("e13." ^ name)) v in
+  let aid n = Rs_util.Aid.make ~coordinator:(Gid.of_int 0) ~seq:n in
+  let per_cycle = 200 in
+  (* [hk = true] interleaves a full incremental checkpoint with the
+     commits of each cycle — a few chain-walk slices per commit, exactly
+     what the Guardian fiber does over virtual time. [hk = false] is the
+     unbounded control: history just accumulates. *)
+  let build ~hk cycles =
+    let heap = Heap.create () in
+    let dir = Log_dir.create ~page_size:256 ~segment_pages:4 () in
+    let rs = Rs.create heap dir in
+    let commit_value ~seq ~name ~v =
+      let t = aid seq in
+      (match Heap.get_stable_var heap name with
+      | Some (Value.Ref a) -> Heap.set_current heap t a (Value.Int v)
+      | Some _ -> failwith "stable var is not a ref"
+      | None ->
+          let a = Heap.alloc_atomic heap ~creator:t (Value.Int v) in
+          Heap.set_stable_var heap t name (Value.Ref a));
+      Rs.prepare rs t (Heap.mos heap t);
+      Rs.commit rs t;
+      Heap.commit_action heap t
+    in
+    let total = per_cycle * cycles in
+    let job = ref None in
+    for i = 0 to total - 1 do
+      commit_value ~seq:i ~name:(Printf.sprintf "k%d" (i mod 8)) ~v:i;
+      (* A few chain-walk slices per commit: the walk must outpace the
+         ~3 entries each commit appends, or the checkpoint never lands. *)
+      (match !job with
+      | Some j -> if Rs.hk_step rs j ~budget:16 then job := None
+      | None -> ());
+      if hk && !job = None && (i + 1) mod per_cycle = 0 && i + 1 < total then
+        job := Some (Rs.hk_start rs Rs.Compaction)
+    done;
+    (* The crash lands wherever the slices happen to be — no final drain. *)
+    dir
+  in
+  let min_us f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let _, dt = time_it f in
+      if dt < !best then best := dt
+    done;
+    !best *. 1e6
+  in
+  row "%-6s %7s %9s %13s %13s %11s %11s %10s %10s\n" "label" "cycles" "commits" "log entries"
+    "entries" "serial ops" "scan ops" "serial us" "par us";
+  List.iter
+    (fun (label, hk) ->
+      List.iter
+        (fun cycles ->
+          let dir = build ~hk cycles in
+          (* A crash discards everything volatile; both paths rebuild the
+             same image from the directory alone. *)
+          let rs_s = ref None in
+          let serial_us = min_us (fun () -> rs_s := Some (Rs.recover dir)) in
+          let rs_s, info = Option.get !rs_s in
+          let stats = ref [] in
+          let rs_p = ref None in
+          let parallel_us = min_us (fun () -> rs_p := Some (Rs.recover_parallel ~stats dir)) in
+          let rs_p, _ = Option.get !rs_p in
+          let entries = info.Core.Tables.Recovery_info.entries_processed in
+          let log_entries = Log.forced_count (Log_dir.current dir) in
+          (* Read operations each cold restart issued against stable
+             storage: the chain walk reads one entry at a time; the
+             partitioned scan slurps each live segment once. *)
+          let serial_ops = Log.entry_reads (Rs.log rs_s) in
+          let scan_ops =
+            List.length (List.filter (fun s -> s.Log.scan_first <> None) !stats)
+          in
+          ignore (Rs.log rs_p);
+          row "%-6s %7d %9d %13d %13d %11d %11d %10.0f %10.0f\n" label cycles
+            (per_cycle * cycles) log_entries entries serial_ops scan_ops serial_us parallel_us;
+          let p = Printf.sprintf "%s.c%d" label cycles in
+          gauge (p ^ ".log_entries") log_entries;
+          gauge (p ^ ".entries") entries;
+          gauge (p ^ ".serial_read_ops") serial_ops;
+          gauge (p ^ ".scan_read_ops") scan_ops;
+          gauge (p ^ ".serial_us") (int_of_float serial_us);
+          gauge (p ^ ".parallel_us") (int_of_float parallel_us))
+        [ 2; 5; 10 ])
+    [ ("nohk", false); ("inc", true) ];
+  print_endline
+    "shape: without checkpoints the log and restart cost grow with history; with\n\
+     incremental checkpoints both stay flat at roughly one cycle of tail. The\n\
+     partitioned scan issues ~40x fewer stable-storage read operations than the\n\
+     chain walk at equal wall time on an in-memory store."
+
 let bechamel_suite () =
   header "bechamel microbenchmarks (ns per operation, OLS estimate)";
   let open Bechamel in
@@ -810,6 +914,7 @@ let experiments =
     ("e10", e10);
     ("e11", e11);
     ("e12", e12);
+    ("e13", e13);
     ("bechamel", bechamel_suite);
   ]
 
@@ -856,7 +961,7 @@ let () =
             match List.assoc_opt n experiments with
             | Some f -> (n, f)
             | None ->
-                Printf.eprintf "unknown experiment %s (e1..e12, bechamel, all)\n" n;
+                Printf.eprintf "unknown experiment %s (e1..e13, bechamel, all)\n" n;
                 exit 2)
           names
   in

@@ -279,12 +279,16 @@ let explore seed scheme_name budget max_depth break_force =
   let targets =
     match scheme_name with
     | "all" ->
-        [ "simple"; "hybrid"; "shadow"; "segments"; "twopc"; "group"; "load"; "shards"; "repl" ]
+        [
+          "simple"; "hybrid"; "shadow"; "segments"; "twopc"; "group"; "load"; "shards"; "repl";
+          "ckpt";
+        ]
     | ( "simple" | "hybrid" | "shadow" | "segments" | "twopc" | "group" | "load" | "shards"
-      | "repl" ) as s -> [ s ]
+      | "repl" | "ckpt" ) as s -> [ s ]
     | s ->
         Printf.eprintf
-          "unknown target %s (simple|hybrid|shadow|segments|twopc|group|load|shards|repl|all)\n" s;
+          "unknown target %s (simple|hybrid|shadow|segments|twopc|group|load|shards|repl|ckpt|all)\n"
+          s;
         exit 2
   in
   let config = { Rs_explore.Explore.seed; budget; max_depth } in
@@ -309,7 +313,8 @@ let explore_cmd =
   let scheme =
     Arg.(value
          & opt string "all"
-         & info [ "scheme" ] ~doc:"simple|hybrid|shadow|segments|twopc|group|load|shards|all.")
+         & info [ "scheme" ]
+             ~doc:"simple|hybrid|shadow|segments|twopc|group|load|shards|repl|ckpt|all.")
   in
   let budget =
     Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc:"Maximum crash schedules per target.")
@@ -462,6 +467,114 @@ let repl seed actions failover_at json =
       List.iter (fun v -> Format.printf "MONITOR %a@." Rs_obs.Monitor.pp_violation v) vs;
       1
 
+(* recover: churn a segmented hybrid log through N housekeeping cycles,
+   crash, and recover twice — serial chain walk vs segment-parallel scan
+   — reporting per-segment reader statistics and both paths' costs. *)
+
+let recover_demo actions cycles json =
+  let module Heap = Rs_objstore.Heap in
+  let module Value = Rs_objstore.Value in
+  let module Rs = Core.Hybrid_rs in
+  let module Log = Rs_slog.Stable_log in
+  let module Log_dir = Rs_slog.Log_dir in
+  let heap = Heap.create () in
+  let dir = Log_dir.create ~page_size:256 ~segment_pages:4 () in
+  let rs = Rs.create heap dir in
+  let aid n = Rs_util.Aid.make ~coordinator:(Rs_util.Gid.of_int 0) ~seq:n in
+  let commit_value ~seq ~name ~v =
+    let t = aid seq in
+    (match Heap.get_stable_var heap name with
+    | Some (Value.Ref a) -> Heap.set_current heap t a (Value.Int v)
+    | Some _ -> failwith "stable var is not a ref"
+    | None ->
+        let a = Heap.alloc_atomic heap ~creator:t (Value.Int v) in
+        Heap.set_stable_var heap t name (Value.Ref a));
+    Rs.prepare rs t (Heap.mos heap t);
+    Rs.commit rs t;
+    Heap.commit_action heap t
+  in
+  (* Spread the passes so the final stretch of commits survives to the
+     crash — that tail is what the segment readers divide up. *)
+  let every = if cycles > 0 then max 1 (actions / (cycles + 1)) else max_int in
+  for i = 0 to actions - 1 do
+    commit_value ~seq:i ~name:(Printf.sprintf "k%d" (i mod 8)) ~v:i;
+    if (i + 1) mod every = 0 && (i + 1) / every <= cycles then
+      Rs.housekeep rs (if (i + 1) / every mod 2 = 0 then Rs.Snapshot else Rs.Compaction)
+  done;
+  let time_it f =
+    let t0 = Sys.time () in
+    let r = f () in
+    (r, (Sys.time () -. t0) *. 1e6)
+  in
+  (* Crash: everything volatile is gone; both paths rebuild from [dir]. *)
+  let (rs_s, report_s), us_s =
+    time_it (fun () -> Core.Tables.Recovery_report.measure (fun () -> Rs.recover dir))
+  in
+  let stats = ref [] in
+  let (rs_p, report_p), us_p =
+    time_it (fun () ->
+        Core.Tables.Recovery_report.measure (fun () -> Rs.recover_parallel ~stats dir))
+  in
+  let entries r = r.Core.Tables.Recovery_report.info.Core.Tables.Recovery_info.entries_processed in
+  let stable_int h name =
+    match Heap.get_stable_var h name with
+    | Some (Value.Ref a) -> (
+        match (Heap.atomic_view h a).base with Value.Int v -> Some v | _ -> None)
+    | Some _ | None -> None
+  in
+  let diverged =
+    List.filter_map
+      (fun k ->
+        let name = Printf.sprintf "k%d" k in
+        let s = stable_int (Rs.heap rs_s) name and p = stable_int (Rs.heap rs_p) name in
+        if s <> p then Some name else None)
+      (List.init 8 Fun.id)
+  in
+  if json then print_endline (Rs_obs.Metrics.to_json Rs_obs.Metrics.default)
+  else begin
+    let log = Rs.log rs_p in
+    Printf.printf "log: %d live entries, %d live bytes, %d segments (%d housekeeping cycles)\n"
+      (Log.forced_count log) (Log.live_bytes log)
+      (List.length (Log.segment_table log))
+      cycles;
+    Printf.printf "serial:   entries=%-6d reads=%-6d %8.0f us\n" (entries report_s)
+      (Log.entry_reads (Rs.log rs_s))
+      us_s;
+    Printf.printf "parallel: entries=%-6d reads=%-6d %8.0f us\n" (entries report_p)
+      (Log.entry_reads (Rs.log rs_p))
+      us_p;
+    print_endline "segment readers:";
+    List.iter
+      (fun (s : Log.segment_scan) ->
+        Printf.printf "  seg %-3d base=%-7d len=%-6d frames=%-5d first=%s\n" s.Log.scan_id
+          s.Log.scan_base s.Log.scan_len s.Log.scan_frames
+          (match s.Log.scan_first with Some a -> string_of_int a | None -> "-"))
+      !stats
+  end;
+  match diverged with
+  | [] ->
+      if not json then print_endline "serial and parallel images agree ✓";
+      0
+  | names ->
+      Printf.eprintf "IMAGE DIVERGENCE on %s\n" (String.concat ", " names);
+      1
+
+let recover_cmd =
+  let actions =
+    Arg.(value & opt int 400 & info [ "actions" ] ~doc:"Committed actions before the crash.")
+  in
+  let cycles =
+    Arg.(value
+         & opt int 3
+         & info [ "cycles" ] ~docv:"N" ~doc:"Housekeeping passes spread through the run.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the metrics registry as JSON.") in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Crash a churned segmented log and compare serial chain-walk recovery with the \
+             segment-parallel scan, including per-segment reader statistics.")
+    Term.(const recover_demo $ actions $ cycles $ json)
+
 let repl_cmd =
   let actions = Arg.(value & opt int 40 & info [ "actions" ] ~doc:"Client actions to run.") in
   let failover_at =
@@ -562,4 +675,5 @@ let () =
             explore_cmd;
             shards_cmd;
             repl_cmd;
+            recover_cmd;
           ]))

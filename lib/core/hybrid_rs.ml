@@ -186,6 +186,66 @@ let fetch_data log a =
 
 (* Recovery (§4.3.3): walk the backward chain of outcome entries. *)
 
+(* Feed one outcome entry to the restore tables. Both recovery paths —
+   the serial chain walk and the segment-parallel scan — dispatch through
+   here, in newest-first order, so first-wins semantics are identical. *)
+let replay_outcome ctx log entry =
+  match entry with
+  | Log_entry.Prepared { aid; pairs; _ } ->
+      Restore.on_prepared ctx aid;
+      Option.iter
+        (List.iter (fun (uid, daddr) ->
+             Restore.on_data ctx ~uid ~aid:(Some aid) ~src:daddr ~fetch:(fun () ->
+                 ctx.Restore.processed <- ctx.Restore.processed + 1;
+                 fetch_data log daddr)))
+        pairs
+  | Log_entry.Committed { aid; _ } -> Restore.on_committed ctx aid
+  | Log_entry.Aborted { aid; _ } -> Restore.on_aborted ctx aid
+  | Log_entry.Committing { aid; gids; _ } -> Restore.on_committing ctx aid gids
+  | Log_entry.Done { aid; _ } -> Restore.on_done ctx aid
+  | Log_entry.Base_committed { uid; version; _ } -> Restore.on_base_committed ctx ~uid version
+  | Log_entry.Prepared_data { uid; version; aid; _ } ->
+      Restore.on_prepared_data ctx ~uid ~aid version
+  | Log_entry.Committed_ss { cssl; _ } ->
+      Restore.on_committed_ss ctx ~pairs:cssl ~fetch:(fun daddr ->
+          ctx.Restore.processed <- ctx.Restore.processed + 1;
+          fetch_data log daddr)
+  | Log_entry.Data _ -> failwith "Hybrid_rs.recover: data entry on the outcome chain"
+
+(* Common recovery epilogue: finish the restore tables, rebuild the MT
+   (§5.2) and duty tables, and wrap it all in a fresh recovery system. *)
+let assemble ~heap ~dir ~log ~ctx ~head =
+  let ot_entries = Tables.Ot.to_list ctx.Restore.ot in
+  let info = Restore.finish ctx ~uid_gen:(Heap.uid_gen heap) ~aid_gen:None in
+  Metrics.incr ~by:info.Tables.Recovery_info.entries_processed m_recovery_entries;
+  Trace.emit
+    (Trace.Recovery_scan
+       { system = "hybrid"; entries = info.Tables.Recovery_info.entries_processed });
+  let t =
+    {
+      heap;
+      dir;
+      log;
+      sched = Fsched.create log;
+      acc = Uid.Set.add Uid.stable_vars (Heap.reachable_uids heap);
+      pat = Aid.Tbl.create 8;
+      pending = Aid.Tbl.create 8;
+      mt = Uid.Tbl.create 16;
+      committing_active = Aid.Tbl.create 4;
+      last_outcome = head;
+      oel = None;
+    }
+  in
+  List.iter
+    (fun (uid, (e : Tables.Ot.entry)) ->
+      if e.src >= 0 && Heap.kind_of heap e.vm = Heap.Mutex then Uid.Tbl.replace t.mt uid e.src)
+    ot_entries;
+  List.iter (fun aid -> Aid.Tbl.replace t.pat aid ()) (Tables.Recovery_info.prepared_actions info);
+  List.iter
+    (fun (aid, gids) -> Aid.Tbl.replace t.committing_active aid gids)
+    (Tables.Recovery_info.committing_actions info);
+  (t, info)
+
 let recover source_dir =
   Span.run "recover.hybrid" @@ fun () ->
   Metrics.incr m_recoveries;
@@ -212,62 +272,44 @@ let recover source_dir =
     | Some a ->
         let entry = Log_entry.decode (Log.read log a) in
         if a <> Option.get !head then ctx.Restore.processed <- ctx.Restore.processed + 1;
-        (match entry with
-        | Log_entry.Prepared { aid; pairs; _ } ->
-            Restore.on_prepared ctx aid;
-            Option.iter
-              (List.iter (fun (uid, daddr) ->
-                   Restore.on_data ctx ~uid ~aid:(Some aid) ~src:daddr ~fetch:(fun () ->
-                       ctx.Restore.processed <- ctx.Restore.processed + 1;
-                       fetch_data log daddr)))
-              pairs
-        | Log_entry.Committed { aid; _ } -> Restore.on_committed ctx aid
-        | Log_entry.Aborted { aid; _ } -> Restore.on_aborted ctx aid
-        | Log_entry.Committing { aid; gids; _ } -> Restore.on_committing ctx aid gids
-        | Log_entry.Done { aid; _ } -> Restore.on_done ctx aid
-        | Log_entry.Base_committed { uid; version; _ } ->
-            Restore.on_base_committed ctx ~uid version
-        | Log_entry.Prepared_data { uid; version; aid; _ } ->
-            Restore.on_prepared_data ctx ~uid ~aid version
-        | Log_entry.Committed_ss { cssl; _ } ->
-            Restore.on_committed_ss ctx ~pairs:cssl ~fetch:(fun daddr ->
-                ctx.Restore.processed <- ctx.Restore.processed + 1;
-                fetch_data log daddr)
-        | Log_entry.Data _ -> failwith "Hybrid_rs.recover: data entry on the outcome chain");
+        replay_outcome ctx log entry;
         walk (Log_entry.prev entry)
   in
   walk !head;
-  let ot_entries = Tables.Ot.to_list ctx.Restore.ot in
-  let info = Restore.finish ctx ~uid_gen:(Heap.uid_gen heap) ~aid_gen:None in
-  Metrics.incr ~by:info.Tables.Recovery_info.entries_processed m_recovery_entries;
-  Trace.emit
-    (Trace.Recovery_scan
-       { system = "hybrid"; entries = info.Tables.Recovery_info.entries_processed });
-  let t =
-    {
-      heap;
-      dir;
-      log;
-      sched = Fsched.create log;
-      acc = Uid.Set.add Uid.stable_vars (Heap.reachable_uids heap);
-      pat = Aid.Tbl.create 8;
-      pending = Aid.Tbl.create 8;
-      mt = Uid.Tbl.create 16;
-      committing_active = Aid.Tbl.create 4;
-      last_outcome = !head;
-      oel = None;
-    }
+  assemble ~heap ~dir ~log ~ctx ~head:!head
+
+(* Segment-parallel recovery: instead of random-access chain chasing,
+   partitioned readers bulk-scan the live segments forward (every page
+   fetched once), keeping just the outcome entries — data entries are
+   skipped on their tag byte without decoding the payload. Because every
+   outcome entry in the live log is on the backward chain and the chain
+   runs in address order, replaying the collected outcomes newest-first
+   is exactly the serial chain walk — the readers never need to stitch
+   [prev] pointers across partitions. Cost is one sequential pass over
+   live bytes plus the fetched data entries, so restart time is bounded
+   by live data, not history. *)
+let recover_parallel ?stats source_dir =
+  Span.run "recover.hybrid.parallel" @@ fun () ->
+  Metrics.incr m_recoveries;
+  let dir = Log_dir.open_ source_dir in
+  let log = Log_dir.current dir in
+  let heap = Heap.create () in
+  let ctx = Restore.create_ctx heap in
+  let outcomes = ref [] in
+  let head = ref None in
+  (* delivered ascending; consed, so the list ends up newest-first and the
+     last outcome address seen is the chain head *)
+  let scans =
+    Log.scan_segments log (fun a buf ~off ~len ->
+        ctx.Restore.processed <- ctx.Restore.processed + 1;
+        if Log_entry.is_outcome_at buf ~off ~len then begin
+          outcomes := Log_entry.decode_at buf ~off ~len :: !outcomes;
+          head := Some a
+        end)
   in
-  (* Rebuild the MT (§5.2): latest data-entry address per restored mutex. *)
-  List.iter
-    (fun (uid, (e : Tables.Ot.entry)) ->
-      if e.src >= 0 && Heap.kind_of heap e.vm = Heap.Mutex then Uid.Tbl.replace t.mt uid e.src)
-    ot_entries;
-  List.iter (fun aid -> Aid.Tbl.replace t.pat aid ()) (Tables.Recovery_info.prepared_actions info);
-  List.iter
-    (fun (aid, gids) -> Aid.Tbl.replace t.committing_active aid gids)
-    (Tables.Recovery_info.committing_actions info);
-  (t, info)
+  Option.iter (fun r -> r := scans) stats;
+  List.iter (fun entry -> replay_outcome ctx log entry) !outcomes;
+  assemble ~heap ~dir ~log ~ctx ~head:!head
 
 (* Promotion (warm failover): build a recovery system around a heap that a
    standby restored from its continuously applied warm image, skipping the
@@ -309,6 +351,12 @@ type technique = Compaction | Snapshot
    copied, for the latest-version comparisons of §5.1.1/§5.2. *)
 type hk_ot_entry = { mutable hstate : [ `Prepared | `Restored ]; mutable old_src : addr }
 
+(* Checkpoints run as a resumable slice machine so a background fiber can
+   interleave them with live commits: [Walk] consumes the old outcome
+   chain (stage one), [Carry] rewrites the OEL onto the new log (stage
+   two), and the final slice performs the force-and-switch atomically. *)
+type stage = Walk | Carry | Finished
+
 type job = {
   technique : technique;
   old_log : Log.t;
@@ -316,10 +364,16 @@ type job = {
   oel : addr Vec.t;
   hk_ot : hk_ot_entry Uid.Tbl.t;
   new_mt : addr Uid.Tbl.t;
+  pt : Tables.Pt.t; (* compaction walk state, persists across slices *)
+  ct : Tables.Ct.t;
   mutable cssl : (Uid.t * addr) list; (* reversed accumulation *)
   mutable chained : Log_entry.t list; (* discovery order: newest first; prev filled later *)
   mutable new_head : addr option;
-  new_as : Uid.Set.t option; (* snapshot only *)
+  mutable new_as : Uid.Set.t option; (* snapshot only *)
+  mutable cursor : addr option; (* next old-chain entry the walk will visit *)
+  mutable stage : stage;
+  mutable carried : int; (* OEL entries already carried to the new log *)
+  mutable carry_head : addr option; (* prev-chain head threaded through stage two *)
 }
 
 let wdata job ~otype version =
@@ -366,94 +420,92 @@ let atomic_mark_prepared job ~uid =
   if not (Uid.Tbl.mem job.hk_ot uid) then
     Uid.Tbl.replace job.hk_ot uid { hstate = `Prepared; old_src = -1 }
 
-(* Stage one of log compaction (§5.1.1): rebuild the stable state by
-   reading the old chain, as recovery would, but writing entries to the
-   new log instead of objects to volatile memory. *)
-let compaction_stage1 t job =
-  let pt = Tables.Pt.create () in
-  let ct = Tables.Ct.create () in
-  let rec walk = function
-    | None -> ()
-    | Some a ->
-        let entry = Log_entry.decode (Log.read job.old_log a) in
-        (match entry with
-        | Log_entry.Committed { aid; _ } -> Tables.Pt.add_if_absent pt aid Tables.Pt.Committed
-        | Log_entry.Aborted { aid; _ } -> Tables.Pt.add_if_absent pt aid Tables.Pt.Aborted
-        | Log_entry.Done { aid; _ } -> Tables.Ct.add_if_absent ct aid Tables.Ct.Done
-        | Log_entry.Committing { aid; gids; _ } ->
-            if Tables.Ct.find ct aid = None then begin
-              Tables.Ct.add_if_absent ct aid (Tables.Ct.Committing gids);
-              job.chained <-
-                Log_entry.Committing { aid; gids; prev = None } :: job.chained
-            end
-        | Log_entry.Base_committed { uid; version; _ } -> atomic_committed job ~uid version
-        | Log_entry.Prepared_data { uid; version; aid; _ } -> (
-            match Tables.Pt.find pt aid with
-            | Some Tables.Pt.Aborted -> ()
-            | Some Tables.Pt.Committed -> atomic_committed job ~uid version
-            | Some Tables.Pt.Prepared | None ->
-                Tables.Pt.add_if_absent pt aid Tables.Pt.Prepared;
-                if not (Uid.Tbl.mem job.hk_ot uid) then begin
-                  atomic_mark_prepared job ~uid;
-                  job.chained <-
-                    Log_entry.Prepared_data { uid; version; aid; prev = None } :: job.chained
-                end)
-        | Log_entry.Prepared { aid; pairs; _ } -> (
-            let pairs = Option.value pairs ~default:[] in
-            match
-              match Tables.Pt.find pt aid with
-              | Some s -> s
-              | None ->
-                  Tables.Pt.add_if_absent pt aid Tables.Pt.Prepared;
-                  Tables.Pt.Prepared
-            with
-            | Tables.Pt.Committed ->
-                List.iter
-                  (fun (uid, oaddr) ->
-                    match fetch_data job.old_log oaddr with
-                    | Log_entry.Atomic, version -> atomic_committed job ~uid version
-                    | Log_entry.Mutex, version -> copy_mutex_if_latest job ~uid ~oaddr version)
-                  pairs
-            | Tables.Pt.Aborted ->
-                List.iter
-                  (fun (uid, oaddr) ->
-                    match fetch_data job.old_log oaddr with
-                    | Log_entry.Atomic, _ -> ()
-                    | Log_entry.Mutex, version -> copy_mutex_if_latest job ~uid ~oaddr version)
-                  pairs
-            | Tables.Pt.Prepared ->
-                (* Outcome unknown: rebuild the prepared entry with pairs
-                   pointing into the new log. *)
-                let newlist =
-                  List.filter_map
-                    (fun (uid, oaddr) ->
-                      match fetch_data job.old_log oaddr with
-                      | Log_entry.Atomic, version ->
-                          (match Uid.Tbl.find_opt job.hk_ot uid with
-                          | Some _ -> None (* a later entry for this action's object won *)
-                          | None ->
-                              atomic_mark_prepared job ~uid;
-                              Some (uid, wdata job ~otype:Log_entry.Atomic version))
-                      | Log_entry.Mutex, version ->
-                          copy_mutex_if_latest job ~uid ~oaddr version;
-                          None)
-                    pairs
-                in
-                (* Unlike §5.1.1 we keep even an empty prepared entry, so a
-                   mutex-only prepared action keeps its PT status after a
-                   crash. *)
-                job.chained <- Log_entry.Prepared { aid; pairs = Some newlist; prev = None } :: job.chained)
-        | Log_entry.Committed_ss { cssl; _ } ->
-            List.iter
+(* One step of log compaction's stage one (§5.1.1): rebuild the stable
+   state by reading the old chain, as recovery would, but writing entries
+   to the new log instead of objects to volatile memory. Processes the
+   entry at [a] and returns the next (older) chain address. The chain
+   below the starting head is immutable, and the walk reads no volatile
+   tables, so slicing it against live commits is safe: concurrent
+   appends land above the head and reach the new log via the OEL. *)
+let compaction_entry job a =
+  let pt = job.pt and ct = job.ct in
+  let entry = Log_entry.decode (Log.read job.old_log a) in
+  (match entry with
+  | Log_entry.Committed { aid; _ } -> Tables.Pt.add_if_absent pt aid Tables.Pt.Committed
+  | Log_entry.Aborted { aid; _ } -> Tables.Pt.add_if_absent pt aid Tables.Pt.Aborted
+  | Log_entry.Done { aid; _ } -> Tables.Ct.add_if_absent ct aid Tables.Ct.Done
+  | Log_entry.Committing { aid; gids; _ } ->
+      if Tables.Ct.find ct aid = None then begin
+        Tables.Ct.add_if_absent ct aid (Tables.Ct.Committing gids);
+        job.chained <-
+          Log_entry.Committing { aid; gids; prev = None } :: job.chained
+      end
+  | Log_entry.Base_committed { uid; version; _ } -> atomic_committed job ~uid version
+  | Log_entry.Prepared_data { uid; version; aid; _ } -> (
+      match Tables.Pt.find pt aid with
+      | Some Tables.Pt.Aborted -> ()
+      | Some Tables.Pt.Committed -> atomic_committed job ~uid version
+      | Some Tables.Pt.Prepared | None ->
+          Tables.Pt.add_if_absent pt aid Tables.Pt.Prepared;
+          if not (Uid.Tbl.mem job.hk_ot uid) then begin
+            atomic_mark_prepared job ~uid;
+            job.chained <-
+              Log_entry.Prepared_data { uid; version; aid; prev = None } :: job.chained
+          end)
+  | Log_entry.Prepared { aid; pairs; _ } -> (
+      let pairs = Option.value pairs ~default:[] in
+      match
+        match Tables.Pt.find pt aid with
+        | Some s -> s
+        | None ->
+            Tables.Pt.add_if_absent pt aid Tables.Pt.Prepared;
+            Tables.Pt.Prepared
+      with
+      | Tables.Pt.Committed ->
+          List.iter
+            (fun (uid, oaddr) ->
+              match fetch_data job.old_log oaddr with
+              | Log_entry.Atomic, version -> atomic_committed job ~uid version
+              | Log_entry.Mutex, version -> copy_mutex_if_latest job ~uid ~oaddr version)
+            pairs
+      | Tables.Pt.Aborted ->
+          List.iter
+            (fun (uid, oaddr) ->
+              match fetch_data job.old_log oaddr with
+              | Log_entry.Atomic, _ -> ()
+              | Log_entry.Mutex, version -> copy_mutex_if_latest job ~uid ~oaddr version)
+            pairs
+      | Tables.Pt.Prepared ->
+          (* Outcome unknown: rebuild the prepared entry with pairs
+             pointing into the new log. *)
+          let newlist =
+            List.filter_map
               (fun (uid, oaddr) ->
                 match fetch_data job.old_log oaddr with
-                | Log_entry.Atomic, version -> atomic_committed job ~uid version
-                | Log_entry.Mutex, version -> copy_mutex_if_latest job ~uid ~oaddr version)
-              cssl
-        | Log_entry.Data _ -> failwith "Hybrid_rs.compaction: data entry on the outcome chain");
-        walk (Log_entry.prev entry)
-  in
-  walk t.last_outcome
+                | Log_entry.Atomic, version ->
+                    (match Uid.Tbl.find_opt job.hk_ot uid with
+                    | Some _ -> None (* a later entry for this action's object won *)
+                    | None ->
+                        atomic_mark_prepared job ~uid;
+                        Some (uid, wdata job ~otype:Log_entry.Atomic version))
+                | Log_entry.Mutex, version ->
+                    copy_mutex_if_latest job ~uid ~oaddr version;
+                    None)
+              pairs
+          in
+          (* Unlike §5.1.1 we keep even an empty prepared entry, so a
+             mutex-only prepared action keeps its PT status after a
+             crash. *)
+          job.chained <- Log_entry.Prepared { aid; pairs = Some newlist; prev = None } :: job.chained)
+  | Log_entry.Committed_ss { cssl; _ } ->
+      List.iter
+        (fun (uid, oaddr) ->
+          match fetch_data job.old_log oaddr with
+          | Log_entry.Atomic, version -> atomic_committed job ~uid version
+          | Log_entry.Mutex, version -> copy_mutex_if_latest job ~uid ~oaddr version)
+        cssl
+  | Log_entry.Data _ -> failwith "Hybrid_rs.compaction: data entry on the outcome chain");
+  Log_entry.prev entry
 
 (* Stage one of the stable-state snapshot (§5.2): traverse the stable
    state in volatile memory. *)
@@ -527,10 +579,62 @@ let close_stage1 job =
       let entry = Log_entry.with_prev entry (Some !head) in
       head := Log.write job.new_log (Log_entry.encode entry))
     (List.rev job.chained);
-  job.new_head <- Some !head
+  job.new_head <- Some !head;
+  job.carry_head <- Some !head
 
-let begin_housekeeping (t : t) technique =
-  if t.oel <> None then invalid_arg "Hybrid_rs.begin_housekeeping: already in progress";
+(* Stage two (§5.1.1, shared by both techniques): carry one post-marker
+   outcome entry over to the new log, rewriting prepared-entry pairs. *)
+let carry_one (job : job) oaddr =
+  let emit entry =
+    let entry = Log_entry.with_prev entry job.carry_head in
+    job.carry_head <- Some (Log.write job.new_log (Log_entry.encode entry))
+  in
+  match Log_entry.decode (Log.read job.old_log oaddr) with
+  | Log_entry.Prepared { aid; pairs; _ } ->
+      let pairs = Option.value pairs ~default:[] in
+      let newlist =
+        List.filter_map
+          (fun (uid, oa) ->
+            match fetch_data job.old_log oa with
+            | Log_entry.Atomic, version ->
+                Some (uid, wdata job ~otype:Log_entry.Atomic version)
+            | Log_entry.Mutex, version ->
+                if
+                  match Uid.Tbl.find_opt job.hk_ot uid with
+                  | Some e when oa < e.old_src -> false
+                  | Some e ->
+                      e.old_src <- oa;
+                      true
+                  | None ->
+                      Uid.Tbl.replace job.hk_ot uid { hstate = `Restored; old_src = oa };
+                      true
+                then begin
+                  let a = wdata job ~otype:Log_entry.Mutex version in
+                  Uid.Tbl.replace job.new_mt uid a;
+                  Some (uid, a)
+                end
+                else None)
+          pairs
+      in
+      emit (Log_entry.Prepared { aid; pairs = Some newlist; prev = None })
+  | Log_entry.Committed { aid; _ } -> emit (Log_entry.Committed { aid; prev = None })
+  | Log_entry.Aborted { aid; _ } -> emit (Log_entry.Aborted { aid; prev = None })
+  | Log_entry.Committing { aid; gids; _ } ->
+      emit (Log_entry.Committing { aid; gids; prev = None })
+  | Log_entry.Done { aid; _ } -> emit (Log_entry.Done { aid; prev = None })
+  | Log_entry.Base_committed { uid; version; _ } ->
+      emit (Log_entry.Base_committed { uid; version; prev = None })
+  | Log_entry.Prepared_data { uid; version; aid; _ } ->
+      emit (Log_entry.Prepared_data { uid; version; aid; prev = None })
+  | Log_entry.Committed_ss _ -> failwith "Hybrid_rs: committed_ss in the OEL"
+  | Log_entry.Data _ -> failwith "Hybrid_rs: data entry in the OEL"
+
+let technique_name = function Compaction -> "compaction" | Snapshot -> "snapshot"
+
+let housekeeping_active (t : t) = t.oel <> None
+
+let hk_start (t : t) technique =
+  if t.oel <> None then invalid_arg "Hybrid_rs.hk_start: already in progress";
   let oel = Vec.create () in
   let job =
     {
@@ -540,77 +644,40 @@ let begin_housekeeping (t : t) technique =
       oel;
       hk_ot = Uid.Tbl.create 64;
       new_mt = Uid.Tbl.create 16;
+      pt = Tables.Pt.create ();
+      ct = Tables.Ct.create ();
       cssl = [];
       chained = [];
       new_head = None;
-      new_as = (match technique with Snapshot -> Some Uid.Set.empty | Compaction -> None);
+      new_as = None;
+      cursor = t.last_outcome;
+      stage = Walk;
+      carried = 0;
+      carry_head = None;
     }
   in
   t.oel <- Some oel;
-  (match technique with
-  | Compaction ->
-      compaction_stage1 t job;
-      close_stage1 job;
-      job
-  | Snapshot ->
-      let new_as = ref (Uid.Set.singleton Uid.stable_vars) in
-      snapshot_stage1 t job new_as;
-      close_stage1 job;
-      { job with new_as = Some !new_as })
+  job
 
-(* Stage two (§5.1.1, shared by both techniques): carry the post-marker
-   outcome entries over to the new log, rewriting prepared-entry pairs. *)
-let finish_housekeeping (t : t) (job : job) =
-  (match t.oel with
+let check_current fn (t : t) (job : job) =
+  match t.oel with
   | Some v when v == job.oel -> ()
-  | Some _ | None -> invalid_arg "Hybrid_rs.finish_housekeeping: stale job");
-  let head = ref job.new_head in
-  let emit entry =
-    let entry = Log_entry.with_prev entry !head in
-    head := Some (Log.write job.new_log (Log_entry.encode entry))
-  in
-  Vec.iter
-    (fun oaddr ->
-      match Log_entry.decode (Log.read job.old_log oaddr) with
-      | Log_entry.Prepared { aid; pairs; _ } ->
-          let pairs = Option.value pairs ~default:[] in
-          let newlist =
-            List.filter_map
-              (fun (uid, oa) ->
-                match fetch_data job.old_log oa with
-                | Log_entry.Atomic, version ->
-                    Some (uid, wdata job ~otype:Log_entry.Atomic version)
-                | Log_entry.Mutex, version ->
-                    if
-                      match Uid.Tbl.find_opt job.hk_ot uid with
-                      | Some e when oa < e.old_src -> false
-                      | Some e ->
-                          e.old_src <- oa;
-                          true
-                      | None ->
-                          Uid.Tbl.replace job.hk_ot uid { hstate = `Restored; old_src = oa };
-                          true
-                    then begin
-                      let a = wdata job ~otype:Log_entry.Mutex version in
-                      Uid.Tbl.replace job.new_mt uid a;
-                      Some (uid, a)
-                    end
-                    else None)
-              pairs
-          in
-          emit (Log_entry.Prepared { aid; pairs = Some newlist; prev = None })
-      | Log_entry.Committed { aid; _ } -> emit (Log_entry.Committed { aid; prev = None })
-      | Log_entry.Aborted { aid; _ } -> emit (Log_entry.Aborted { aid; prev = None })
-      | Log_entry.Committing { aid; gids; _ } ->
-          emit (Log_entry.Committing { aid; gids; prev = None })
-      | Log_entry.Done { aid; _ } -> emit (Log_entry.Done { aid; prev = None })
-      | Log_entry.Base_committed { uid; version; _ } ->
-          emit (Log_entry.Base_committed { uid; version; prev = None })
-      | Log_entry.Prepared_data { uid; version; aid; _ } ->
-          emit (Log_entry.Prepared_data { uid; version; aid; prev = None })
-      | Log_entry.Committed_ss _ -> failwith "Hybrid_rs: committed_ss in the OEL"
-      | Log_entry.Data _ -> failwith "Hybrid_rs: data entry in the OEL")
-    job.oel;
+  | Some _ | None -> invalid_arg ("Hybrid_rs." ^ fn ^ ": stale job")
+
+(* Close out the checkpoint: settle the force scheduler against the old
+   log, drain the OEL tail, rewrite in-flight data entries, then force
+   and switch. Runs within one slice, atomically with respect to live
+   commits (the guardian is single-threaded and cooperative). *)
+let hk_finalize (t : t) (job : job) =
+  (* Settle tokens that were awaiting a force of the OLD log before the
+     scheduler is retargeted ([set_log] flushes them against it). Their
+     durability callbacks may start fresh work; it still lands on the old
+     log — t.log is untouched until the switch — and is drained below. *)
+  Fsched.set_log t.sched job.new_log;
+  while job.carried < Vec.length job.oel do
+    carry_one job (Vec.get job.oel job.carried);
+    job.carried <- job.carried + 1
+  done;
   (* Data entries of in-flight, still-unprepared actions are not lost:
      rewrite them to the new log (§5.1.1, last paragraph). *)
   Aid.Tbl.iter
@@ -632,28 +699,79 @@ let finish_housekeeping (t : t) (job : job) =
      end is dead to recovery, so the switch can retire every old segment. *)
   Log_dir.switch ~low_water:(Log.end_addr job.old_log) t.dir;
   t.log <- Log_dir.current t.dir;
-  Fsched.set_log t.sched t.log;
-  t.last_outcome <- !head;
+  t.last_outcome <- job.carry_head;
   t.oel <- None;
   Uid.Tbl.reset t.mt;
   Uid.Tbl.iter (fun u a -> Uid.Tbl.replace t.mt u a) job.new_mt;
   (match job.new_as with
   | Some new_as -> t.acc <- Uid.Set.inter t.acc new_as
   | None -> ());
-  (* Settle tokens that were awaiting a force: their entries were carried
-     (stage 1 walks the full chain, stage 2 the OEL) and the new log was
-     just forced, so they are durable now. Runs last — a callback may
-     start fresh work against the switched log. *)
-  Fsched.flush t.sched
-
-let technique_name = function Compaction -> "compaction" | Snapshot -> "snapshot"
-
-let housekeep t technique =
-  Span.run ("housekeep." ^ technique_name technique) @@ fun () ->
+  job.stage <- Finished;
   Metrics.incr m_housekeepings;
-  let job = begin_housekeeping t technique in
-  finish_housekeeping t job;
   let entries = Log.entry_count t.log in
   Metrics.observe h_checkpoint entries;
   Trace.emit
-    (Trace.Checkpoint { system = "hybrid"; technique = technique_name technique; entries })
+    (Trace.Checkpoint { system = "hybrid"; technique = technique_name job.technique; entries });
+  (* Settle tokens enqueued during the settle-callbacks above: their
+     entries were carried and the new log forced. Runs last — a callback
+     may start fresh work against the switched log. *)
+  Fsched.flush t.sched
+
+(* One bounded slice of checkpoint work: up to [budget] chain entries
+   walked or OEL entries carried. Returns [true] once the checkpoint has
+   completed (the log switch happened inside the final slice). *)
+let hk_step (t : t) (job : job) ~budget =
+  check_current "hk_step" t job;
+  let budget = max 1 budget in
+  (match job.stage with
+  | Walk -> (
+      match job.technique with
+      | Snapshot ->
+          (* The heap traversal reads live volatile state, so it cannot
+             be sliced against concurrent mutation: one atomic step. *)
+          let new_as = ref (Uid.Set.singleton Uid.stable_vars) in
+          snapshot_stage1 t job new_as;
+          job.new_as <- Some !new_as;
+          close_stage1 job;
+          job.stage <- Carry
+      | Compaction ->
+          let n = ref 0 in
+          while !n < budget && job.cursor <> None do
+            job.cursor <- compaction_entry job (Option.get job.cursor);
+            incr n
+          done;
+          if job.cursor = None then begin
+            close_stage1 job;
+            job.stage <- Carry
+          end)
+  | Carry ->
+      let n = ref 0 in
+      while !n < budget && job.carried < Vec.length job.oel do
+        carry_one job (Vec.get job.oel job.carried);
+        job.carried <- job.carried + 1;
+        incr n
+      done;
+      if job.carried >= Vec.length job.oel then hk_finalize t job
+  | Finished -> ());
+  job.stage = Finished
+
+(* The stop-the-world staged pair, kept as the synchronous path: stage
+   one runs to completion in [begin_housekeeping], everything else in
+   [finish_housekeeping]. *)
+let begin_housekeeping (t : t) technique =
+  let job = hk_start t technique in
+  while job.stage = Walk do
+    ignore (hk_step t job ~budget:max_int)
+  done;
+  job
+
+let finish_housekeeping (t : t) (job : job) =
+  check_current "finish_housekeeping" t job;
+  while not (hk_step t job ~budget:max_int) do
+    ()
+  done
+
+let housekeep t technique =
+  Span.run ("housekeep." ^ technique_name technique) @@ fun () ->
+  let job = begin_housekeeping t technique in
+  finish_housekeeping t job

@@ -58,6 +58,20 @@ val mutex_table : t -> (Rs_util.Uid.t * Log_entry.addr) list
 val recover : Rs_slog.Log_dir.t -> t * Tables.Recovery_info.t
 (** Rebuild a fresh heap by walking the outcome-entry chain (§4.3.3). *)
 
+val recover_parallel :
+  ?stats:Rs_slog.Stable_log.segment_scan list ref ->
+  Rs_slog.Log_dir.t ->
+  t * Tables.Recovery_info.t
+(** Like {!recover}, but scan the live log with partitioned per-segment
+    readers ({!Rs_slog.Stable_log.scan_segments}): each live segment is
+    bulk-read once, data entries are discarded on their tag byte, and the
+    surviving outcome entries — which are exactly the backward chain, in
+    address order — replay newest-first through the same restore
+    dispatch. Produces the same image as {!recover}; cost is one
+    sequential pass over live bytes instead of random-access chain
+    chasing, so cold restart stays proportional to live data. [stats]
+    receives the per-segment reader statistics. *)
+
 val adopt :
   heap:Rs_objstore.Heap.t ->
   dir:Rs_slog.Log_dir.t ->
@@ -80,6 +94,25 @@ type technique = Compaction  (** §5.1: rebuild the state from the log *)
                | Snapshot  (** §5.2: copy the state from volatile memory *)
 
 type job
+
+val hk_start : t -> technique -> job
+(** Begin an {e incremental} checkpoint: allocate the spare log and start
+    recording post-marker outcome entries in the OEL. No chain work has
+    happened yet — drive the job with {!hk_step}. Raises
+    [Invalid_argument] if a checkpoint is already in progress. *)
+
+val hk_step : t -> job -> budget:int -> bool
+(** Run one bounded slice of checkpoint work: up to [budget] old-chain
+    entries walked (compaction stage one) or OEL entries carried (stage
+    two). Live commits may interleave freely between slices — they land
+    on the old log and are picked up by the OEL carry. Once the remaining
+    carry fits in a slice, the force-and-switch runs inside that same
+    slice, atomically. Returns [true] when the checkpoint has completed.
+    The snapshot technique's heap traversal reads live volatile state and
+    therefore runs as one atomic slice regardless of [budget]. *)
+
+val housekeeping_active : t -> bool
+(** Whether a checkpoint (incremental or staged) is in progress. *)
 
 val begin_housekeeping : t -> technique -> job
 (** Stage one: set the housekeeping marker, build the new stable state in

@@ -26,6 +26,11 @@ let is_outcome = function
   | Prepared_data _ | Committed_ss _ ->
       true
 
+(* The tag byte is the first encoded byte and [Data] is tag 0, so bulk
+   scanners can discard data entries without decoding their payloads. *)
+let is_outcome_at buf ~off ~len = len > 0 && buf.[off] <> '\000'
+let is_outcome_raw raw = is_outcome_at raw ~off:0 ~len:(String.length raw)
+
 let prev = function
   | Data _ -> None
   | Prepared { prev; _ }
@@ -130,8 +135,8 @@ let encode t =
       enc_prev e prev);
   Codec.Enc.contents e
 
-let decode s =
-  let d = Codec.Dec.of_string s in
+let decode_at s ~off ~len =
+  let d = Codec.Dec.of_string ~off ~len s in
   let t =
     match Codec.Dec.u8 d with
     | 0 ->
@@ -181,6 +186,8 @@ let decode s =
   in
   Codec.Dec.expect_end d;
   t
+
+let decode s = decode_at s ~off:0 ~len:(String.length s)
 
 let pp_prev fmt = function
   | None -> Format.pp_print_string fmt "nil"

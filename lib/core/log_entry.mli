@@ -50,6 +50,18 @@ val is_outcome : t -> bool
 (** Everything except [Data] (§3.2: outcome entries are chained in the
     hybrid log; data entries are not). *)
 
+val is_outcome_raw : string -> bool
+(** {!is_outcome} on an encoded entry, peeking only the tag byte — lets
+    bulk recovery scans discard data entries without decoding them. *)
+
+val is_outcome_at : string -> off:int -> len:int -> bool
+(** {!is_outcome_raw} on an encoded entry stored at [buf.[off .. off+len-1]]
+    — peeks the tag in place, for scanners that avoid copying frames. *)
+
+val decode_at : string -> off:int -> len:int -> t
+(** {!decode} on an encoded entry stored at [buf.[off .. off+len-1]],
+    without copying it out first. *)
+
 val prev : t -> addr option
 (** The chain pointer of an outcome entry; [None] for [Data]. *)
 

@@ -1181,12 +1181,215 @@ let explore_repl ?(config = default_config) () =
   let schedules = enumerate config points in
   drive_schedules ~target:"repl" ~points ~schedules ~run
 
+(* ------------------------------------------------------------------ *)
+(* Ckpt target: crashes between incremental checkpoint slices.        *)
+
+(* Two guardians with incremental background checkpointing (compaction
+   on G0, snapshot on G1) under sequential two-guardian commit traffic.
+   The checkpoint fiber's slice firings are ordinary simulator events, so
+   event-boundary crashes land between slices as well as inside the 2PC
+   protocol. Safety oracles: every handle resolves, the pair of counters
+   never splits, acked commits survive, the spec monitors stay quiet.
+   The checkpoint-specific oracle is an image-equivalence probe closing
+   every schedule: crash each guardian and recover its directory twice —
+   serial chain walk and segment-parallel scan — demanding identical
+   stable state, prepared set and chain head. A crash that landed
+   mid-checkpoint must have abandoned the spare log, so both paths see
+   the old log unchanged. *)
+let explore_ckpt ?(config = default_config) () =
+  let module System = Rs_guardian.System in
+  let module Guardian = Rs_guardian.Guardian in
+  let module Sim = Rs_sim.Sim in
+  let module Heap = Rs_objstore.Heap in
+  let module Value = Rs_objstore.Value in
+  let n_actions = 16 in
+  let g = Rs_util.Gid.of_int in
+  let set_var name v : System.work =
+   fun heap aid ->
+    match Heap.get_stable_var heap name with
+    | Some (Value.Ref a) -> Heap.set_current heap aid a (Value.Int v)
+    | Some _ -> failwith "stable var is not a ref"
+    | None ->
+        let a = Heap.alloc_atomic heap ~creator:aid (Value.Int v) in
+        Heap.set_stable_var heap aid name (Value.Ref a)
+  in
+  let heap_int heap name =
+    match Heap.get_stable_var heap name with
+    | Some (Value.Ref a) -> (
+        match (Heap.atomic_view heap a).base with Value.Int v -> Some v | _ -> None)
+    | Some _ | None -> None
+  in
+  let setup () =
+    let sys = System.create ~seed:config.seed ~latency:1.0 ~n:2 () in
+    Guardian.set_auto_housekeeping
+      (System.guardian sys (g 0))
+      ~threshold_bytes:1200 ~slice:(2, 0.05)
+      (Some Core.Hybrid_rs.Compaction);
+    Guardian.set_auto_housekeeping
+      (System.guardian sys (g 1))
+      ~threshold_bytes:1200 ~slice:(3, 0.07)
+      (Some Core.Hybrid_rs.Snapshot);
+    let sim = System.sim sys in
+    let issued = ref 0 and resolved = ref 0 and committed = ref 0 and acked_max = ref 0 in
+    (* One client per logical action, retrying around a down guardian;
+       the value written is the action's index, so the surviving counter
+       names the newest acked commit. *)
+    let rec attempt i tries () =
+      if tries > 0 then
+        match
+          System.submit sys ~coordinator:(g 0)
+            ~on_result:(fun _ o ->
+              incr resolved;
+              match o with
+              | System.Committed ->
+                  incr committed;
+                  acked_max := max !acked_max i
+              | System.Aborted -> ())
+            ~steps:[ (g 0, set_var "x" i); (g 1, set_var "y" i) ]
+        with
+        | _h -> incr issued
+        | exception System.Guardian_down _ ->
+            Sim.schedule sim ~delay:1.5 (attempt i (tries - 1))
+        | exception System.Overloaded _ ->
+            Sim.schedule sim ~delay:1.5 (attempt i (tries - 1))
+    in
+    for i = 1 to n_actions do
+      Sim.schedule sim ~delay:(1.0 +. (float_of_int i *. 2.0)) (attempt i 10)
+    done;
+    (sys, sim, issued, resolved, committed, acked_max)
+  in
+  let events =
+    let _, sim, _, _, _, _ = setup () in
+    let n = ref 0 in
+    while Sim.step sim do
+      incr n
+    done;
+    !n
+  in
+  let points =
+    let cap = min events 20 in
+    List.init cap (fun i -> 1 + (i * events / cap))
+    |> List.sort_uniq compare
+    |> List.mapi (fun i nth -> { Fault.op = i; point = Fault.Event_boundary { nth } })
+  in
+  let run sched =
+    Metrics.incr m_schedules;
+    Rs_obs.Trace.clear ();
+    let found = ref None in
+    let note = function [] -> () | v :: _ -> if !found = None then found := Some v in
+    (try
+       let sys, sim, issued, resolved, committed, acked_max = setup () in
+       let stepped = ref 0 in
+       let crashes =
+         List.filter_map
+           (function { Fault.point = Fault.Event_boundary { nth }; _ } -> Some nth | _ -> None)
+           sched
+         |> List.sort_uniq compare
+       in
+       List.iteri
+         (fun i nth ->
+           while !stepped < nth && Sim.step sim do
+             incr stepped
+           done;
+           let victim = g ((nth + i) mod 2) in
+           System.crash sys victim;
+           ignore (System.restart sys victim))
+         crashes;
+       while Sim.step sim do
+         ()
+       done;
+       let hk_runs =
+         Guardian.housekeeping_runs (System.guardian sys (g 0))
+         + Guardian.housekeeping_runs (System.guardian sys (g 1))
+       in
+       if sched = [] && hk_runs = 0 then
+         note
+           [
+             {
+               Oracle.oracle = "progress";
+               detail = "the clean run never completed an incremental checkpoint";
+             };
+           ];
+       let x = heap_int (Guardian.heap (System.guardian sys (g 0))) "x" in
+       let y = heap_int (Guardian.heap (System.guardian sys (g 1))) "y" in
+       if x <> y then
+         note
+           [
+             {
+               Oracle.oracle = "consistency";
+               detail =
+                 Printf.sprintf "x and y split: x=%s y=%s"
+                   (match x with Some v -> string_of_int v | None -> "-")
+                   (match y with Some v -> string_of_int v | None -> "-");
+             };
+           ];
+       let xv = Option.value x ~default:0 in
+       if xv < !acked_max then
+         note
+           [
+             {
+               Oracle.oracle = "commit-survival";
+               detail =
+                 Printf.sprintf "commit of action %d was acked but x=%d survived" !acked_max xv;
+             };
+           ];
+       if !resolved <> !issued then
+         note
+           [
+             {
+               Oracle.oracle = "liveness";
+               detail = Printf.sprintf "%d of %d handles never resolved" (!issued - !resolved) !issued;
+             };
+           ];
+       if !committed = 0 then
+         note [ { Oracle.oracle = "progress"; detail = "no action ever committed" } ];
+       List.iter
+         (fun (v : Rs_obs.Monitor.violation) ->
+           note [ { Oracle.oracle = "monitor:" ^ v.monitor; detail = v.detail } ])
+         (Rs_obs.Monitor.check ());
+       (* Image-equivalence probe: both recovery paths over each
+          guardian's directory must rebuild the same world. *)
+       List.iter
+         (fun (gid, key) ->
+           System.crash sys gid;
+           let dir = Guardian.log_dir (System.guardian sys gid) in
+           let rs_s, info_s = Core.Hybrid_rs.recover dir in
+           let rs_p, info_p = Core.Hybrid_rs.recover_parallel dir in
+           let vs = heap_int (Core.Hybrid_rs.heap rs_s) key in
+           let vp = heap_int (Core.Hybrid_rs.heap rs_p) key in
+           let prep i = List.sort compare (Core.Tables.Recovery_info.prepared_actions i) in
+           if
+             vs <> vp
+             || prep info_s <> prep info_p
+             || Core.Hybrid_rs.last_outcome_addr rs_s <> Core.Hybrid_rs.last_outcome_addr rs_p
+           then
+             note
+               [
+                 {
+                   Oracle.oracle = "image-divergence";
+                   detail =
+                     Printf.sprintf "serial and parallel recovery disagree on G%d (%s=%s vs %s)"
+                       (Rs_util.Gid.to_int gid) key
+                       (match vs with Some v -> string_of_int v | None -> "-")
+                       (match vp with Some v -> string_of_int v | None -> "-");
+                 };
+               ];
+           note (Oracle.check_log (Some (Core.Hybrid_rs.log rs_p)));
+           note (Oracle.check_stores (Rs_slog.Log_dir.stores (Core.Hybrid_rs.dir rs_p))))
+         [ (g 0, "x"); (g 1, "y") ]
+     with exn -> note [ { Oracle.oracle = "liveness"; detail = Printexc.to_string exn } ]);
+    !found
+  in
+  let schedules = enumerate config points in
+  drive_schedules ~target:"ckpt" ~points ~schedules ~run
+
 let explore ?config = function
   | "twopc" -> explore_twopc ?config ()
   | "group" -> explore_group ?config ()
   | "load" -> explore_load ?config ()
   | "shards" -> explore_shards ?config ()
   | "repl" -> explore_repl ?config ()
+  | "ckpt" -> explore_ckpt ?config ()
   | name -> explore_scheme ?config name
 
 (* ------------------------------------------------------------------ *)

@@ -36,6 +36,7 @@ type t = {
   mutable known : Aid.Set.t; (* volatile: actions that executed here *)
   mutable decided : Aid.Set.t; (* coordinated actions whose committing record exists *)
   mutable auto_hk : (int * Hybrid_rs.technique) option; (* threshold bytes, technique *)
+  mutable hk_slice : (int * float) option; (* incremental mode: entries/slice, delay between *)
   mutable hk_runs : int;
   (* MOS leftovers of early-prepared actions, consumed at prepare (§4.4). *)
   early : Rs_objstore.Value.addr list Aid.Tbl.t;
@@ -51,16 +52,38 @@ let note_participation t aid = t.known <- Aid.Set.add aid t.known
 let participated t aid = Aid.Set.mem aid t.known
 let crashes t = t.crashes
 
+(* One slice of an incremental checkpoint, self-rescheduling over the
+   simulator's virtual clock until the job completes. The fiber captures
+   the recovery system it was started for: a crash (or promotion) swaps
+   [t.rs], turning any still-queued slice into a no-op — the abandoned
+   spare log is orphan-swept at the next recovery. *)
+let rec hk_slice_fiber t rs job ~budget ~delay () =
+  if t.up && t.rs == rs then
+    if Hybrid_rs.hk_step rs job ~budget then begin
+      t.hk_runs <- t.hk_runs + 1;
+      Metrics.incr m_hk_runs
+    end
+    else Sim.schedule t.sim ~delay (hk_slice_fiber t rs job ~budget ~delay)
+
 (* §2.3 operation 7: reorganize stable storage once enough log has
    accumulated. Triggered after outcome records, the quiet points of the
-   recovery system's sequential operation. *)
+   recovery system's sequential operation. In incremental mode the pass
+   runs as a background fiber in bounded slices interleaved with live
+   commits; while one is in flight, further triggers are ignored. *)
 let maybe_housekeep t =
   match t.auto_hk with
   | Some (threshold, technique)
-    when Rs_slog.Stable_log.stream_bytes (Hybrid_rs.log t.rs) > threshold ->
-      Hybrid_rs.housekeep t.rs technique;
-      t.hk_runs <- t.hk_runs + 1;
-      Metrics.incr m_hk_runs
+    when (not (Hybrid_rs.housekeeping_active t.rs))
+         && Rs_slog.Stable_log.stream_bytes (Hybrid_rs.log t.rs) > threshold -> (
+      match t.hk_slice with
+      | Some (budget, delay) ->
+          let rs = t.rs in
+          let job = Hybrid_rs.hk_start rs technique in
+          Sim.schedule t.sim ~delay (hk_slice_fiber t rs job ~budget ~delay)
+      | None ->
+          Hybrid_rs.housekeep t.rs technique;
+          t.hk_runs <- t.hk_runs + 1;
+          Metrics.incr m_hk_runs)
   | Some _ | None -> ()
 
 let twopc t =
@@ -167,6 +190,7 @@ let create ~gid ~sim ~net ?(page_size = 1024) ?(force_window = 0.0) ?prepare_tim
       known = Aid.Set.empty;
       decided = Aid.Set.empty;
       auto_hk = None;
+      hk_slice = None;
       hk_runs = 0;
       early = Aid.Tbl.create 8;
     }
@@ -236,7 +260,7 @@ let resume_duties t info =
 let restart t =
   if t.up then invalid_arg "Guardian.restart: guardian is up";
   let rs, report =
-    Core.Tables.Recovery_report.measure (fun () -> Hybrid_rs.recover t.dir)
+    Core.Tables.Recovery_report.measure (fun () -> Hybrid_rs.recover_parallel t.dir)
   in
   let info = report.Core.Tables.Recovery_report.info in
   t.rs <- rs;
@@ -268,7 +292,9 @@ let take_over_address t ~gid:old =
 
 let housekeep t technique = Hybrid_rs.housekeep t.rs technique
 
-let set_auto_housekeeping t ?(threshold_bytes = 65536) technique =
-  t.auto_hk <- Option.map (fun tech -> (threshold_bytes, tech)) technique
+let set_auto_housekeeping t ?(threshold_bytes = 65536) ?slice technique =
+  t.auto_hk <- Option.map (fun tech -> (threshold_bytes, tech)) technique;
+  t.hk_slice <- slice
 
 let housekeeping_runs t = t.hk_runs
+let checkpoint_active t = Hybrid_rs.housekeeping_active t.rs

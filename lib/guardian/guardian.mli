@@ -90,14 +90,26 @@ val take_over_address : t -> gid:Rs_util.Gid.t -> unit
 val housekeep : t -> Core.Hybrid_rs.technique -> unit
 
 val set_auto_housekeeping :
-  t -> ?threshold_bytes:int -> Core.Hybrid_rs.technique option -> unit
+  t -> ?threshold_bytes:int -> ?slice:int * float -> Core.Hybrid_rs.technique option -> unit
 (** §2.3 operation 7: let the guardian decide when "enough old information
     has accumulated". With [Some technique], a housekeeping pass runs
     after any commit/abort that leaves the log beyond [threshold_bytes]
-    (default 64 KiB). [None] disables. The setting survives restarts. *)
+    (default 64 KiB). [None] disables. The setting survives restarts.
+
+    [slice = (budget, delay)] switches the pass to an {e incremental
+    background checkpoint}: instead of a stop-the-world rewrite inside
+    the triggering commit, a fiber over the simulator's virtual clock
+    runs {!Core.Hybrid_rs.hk_step} slices of at most [budget] entries,
+    [delay] time units apart, interleaved with live commits; the final
+    slice performs the force-and-switch atomically. A crash mid-
+    checkpoint abandons the spare log (orphan-swept at recovery) and
+    recovers from the old log unchanged. *)
 
 val housekeeping_runs : t -> int
 (** Automatic housekeeping passes performed so far. *)
+
+val checkpoint_active : t -> bool
+(** Whether an (incremental) checkpoint is currently in flight. *)
 
 val crashes : t -> int
 (** Number of crashes so far (for workload statistics). *)

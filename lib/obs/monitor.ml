@@ -44,7 +44,15 @@ let repl_ship_order_on records =
   let ship_epoch : (string * string, int) Hashtbl.t = Hashtbl.create 8 in
   let apply_state : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
   (* gid -> (epoch, watermark) *)
-  let reset_ok : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* gid -> watermark the replica had reached when a reset ship (or crash)
+     granted forgiveness: the re-seed replays the stream from base 0, so
+     applies may run below that mark — possibly over several applies — and
+     forgiveness holds until the watermark re-passes it. *)
+  let reset_ok : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let forgive gid =
+    let w = match Hashtbl.find_opt apply_state gid with Some (_, w) -> w | None -> 0 in
+    Hashtbl.replace reset_ok gid w
+  in
   let violations = ref [] in
   let bad monitor fmt = Printf.ksprintf (fun detail -> violations := { monitor; detail } :: !violations) fmt in
   List.iter
@@ -57,8 +65,8 @@ let repl_ship_order_on records =
                 epoch r.seq
           | _ -> ());
           Hashtbl.replace ship_epoch (src, dst) epoch;
-          if base = 0 then Hashtbl.replace reset_ok dst ()
-      | Trace.Crash { gid } -> Hashtbl.replace reset_ok gid ()
+          if base = 0 then forgive dst
+      | Trace.Crash { gid } -> forgive gid
       | Trace.Repl_apply { gid; epoch; watermark; _ } ->
           (match Hashtbl.find_opt apply_state gid with
           | Some (e, _) when epoch < e ->
@@ -68,7 +76,9 @@ let repl_ship_order_on records =
               bad "repl-ship-order" "apply watermark on %s went backward %d -> %d (seq %d)" gid w
                 watermark r.seq
           | _ -> ());
-          Hashtbl.remove reset_ok gid;
+          (match Hashtbl.find_opt reset_ok gid with
+          | Some threshold when watermark >= threshold -> Hashtbl.remove reset_ok gid
+          | Some _ | None -> ());
           Hashtbl.replace apply_state gid (epoch, watermark)
       | _ -> ())
     records;

@@ -21,7 +21,13 @@ val commit_implies_durable : unit -> violation list
 val repl_ship_order : unit -> violation list
 (** Replication stream sanity: shipped and applied epochs never move
     backward, and a standby's applied watermark is monotone within an epoch
-    (except across a standby crash or a base-0 reset ship). *)
+    (except across a standby crash or a base-0 reset ship — forgiveness
+    then lasts until the watermark re-passes the mark it had when it was
+    granted, since a re-seed replays the stream over several applies). *)
+
+val repl_ship_order_on : Trace.record list -> violation list
+(** {!repl_ship_order} over an explicit record list instead of the ring —
+    for unit tests over synthetic traces. *)
 
 val check : unit -> violation list
 (** All monitors over the current ring, in order. *)

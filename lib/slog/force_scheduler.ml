@@ -20,8 +20,6 @@ let create ?(window = 0.0) ?timer log =
   if window < 0.0 then invalid_arg "Force_scheduler.create: negative window";
   { log; window; timer; waiters = []; n_waiters = 0; armed = false; alive = true }
 
-let set_log t log = t.log <- log
-
 let configure t ~window ~timer =
   if window < 0.0 then invalid_arg "Force_scheduler.configure: negative window";
   t.window <- window;
@@ -47,8 +45,26 @@ let flush t =
     Span.run "force" (fun () -> Stable_log.force t.log);
     Metrics.incr m_group_commits;
     Metrics.observe h_batch_entries covered;
-    List.iter (fun k -> k ()) callbacks
+    (* The covering force is stable, so every token in the batch is owed
+       its notification: a raising callback must not starve the rest.
+       Run them all, then re-raise the first failure. *)
+    let first_exn = ref None in
+    List.iter
+      (fun k ->
+        try k ()
+        with exn -> ( match !first_exn with None -> first_exn := Some exn | Some _ -> ()))
+      callbacks;
+    match !first_exn with Some exn -> raise exn | None -> ()
   end
+
+(* Retargeting with tokens outstanding would cover old-log entries with a
+   force of the NEW log — a durability lie. Settle them against the log
+   they were enqueued for first; callbacks run before the swap, so work
+   they start still lands on the old log (the housekeeping OEL carries
+   it over). *)
+let set_log t log =
+  if t.n_waiters > 0 then flush t;
+  t.log <- log
 
 let enqueue t ?on_durable () =
   if t.alive then begin

@@ -35,8 +35,10 @@ val create : ?window:float -> ?timer:timer -> Stable_log.t -> t
 
 val set_log : t -> Stable_log.t -> unit
 (** Point the scheduler at a new log (after a housekeeping switch).
-    Outstanding tokens are retained: the caller must guarantee their
-    entries were carried into (and forced in) the new log first. *)
+    Outstanding tokens are settled first by a {!flush} against the {e old}
+    log — retargeting them silently would let a force of the new log
+    stand in for the covering force their entries never got. Call before
+    the old log is destroyed. *)
 
 val configure : t -> window:float -> timer:timer option -> unit
 (** Change the batching window and timer, e.g. to attach a simulator's

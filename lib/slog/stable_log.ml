@@ -397,6 +397,76 @@ let read_forward t a =
   in
   seq a
 
+type segment_scan = {
+  scan_id : int;
+  scan_base : addr;
+  scan_len : int;
+  scan_first : addr option;
+  scan_frames : int;
+}
+
+(* Per-segment partitioned scan of the live forced stream. Each live
+   segment's byte range is slurped in one bulk read (every page fetched
+   exactly once) and framed forward in place; an entry straddling a
+   segment boundary belongs to the segment its frame starts in, with the
+   spilled suffix read from the neighbour's pages. The only cross-reader
+   dependency is the first frame boundary inside each range, threaded
+   from the previous reader's overshoot — everything else is
+   self-contained, which is what makes the readers logically
+   independent. *)
+let scan_segments t f =
+  check_alive t;
+  let lo_all = t.low_water and hi_all = t.forced_len in
+  let ranges =
+    match t.seg with
+    | None -> if hi_all > lo_all then [ (-1, lo_all, hi_all) ] else []
+    | Some s ->
+        let cap = s.segment_pages * t.page_size in
+        List.filter_map
+          (fun (idx, id) ->
+            let base = idx * cap in
+            let lo = max base lo_all and hi = min (base + cap) hi_all in
+            if hi > lo then Some (id, lo, hi) else None)
+          s.table
+  in
+  let stats = ref [] in
+  let pos = ref lo_all in
+  (* next frame boundary, carried range to range *)
+  List.iter
+    (fun (id, lo, hi) ->
+      let first = if !pos >= lo && !pos < hi then Some !pos else None in
+      let frames = ref 0 in
+      if first <> None then begin
+        let data = read_forced_bytes t ~off:lo ~len:(hi - lo) in
+        let bytes = ref 0 in
+        while !pos < hi do
+          let off = !pos - lo in
+          let len =
+            if off + 4 <= hi - lo then u32_of data off
+            else u32_of (read_forced_bytes t ~off:!pos ~len:4) 0
+          in
+          if len < 0 || !pos + frame_overhead + len > hi_all then
+            invalid_arg "Stable_log.scan_segments: bad frame";
+          (* Hand the callback a view into the bulk buffer so it can peek
+             (and skip) a frame without copying it; only a frame spilling
+             past the range needs its own materialized read. *)
+          if off + 4 + len <= hi - lo then f !pos data ~off:(off + 4) ~len
+          else f !pos (read_forced_bytes t ~off:(!pos + 4) ~len) ~off:0 ~len;
+          incr frames;
+          bytes := !bytes + len;
+          pos := !pos + frame_overhead + len
+        done;
+        t.entry_reads <- t.entry_reads + !frames;
+        t.bytes_read <- t.bytes_read + !bytes;
+        Metrics.incr ~by:!frames m_entry_reads;
+        Metrics.incr ~by:!bytes m_bytes_read
+      end;
+      stats :=
+        { scan_id = id; scan_base = lo; scan_len = hi - lo; scan_first = first; scan_frames = !frames }
+        :: !stats)
+    ranges;
+  List.rev !stats
+
 let write t entry =
   check_alive t;
   let a = t.forced_len + t.pending_bytes in

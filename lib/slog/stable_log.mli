@@ -157,6 +157,35 @@ val read_forward : t -> addr -> (addr * string) Seq.t
     entries included — used by housekeeping to carry post-marker entries
     to a new log. *)
 
+type segment_scan = {
+  scan_id : int;  (** pool id of the segment, or [-1] for a monolithic log *)
+  scan_base : addr;  (** first live stream byte the reader covered *)
+  scan_len : int;  (** live stream bytes in the reader's range *)
+  scan_first : addr option;
+      (** first frame boundary inside the range; [None] when every byte in
+          it is the spilled tail of the previous segment's last entry *)
+  scan_frames : int;  (** frames whose address lies in the range *)
+}
+(** What one partitioned reader covered — per-segment recovery-scan
+    statistics. *)
+
+val scan_segments :
+  t -> (addr -> string -> off:int -> len:int -> unit) -> segment_scan list
+(** Partitioned forward scan of the live forced stream
+    [[low_water, stream_bytes)]: one reader per live segment, each
+    slurping its segment's pages in a single bulk read and framing the
+    entries in place — every page is fetched exactly once, instead of
+    once per entry visit as with {!read}. [f addr buf ~off ~len] is
+    called for every live forced entry, in ascending address order; the
+    payload is [buf.[off .. off+len-1]] — a view into the reader's bulk
+    buffer, so a callback that peeks and skips a frame copies nothing.
+    An entry
+    straddling a segment boundary is delivered by the reader owning its
+    frame's start. Buffered (unforced) entries are not visited — after a
+    crash they are gone anyway. A monolithic log scans as a single
+    pseudo-segment with id [-1]. Returns the per-reader statistics,
+    ascending by base address. *)
+
 val end_addr : t -> addr
 (** The address the next written entry will receive; entries at addresses
     >= this do not exist yet (the housekeeping marker, §5.1.1). *)

@@ -98,6 +98,59 @@ let test_stop_drops_tokens () =
   Alcotest.(check bool) "no callback after stop" false !fired;
   Alcotest.(check int) "no force after stop" 0 (Log.forces log)
 
+(* Retargeting the scheduler with tokens outstanding (the housekeeping
+   log switch) must settle them against the log they were enqueued for:
+   a crash before the new log's first force may then lose the new log
+   entirely, but never an acknowledged token's entry. *)
+let test_set_log_settles_waiters () =
+  let old_log = mk_log () in
+  let new_log = mk_log () in
+  let armed, timer = manual_timer () in
+  let sched = Fsched.create ~window:2.0 ~timer old_log in
+  ignore (Log.write old_log "pending");
+  let fired = ref 0 in
+  Fsched.enqueue sched ~on_durable:(fun () -> incr fired) ();
+  Alcotest.(check int) "token pending before the swap" 1 (Fsched.pending sched);
+  Fsched.set_log sched new_log;
+  Alcotest.(check int) "swap settled the token" 1 !fired;
+  Alcotest.(check int) "old log forced" 1 (Log.forces old_log);
+  Alcotest.(check int) "new log untouched" 0 (Log.forces new_log);
+  Alcotest.(check int) "nothing pending" 0 (Fsched.pending sched);
+  (* Crash now — before any force of the new log. The acknowledged entry
+     must be recoverable from the old log's store. *)
+  let reopened = Log.open_ (Log.store old_log) in
+  Alcotest.(check int) "entry survives on the old log" 1 (Log.forced_count reopened);
+  fire armed (* the batch's stale timer is an empty flush *);
+  Alcotest.(check int) "no double notification" 1 !fired
+
+(* A raising on_durable must not starve the rest of its batch: the force
+   was stable for all of them. All callbacks run; the first failure is
+   re-raised once the batch is settled. *)
+let test_flush_runs_all_callbacks_on_raise () =
+  let log = mk_log () in
+  let _armed, timer = manual_timer () in
+  let sched = Fsched.create ~window:1.0 ~timer log in
+  let fired = ref [] in
+  let note i () = fired := i :: !fired in
+  let raising i () =
+    fired := i :: !fired;
+    failwith (Printf.sprintf "boom-%d" i)
+  in
+  ignore (Log.write log "a");
+  Fsched.enqueue sched ~on_durable:(raising 1) ();
+  ignore (Log.write log "b");
+  Fsched.enqueue sched ~on_durable:(raising 2) ();
+  ignore (Log.write log "c");
+  Fsched.enqueue sched ~on_durable:(note 3) ();
+  (match Fsched.flush sched with
+  | () -> Alcotest.fail "expected the first callback failure to propagate"
+  | exception Failure msg ->
+      Alcotest.(check string) "first failure re-raised" "boom-1" msg);
+  Alcotest.(check (list int)) "every callback in the batch ran" [ 1; 2; 3 ]
+    (List.rev !fired);
+  Alcotest.(check int) "batch settled despite the raise" 0 (Fsched.pending sched);
+  Alcotest.(check int) "one physical force" 1 (Log.forces log)
+
 (* Integration: three concurrent actions on a windowed hybrid scheme.
    Their three prepares share one force, their three commits share a
    second — six durability tokens, two physical forces. *)
@@ -170,6 +223,10 @@ let suite =
     Alcotest.test_case "re-enqueue from completion callback" `Quick
       test_reenqueue_from_callback;
     Alcotest.test_case "stop drops outstanding tokens" `Quick test_stop_drops_tokens;
+    Alcotest.test_case "set_log settles outstanding tokens first" `Quick
+      test_set_log_settles_waiters;
+    Alcotest.test_case "raising callback does not starve its batch" `Quick
+      test_flush_runs_all_callbacks_on_raise;
     Alcotest.test_case "hybrid: concurrent actions share forces" `Quick
       test_hybrid_batches_actions;
     Alcotest.test_case "crash before flush: presumed abort" `Quick test_crash_before_flush;

@@ -287,6 +287,126 @@ let test_crash_at_segment_retirement technique () =
     (List.sort compare (List.map snd (Log.segment_table (Rs.log rs'))))
     (Log_dir.segment_ids (Rs.dir rs'))
 
+(* The incremental checkpointer: bounded slices with a live commit
+   between every two, converging to the same image as the stop-the-world
+   pass. *)
+let test_incremental_slices technique () =
+  let heap, dir, rs = fresh () in
+  for i = 0 to 39 do
+    commit_value heap rs ~seq:i ~name:(Printf.sprintf "k%d" (i mod 4)) ~v:i
+  done;
+  let before = Log.entry_count (Rs.log rs) in
+  let job = Rs.hk_start rs technique in
+  Alcotest.(check bool) "checkpoint active" true (Rs.housekeeping_active rs);
+  let slices = ref 0 in
+  let seq = ref 100 in
+  while not (Rs.hk_step rs job ~budget:3) do
+    incr slices;
+    (* A live commit lands between every two slices; it must reach the
+       new log through the OEL carry even though the carry is racing it. *)
+    commit_value heap rs ~seq:!seq ~name:(Printf.sprintf "k%d" (!seq mod 4)) ~v:!seq;
+    incr seq
+  done;
+  Alcotest.(check bool) "took multiple slices" true
+    (!slices >= match technique with Rs.Compaction -> 10 | Rs.Snapshot -> 1);
+  Alcotest.(check bool) "inactive after the final slice" false (Rs.housekeeping_active rs);
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk %d -> %d despite interleaved commits" before
+       (Log.entry_count (Rs.log rs)))
+    true
+    (Log.entry_count (Rs.log rs) < before + (2 * (!seq - 100)));
+  fsck rs "after incremental checkpoint";
+  let rs', _ = Rs.recover dir in
+  let heap' = Rs.heap rs' in
+  let expect k =
+    let last = ref (36 + k) in
+    for s = 100 to !seq - 1 do
+      if s mod 4 = k then last := s
+    done;
+    !last
+  in
+  for k = 0 to 3 do
+    Alcotest.(check int) (Printf.sprintf "k%d" k) (expect k)
+      (stable_int heap' (Printf.sprintf "k%d" k))
+  done
+
+(* A crash between slices abandons the spare log; the old log — including
+   the commit that landed mid-checkpoint — stays authoritative, for both
+   recovery paths. *)
+let test_incremental_crash_between_slices technique () =
+  let heap, dir, rs = fresh () in
+  for i = 0 to 19 do
+    commit_value heap rs ~seq:i ~name:"x" ~v:i
+  done;
+  let job = Rs.hk_start rs technique in
+  ignore (Rs.hk_step rs job ~budget:2);
+  commit_value heap rs ~seq:50 ~name:"x" ~v:50;
+  ignore (Rs.hk_step rs job ~budget:2);
+  (* Crash here: the job is never driven to completion. *)
+  let rs', _ = Rs.recover dir in
+  Alcotest.(check int) "old log authoritative" 50 (stable_int (Rs.heap rs') "x");
+  fsck rs' "after mid-checkpoint crash";
+  let rs'', _ = Rs.recover_parallel dir in
+  Alcotest.(check int) "parallel scan agrees" 50 (stable_int (Rs.heap rs'') "x")
+
+(* Segment-parallel recovery produces the image the serial chain walk
+   does, and its reader statistics tile the live stream exactly. *)
+let test_parallel_recovery_equivalence () =
+  let heap = Heap.create () in
+  let dir = Log_dir.create ~page_size:128 ~segment_pages:2 () in
+  let rs = Rs.create heap dir in
+  for i = 0 to 29 do
+    commit_value heap rs ~seq:i ~name:(Printf.sprintf "k%d" (i mod 3)) ~v:i
+  done;
+  (* A committed mutex exercises the MT rebuild on both paths. *)
+  let t1 = aid 200 in
+  let m = Heap.alloc_mutex heap (Value.Int 0) in
+  Heap.set_stable_var heap t1 "m" (Value.Ref m);
+  ignore (Heap.seize heap t1 m);
+  Heap.set_mutex heap t1 m (Value.Int 7);
+  Heap.release heap t1 m;
+  Rs.prepare rs t1 (Heap.mos heap t1);
+  Rs.commit rs t1;
+  Heap.commit_action heap t1;
+  Rs.housekeep rs Rs.Compaction;
+  for i = 30 to 49 do
+    commit_value heap rs ~seq:i ~name:(Printf.sprintf "k%d" (i mod 3)) ~v:i
+  done;
+  (* And an in-flight prepared action: Pt state must agree too. *)
+  let t = aid 99 in
+  (match Heap.get_stable_var heap "k0" with
+  | Some (Value.Ref a) -> Heap.set_current heap t a (Value.Int 999)
+  | Some _ | None -> Alcotest.fail "setup");
+  Rs.prepare rs t (Heap.mos heap t);
+  let rs_s, info_s = Rs.recover dir in
+  let stats = ref [] in
+  let rs_p, info_p = Rs.recover_parallel ~stats dir in
+  for k = 0 to 2 do
+    Alcotest.(check int) (Printf.sprintf "k%d agrees" k)
+      (stable_int (Rs.heap rs_s) (Printf.sprintf "k%d" k))
+      (stable_int (Rs.heap rs_p) (Printf.sprintf "k%d" k))
+  done;
+  Alcotest.(check int) "prepared sets agree"
+    (List.length (Core.Tables.Recovery_info.prepared_actions info_s))
+    (List.length (Core.Tables.Recovery_info.prepared_actions info_p));
+  Alcotest.(check bool) "T99 still prepared" true
+    (List.mem t (Core.Tables.Recovery_info.prepared_actions info_p));
+  Alcotest.(check bool) "mutex tables agree" true
+    (List.sort compare (Rs.mutex_table rs_s) = List.sort compare (Rs.mutex_table rs_p));
+  Alcotest.(check bool) "chain heads agree" true
+    (Rs.last_outcome_addr rs_s = Rs.last_outcome_addr rs_p);
+  (* The partitioned readers tile the live stream with no gap and no
+     overlap: their lengths sum to the live bytes, their frames to the
+     forced entry count. *)
+  let scans = !stats in
+  Alcotest.(check bool) "several segment readers" true (List.length scans > 1);
+  Alcotest.(check int) "stats tile the live bytes"
+    (Log.live_bytes (Rs.log rs_p))
+    (List.fold_left (fun acc s -> acc + s.Log.scan_len) 0 scans);
+  Alcotest.(check int) "every live entry visited exactly once"
+    (Log.forced_count (Rs.log rs_p))
+    (List.fold_left (fun acc s -> acc + s.Log.scan_frames) 0 scans)
+
 let with_technique name f =
   [
     Alcotest.test_case (name ^ " (compaction)") `Quick (f Rs.Compaction);
@@ -402,6 +522,12 @@ let suite =
   @ with_technique "interleaved commits and aborts" test_interleaved_commit_abort
   @ with_technique "crash at stage boundary" test_crash_at_stage_boundary
   @ with_technique "crash at segment retirement" test_crash_at_segment_retirement
+  @ with_technique "incremental checkpoint slices" test_incremental_slices
+  @ with_technique "crash between checkpoint slices" test_incremental_crash_between_slices
+  @ [
+      Alcotest.test_case "parallel recovery equivalence" `Quick
+        test_parallel_recovery_equivalence;
+    ]
   @ [
       Alcotest.test_case "crash during housekeeping" `Quick test_crash_during_housekeeping;
       Alcotest.test_case "repeated housekeeping" `Quick test_repeated_housekeeping;

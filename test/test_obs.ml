@@ -166,6 +166,31 @@ let test_different_seed_differs () =
   let trace2, _ = scenario 43 in
   Alcotest.(check bool) "different seed, different trace" true (trace1 <> trace2)
 
+(* --- spec-monitor unit test: reset forgiveness is a watermark
+   threshold, not a one-shot flag --- *)
+
+let test_repl_monitor_reset_window () =
+  let record i event = { Trace.seq = i; time = float_of_int i; event } in
+  let ship base = Trace.Repl_ship { src = "G0"; dst = "G1"; epoch = 1; base; entries = 1; bytes = 10 } in
+  let apply watermark = Trace.Repl_apply { gid = "G1"; epoch = 1; watermark; entries = 1 } in
+  (* A reset ship re-seeds the replica from base 0: the replay may run
+     below the old watermark over SEVERAL applies. Forgiveness must hold
+     until the watermark re-passes the mark it had at the reset — and no
+     longer. Here w=4 then w=3 are both legitimate replay, w=11 re-passes
+     the old mark 10, so the later w=5 is a real regression. *)
+  let trace =
+    List.mapi record
+      [ apply 10; ship 0; apply 4; apply 3; apply 11; apply 5 ]
+  in
+  let violations = Rs_obs.Monitor.repl_ship_order_on trace in
+  Alcotest.(check int) "exactly one violation" 1 (List.length violations);
+  Alcotest.(check bool) "it is the post-replay regression" true
+    (contains (List.hd violations).Rs_obs.Monitor.detail "11 -> 5");
+  (* Control: the same trace without the reset flags both dips. *)
+  let no_reset = List.mapi record [ apply 10; apply 4; apply 3; apply 11; apply 5 ] in
+  Alcotest.(check int) "without a reset every dip is a violation" 3
+    (List.length (Rs_obs.Monitor.repl_ship_order_on no_reset))
+
 let test_ring_overwrites_oldest () =
   Trace.clear ();
   Trace.set_capacity 4;
@@ -187,6 +212,8 @@ let suite =
     Alcotest.test_case "default bucket boundaries" `Quick test_default_bucket_boundaries;
     Alcotest.test_case "to_json and reset" `Quick test_to_json_and_reset;
     Alcotest.test_case "trace ring overwrites oldest" `Quick test_ring_overwrites_oldest;
+    Alcotest.test_case "repl monitor: reset forgiveness is a threshold" `Quick
+      test_repl_monitor_reset_window;
     Alcotest.test_case "seeded scenario is deterministic" `Quick test_trace_determinism;
     Alcotest.test_case "different seed gives different trace" `Quick test_different_seed_differs;
   ]

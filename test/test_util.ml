@@ -169,6 +169,51 @@ let test_lru_eviction_order () =
     (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
       ignore (Lru.create ~capacity:0 ()))
 
+(* Edge cases around the capacity boundary and the list ends. *)
+let test_lru_edge_cases () =
+  let module Lru = Rs_util.Lru in
+  (* Overwriting an existing key at full capacity is not an insert: it
+     must bump, not evict. *)
+  let c = Lru.create ~capacity:2 () in
+  ignore (Lru.put c "a" 1);
+  ignore (Lru.put c "b" 2);
+  Alcotest.(check (option (pair string int))) "overwrite at capacity evicts nothing" None
+    (Lru.put c "a" 11);
+  Alcotest.(check int) "still full, not over" 2 (Lru.length c);
+  Alcotest.(check (option int)) "overwritten value" (Some 11) (Lru.find c "a");
+  Alcotest.(check bool) "b survived" true (Lru.mem c "b");
+  (* Touch-via-find of the LRU tail makes the other key the next victim. *)
+  ignore (Lru.find c "b");
+  Alcotest.(check (list string)) "find reordered" [ "b"; "a" ] (Lru.keys c);
+  Alcotest.(check (option (pair string int))) "a is now the victim" (Some ("a", 11))
+    (Lru.put c "z" 3);
+  (* Removing the first (MRU) and last (LRU) nodes must keep the chain
+     intact in both directions. *)
+  let c = Lru.create ~capacity:4 () in
+  List.iter (fun (k, v) -> ignore (Lru.put c k v)) [ ("a", 1); ("b", 2); ("c", 3); ("d", 4) ];
+  Lru.remove c "d" (* MRU head *);
+  Alcotest.(check (list string)) "head removed" [ "c"; "b"; "a" ] (Lru.keys c);
+  Lru.remove c "a" (* LRU tail *);
+  Alcotest.(check (list string)) "tail removed" [ "c"; "b" ] (Lru.keys c);
+  Lru.remove c "nope" (* absent key is a no-op *);
+  Alcotest.(check int) "absent remove is a no-op" 2 (Lru.length c);
+  (* The chain still evicts correctly after surgery at both ends. *)
+  ignore (Lru.put c "e" 5);
+  ignore (Lru.put c "f" 6);
+  Alcotest.(check (option (pair string int))) "evicts the true LRU" (Some ("b", 2))
+    (Lru.put c "g" 7);
+  Alcotest.(check (list string)) "final order" [ "g"; "f"; "e"; "c" ] (Lru.keys c);
+  (* Capacity one: every put of a new key evicts the previous sole
+     occupant; remove of the only node empties both ends. *)
+  let c1 = Lru.create ~capacity:1 () in
+  ignore (Lru.put c1 "x" 1);
+  Alcotest.(check (option (pair string int))) "sole occupant evicted" (Some ("x", 1))
+    (Lru.put c1 "y" 2);
+  Lru.remove c1 "y";
+  Alcotest.(check int) "empty after removing the only node" 0 (Lru.length c1);
+  ignore (Lru.put c1 "z" 3);
+  Alcotest.(check (list string)) "usable after emptying" [ "z" ] (Lru.keys c1)
+
 (* Property: varint roundtrips for arbitrary ints. *)
 let prop_varint =
   QCheck.Test.make ~name:"varint roundtrip" ~count:1000 QCheck.int (fun v ->
@@ -197,6 +242,7 @@ let suite =
     Alcotest.test_case "uid generator" `Quick test_uid_gen;
     Alcotest.test_case "aid generator" `Quick test_aid_gen;
     Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "lru edge cases" `Quick test_lru_edge_cases;
     QCheck_alcotest.to_alcotest prop_varint;
     QCheck_alcotest.to_alcotest prop_string;
   ]
