@@ -590,6 +590,85 @@ let repl_cmd =
              replication status, metrics and spec-monitor verdict.")
     Term.(const repl $ seed_arg $ actions $ failover_at $ json)
 
+(* nemesis: seeded fault composition (decay + partition + crash, plus
+   standby promotion in replicated mode) under any load profile, judged by
+   every oracle and spec monitor. *)
+
+let nemesis seed seeds profile_name guardians clients duration events replicated break_barging =
+  let profile =
+    match profile_name with
+    | _ when replicated -> Rs_load.Load.Synthetic
+    | "synthetic" -> Rs_load.Load.Synthetic
+    | "bank" -> Rs_load.Load.Bank
+    | "reservation" -> Rs_load.Load.Reservation
+    | "queue" -> Rs_load.Load.Queue
+    | "saga" -> Rs_load.Load.Saga
+    | s ->
+        Printf.eprintf "unknown profile %s (synthetic|bank|reservation|queue|saga)\n" s;
+        exit 2
+  in
+  let profile_name = if replicated then "synthetic" else profile_name in
+  let cfg =
+    {
+      Rs_nemesis.Nemesis.default with
+      profile;
+      guardians;
+      clients;
+      duration;
+      events;
+      replicated;
+    }
+  in
+  if break_barging then Rs_objstore.Heap.set_allow_read_barging true;
+  let failures =
+    Fun.protect
+      ~finally:(fun () -> if break_barging then Rs_objstore.Heap.set_allow_read_barging false)
+      (fun () ->
+        List.init seeds (fun i ->
+            let cfg = { cfg with seed = seed + i } in
+            Printf.printf "== nemesis seed=%d profile=%s%s ==\n" cfg.seed profile_name
+              (if replicated then " replicated" else "");
+            let o = Rs_nemesis.Nemesis.run cfg in
+            Format.printf "%a@." Rs_nemesis.Nemesis.pp_outcome o;
+            o.violations <> [])
+        |> List.filter Fun.id |> List.length)
+  in
+  if failures > 0 then 1 else 0
+
+let nemesis_cmd =
+  let seeds =
+    Arg.(value & opt int 1 & info [ "seeds" ] ~docv:"N" ~doc:"Consecutive seeds to run, starting at --seed.")
+  in
+  let profile =
+    Arg.(value & opt string "bank" & info [ "profile" ] ~doc:"synthetic|bank|reservation|queue|saga.")
+  in
+  let guardians = Arg.(value & opt int 3 & info [ "guardians" ] ~doc:"Traffic-bearing shards.") in
+  let clients = Arg.(value & opt int 6 & info [ "clients" ] ~doc:"Closed-loop client population.") in
+  let duration =
+    Arg.(value & opt float 120.0 & info [ "duration" ] ~docv:"T" ~doc:"Virtual-time load window.")
+  in
+  let events =
+    Arg.(value & opt int 6 & info [ "events" ] ~docv:"N" ~doc:"Fault events per run.")
+  in
+  let replicated =
+    Arg.(value & flag
+         & info [ "replicated" ]
+             ~doc:"Attach a warm standby to shard 0; crashes of that shard promote it \
+                   (synthetic profile, directory-routed).")
+  in
+  let break_barging =
+    Arg.(value & flag
+         & info [ "break-barging" ]
+             ~doc:"Seed a bug (read locks barge past queued writers, the pre-wait-queue \
+                   behaviour) to prove the lock-legality monitor catches it.")
+  in
+  Cmd.v
+    (Cmd.info "nemesis"
+       ~doc:"Run seeded fault schedules (disk decay, partitions, crashes, failovers) under \
+             load and judge the run with every oracle and spec monitor.")
+    Term.(const nemesis $ seed_arg $ seeds $ profile $ guardians $ clients $ duration $ events
+          $ replicated $ break_barging)
+
 (* walkthrough: replay the thesis's log scenarios (Figs. 3-7, 3-8, 3-10)
    and print the resulting tables, like the thesis's "at algorithm's end,
    the PT and OT contain" paragraphs. *)
@@ -676,4 +755,5 @@ let () =
             shards_cmd;
             repl_cmd;
             recover_cmd;
+            nemesis_cmd;
           ]))

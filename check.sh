@@ -1,8 +1,10 @@
 #!/bin/sh
 # Repo health check: build, full test suite, an observability smoke test,
-# and the crash-schedule exploration gates — every recovery scheme must
-# survive a bounded exploration with zero oracle violations, and the
-# seeded broken-force mutation must be caught.
+# the nemesis gates — seeded fault schedules must leave every profile's
+# invariants and spec monitors clean, and the seeded read-barging
+# mutation must be caught — and the crash-schedule exploration gates —
+# every recovery scheme must survive a bounded exploration with zero
+# oracle violations, and the seeded broken-force mutation must be caught.
 set -e
 
 cd "$(dirname "$0")"
@@ -246,6 +248,72 @@ else
     "$(grep -o '"e13.inc.c2.entries": [0-9]*' BENCH_8.json | grep -o '[0-9]*$')" ] ||
     { echo "inc recovery entries not flat across cycles"; exit 1; }
   echo "bounded restart ok (python3 unavailable; flatness checked only)"
+fi
+
+echo "== bench smoke: e14 --metrics-json -> BENCH_9.json =="
+# Committed artifact: e14 runs the nemesis — seeded fault schedules
+# (decay + partition + crash, plus a promoting failover on the repl row)
+# under every load profile. Virtual time end to end, so the JSON is
+# deterministic. The gate is absolute: every row commits real work and
+# reports zero oracle/monitor violations, and the repl row promoted.
+dune exec bench/main.exe -- e14 --metrics-json BENCH_9.json >/dev/null
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_9.json <<'EOF'
+import json, sys
+g = json.load(open(sys.argv[1]))["gauges"]
+for p in ("synthetic", "bank", "reservation", "queue", "saga", "repl"):
+    v, c, e = g[f"e14.{p}.violations"], g[f"e14.{p}.committed"], g[f"e14.{p}.events"]
+    assert v == 0, f"{p}: {v} violation(s) under nemesis"
+    assert c > 0, f"{p}: nothing committed under nemesis"
+    assert e > 0, f"{p}: no nemesis events fired (vacuous run)"
+    assert g[f"e14.{p}.downtime_x10"] > 0, f"{p}: no downtime recorded (vacuous faults)"
+assert g["e14.repl.promoted"] == 1, "repl row did not promote the standby"
+print("nemesis ok: all 6 profiles clean under fault schedules, "
+      f"repl promoted, e.g. bank committed={g['e14.bank.committed']} "
+      f"with downtime={g['e14.bank.downtime_x10']/10}")
+EOF
+else
+  for p in synthetic bank reservation queue saga repl; do
+    grep -q "\"e14.$p.violations\": 0" BENCH_9.json ||
+      { echo "e14.$p.violations missing or nonzero"; exit 1; }
+  done
+  echo "nemesis ok (python3 unavailable; zero-violation keys checked only)"
+fi
+
+echo "== nemesis gate: seeded fault schedules clean for every profile =="
+for profile in synthetic bank reservation queue saga; do
+  OUT=$(dune exec bin/argusctl.exe -- nemesis --profile "$profile" \
+          --seed 2 --seeds 3 --duration 80 --events 6)
+  echo "$OUT" | grep -c 'violations=0' | grep -qx 3 ||
+    { echo "$OUT"; echo "nemesis found a violation for $profile"; exit 1; }
+  echo "$profile: 3 seeds clean"
+done
+
+echo "== nemesis gate: replicated failover promotes and stays clean =="
+OUT=$(dune exec bin/argusctl.exe -- nemesis --replicated --profile synthetic \
+        --seed 4 --duration 80 --events 6)
+echo "$OUT" | grep -E 'promote|violations'
+case "$OUT" in
+  *promote*) ;;
+  *) echo "replicated nemesis run did not promote the standby"; exit 1 ;;
+esac
+case "$OUT" in
+  *"violations=0"*) ;;
+  *) echo "replicated nemesis run found violations"; exit 1 ;;
+esac
+
+echo "== nemesis self-test: seeded read barging must be caught =="
+if OUT=$(dune exec bin/argusctl.exe -- nemesis --profile bank --seed 5 \
+           --duration 80 --clients 8 --break-barging); then
+  echo "read-barging mutation was NOT detected"
+  exit 1
+else
+  echo "$OUT" | grep -E 'lock-legality|violations=' | head -3
+  case "$OUT" in
+    *"lock-legality"*) echo "read barging caught by the lock-legality monitor ✓" ;;
+    *) echo "nemesis failed without a lock-legality violation"; exit 1 ;;
+  esac
 fi
 
 echo "== recover smoke: serial and segment-parallel images agree =="

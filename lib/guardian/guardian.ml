@@ -171,6 +171,7 @@ let create ~gid ~sim ~net ?(page_size = 1024) ?(force_window = 0.0) ?prepare_tim
   let dir = Log_dir.create ~page_size () in
   Log_dir.set_label dir (gid_str gid);
   let heap = Heap.create () in
+  Heap.set_label heap (gid_str gid);
   let rs = Hybrid_rs.create heap dir in
   let t =
     {
@@ -224,14 +225,20 @@ let crash t =
     t.known <- Aid.Set.empty;
     t.decided <- Aid.Set.empty;
     Aid.Tbl.reset t.early;
-    (* Volatile memory is gone. *)
-    t.heap <- Heap.create ()
+    (* Volatile memory is gone. The dying heap lingers in closures the
+       runtime is still abandoning (waiter cancellations can serve queued
+       grants on it); orphan its trace stream so those post-mortem events
+       don't pollute the lock monitor's state for this guardian. *)
+    Heap.set_label t.heap "";
+    t.heap <- Heap.create ();
+    Heap.set_label t.heap (gid_str t.gid)
   end
 
 (* Common tail of [restart] and [adopt]: wire the (already rebuilt) rs back
    into the protocol and resume in-flight 2PC duties from the tables. *)
 let resume_duties t info =
   t.heap <- Hybrid_rs.heap t.rs;
+  Heap.set_label t.heap (gid_str t.gid);
   configure_scheduler t; (* the rebuilt rs starts with a sync scheduler *)
   wire_protocol t;
   Net.set_up t.net t.gid true;

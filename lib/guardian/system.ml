@@ -115,6 +115,14 @@ let resolve_handle t h o =
     Aid.Tbl.remove t.handles aid;
     let ci = Gid.to_int (Aid.coordinator aid) in
     t.in_flight.(ci) <- t.in_flight.(ci) - 1;
+    if Rs_obs.Trace.enabled () then
+      Rs_obs.Trace.emit
+        (Rs_obs.Trace.Handle_resolve
+           {
+             gid = Format.asprintf "%a" Gid.pp (Aid.coordinator aid);
+             aid = Format.asprintf "%a" Aid.pp aid;
+             committed = (o = Committed);
+           });
     Action.resolve h ~now:(Sim.now t.sim) o
   end
 
@@ -163,6 +171,13 @@ let submit ?on_result t ~coordinator ~steps =
   let h = Action.make ~aid ~now:(Sim.now t.sim) in
   Aid.Tbl.replace t.handles aid h;
   t.in_flight.(ci) <- t.in_flight.(ci) + 1;
+  if Rs_obs.Trace.enabled () then
+    Rs_obs.Trace.emit
+      (Rs_obs.Trace.Handle_submit
+         {
+           gid = Format.asprintf "%a" Gid.pp coordinator;
+           aid = Format.asprintf "%a" Aid.pp aid;
+         });
   (match on_result with
   | Some f -> Action.on_resolve h (fun h o -> f (Action.aid h) o)
   | None -> ());

@@ -9,8 +9,10 @@ module Sim = Rs_sim.Sim
 module Metrics = Rs_obs.Metrics
 module Directory = Rs_dir.Directory
 module Placement = Rs_dir.Placement
+module Fifo = Rs_workload.Fifo
+module Saga = Rs_workload.Saga
 
-type profile = Synthetic | Bank | Reservation
+type profile = Synthetic | Bank | Reservation | Queue | Saga
 type mode = Closed of { clients : int; think : float } | Open of { rate : float }
 
 type config = {
@@ -36,6 +38,7 @@ type config = {
   directory : bool;
   cross_shard : float;
   uid_batch : int;
+  spares : int;
 }
 
 let default =
@@ -62,6 +65,7 @@ let default =
     directory = false;
     cross_shard = 0.0;
     uid_batch = 64;
+    spares = 0;
   }
 
 type stats = {
@@ -75,6 +79,7 @@ type stats = {
   abandoned : int;
   wait_timeouts : int;
   elapsed : float;
+  nemesis_downtime : float;
   throughput : float;
   p50 : float;
   p99 : float;
@@ -84,9 +89,10 @@ let pp_stats fmt s =
   Format.fprintf fmt
     "@[<v>submitted   %d@,committed   %d@,aborted     %d (+%d deliberate)@,\
      sheds       %d@,retries     %d@,reroutes    %d@,abandoned   %d@,wait t/o    %d@,\
-     elapsed     %.1f@,throughput  %.3f /unit@,latency     p50 %.1f  p99 %.1f@]"
+     elapsed     %.1f (downtime %.1f)@,throughput  %.3f /unit@,\
+     latency     p50 %.1f  p99 %.1f@]"
     s.submitted s.committed s.aborted s.deliberate_aborts s.sheds s.retries s.reroutes
-    s.abandoned s.wait_timeouts s.elapsed s.throughput s.p50 s.p99
+    s.abandoned s.wait_timeouts s.elapsed s.nemesis_downtime s.throughput s.p50 s.p99
 
 (* One logical operation: the retry loop resubmits the same targets, so
    an operation that eventually commits commits exactly once. [deliberate]
@@ -113,7 +119,11 @@ type t = {
   dmodel : int array; (* directory mode: per-key committed increments *)
   shard_keys : int list array; (* directory mode: key indices owned per shard *)
   occupied : int array; (* directory mode: shards owning at least one key *)
+  q_enq : int array array; (* Queue: committed enqueues per (guardian, object) *)
+  q_deq : int array array; (* Queue: committed dequeues per (guardian, object) *)
+  saga : Saga.t; (* Saga: started/completed/compensated ledger *)
   mutable bookings : int; (* Reservation: committed bookings *)
+  mutable nemesis_downtime : float; (* union of injected fault windows *)
   mutable inflight : int;
   mutable start_now : float;
   mutable stop_at : float;
@@ -155,22 +165,30 @@ let validate cfg =
   | Open { rate } -> if rate <= 0.0 then invalid_arg "Load: arrival rate must be positive");
   if cfg.profile = Bank && cfg.guardians * cfg.objects_per_guardian < 2 then
     invalid_arg "Load: Bank needs at least two accounts";
+  if cfg.profile = Saga && cfg.guardians < 2 then
+    invalid_arg "Load: Saga needs two guardians (legs live on distinct shards)";
   if cfg.cross_shard < 0.0 || cfg.cross_shard > 1.0 then
     invalid_arg "Load: cross_shard must be a probability";
   if cfg.cross_shard > 0.0 && not cfg.directory then
     invalid_arg "Load: cross_shard needs directory routing";
   if cfg.directory && cfg.profile <> Synthetic then
     invalid_arg "Load: directory mode drives the Synthetic profile";
-  if cfg.uid_batch <= 0 then invalid_arg "Load: uid_batch must be positive"
+  if cfg.uid_batch <= 0 then invalid_arg "Load: uid_batch must be positive";
+  if cfg.spares < 0 then invalid_arg "Load: spares must be non-negative"
 
 let create cfg =
   validate cfg;
   let system =
     System.create ~seed:cfg.seed ~latency:cfg.latency ~jitter:cfg.jitter
       ~drop_prob:cfg.drop ~force_window:cfg.force_window ~wait_timeout:cfg.wait_timeout
-      ?max_in_flight:cfg.max_in_flight ~n:cfg.guardians ()
+      ?max_in_flight:cfg.max_in_flight ~n:(cfg.guardians + cfg.spares) ()
   in
-  let initial = match cfg.profile with Synthetic -> 0 | Bank | Reservation -> cfg.initial in
+  let initial =
+    match cfg.profile with
+    | Synthetic | Queue | Saga -> 0
+    | Bank | Reservation -> cfg.initial
+  in
+  let init_value = match cfg.profile with Queue -> Fifo.empty | _ -> Value.Int initial in
   let n_keys = cfg.guardians * cfg.objects_per_guardian in
   let dir, shard_keys, occupied =
     if cfg.directory then begin
@@ -204,7 +222,7 @@ let create cfg =
       for g = 0 to cfg.guardians - 1 do
         let setup heap aid =
           for o = 0 to cfg.objects_per_guardian - 1 do
-            let a = Heap.alloc_atomic heap ~creator:aid (Value.Int initial) in
+            let a = Heap.alloc_atomic heap ~creator:aid init_value in
             Heap.set_stable_var heap aid (obj_name o) (Value.Ref a)
           done
         in
@@ -234,7 +252,11 @@ let create cfg =
     dmodel = Array.make n_keys 0;
     shard_keys;
     occupied;
+    q_enq = Array.make_matrix cfg.guardians cfg.objects_per_guardian 0;
+    q_deq = Array.make_matrix cfg.guardians cfg.objects_per_guardian 0;
+    saga = Saga.create ();
     bookings = 0;
+    nemesis_downtime = 0.0;
     inflight = 0;
     start_now = 0.0;
     stop_at = 0.0;
@@ -252,13 +274,13 @@ let create cfg =
 
 (* --- operation generation --------------------------------------------- *)
 
+let pick_obj t =
+  if t.cfg.objects_per_guardian = 1 || Rng.bool t.rng t.cfg.conflict then 0
+  else 1 + Rng.int t.rng (t.cfg.objects_per_guardian - 1)
+
 let pick_target t =
   let g = Rng.int t.rng t.cfg.guardians in
-  let o =
-    if t.cfg.objects_per_guardian = 1 || Rng.bool t.rng t.cfg.conflict then 0
-    else 1 + Rng.int t.rng (t.cfg.objects_per_guardian - 1)
-  in
-  (g, o)
+  (g, pick_obj t)
 
 (* Steps acquire locks in sorted (guardian, object) order, so pure
    write-write schedules cannot deadlock; read-then-upgrade still can
@@ -345,6 +367,24 @@ let gen_op t ~client =
       let g, o = pick_target t in
       { coord = Gid.of_int g; targets = [ (g, o, -1) ]; inject_abort;
         deliberate = ref false; client }
+  | Queue ->
+      (* delta encodes the operation: +1 enqueue, -1 dequeue. *)
+      let g, o = pick_target t in
+      let delta = if Rng.bool t.rng 0.5 then 1 else -1 in
+      { coord = Gid.of_int g; targets = [ (g, o, delta) ]; inject_abort;
+        deliberate = ref false; client }
+  | Saga ->
+      (* Targets in *semantic* order (not lock order): leg one, then leg
+         two on a distinct guardian — each leg is its own top action. *)
+      let gA, oA = pick_target t in
+      let rec other () =
+        let g = Rng.int t.rng t.cfg.guardians in
+        if g = gA then other () else g
+      in
+      let gB = other () in
+      let oB = pick_obj t in
+      { coord = Gid.of_int gA; targets = [ (gA, oA, 1); (gB, oB, 1) ]; inject_abort;
+        deliberate = ref false; client }
 
 let target_addr heap o =
   match Heap.get_stable_var heap (obj_name o) with
@@ -354,20 +394,32 @@ let target_addr heap o =
 let step_work t op o delta : System.work =
  fun heap aid ->
   let a = target_addr heap o in
-  (* Synthetic/Reservation write-lock up front: contention then
+  (* Synthetic/Reservation/Queue/Saga write-lock up front: contention then
      resolves by FIFO lock transfer. Bank reads first and
      upgrades — the pattern that can deadlock two upgraders, so
      the wait timeout stays exercised. *)
   if t.cfg.profile <> Bank then Heap.write_lock heap aid a;
-  match Heap.read_atomic heap aid a with
-  | Value.Int v ->
-      if t.cfg.profile = Reservation && v <= 0 then begin
-        (* Sold out: a business decision, not a conflict. *)
-        op.deliberate := true;
-        raise System.Abort_action
-      end;
-      Heap.set_current heap aid a (Value.Int (v + delta))
-  | _ -> failwith "Load: object is not an int"
+  match t.cfg.profile with
+  | Queue -> (
+      let v = Heap.read_atomic heap aid a in
+      if delta > 0 then Heap.set_current heap aid a (fst (Fifo.enqueue v))
+      else
+        match Fifo.dequeue v with
+        | None ->
+            (* Empty queue: a business decision, not a conflict. *)
+            op.deliberate := true;
+            raise System.Abort_action
+        | Some (v', _) -> Heap.set_current heap aid a v')
+  | _ -> (
+      match Heap.read_atomic heap aid a with
+      | Value.Int v ->
+          if t.cfg.profile = Reservation && v <= 0 then begin
+            (* Sold out: a business decision, not a conflict. *)
+            op.deliberate := true;
+            raise System.Abort_action
+          end;
+          Heap.set_current heap aid a (Value.Int (v + delta))
+      | _ -> failwith "Load: object is not an int")
 
 let abort_step op : System.work =
  fun _heap _aid ->
@@ -396,6 +448,13 @@ let apply_model t op =
     | Synthetic -> List.iter (fun (g, o, d) -> t.model.(g).(o) <- t.model.(g).(o) + d) op.targets
     | Bank -> ()
     | Reservation -> t.bookings <- t.bookings + 1
+    | Queue ->
+        List.iter
+          (fun (g, o, d) ->
+            if d > 0 then t.q_enq.(g).(o) <- t.q_enq.(g).(o) + 1
+            else t.q_deq.(g).(o) <- t.q_deq.(g).(o) + 1)
+          op.targets
+    | Saga -> () (* legs apply to the model individually, in saga_resolved *)
 
 (* --- the client state machine ----------------------------------------- *)
 
@@ -461,14 +520,110 @@ and next_op t op =
     let sim = System.sim t.system in
     if Sim.now sim < t.stop_at then
       let think = match t.cfg.mode with Closed { think; _ } -> think | Open _ -> 0.0 in
-      Sim.schedule sim ~delay:think (fun () -> attempt t (gen_op t ~client:true) ~tries:0)
+      Sim.schedule sim ~delay:think (fun () -> launch t (gen_op t ~client:true) ~tries:0)
+
+(* --- the saga client machine ------------------------------------------- *)
+
+(* A saga is a chain of top actions: leg one on shard A, leg two on shard
+   B, and — if leg two fails terminally (deliberate abort or retries
+   exhausted) — a compensation undoing leg one. Each phase commits or
+   aborts atomically on its own; the chain continues past [stop_at] so a
+   started saga always reaches [completed] or [compensated] by quiescence.
+   Compensations retry without bound: a half-applied saga may never be
+   abandoned. *)
+
+and saga_leg op phase =
+  match (phase, op.targets) with
+  | `Fwd1, (g, o, d) :: _ -> (g, o, d)
+  | `Fwd2, _ :: (g, o, d) :: _ -> (g, o, d)
+  | `Comp, (g, o, d) :: _ -> (g, o, -d)
+  | _ -> assert false
+
+and saga_attempt t op ~phase ~tries =
+  op.deliberate := false;
+  t.s_submitted <- t.s_submitted + 1;
+  let g, o, delta = saga_leg op phase in
+  let body = [ (Gid.of_int g, step_work t op o delta) ] in
+  let steps =
+    (* Injected business aborts hit leg two only: the shape that forces a
+       compensation. *)
+    if op.inject_abort && phase = `Fwd2 then body @ [ (Gid.of_int g, abort_step op) ]
+    else body
+  in
+  match System.submit t.system ~coordinator:op.coord ~steps with
+  | h ->
+      t.inflight <- t.inflight + 1;
+      Action.on_resolve h (fun h o_ -> saga_resolved t op ~phase ~tries h o_)
+  | exception System.Overloaded _ ->
+      t.s_sheds <- t.s_sheds + 1;
+      saga_retry t op ~phase ~tries
+  | exception System.Guardian_down _ ->
+      t.s_reroutes <- t.s_reroutes + 1;
+      if t.cfg.guardians > 1 then begin
+        let c = Gid.to_int op.coord in
+        op.coord <- Gid.of_int ((c + 1 + Rng.int t.rng (t.cfg.guardians - 1)) mod t.cfg.guardians)
+      end;
+      saga_retry t op ~phase ~tries
+
+and saga_resolved t op ~phase ~tries h o_ =
+  t.inflight <- t.inflight - 1;
+  match o_ with
+  | Action.Committed -> (
+      t.s_committed <- t.s_committed + 1;
+      (match Action.latency h with
+      | Some l -> Metrics.observe t.hist (int_of_float (l *. 10.0))
+      | None -> ());
+      let g, o, delta = saga_leg op phase in
+      t.model.(g).(o) <- t.model.(g).(o) + delta;
+      match phase with
+      | `Fwd1 ->
+          Saga.start t.saga;
+          saga_attempt t op ~phase:`Fwd2 ~tries:0
+      | `Fwd2 ->
+          Saga.complete t.saga;
+          next_op t op
+      | `Comp ->
+          Saga.compensate t.saga;
+          next_op t op)
+  | Action.Aborted when !(op.deliberate) -> (
+      t.s_deliberate <- t.s_deliberate + 1;
+      match phase with
+      | `Fwd2 -> saga_attempt t op ~phase:`Comp ~tries:0
+      | `Fwd1 -> next_op t op (* nothing applied yet *)
+      | `Comp -> saga_retry t op ~phase ~tries (* compensations never quit *))
+  | Action.Aborted ->
+      t.s_aborted <- t.s_aborted + 1;
+      saga_retry t op ~phase ~tries
+
+and saga_retry t op ~phase ~tries =
+  if phase = `Comp || tries < t.cfg.max_retries then begin
+    t.s_retries <- t.s_retries + 1;
+    let d = min t.cfg.backoff_cap (t.cfg.backoff_base *. (2.0 ** float_of_int (min tries 30))) in
+    let d = d *. (1.0 +. Rng.float t.rng 0.5) in
+    Sim.schedule (System.sim t.system) ~delay:d (fun () ->
+        saga_attempt t op ~phase ~tries:(tries + 1))
+  end
+  else
+    match phase with
+    | `Fwd1 ->
+        t.s_abandoned <- t.s_abandoned + 1;
+        next_op t op
+    | `Fwd2 ->
+        (* Forward exhausted with leg one applied: undo it. *)
+        t.s_abandoned <- t.s_abandoned + 1;
+        saga_attempt t op ~phase:`Comp ~tries:0
+    | `Comp -> assert false
+
+and launch t op ~tries =
+  if t.cfg.profile = Saga then saga_attempt t op ~phase:`Fwd1 ~tries
+  else attempt t op ~tries
 
 let rec schedule_arrival t rate =
   let sim = System.sim t.system in
   let gap = -.log (1.0 -. Rng.float t.rng 1.0) /. rate in
   Sim.schedule sim ~delay:gap (fun () ->
       if Sim.now sim < t.stop_at then begin
-        attempt t (gen_op t ~client:false) ~tries:0;
+        launch t (gen_op t ~client:false) ~tries:0;
         schedule_arrival t rate
       end)
 
@@ -479,13 +634,21 @@ let start t =
   match t.cfg.mode with
   | Closed { clients; _ } ->
       for _ = 1 to clients do
-        Sim.schedule sim ~delay:0.0 (fun () -> attempt t (gen_op t ~client:true) ~tries:0)
+        Sim.schedule sim ~delay:0.0 (fun () -> launch t (gen_op t ~client:true) ~tries:0)
       done
   | Open { rate } -> schedule_arrival t rate
+
+let note_downtime t d =
+  if d < 0.0 then invalid_arg "Load.note_downtime: negative window";
+  t.nemesis_downtime <- t.nemesis_downtime +. d
 
 let stats t =
   let now = Sim.now (System.sim t.system) in
   let elapsed = (if t.end_now > t.start_now then t.end_now else now) -. t.start_now in
+  (* Committed/sec over the time the system was actually available: the
+     union of injected fault windows is excluded, so a run with a long
+     partition is compared on what it did while it could do anything. *)
+  let up_time = max 0.0 (elapsed -. t.nemesis_downtime) in
   {
     submitted = t.s_submitted;
     committed = t.s_committed;
@@ -497,7 +660,8 @@ let stats t =
     abandoned = t.s_abandoned;
     wait_timeouts = wait_timeouts_now () - t.wait_timeouts0;
     elapsed;
-    throughput = (if elapsed > 0.0 then float_of_int t.s_committed /. elapsed else 0.0);
+    nemesis_downtime = t.nemesis_downtime;
+    throughput = (if up_time > 0.0 then float_of_int t.s_committed /. up_time else 0.0);
     p50 = Metrics.histogram_quantile t.hist 0.5 /. 10.0;
     p99 = Metrics.histogram_quantile t.hist 0.99 /. 10.0;
   }
@@ -514,14 +678,16 @@ let run ?limit cfg =
 
 (* --- invariants -------------------------------------------------------- *)
 
-let committed_value t g o =
+let committed_base t g o =
   let heap = Guardian.heap (System.guardian t.system (Gid.of_int g)) in
   match Heap.get_stable_var heap (obj_name o) with
-  | Some (Value.Ref a) -> (
-      match (Heap.atomic_view heap a).Heap.base with
-      | Value.Int v -> v
-      | _ -> failwith "Load: object is not an int")
+  | Some (Value.Ref a) -> (Heap.atomic_view heap a).Heap.base
   | Some _ | None -> failwith (Printf.sprintf "Load: object %s missing" (obj_name o))
+
+let committed_value t g o =
+  match committed_base t g o with
+  | Value.Int v -> v
+  | _ -> failwith "Load: object is not an int"
 
 let check_directory t d =
   let n_keys = t.cfg.guardians * t.cfg.objects_per_guardian in
@@ -542,14 +708,43 @@ let check_directory t d =
   | Error e -> if !problem = None then problem := Some e);
   match !problem with Some p -> Error p | None -> Ok ()
 
+let check_queue t =
+  let problem = ref None in
+  for g = 0 to t.cfg.guardians - 1 do
+    for o = 0 to t.cfg.objects_per_guardian - 1 do
+      match
+        Fifo.check ~enqueued:t.q_enq.(g).(o) ~dequeued:t.q_deq.(g).(o) (committed_base t g o)
+      with
+      | Ok () -> ()
+      | Error e ->
+          if !problem = None then
+            problem := Some (Printf.sprintf "g%d/%s: %s" g (obj_name o) e)
+    done
+  done;
+  match !problem with Some p -> Error p | None -> Ok ()
+
 let check t =
-  if not (List.for_all Guardian.is_up (System.guardians t.system)) then
-    Error "a guardian is down; restart before checking"
+  let up =
+    match t.dir with
+    | Some d ->
+        (* After a promotion the dead primary legitimately stays down; what
+           matters is that every shard *resolves* to a live guardian. *)
+        List.init t.cfg.guardians Gid.of_int
+        |> List.for_all (fun g ->
+               Guardian.is_up (System.guardian t.system (Directory.resolve d g)))
+    | None -> List.for_all Guardian.is_up (System.guardians t.system)
+  in
+  if not up then Error "a guardian is down; restart before checking"
   else
     match t.dir with
     | Some d -> check_directory t d
+    | None when t.cfg.profile = Queue -> check_queue t
     | None ->
-    let initial = match t.cfg.profile with Synthetic -> 0 | Bank | Reservation -> t.cfg.initial in
+    let initial =
+      match t.cfg.profile with
+      | Synthetic | Queue | Saga -> 0
+      | Bank | Reservation -> t.cfg.initial
+    in
     let problem = ref None in
     let total = ref 0 in
     for g = 0 to t.cfg.guardians - 1 do
@@ -557,7 +752,7 @@ let check t =
         let v = committed_value t g o in
         total := !total + v;
         (match t.cfg.profile with
-        | Synthetic ->
+        | Synthetic | Saga ->
             if v <> t.model.(g).(o) && !problem = None then
               problem :=
                 Some
@@ -566,14 +761,15 @@ let check t =
         | Reservation ->
             if (v < 0 || v > initial) && !problem = None then
               problem := Some (Printf.sprintf "g%d/%s = %d seats (outside [0,%d])" g (obj_name o) v initial)
-        | Bank -> ())
+        | Bank | Queue -> ())
       done
     done;
     match !problem with
     | Some p -> Error p
     | None -> (
         match t.cfg.profile with
-        | Synthetic -> Ok ()
+        | Synthetic | Queue -> Ok ()
+        | Saga -> Saga.check t.saga
         | Bank ->
             let expected = t.cfg.guardians * t.cfg.objects_per_guardian * t.cfg.initial in
             if !total = expected then Ok ()

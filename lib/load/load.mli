@@ -3,7 +3,7 @@
     histograms, throughput counters, bounded retry with exponential
     backoff, and admission-control shedding.
 
-    The generator drives one of three profiles in either of two shapes:
+    The generator drives one of five profiles in either of two shapes:
 
     - {e closed loop}: a fixed population of clients, each submitting its
       next operation a think-time after the previous one resolves — the
@@ -21,6 +21,16 @@ type profile =
   | Synthetic  (** per-object increment counters; checkable sum *)
   | Bank  (** transfers between accounts; conservation invariant *)
   | Reservation  (** seat booking with deliberate sold-out aborts *)
+  | Queue
+      (** durable FIFO queues ({!Rs_workload.Fifo}): enqueues mint ordered
+          tokens, dequeues pop the head (deliberately aborting when
+          empty); the committed queue must hold exactly the unconsumed
+          tokens, in order *)
+  | Saga
+      (** multi-step business transaction as a chain of top actions across
+          two shards, with a compensating action undoing leg one when leg
+          two fails terminally ({!Rs_workload.Saga}); no half-applied saga
+          survives quiescence *)
 
 type mode =
   | Closed of { clients : int; think : float }
@@ -57,6 +67,10 @@ type config = {
       (** probability an operation spans two distinct shards (directory
           mode; steps_per_action must be > 1 for it to bite) *)
   uid_batch : int;  (** uids per directory reservation *)
+  spares : int;
+      (** extra guardians created in the system but never populated or
+          targeted by traffic — warm-standby slots a fault injector can
+          attach replication pairs to ({!Rs_repl.Repl.Pair}) *)
 }
 
 val default : config
@@ -76,7 +90,14 @@ type stats = {
   abandoned : int;  (** operations dropped after [max_retries] *)
   wait_timeouts : int;  (** lock waits broken by the timeout *)
   elapsed : float;  (** virtual time from start to drain *)
-  throughput : float;  (** committed actions per virtual-time unit *)
+  nemesis_downtime : float;
+      (** union of injected fault windows reported via {!note_downtime};
+          0 when no nemesis drove the run *)
+  throughput : float;
+      (** committed actions per *available* virtual-time unit:
+          [committed / (elapsed - nemesis_downtime)] — a run spent half
+          partitioned is judged on the half it could make progress, so
+          fault runs stay comparable with clean ones *)
   p50 : float;  (** commit-latency median, virtual-time units *)
   p99 : float;
 }
@@ -114,6 +135,13 @@ val run : ?limit:float -> config -> stats
 val stats : t -> stats
 (** Statistics so far (callable mid-run). *)
 
+val note_downtime : t -> float -> unit
+(** Report [d] virtual-time units of injected unavailability (a partition
+    window, a crash-to-restart gap). The caller — normally
+    {!Rs_nemesis.Nemesis} — is responsible for reporting the *union* of
+    overlapping fault windows, not their sum. Feeds
+    [stats.nemesis_downtime] and the availability-adjusted throughput. *)
+
 val unresolved : t -> int
 (** Submitted actions not yet resolved. After {!drain} this must be 0 —
     a positive value over a quiescent simulator is a stuck action, the
@@ -124,4 +152,9 @@ val check : t -> (unit, string) result
     Synthetic — every counter equals the model's committed increments (no
     lost or duplicated actions); Bank — total balance conserved;
     Reservation — seats sold equals committed bookings and never
-    oversold. All guardians must be up. *)
+    oversold; Queue — every queue holds exactly the committed-but-unconsumed
+    tokens in FIFO order; Saga — per-object counters match the model and
+    every started saga either completed or compensated. Every guardian
+    must be up — or, in directory mode, every shard must resolve to a live
+    guardian (a promoted heir counts; its dead primary does not fail the
+    gate). *)

@@ -24,9 +24,10 @@ let conflict ~addr ~requester ~holders =
     Trace.emit
       (Trace.Lock_conflict { aid = aid_str requester; holder = holders_str holders; addr })
 
-let trace_lock aid addr kind =
-  if Trace.enabled () then
-    Trace.emit (Trace.Lock_acquire { aid = aid_str aid; addr; kind })
+(* Self-test mutation (see [set_allow_read_barging]): re-enables the
+   pre-wait-queue read path that grants past queued writers. *)
+let allow_read_barging = ref false
+let set_allow_read_barging b = allow_read_barging := b
 
 type addr = Value.addr
 
@@ -84,6 +85,10 @@ type t = {
   locked : addr Vec.t Aid.Tbl.t;
   root : addr;
   mutable runtime : runtime option;
+  (* Owner's name ("G0", …; "" for bare heaps), stamped on lock trace
+     events so the spec monitors can keep per-guardian lock state —
+     object addresses collide across guardians. *)
+  mutable label : string;
   (* Every fresh uid is minted through here; [None] means the guardian's
      own stable counter [gen]. A placement directory installs a batched
      range pool instead (globally-unique uids, see Rs_dir). *)
@@ -119,6 +124,7 @@ let create () =
       locked = Aid.Tbl.create 16;
       root = 0;
       runtime = None;
+      label = "";
       uid_source = None;
     }
   in
@@ -132,6 +138,16 @@ let create () =
 let uid_gen t = t.gen
 let root_addr t = t.root
 let set_runtime t rt = t.runtime <- rt
+let set_label t s = t.label <- s
+let label t = t.label
+
+let trace_lock t aid addr kind =
+  if Trace.enabled () then
+    Trace.emit (Trace.Lock_acquire { heap = t.label; aid = aid_str aid; addr; kind })
+
+let trace_release t aid addr =
+  if Trace.enabled () then
+    Trace.emit (Trace.Lock_release { heap = t.label; aid = aid_str aid; addr })
 let set_uid_source t s = t.uid_source <- s
 let uid_source t = t.uid_source
 
@@ -229,6 +245,7 @@ let alloc_atomic t ~creator base =
          { a_base = base; a_cur = None; a_lock = Read (Aid.Set.singleton creator); a_wait = [] })
   in
   record t.locked creator a;
+  trace_lock t creator a Trace.Read;
   a
 
 let alloc_mutex t v =
@@ -256,14 +273,14 @@ let grant_read t aid a b =
   | Write _ -> assert false);
   record t.locked aid a;
   Metrics.incr m_read_locks;
-  trace_lock aid a Trace.Read
+  trace_lock t aid a Trace.Read
 
 let grant_write t aid a b =
   b.a_lock <- Write aid;
   b.a_cur <- Some (copy_version t b.a_base);
   record t.locked aid a;
   Metrics.incr m_write_locks;
-  trace_lock aid a Trace.Write
+  trace_lock t aid a Trace.Write
 
 (* Join the FIFO queue (front = an upgrade request, which must beat queued
    writers: they cannot progress past the held read lock anyway) and
@@ -283,10 +300,12 @@ let wait_atomic t aid a b ~write ~front =
       Metrics.incr m_lock_waits;
       if Trace.enabled () then
         Trace.emit
-          (Trace.Lock_wait { aid = aid_str aid; holder = holders_str holders; addr = a });
+          (Trace.Lock_wait
+             { heap = t.label; aid = aid_str aid; holder = holders_str holders; addr = a; write });
       if not (rt.block ~addr:a ~aid) then begin
         Metrics.incr m_wait_timeouts;
-        if Trace.enabled () then Trace.emit (Trace.Lock_timeout { aid = aid_str aid; addr = a });
+        if Trace.enabled () then
+          Trace.emit (Trace.Lock_timeout { heap = t.label; aid = aid_str aid; addr = a });
         raise (Wait_timeout { addr = a; waiter = aid })
       end
 
@@ -322,7 +341,7 @@ let rec read_atomic t aid a =
   | Write holder when Aid.equal holder aid -> (
       match b.a_cur with Some v -> v | None -> b.a_base)
   | Read readers when Aid.Set.mem aid readers -> b.a_base
-  | (Free | Read _) when b.a_wait = [] || t.runtime = None ->
+  | (Free | Read _) when b.a_wait = [] || t.runtime = None || !allow_read_barging ->
       grant_read t aid a b;
       b.a_base
   | Free | Read _ | Write _ ->
@@ -392,12 +411,19 @@ let rec seize t aid a =
           Metrics.incr m_lock_waits;
           if Trace.enabled () then
             Trace.emit
-              (Trace.Lock_wait { aid = aid_str aid; holder = holders_str holders; addr = a });
+              (Trace.Lock_wait
+                 {
+                   heap = t.label;
+                   aid = aid_str aid;
+                   holder = holders_str holders;
+                   addr = a;
+                   write = true;
+                 });
           if rt.block ~addr:a ~aid then seize t aid a
           else begin
             Metrics.incr m_wait_timeouts;
             if Trace.enabled () then
-              Trace.emit (Trace.Lock_timeout { aid = aid_str aid; addr = a });
+              Trace.emit (Trace.Lock_timeout { heap = t.label; aid = aid_str aid; addr = a });
             raise (Wait_timeout { addr = a; waiter = aid })
           end)
 
@@ -440,10 +466,12 @@ let drop_lock t aid a =
       (match b.a_lock with
       | Write holder when Aid.equal holder aid ->
           b.a_lock <- Free;
-          b.a_cur <- None
+          b.a_cur <- None;
+          trace_release t aid a
       | Read readers when Aid.Set.mem aid readers ->
           let readers = Aid.Set.remove aid readers in
-          b.a_lock <- (if Aid.Set.is_empty readers then Free else Read readers)
+          b.a_lock <- (if Aid.Set.is_empty readers then Free else Read readers);
+          trace_release t aid a
       | Write _ | Read _ | Free -> ());
       service_atomic t a b
   | B_mutex b ->
@@ -469,6 +497,7 @@ let finish ~commit t aid =
                      | None -> ());
                   b.a_cur <- None;
                   b.a_lock <- Free;
+                  trace_release t aid a;
                   service_atomic t a b
               | Write _ | Read _ | Free -> drop_lock t aid a)
           | B_mutex _ | B_regular _ | B_placeholder _ -> drop_lock t aid a)
@@ -479,13 +508,25 @@ let finish ~commit t aid =
 (* A parked waiter whose wait was cancelled (timeout, or its guardian's
    runtime abandoning it) leaves the queue; removing a blocking head may
    unblock compatible waiters behind it. *)
+let trace_cancel t aid a =
+  if Trace.enabled () then
+    Trace.emit (Trace.Lock_cancel { heap = t.label; aid = aid_str aid; addr = a })
+
 let cancel_wait t aid a =
   match (obj t a).body with
   | B_atomic b ->
-      b.a_wait <- List.filter (fun w -> not (Aid.equal w.w_aid aid)) b.a_wait;
+      if List.exists (fun w -> Aid.equal w.w_aid aid) b.a_wait then begin
+        b.a_wait <- List.filter (fun w -> not (Aid.equal w.w_aid aid)) b.a_wait;
+        (* Emitted before successors are served, so the monitor's queue
+           model never sees a grant jump a waiter that had already left. *)
+        trace_cancel t aid a
+      end;
       service_atomic t a b
   | B_mutex b ->
-      b.m_wait <- List.filter (fun x -> not (Aid.equal x aid)) b.m_wait;
+      if List.exists (Aid.equal aid) b.m_wait then begin
+        b.m_wait <- List.filter (fun x -> not (Aid.equal x aid)) b.m_wait;
+        trace_cancel t aid a
+      end;
       service_mutex t a b
   | B_regular _ | B_placeholder _ -> ()
 

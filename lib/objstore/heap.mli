@@ -57,6 +57,20 @@ type runtime = {
 
 val set_runtime : t -> runtime option -> unit
 
+val set_label : t -> string -> unit
+(** Tag the heap with its owning guardian's name ("G0", …); stamped on
+    [Lock_*] trace events so the lock-legality spec monitor can keep
+    per-guardian lock state (object addresses collide across guardians).
+    Unlabeled heaps ("") are skipped by the monitor. *)
+
+val label : t -> string
+
+val set_allow_read_barging : bool -> unit
+(** Self-test mutation: make {!read_atomic} grant read locks directly even
+    when writers are queued — the pre-wait-queue barging path that starves
+    upgraders. Exists only so tests can verify the lock-legality spec
+    monitor catches it; reset to [false] after use. *)
+
 val cancel_wait : t -> Rs_util.Aid.t -> addr -> unit
 (** Remove [aid] from the wait queue of [addr] (timeout/crash path); may
     grant the lock to waiters that were queued behind it. *)

@@ -84,10 +84,190 @@ let repl_ship_order_on records =
     records;
   List.rev !violations
 
+(* log-monotonicity: within one labeled log stream, append addresses are
+   strictly increasing. [Log_switch] on a label forgives — the stream behind
+   it legitimately restarted (fresh pending log, housekeeping switch,
+   relabel). [Crash {gid}] forgives every stream the guardian owned ([gid]
+   itself and any [gid:...] sub-stream): its pending log is discarded and
+   recovery may rebuild from scratch. Sound under ring truncation: losing
+   old writes only loses violations, never invents one, because each check
+   relates a write to the latest {e earlier surviving} write of the same
+   label. *)
+let log_monotonic_on records =
+  let last : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let owned_by gid label =
+    label = gid
+    || String.length label > String.length gid
+       && String.sub label 0 (String.length gid + 1) = gid ^ ":"
+  in
+  let violations = ref [] in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Trace.Log_write { log; addr; _ } when log <> "" ->
+          (match Hashtbl.find_opt last log with
+          | Some prev when addr <= prev ->
+              violations :=
+                {
+                  monitor = "log-monotonicity";
+                  detail =
+                    Printf.sprintf "log %s address went backward %d -> %d (seq %d)" log prev addr
+                      r.seq;
+                }
+                :: !violations
+          | _ -> ());
+          Hashtbl.replace last log addr
+      | Trace.Log_switch { log } -> Hashtbl.remove last log
+      | Trace.Crash { gid } ->
+          let doomed =
+            Hashtbl.fold (fun label _ acc -> if owned_by gid label then label :: acc else acc) last
+              []
+          in
+          List.iter (Hashtbl.remove last) doomed
+      | _ -> ())
+    records;
+  List.rev !violations
+
+(* lock-legality: the Argus lock model over [Lock_*] events, per labeled
+   heap (bare heaps — label "" — are skipped; mutexes never emit
+   acquire/release so possession is out of scope here).
+
+   Two rules at every [Lock_acquire]:
+   - {e compatibility}: a write grant admits no other holder; a read grant
+     admits no write holder. The grantee's own prior read lock is exempt
+     (sole-reader in-place upgrade, idempotent re-acquire).
+   - {e no barging}: a grant that did not come off the wait queue must not
+     overtake a queued write-waiter of another action (readers may batch
+     past queued readers; writers and upgraders queue at the front and are
+     [was_queued] when served). This rule needs the full queue history, so
+     it is checked only when the ring has not wrapped — a truncated
+     [Lock_wait] would otherwise turn a legitimate queue-served grant into
+     a phantom direct one.
+
+   [Lock_cancel] (timeout/crash cleanup) removes the waiter before
+   successors are served; [Lock_timeout] is informational. [Crash {gid}]
+   clears all of that heap's state — the heap object is discarded.
+   Releases and cancels for unknown parties are ignored: recovery re-grants
+   write locks silently, so their completion-time releases have no visible
+   acquire. Sound under truncation by the suffix property: if an acquire
+   survives, every later release/cancel of the same ring survives too. *)
+let lock_legal_on records =
+  let wrapped = match records with [] -> false | (r : Trace.record) :: _ -> r.seq > 0 in
+  (* (heap, addr) -> holder list [(aid, kind)] / waiter list [(aid, write)] *)
+  let holders : (string * int, (string * Trace.lock_kind) list) Hashtbl.t = Hashtbl.create 64 in
+  let waiters : (string * int, (string * bool) list) Hashtbl.t = Hashtbl.create 64 in
+  let get tbl k = Option.value (Hashtbl.find_opt tbl k) ~default:[] in
+  let violations = ref [] in
+  let bad fmt =
+    Printf.ksprintf
+      (fun detail -> violations := { monitor = "lock-legality"; detail } :: !violations)
+      fmt
+  in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Trace.Lock_wait { heap; aid; addr; write; _ } when heap <> "" ->
+          let k = (heap, addr) in
+          Hashtbl.replace waiters k (get waiters k @ [ (aid, write) ])
+      | Trace.Lock_cancel { heap; aid; addr } when heap <> "" ->
+          let k = (heap, addr) in
+          Hashtbl.replace waiters k (List.filter (fun (a, _) -> a <> aid) (get waiters k))
+      | Trace.Lock_release { heap; aid; addr } when heap <> "" ->
+          let k = (heap, addr) in
+          Hashtbl.replace holders k (List.filter (fun (a, _) -> a <> aid) (get holders k))
+      | Trace.Crash { gid } ->
+          let clear tbl =
+            let doomed =
+              Hashtbl.fold (fun (h, a) _ acc -> if h = gid then (h, a) :: acc else acc) tbl []
+            in
+            List.iter (Hashtbl.remove tbl) doomed
+          in
+          clear holders;
+          clear waiters
+      | Trace.Lock_acquire { heap; aid; addr; kind } when heap <> "" ->
+          let k = (heap, addr) in
+          let hs = get holders k in
+          let others = List.filter (fun (a, _) -> a <> aid) hs in
+          let self_upgrade = kind = Trace.Write && List.mem (aid, Trace.Read) hs in
+          (match kind with
+          | Trace.Write ->
+              if others <> [] then
+                bad "%s: write grant to %s on addr %d overlaps holder(s) %s (seq %d)" heap aid
+                  addr
+                  (String.concat "," (List.map fst others))
+                  r.seq
+          | Trace.Read ->
+              if List.exists (fun (_, kd) -> kd = Trace.Write) others then
+                bad "%s: read grant to %s on addr %d overlaps write holder %s (seq %d)" heap aid
+                  addr
+                  (fst (List.find (fun (_, kd) -> kd = Trace.Write) others))
+                  r.seq);
+          let ws = get waiters k in
+          let was_queued = List.exists (fun (a, _) -> a = aid) ws in
+          if
+            (not wrapped) && (not was_queued) && (not self_upgrade)
+            && List.exists (fun (a, w) -> a <> aid && w) ws
+          then
+            bad "%s: direct %s grant to %s on addr %d barged past queued writer %s (seq %d)" heap
+              (match kind with Trace.Read -> "read" | Trace.Write -> "write")
+              aid addr
+              (fst (List.find (fun (a, w) -> a <> aid && w) ws))
+              r.seq;
+          Hashtbl.replace waiters k (List.filter (fun (a, _) -> a <> aid) ws);
+          let hs' =
+            match kind with
+            | Trace.Write -> (aid, Trace.Write) :: others
+            | Trace.Read -> if List.mem (aid, Trace.Read) hs then hs else (aid, Trace.Read) :: hs
+          in
+          Hashtbl.replace holders k hs'
+      | _ -> ())
+    records;
+  List.rev !violations
+
+(* handle-liveness: every [Handle_submit] is eventually matched by a
+   [Handle_resolve] — the funnel all submitted actions pass through,
+   including presumed-abort orphan resolution after a coordinator restart.
+   Only meaningful once the system has quiesced with every guardian up: if
+   any crashed guardian never came back (no later [Restart] and no
+   [Repl_promote] naming it), its in-flight handles legitimately dangle and
+   the whole check abstains. Sound under truncation: a surviving submit's
+   resolve is later and survives with it; a handle whose submit was
+   truncated is simply not tracked. *)
+let handle_liveness_on records =
+  let pending : (string, string * int) Hashtbl.t = Hashtbl.create 64 in
+  (* aid -> (gid, seq) *)
+  let down : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Trace.Handle_submit { gid; aid } -> Hashtbl.replace pending aid (gid, r.seq)
+      | Trace.Handle_resolve { aid; _ } -> Hashtbl.remove pending aid
+      | Trace.Crash { gid } -> Hashtbl.replace down gid ()
+      | Trace.Restart { gid; _ } -> Hashtbl.remove down gid
+      | Trace.Repl_promote { for_; _ } -> Hashtbl.remove down for_
+      | _ -> ())
+    records;
+  if Hashtbl.length down > 0 then []
+  else
+    Hashtbl.fold
+      (fun aid (gid, seq) acc ->
+        {
+          monitor = "handle-liveness";
+          detail = Printf.sprintf "handle %s on %s (seq %d) never resolved" aid gid seq;
+        }
+        :: acc)
+      pending []
+    |> List.sort (fun a b -> compare a.detail b.detail)
+
 let commit_implies_durable () = commit_implies_durable_on (Trace.events ())
 let repl_ship_order () = repl_ship_order_on (Trace.events ())
+let log_monotonic () = log_monotonic_on (Trace.events ())
+let lock_legal () = lock_legal_on (Trace.events ())
+let handle_liveness () = handle_liveness_on (Trace.events ())
 
-let check () = commit_implies_durable () @ repl_ship_order ()
+let check () =
+  commit_implies_durable () @ repl_ship_order () @ log_monotonic () @ lock_legal ()
+  @ handle_liveness ()
 
 let assert_ok ~where () =
   match check () with

@@ -25,9 +25,32 @@ val repl_ship_order : unit -> violation list
     then lasts until the watermark re-passes the mark it had when it was
     granted, since a re-seed replays the stream over several applies). *)
 
+val log_monotonic : unit -> violation list
+(** Per labeled log stream, [Log_write] addresses are strictly increasing.
+    [Log_switch] on the label forgives (the stream legitimately restarted);
+    [Crash {gid}] forgives every stream the guardian owned ([gid] and
+    [gid:...]). *)
+
+val lock_legal : unit -> violation list
+(** The Argus lock model over [Lock_*] events, per labeled heap: no grant
+    overlaps an incompatible holder (own-read upgrade exempt), and — when
+    the ring has not wrapped — no direct grant barges past another action's
+    queued write-waiter. *)
+
+val handle_liveness : unit -> violation list
+(** Every [Handle_submit] is eventually matched by a [Handle_resolve].
+    Abstains (returns nothing) while any crashed guardian has neither
+    restarted nor been replaced by a promotion — its handles legitimately
+    dangle. *)
+
+val commit_implies_durable_on : Trace.record list -> violation list
 val repl_ship_order_on : Trace.record list -> violation list
-(** {!repl_ship_order} over an explicit record list instead of the ring —
-    for unit tests over synthetic traces. *)
+val log_monotonic_on : Trace.record list -> violation list
+val lock_legal_on : Trace.record list -> violation list
+
+val handle_liveness_on : Trace.record list -> violation list
+(** The [_on] variants run over an explicit record list instead of the
+    ring — for unit tests over synthetic traces. *)
 
 val check : unit -> violation list
 (** All monitors over the current ring, in order. *)

@@ -6,8 +6,9 @@ type event =
   | Torn_write of { page : int }
   | Page_decay of { page : int }
   | Store_repair of { page : int }
-  | Log_write of { addr : int; bytes : int }
+  | Log_write of { log : string; addr : int; bytes : int }
   | Log_force of { log : string; entries : int; stream_bytes : int }
+  | Log_switch of { log : string }
   | Segment_alloc of { id : int; index : int }
   | Segment_retire of { id : int }
   | Repl_ship of { src : string; dst : string; epoch : int; base : int; entries : int; bytes : int }
@@ -15,10 +16,14 @@ type event =
   | Repl_promote of { heir : string; for_ : string; epoch : int; watermark : int }
   | Twopc_send of { src : string; dst : string; msg : string }
   | Twopc_recv of { src : string; dst : string; msg : string }
-  | Lock_acquire of { aid : string; addr : int; kind : lock_kind }
+  | Lock_acquire of { heap : string; aid : string; addr : int; kind : lock_kind }
+  | Lock_release of { heap : string; aid : string; addr : int }
   | Lock_conflict of { aid : string; holder : string; addr : int }
-  | Lock_wait of { aid : string; holder : string; addr : int }
-  | Lock_timeout of { aid : string; addr : int }
+  | Lock_wait of { heap : string; aid : string; holder : string; addr : int; write : bool }
+  | Lock_timeout of { heap : string; aid : string; addr : int }
+  | Lock_cancel of { heap : string; aid : string; addr : int }
+  | Handle_submit of { gid : string; aid : string }
+  | Handle_resolve of { gid : string; aid : string; committed : bool }
   | Action_shed of { gid : string; in_flight : int }
   | Uid_mint of { source : string; uid : int }
   | Uid_reserve of { gid : string; lo : int; count : int }
@@ -35,6 +40,7 @@ type event =
   | Explore_schedule of { id : int; points : int }
   | Explore_violation of { oracle : string; schedule : string }
   | Explore_shrunk of { points : int; schedule : string }
+  | Nemesis of { kind : string; target : string }
   | Note of string
 
 type record = { seq : int; time : float; event : event }
@@ -82,9 +88,11 @@ let pp_event fmt = function
   | Torn_write { page } -> Format.fprintf fmt "torn_write{page=%d}" page
   | Page_decay { page } -> Format.fprintf fmt "page_decay{page=%d}" page
   | Store_repair { page } -> Format.fprintf fmt "store_repair{page=%d}" page
-  | Log_write { addr; bytes } -> Format.fprintf fmt "log_write{addr=%d bytes=%d}" addr bytes
+  | Log_write { log; addr; bytes } ->
+      Format.fprintf fmt "log_write{log=%s addr=%d bytes=%d}" log addr bytes
   | Log_force { log; entries; stream_bytes } ->
       Format.fprintf fmt "log_force{log=%s entries=%d stream_bytes=%d}" log entries stream_bytes
+  | Log_switch { log } -> Format.fprintf fmt "log_switch{log=%s}" log
   | Repl_ship { src; dst; epoch; base; entries; bytes } ->
       Format.fprintf fmt "repl_ship{%s->%s epoch=%d base=%d entries=%d bytes=%d}" src dst epoch
         base entries bytes
@@ -98,13 +106,22 @@ let pp_event fmt = function
   | Segment_retire { id } -> Format.fprintf fmt "segment_retire{id=%d}" id
   | Twopc_send { src; dst; msg } -> Format.fprintf fmt "2pc_send{%s->%s %s}" src dst msg
   | Twopc_recv { src; dst; msg } -> Format.fprintf fmt "2pc_recv{%s->%s %s}" src dst msg
-  | Lock_acquire { aid; addr; kind } ->
-      Format.fprintf fmt "lock_acquire{aid=%s addr=%d %a}" aid addr pp_lock_kind kind
+  | Lock_acquire { heap; aid; addr; kind } ->
+      Format.fprintf fmt "lock_acquire{heap=%s aid=%s addr=%d %a}" heap aid addr pp_lock_kind kind
+  | Lock_release { heap; aid; addr } ->
+      Format.fprintf fmt "lock_release{heap=%s aid=%s addr=%d}" heap aid addr
   | Lock_conflict { aid; holder; addr } ->
       Format.fprintf fmt "lock_conflict{aid=%s holder=%s addr=%d}" aid holder addr
-  | Lock_wait { aid; holder; addr } ->
-      Format.fprintf fmt "lock_wait{aid=%s holder=%s addr=%d}" aid holder addr
-  | Lock_timeout { aid; addr } -> Format.fprintf fmt "lock_timeout{aid=%s addr=%d}" aid addr
+  | Lock_wait { heap; aid; holder; addr; write } ->
+      Format.fprintf fmt "lock_wait{heap=%s aid=%s holder=%s addr=%d write=%b}" heap aid holder
+        addr write
+  | Lock_timeout { heap; aid; addr } ->
+      Format.fprintf fmt "lock_timeout{heap=%s aid=%s addr=%d}" heap aid addr
+  | Lock_cancel { heap; aid; addr } ->
+      Format.fprintf fmt "lock_cancel{heap=%s aid=%s addr=%d}" heap aid addr
+  | Handle_submit { gid; aid } -> Format.fprintf fmt "handle_submit{gid=%s aid=%s}" gid aid
+  | Handle_resolve { gid; aid; committed } ->
+      Format.fprintf fmt "handle_resolve{gid=%s aid=%s committed=%b}" gid aid committed
   | Action_shed { gid; in_flight } ->
       Format.fprintf fmt "action_shed{gid=%s in_flight=%d}" gid in_flight
   | Uid_mint { source; uid } -> Format.fprintf fmt "uid_mint{source=%s uid=%d}" source uid
@@ -131,6 +148,7 @@ let pp_event fmt = function
       Format.fprintf fmt "explore_violation{oracle=%s schedule=%s}" oracle schedule
   | Explore_shrunk { points; schedule } ->
       Format.fprintf fmt "explore_shrunk{points=%d schedule=%s}" points schedule
+  | Nemesis { kind; target } -> Format.fprintf fmt "nemesis{%s target=%s}" kind target
   | Note s -> Format.fprintf fmt "note{%s}" s
 
 let pp_record fmt r = Format.fprintf fmt "#%-6d t=%-12g %a" r.seq r.time pp_event r.event

@@ -19,10 +19,15 @@ type event =
   | Torn_write of { page : int }  (** a crash interrupted this write *)
   | Page_decay of { page : int }
   | Store_repair of { page : int }  (** stable-store recovery fixed a pair *)
-  | Log_write of { addr : int; bytes : int }  (** entry buffered in the log *)
+  | Log_write of { log : string; addr : int; bytes : int }
+      (** entry buffered in the log; [log] is the owning log's label *)
   | Log_force of { log : string; entries : int; stream_bytes : int }
       (** pending entries pushed to stable storage; [log] is the owning
           log's label ("G0", "G1:standby", …; "" if unlabeled) *)
+  | Log_switch of { log : string }
+      (** the stream behind label [log] legitimately restarted or changed
+          owner (a fresh pending log, a housekeeping switch, a relabel) —
+          the monotonicity monitor's forgiveness point *)
   | Segment_alloc of { id : int; index : int }
       (** a segmented log grew by one careful-replicated segment store *)
   | Segment_retire of { id : int }
@@ -37,12 +42,29 @@ type event =
           watermark, under the freshly bumped epoch *)
   | Twopc_send of { src : string; dst : string; msg : string }
   | Twopc_recv of { src : string; dst : string; msg : string }
-  | Lock_acquire of { aid : string; addr : int; kind : lock_kind }
+  | Lock_acquire of { heap : string; aid : string; addr : int; kind : lock_kind }
+      (** a lock grant — direct or served from the queue. [heap] is the
+          owning guardian's label ("" for bare heaps, which the lock
+          monitor skips). Allocation grants the creator's read lock
+          through here too; recovery's silent re-grants do not. *)
+  | Lock_release of { heap : string; aid : string; addr : int }
+      (** the holder released at action completion (commit or abort) *)
   | Lock_conflict of { aid : string; holder : string; addr : int }
-  | Lock_wait of { aid : string; holder : string; addr : int }
-      (** the requester joined the object's FIFO wait queue behind [holder] *)
-  | Lock_timeout of { aid : string; addr : int }
+  | Lock_wait of { heap : string; aid : string; holder : string; addr : int; write : bool }
+      (** the requester joined the object's FIFO wait queue behind [holder];
+          [write] covers upgrades (which queue at the front) and mutex
+          possession *)
+  | Lock_timeout of { heap : string; aid : string; addr : int }
       (** the wait timed out (presumed deadlock); the action aborts *)
+  | Lock_cancel of { heap : string; aid : string; addr : int }
+      (** the waiter left the queue without a grant (timeout or crash
+          cleanup) — emitted before successors are served *)
+  | Handle_submit of { gid : string; aid : string }
+      (** [System.submit] created a handle (admission checks already
+          passed); [gid] is the coordinator *)
+  | Handle_resolve of { gid : string; aid : string; committed : bool }
+      (** the handle resolved — the single point every submitted action
+          funnels through, including presumed-abort orphan resolution *)
   | Action_shed of { gid : string; in_flight : int }
       (** admission control refused a submission: guardian at capacity *)
   | Uid_mint of { source : string; uid : int }
@@ -70,6 +92,9 @@ type event =
       (** an oracle failed after recovery from this schedule *)
   | Explore_shrunk of { points : int; schedule : string }
       (** minimal counterexample after shrinking *)
+  | Nemesis of { kind : string; target : string }
+      (** a nemesis fault-schedule event fired ("decay", "partition",
+          "heal", "crash", "restart", "promote", …) against [target] *)
   | Note of string
 
 type record = { seq : int; time : float; event : event }

@@ -161,10 +161,17 @@ let open_ t =
 
 let current t = t.cur_log
 
+(* The pending log coexists with the current one during incremental
+   checkpointing; a distinct label keeps their interleaved writes apart in
+   the trace (the monotonicity monitor tracks per-label streams). *)
+let pending_label t = if t.label = "" then "" else t.label ^ ":pending"
+
 let set_label t s =
   t.label <- s;
   Stable_log.set_label t.cur_log s;
-  match t.pending with Some log -> Stable_log.set_label log s | None -> ()
+  match t.pending with
+  | Some log -> Stable_log.set_label log (pending_label t)
+  | None -> ()
 
 let label t = t.label
 
@@ -173,7 +180,7 @@ let set_on_switch t h = t.on_switch <- h
 let begin_new t =
   let spare = 1 - t.cur in
   let log = mk_log ~page_size:t.page_size t.pool t.slots.(spare) in
-  Stable_log.set_label log t.label;
+  Stable_log.set_label log (pending_label t);
   t.pending <- Some log;
   log
 
@@ -189,6 +196,8 @@ let switch ?low_water t =
       t.cur <- 1 - t.cur;
       t.cur_log <- log;
       t.pending <- None;
+      (* Promote the pending log's trace stream to the owner label. *)
+      Stable_log.set_label log t.label;
       (* Retire the old generation below the checkpoint's low-water mark
          through the documented commit point (header write, then page
          release — a crash between the two leaves orphans for [open_]),

@@ -202,7 +202,11 @@ let mk ~store ~page_size ~seg ~cache_pages ~forced_len ~low_water ~forced_entrie
     on_force = None;
   }
 
-let set_label t s = t.label <- s
+let set_label t s =
+  t.label <- s;
+  (* Every relabel is a legitimate stream restart/ownership change — the
+     forgiveness point for the log-monotonicity spec monitor. *)
+  if s <> "" then Trace.emit (Trace.Log_switch { log = s })
 let label t = t.label
 let set_on_force t h = t.on_force <- h
 
@@ -480,7 +484,7 @@ let write t entry =
   t.last_pending <- Some a;
   t.pending_bytes <- t.pending_bytes + frame_overhead + String.length entry;
   Metrics.incr m_writes;
-  Trace.emit (Trace.Log_write { addr = a; bytes = String.length entry });
+  Trace.emit (Trace.Log_write { log = t.label; addr = a; bytes = String.length entry });
   a
 
 (* The store (and the store page within it) backing stream page [p],

@@ -1,0 +1,17 @@
+type t = { mutable started : int; mutable completed : int; mutable compensated : int }
+
+let create () = { started = 0; completed = 0; compensated = 0 }
+let start t = t.started <- t.started + 1
+let complete t = t.completed <- t.completed + 1
+let compensate t = t.compensated <- t.compensated + 1
+let started t = t.started
+let completed t = t.completed
+let compensated t = t.compensated
+
+let check t =
+  if t.started = t.completed + t.compensated then Ok ()
+  else
+    Error
+      (Printf.sprintf "%d sagas started, %d completed + %d compensated: %d half-applied"
+         t.started t.completed t.compensated
+         (t.started - t.completed - t.compensated))

@@ -1,0 +1,22 @@
+(** Bookkeeping for the [Saga] load profile: a multi-step business
+    transaction run as a chain of top actions, each atomic on its own,
+    with a compensating action undoing the first leg when a later leg
+    fails terminally.
+
+    The driver calls {!start} when leg one commits (the saga is now
+    half-applied), then either {!complete} when the final leg commits or
+    {!compensate} when the compensation commits. Compensations retry
+    without bound — a started saga may not be abandoned — so at
+    quiescence {!check} demands [started = completed + compensated]: no
+    half-applied saga survives. *)
+
+type t
+
+val create : unit -> t
+val start : t -> unit
+val complete : t -> unit
+val compensate : t -> unit
+val started : t -> int
+val completed : t -> int
+val compensated : t -> int
+val check : t -> (unit, string) result

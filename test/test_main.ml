@@ -24,6 +24,7 @@ let () =
       ("explore", Test_explore.suite);
       ("load", Test_load.suite);
       ("dir", Test_dir.suite);
-      (* Last: also runs the always-on spec monitors over the trace ring. *)
       ("repl", Test_repl.suite);
+      (* Last: also runs the always-on spec monitors over the trace ring. *)
+      ("nemesis", Test_nemesis.suite);
     ]
