@@ -281,13 +281,13 @@ let explore seed scheme_name budget max_depth break_force =
     | "all" ->
         [
           "simple"; "hybrid"; "shadow"; "segments"; "twopc"; "group"; "load"; "shards"; "repl";
-          "ckpt";
+          "ckpt"; "mvcc";
         ]
     | ( "simple" | "hybrid" | "shadow" | "segments" | "twopc" | "group" | "load" | "shards"
-      | "repl" | "ckpt" ) as s -> [ s ]
+      | "repl" | "ckpt" | "mvcc" ) as s -> [ s ]
     | s ->
         Printf.eprintf
-          "unknown target %s (simple|hybrid|shadow|segments|twopc|group|load|shards|repl|ckpt|all)\n"
+          "unknown target %s (simple|hybrid|shadow|segments|twopc|group|load|shards|repl|ckpt|mvcc|all)\n"
           s;
         exit 2
   in
@@ -314,7 +314,7 @@ let explore_cmd =
     Arg.(value
          & opt string "all"
          & info [ "scheme" ]
-             ~doc:"simple|hybrid|shadow|segments|twopc|group|load|shards|repl|ckpt|all.")
+             ~doc:"simple|hybrid|shadow|segments|twopc|group|load|shards|repl|ckpt|mvcc|all.")
   in
   let budget =
     Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc:"Maximum crash schedules per target.")
@@ -517,10 +517,11 @@ let recover_demo actions cycles json =
   in
   let entries r = r.Core.Tables.Recovery_report.info.Core.Tables.Recovery_info.entries_processed in
   let stable_int h name =
-    match Heap.get_stable_var h name with
-    | Some (Value.Ref a) -> (
-        match (Heap.atomic_view h a).base with Value.Int v -> Some v | _ -> None)
-    | Some _ | None -> None
+    Heap.with_snapshot h (fun s ->
+        match Heap.snapshot_var h s name with
+        | Some (Value.Ref a) -> (
+            match Heap.snapshot_read h s a with Value.Int v -> Some v | _ -> None)
+        | Some _ | None -> None)
   in
   let diverged =
     List.filter_map

@@ -281,6 +281,54 @@ else
   echo "nemesis ok (python3 unavailable; zero-violation keys checked only)"
 fi
 
+echo "== bench smoke: e15 --metrics-json -> BENCH_10.json =="
+# Committed artifact: e15 sweeps a 90/10 read-mostly closed loop over
+# concurrency, locked-read baseline vs MVCC snapshot reads. Virtual time
+# end to end, so the JSON is deterministic. The gates are the MVCC
+# contract: snapshot reads take zero read locks and abort zero reads at
+# every concurrency (a reader wait-timeout would surface as a read
+# abort), and at conc 32 the snapshot-read p99 beats both the paired
+# locked row and the e10 all-update locked baseline (p99 48.7).
+dune exec bench/main.exe -- e15 --metrics-json BENCH_10.json >/dev/null
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - BENCH_10.json <<'EOF'
+import json, sys
+g = json.load(open(sys.argv[1]))["gauges"]
+for c in (1, 4, 8, 16, 32):
+    locks = g[f"e15.mvcc.c{c}.read_locks"]
+    rab = g[f"e15.mvcc.c{c}.reads_aborted"]
+    rc = g[f"e15.mvcc.c{c}.reads_committed"]
+    assert locks == 0, f"mvcc conc {c}: snapshot reads took {locks} read locks"
+    assert rab == 0, f"mvcc conc {c}: {rab} read-only actions aborted"
+    assert rc > 0, f"mvcc conc {c}: no snapshot reads committed (vacuous run)"
+    assert g[f"e15.locked.c{c}.read_locks"] > 0, \
+        f"locked baseline at conc {c} took no read locks (vacuous baseline)"
+    assert rc > g[f"e15.locked.c{c}.reads_committed"], \
+        f"mvcc conc {c} did not out-commit the locked baseline"
+p99_mvcc = g["e15.mvcc.c32.read_p99_x10"] / 10
+p99_lock = g["e15.locked.c32.read_p99_x10"] / 10
+assert p99_mvcc < p99_lock, \
+    f"mvcc read p99 ({p99_mvcc}) not below locked baseline ({p99_lock})"
+assert p99_mvcc < 48.7, \
+    f"mvcc read p99 ({p99_mvcc}) not below the e10 locked-action baseline (48.7)"
+print(f"mvcc ok: zero read locks & zero read aborts at every concurrency, "
+      f"conc-32 read p99 {p99_mvcc} vs locked {p99_lock} (e10 baseline 48.7), "
+      f"reads committed {g['e15.mvcc.c32.reads_committed']} vs "
+      f"locked {g['e15.locked.c32.reads_committed']}")
+EOF
+else
+  for c in 1 4 8 16 32; do
+    grep -q "\"e15.mvcc.c$c.read_locks\": 0" BENCH_10.json ||
+      { echo "e15.mvcc.c$c.read_locks missing or nonzero"; exit 1; }
+    grep -q "\"e15.mvcc.c$c.reads_aborted\": 0" BENCH_10.json ||
+      { echo "e15.mvcc.c$c.reads_aborted missing or nonzero"; exit 1; }
+  done
+  grep -q '"e15.mvcc.c32.reads_committed": [1-9]' BENCH_10.json ||
+    { echo "e15.mvcc.c32.reads_committed missing or zero"; exit 1; }
+  echo "mvcc ok (python3 unavailable; zero-lock/zero-abort keys checked only)"
+fi
+
 echo "== nemesis gate: seeded fault schedules clean for every profile =="
 for profile in synthetic bank reservation queue saga; do
   OUT=$(dune exec bin/argusctl.exe -- nemesis --profile "$profile" \
@@ -325,7 +373,7 @@ case "$OUT" in
 esac
 
 echo "== exploration gate: every target survives 200 crash schedules =="
-for target in simple hybrid shadow segments twopc group load shards repl ckpt; do
+for target in simple hybrid shadow segments twopc group load shards repl ckpt mvcc; do
   OUT=$(dune exec bin/argusctl.exe -- explore --scheme "$target" --budget 200)
   echo "$OUT"
   case "$OUT" in

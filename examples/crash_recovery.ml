@@ -28,10 +28,11 @@ let set_var name v : System.work =
 
 let stable_int gd name =
   let heap = Guardian.heap gd in
-  match Heap.get_stable_var heap name with
-  | Some (Value.Ref a) -> (
-      match (Heap.atomic_view heap a).base with Value.Int v -> Some v | _ -> None)
-  | Some _ | None -> None
+  Heap.with_snapshot heap (fun s ->
+      match Heap.snapshot_var heap s name with
+      | Some (Value.Ref a) -> (
+          match Heap.snapshot_read heap s a with Value.Int v -> Some v | _ -> None)
+      | Some _ | None -> None)
 
 let run_one ~victim ~crash_after =
   let sys = System.create ~n:2 () in

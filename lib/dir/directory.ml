@@ -85,12 +85,13 @@ let heap_of t g = Guardian.heap (System.guardian t.system g)
 
 let watermark t =
   let heap = heap_of t t.master in
-  match Heap.get_stable_var heap key_hwm with
-  | Some (Value.Ref a) -> (
-      match (Heap.atomic_view heap a).Heap.base with
-      | Value.Int w -> w
-      | _ -> failwith "Directory: watermark is not an int")
-  | Some _ | None -> failwith "Directory: watermark missing"
+  Heap.with_snapshot heap (fun s ->
+      match Heap.snapshot_var heap s key_hwm with
+      | Some (Value.Ref a) -> (
+          match Heap.snapshot_read heap s a with
+          | Value.Int w -> w
+          | _ -> failwith "Directory: watermark is not an int")
+      | Some _ | None -> failwith "Directory: watermark missing")
 
 (* --- pool minting ------------------------------------------------------ *)
 
@@ -158,19 +159,19 @@ let reserve_async ?(on_ready = fun () -> ()) t g =
       match
         System.submit t.system ~coordinator:t.master
           ~steps:[ (t.master, reserve_step t result) ]
-          ~on_result:(fun _ outcome ->
-            match outcome with
-            | System.Committed ->
-                add_range t g ~lo:!result;
-                p.reserving <- false;
-                let ws = List.rev p.waiters in
-                p.waiters <- [];
-                List.iter (fun k -> k ()) ws
-            | System.Aborted ->
-                Metrics.incr m_reserve_aborts;
-                Sim.schedule sim ~delay:retry_delay attempt)
       with
-      | _handle -> ()
+      | h ->
+          Rs_guardian.Action.on_resolve h (fun _ outcome ->
+              match outcome with
+              | System.Committed ->
+                  add_range t g ~lo:!result;
+                  p.reserving <- false;
+                  let ws = List.rev p.waiters in
+                  p.waiters <- [];
+                  List.iter (fun k -> k ()) ws
+              | System.Aborted ->
+                  Metrics.incr m_reserve_aborts;
+                  Sim.schedule sim ~delay:retry_delay attempt)
       | exception (System.Guardian_down _ | System.Overloaded _) ->
           (* Master dead or at capacity: back off and re-ask. Like every
              retry against a down guardian, this only drains once someone
@@ -236,7 +237,7 @@ let create ?(batch = 64) ?(base = 1024) ?master ?(debug_checks = true) ~system ~
 
 (* --- routing ----------------------------------------------------------- *)
 
-let submit ?on_result ?coordinator t ~steps =
+let submit ?mode ?coordinator t ~steps =
   let routed = List.map (fun (key, w) -> (locate t key, w)) steps in
   let coord =
     match coordinator with
@@ -254,7 +255,7 @@ let submit ?on_result ?coordinator t ~steps =
     Trace.emit
       (Trace.Dir_route
          { coordinator = gid_str coord; shards = List.length distinct; cross });
-  System.submit ?on_result t.system ~coordinator:coord ~steps:routed
+  System.submit ?mode t.system ~coordinator:coord ~steps:routed
 
 let create_step key init uid_out heap aid =
   let a = Heap.alloc_atomic heap ~creator:aid init in
@@ -294,23 +295,58 @@ let rec create_object_async ?(on_done = fun (_ : Uid.t) -> ()) t ~key ~init =
   else
     let uid_out = ref None in
     match
-      System.submit t.system ~coordinator:g
-        ~steps:[ (g, create_step key init uid_out) ]
-        ~on_result:(fun _ outcome ->
-          match outcome with
-          | System.Committed -> (
-              match !uid_out with Some u -> on_done u | None -> assert false)
-          | System.Aborted -> retry ())
+      System.submit t.system ~coordinator:g ~steps:[ (g, create_step key init uid_out) ]
     with
-    | _handle -> ()
+    | h ->
+        Rs_guardian.Action.on_resolve h (fun _ outcome ->
+            match outcome with
+            | System.Committed -> (
+                match !uid_out with Some u -> on_done u | None -> assert false)
+            | System.Aborted -> retry ())
     | exception (System.Guardian_down _ | System.Overloaded _) -> retry ()
 
-let read_committed t key =
-  let heap = heap_of t (locate t key) in
-  match Heap.get_stable_var heap key with
-  | Some (Value.Ref a) -> Some (Heap.atomic_view heap a).Heap.base
-  | Some v -> Some v
-  | None -> None
+(* The unified committed-read path: a true snapshot read on the owning
+   shard — binding and value come from one committed cut. *)
+let snapshot_read t key =
+  System.read_only t.system (locate t key) (fun ro ->
+      match System.ro_var ro key with
+      | Some (Value.Ref a) -> Some (System.ro_read ro a)
+      | Some v -> Some v
+      | None -> None)
+
+(* Cross-shard consistent multi-key read: one read-only action whose steps
+   span every owning shard; [System.submit ~mode:Read_only] opens all the
+   shard snapshots at the same virtual instant — the coordinator-chosen
+   stamp — so the values form one consistent cut. *)
+let snapshot_read_multi t keys =
+  if keys = [] then invalid_arg "Directory.snapshot_read_multi: no keys";
+  let results : (string, Value.t option) Hashtbl.t = Hashtbl.create (List.length keys) in
+  let step key : System.work =
+   fun heap aid ->
+    let s = match Heap.read_only_of heap aid with Some s -> s | None -> assert false in
+    let v =
+      match Heap.snapshot_var heap s key with
+      | Some (Value.Ref a) -> Some (Heap.snapshot_read heap s a)
+      | Some v -> Some v
+      | None -> None
+    in
+    Hashtbl.replace results key v
+  in
+  let routed = List.map (fun k -> (locate t k, step k)) keys in
+  let coord = fst (List.hd routed) in
+  let distinct = List.sort_uniq Gid.compare (List.map fst routed) in
+  let cross = List.compare_length_with distinct 1 > 0 in
+  Metrics.incr m_routes;
+  if cross then Metrics.incr m_cross_routes;
+  if Trace.enabled () then
+    Trace.emit
+      (Trace.Dir_route { coordinator = gid_str coord; shards = List.length distinct; cross });
+  ignore
+    (System.submit ~mode:System.Read_only t.system ~coordinator:coord ~steps:routed
+      : Rs_guardian.Action.handle);
+  List.map (fun k -> (k, Hashtbl.find results k)) keys
+
+let read_committed = snapshot_read
 
 (* --- crashes ----------------------------------------------------------- *)
 

@@ -97,15 +97,17 @@ val resolve : t -> Rs_util.Gid.t -> Rs_util.Gid.t
     currently serving it (identity when no failover happened). *)
 
 val submit :
-  ?on_result:(Rs_util.Aid.t -> System.outcome -> unit) ->
+  ?mode:System.mode ->
   ?coordinator:Rs_util.Gid.t ->
   t ->
   steps:(string * System.work) list ->
   Rs_guardian.Action.handle
-(** Route each step's key to its shard and submit over 2PC. The
-    coordinator defaults to the first step's shard ([?coordinator]
-    overrides — it need not be a participant). Raises like
-    {!System.submit}. *)
+(** Route each step's key to its shard and submit over 2PC (or, with
+    [~mode:Read_only], as a lock-free snapshot action). The coordinator
+    defaults to the first step's shard ([?coordinator] overrides — it
+    need not be a participant). For a result callback, register
+    {!Rs_guardian.Action.on_resolve} on the returned handle. Exception
+    and outcome surface: see {!System.submit}. *)
 
 val create_object : ?retries:int -> t -> key:string -> init:Rs_objstore.Value.t -> Rs_util.Uid.t
 (** Synchronously create an atomic object bound to stable variable [key]
@@ -118,9 +120,26 @@ val create_object_async :
     explorer): never steps the simulator itself; retries aborts, shed and
     down shards in virtual time. *)
 
+val snapshot_read : t -> string -> Rs_objstore.Value.t option
+(** Committed value of the object bound to [key], read through a true
+    MVCC snapshot on its owning shard (one read-only action: the binding
+    and the value come from a single consistent committed cut, with zero
+    lock acquisition). [None] if unbound. Raises {!System.Guardian_down}
+    if the owning shard is down. *)
+
+val snapshot_read_multi : t -> string list -> (string * Rs_objstore.Value.t option) list
+(** Consistent multi-key read, possibly across shards: one read-only
+    action whose steps span every owning shard. All shard snapshots open
+    at the same virtual instant — the coordinator-chosen stamp — so the
+    returned values form one consistent cross-shard cut (no committed
+    writer can fall between two of the reads). Order follows [keys].
+    Raises {!System.Guardian_down} if any owning shard is down and
+    [Invalid_argument] on an empty key list. *)
+
 val read_committed : t -> string -> Rs_objstore.Value.t option
-(** Committed (base) value of the object bound to [key] on its owning
-    shard; [None] if unbound. The owning guardian must be up. *)
+[@@ocaml.deprecated "use Directory.snapshot_read"]
+(** @deprecated Alias of {!snapshot_read} (it is now a true snapshot
+    read; the historical name survives for older callers). *)
 
 (** {1 Crashes} *)
 

@@ -391,10 +391,11 @@ let explore_twopc ?(config = default_config) () =
   in
   let stable_int sys i name =
     let heap = Guardian.heap (System.guardian sys (g i)) in
-    match Heap.get_stable_var heap name with
-    | Some (Value.Ref a) -> (
-        match (Heap.atomic_view heap a).base with Value.Int v -> Some v | _ -> None)
-    | Some _ | None -> None
+    Heap.with_snapshot heap (fun s ->
+        match Heap.snapshot_var heap s name with
+        | Some (Value.Ref a) -> (
+            match Heap.snapshot_read heap s a with Value.Int v -> Some v | _ -> None)
+        | Some _ | None -> None)
   in
   (* x on guardian 0, y on guardian 1, both committed to 1; the explored
      action is the distributed transfer writing both to 2. *)
@@ -1015,16 +1016,14 @@ let explore_repl ?(config = default_config) () =
     let rec attempt tries () =
       if tries > 0 then begin
         let target = Pair.primary p in
-        match
-          System.submit sys ~coordinator:target
-            ~on_result:(fun _ o ->
-              incr resolved;
-              match o with
-              | System.Committed -> incr committed
-              | System.Aborted -> Sim.schedule sim ~delay:1.0 (attempt (tries - 1)))
-            ~steps:[ (target, work) ]
-        with
-        | _h -> incr issued
+        match System.submit sys ~coordinator:target ~steps:[ (target, work) ] with
+        | h ->
+            incr issued;
+            Rs_guardian.Action.on_resolve h (fun _ o ->
+                incr resolved;
+                match o with
+                | System.Committed -> incr committed
+                | System.Aborted -> Sim.schedule sim ~delay:1.0 (attempt (tries - 1)))
         | exception System.Guardian_down _ ->
             Sim.schedule sim ~delay:1.5 (attempt (tries - 1))
         | exception System.Overloaded _ ->
@@ -1052,10 +1051,11 @@ let explore_repl ?(config = default_config) () =
   in
   let stable_int sys gid name =
     let heap = Guardian.heap (System.guardian sys gid) in
-    match Heap.get_stable_var heap name with
-    | Some (Value.Ref a) -> (
-        match (Heap.atomic_view heap a).base with Value.Int v -> Some v | _ -> None)
-    | Some _ | None -> None
+    Heap.with_snapshot heap (fun s ->
+        match Heap.snapshot_var heap s name with
+        | Some (Value.Ref a) -> (
+            match Heap.snapshot_read heap s a with Value.Int v -> Some v | _ -> None)
+        | Some _ | None -> None)
   in
   let run sched =
     Metrics.incr m_schedules;
@@ -1214,10 +1214,11 @@ let explore_ckpt ?(config = default_config) () =
         Heap.set_stable_var heap aid name (Value.Ref a)
   in
   let heap_int heap name =
-    match Heap.get_stable_var heap name with
-    | Some (Value.Ref a) -> (
-        match (Heap.atomic_view heap a).base with Value.Int v -> Some v | _ -> None)
-    | Some _ | None -> None
+    Heap.with_snapshot heap (fun s ->
+        match Heap.snapshot_var heap s name with
+        | Some (Value.Ref a) -> (
+            match Heap.snapshot_read heap s a with Value.Int v -> Some v | _ -> None)
+        | Some _ | None -> None)
   in
   let setup () =
     let sys = System.create ~seed:config.seed ~latency:1.0 ~n:2 () in
@@ -1238,16 +1239,17 @@ let explore_ckpt ?(config = default_config) () =
       if tries > 0 then
         match
           System.submit sys ~coordinator:(g 0)
-            ~on_result:(fun _ o ->
-              incr resolved;
-              match o with
-              | System.Committed ->
-                  incr committed;
-                  acked_max := max !acked_max i
-              | System.Aborted -> ())
             ~steps:[ (g 0, set_var "x" i); (g 1, set_var "y" i) ]
         with
-        | _h -> incr issued
+        | h ->
+            incr issued;
+            Rs_guardian.Action.on_resolve h (fun _ o ->
+                incr resolved;
+                match o with
+                | System.Committed ->
+                    incr committed;
+                    acked_max := max !acked_max i
+                | System.Aborted -> ())
         | exception System.Guardian_down _ ->
             Sim.schedule sim ~delay:1.5 (attempt i (tries - 1))
         | exception System.Overloaded _ ->
@@ -1383,6 +1385,138 @@ let explore_ckpt ?(config = default_config) () =
   let schedules = enumerate config points in
   drive_schedules ~target:"ckpt" ~points ~schedules ~run
 
+(* ------------------------------------------------------------------ *)
+(* Mvcc target: crashes under mixed snapshot-read / update traffic.   *)
+
+(* A read-heavy, high-conflict Rs_load run: half the operations are MVCC
+   read-only actions pinning snapshots while writers install versions,
+   so event-boundary crashes land with chains grown, snapshots open and
+   writers mid-2PC. Each schedule replays the seeded run, crashes an
+   alternating victim, restarts it and drains. Oracles: the drain
+   terminates with every handle resolved, updates AND snapshot reads made
+   progress, committed counters match the model, reads were monotone
+   (Load.check), the spec monitors — snapshot-legality included — stay
+   quiet, and after the drain no stale version survives: every atomic
+   object on every guardian is back to a single version with zero active
+   snapshots. *)
+let explore_mvcc ?(config = default_config) () =
+  let module System = Rs_guardian.System in
+  let module Guardian = Rs_guardian.Guardian in
+  let module Sim = Rs_sim.Sim in
+  let module Load = Rs_load.Load in
+  let cfg =
+    {
+      Load.default with
+      seed = config.seed;
+      guardians = 2;
+      conflict = 0.8;
+      duration = 40.0;
+      objects_per_guardian = 3;
+      mode = Load.Closed { clients = 6; think = 0.5 };
+      wait_timeout = 10.0;
+      read_fraction = 0.5;
+    }
+  in
+  let events =
+    let t = Load.create cfg in
+    Load.start t;
+    let sim = System.sim (Load.system t) in
+    let n = ref 0 in
+    while Sim.step sim do
+      incr n
+    done;
+    !n
+  in
+  let points =
+    let cap = min events 20 in
+    List.init cap (fun i -> 1 + (i * events / cap))
+    |> List.sort_uniq compare
+    |> List.mapi (fun i nth -> { Fault.op = i; point = Fault.Event_boundary { nth } })
+  in
+  let run sched =
+    Metrics.incr m_schedules;
+    Rs_obs.Trace.clear ();
+    let found = ref None in
+    let note = function [] -> () | v :: _ -> if !found = None then found := Some v in
+    (try
+       let t = Load.create cfg in
+       Load.start t;
+       let sys = Load.system t in
+       let sim = System.sim sys in
+       let stepped = ref 0 in
+       let crashes =
+         List.filter_map
+           (function { Fault.point = Fault.Event_boundary { nth }; _ } -> Some nth | _ -> None)
+           sched
+         |> List.sort_uniq compare
+       in
+       List.iteri
+         (fun i nth ->
+           while !stepped < nth && Sim.step sim do
+             incr stepped
+           done;
+           let victim = Rs_util.Gid.of_int ((nth + i) mod 2) in
+           System.crash sys victim;
+           ignore (System.restart sys victim))
+         crashes;
+       let s = Load.drain t in
+       if Load.unresolved t <> 0 then
+         note
+           [
+             {
+               Oracle.oracle = "liveness";
+               detail =
+                 Printf.sprintf "%d actions stuck after a quiescent drain" (Load.unresolved t);
+             };
+           ];
+       if s.Load.committed = 0 then
+         note [ { Oracle.oracle = "progress"; detail = "no action ever committed" } ];
+       if s.Load.reads_committed = 0 then
+         note [ { Oracle.oracle = "progress"; detail = "no snapshot read ever committed" } ];
+       (match Load.check t with
+       | Ok () -> ()
+       | Error detail -> note [ { Oracle.oracle = "consistency"; detail } ]);
+       (* No stale version survives the drain: with no snapshot left open,
+          every chain must have pruned back to its base version. *)
+       List.iter
+         (fun gd ->
+           let heap = Guardian.heap gd in
+           if Rs_objstore.Heap.active_snapshots heap <> 0 then
+             note
+               [
+                 {
+                   Oracle.oracle = "snapshot-leak";
+                   detail =
+                     Printf.sprintf "G%d: %d snapshots still active after drain"
+                       (Rs_util.Gid.to_int (Guardian.gid gd))
+                       (Rs_objstore.Heap.active_snapshots heap);
+                 };
+               ];
+           Rs_objstore.Heap.iter_objects heap (fun a kind ->
+               if kind = Rs_objstore.Heap.Atomic then
+                 let len = Rs_objstore.Heap.chain_length heap a in
+                 if len <> 1 then
+                   note
+                     [
+                       {
+                         Oracle.oracle = "stale-version";
+                         detail =
+                           Printf.sprintf "G%d: object %d still holds %d versions after drain"
+                             (Rs_util.Gid.to_int (Guardian.gid gd))
+                             a len;
+                       };
+                     ]))
+         (System.guardians sys);
+       List.iter
+         (fun (v : Rs_obs.Monitor.violation) ->
+           note [ { Oracle.oracle = "monitor:" ^ v.monitor; detail = v.detail } ])
+         (Rs_obs.Monitor.check ())
+     with exn -> note [ { Oracle.oracle = "liveness"; detail = Printexc.to_string exn } ]);
+    !found
+  in
+  let schedules = enumerate config points in
+  drive_schedules ~target:"mvcc" ~points ~schedules ~run
+
 let explore ?config = function
   | "twopc" -> explore_twopc ?config ()
   | "group" -> explore_group ?config ()
@@ -1390,6 +1524,7 @@ let explore ?config = function
   | "shards" -> explore_shards ?config ()
   | "repl" -> explore_repl ?config ()
   | "ckpt" -> explore_ckpt ?config ()
+  | "mvcc" -> explore_mvcc ?config ()
   | name -> explore_scheme ?config name
 
 (* ------------------------------------------------------------------ *)

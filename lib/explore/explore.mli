@@ -109,11 +109,26 @@ val explore_repl : ?config:config -> unit -> outcome
     resolves, and the always-on spec monitors stay clean over the
     schedule's own trace. *)
 
+val explore_mvcc : ?config:config -> unit -> outcome
+(** Explore crashes under mixed snapshot-read / update traffic: a
+    read-heavy, high-conflict {!Rs_load} run where half the operations
+    are MVCC read-only actions pinning snapshots while writers install
+    versions. Crash points land at sampled simulator event boundaries
+    with chains grown, snapshots open and writers mid-2PC; the victim
+    alternates. Oracles: the drain terminates with every handle
+    resolved, both updates and snapshot reads made progress, committed
+    counters match the model, reads were monotone, the spec monitors —
+    snapshot-legality included — stay clean over the schedule's own
+    trace, and no stale version survives: after the drain every atomic
+    object on every guardian is a single version with zero active
+    snapshots. *)
+
 val explore : ?config:config -> string -> outcome
 (** Dispatch: scheme names go to {!explore_scheme}, ["twopc"] to
     {!explore_twopc}, ["group"] to {!explore_group}, ["load"] to
     {!explore_load}, ["shards"] to {!explore_shards}, ["repl"] to
-    {!explore_repl}. *)
+    {!explore_repl}, ["ckpt"] to the checkpoint target, ["mvcc"] to
+    {!explore_mvcc}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Deterministic report: a one-line summary, then — on violation — the

@@ -7,6 +7,8 @@ module Twopc = Rs_twopc.Twopc
 
 type work = Heap.t -> Aid.t -> unit
 type outcome = Action.outcome = Committed | Aborted
+type mode = Update | Read_only
+type ro_ctx = { ro_heap : Heap.t; ro_snapshot : Heap.snapshot }
 
 exception Abort_action
 exception Overloaded of { gid : Gid.t; in_flight : int }
@@ -154,12 +156,22 @@ let run_fiber t f =
           | _ -> None);
     }
 
-let submit ?on_result t ~coordinator ~steps =
+let submit ?(mode = Update) t ~coordinator ~steps =
   let coord = guardian t coordinator in
   if not (Guardian.is_up coord) then raise (Guardian_down { gid = coordinator });
+  (* A read-only action touches every target guardian synchronously before
+     the handle exists, so check them all up front — a later Guardian_down
+     must not leak an unresolved handle. *)
+  if mode = Read_only then
+    List.iter
+      (fun (g, _) ->
+        if not (Guardian.is_up (guardian t g)) then raise (Guardian_down { gid = g }))
+      steps;
   let ci = Gid.to_int coordinator in
+  (* Admission control protects lock and 2PC resources; read-only actions
+     consume neither and complete synchronously, so they are never shed. *)
   (match t.max_in_flight with
-  | Some cap when t.in_flight.(ci) >= cap ->
+  | Some cap when mode = Update && t.in_flight.(ci) >= cap ->
       Rs_obs.Metrics.incr m_sheds;
       if Rs_obs.Trace.enabled () then
         Rs_obs.Trace.emit
@@ -178,9 +190,42 @@ let submit ?on_result t ~coordinator ~steps =
            gid = Format.asprintf "%a" Gid.pp coordinator;
            aid = Format.asprintf "%a" Aid.pp aid;
          });
-  (match on_result with
-  | Some f -> Action.on_resolve h (fun h o -> f (Action.aid h) o)
-  | None -> ());
+  match mode with
+  | Read_only ->
+      (* MVCC path: one snapshot per distinct target guardian, all opened
+         at this same virtual instant — a consistent cross-guardian cut.
+         Snapshot reads never lock, never queue and never wait, so the
+         whole action runs synchronously; there is nothing to prepare, so
+         2PC (and the commit record) is skipped entirely. *)
+      let snaps =
+        List.map
+          (fun g ->
+            let heap = Guardian.heap (guardian t g) in
+            let s = Heap.snapshot heap in
+            Heap.begin_read_only heap aid s;
+            (heap, s))
+          (dedup_gids (List.map fst steps))
+      in
+      let finish () =
+        List.iter
+          (fun (heap, s) ->
+            Heap.end_read_only heap aid;
+            Heap.release_snapshot heap s)
+          snaps
+      in
+      (match List.iter (fun (g, work) -> work (Guardian.heap (guardian t g)) aid) steps with
+      | () ->
+          finish ();
+          resolve_handle t h Committed
+      | exception Abort_action ->
+          finish ();
+          resolve_handle t h Aborted
+      | exception e ->
+          finish ();
+          resolve_handle t h Aborted;
+          raise e);
+      h
+  | Update ->
   (* Every guardian this fiber leaned on, with the incarnation it saw
      first. A crash bumps the epoch; a fiber that resumes afterwards — a
      lock grant was already in flight when the crash hit, so it was not
@@ -241,6 +286,34 @@ let submit ?on_result t ~coordinator ~steps =
   in
   run_fiber t (fun () -> exec steps);
   h
+
+(* The unified committed-read entry point: one read-only action on [gid],
+   returning [f]'s value directly — the underlying handle resolves
+   synchronously (see the [Read_only] branch of [submit]), so there is
+   nothing to await. *)
+let read_only t gid f =
+  let result = ref None in
+  let h =
+    submit ~mode:Read_only t ~coordinator:gid
+      ~steps:
+        [
+          ( gid,
+            fun heap aid ->
+              let s =
+                match Heap.read_only_of heap aid with Some s -> s | None -> assert false
+              in
+              result := Some (f { ro_heap = heap; ro_snapshot = s }) );
+        ]
+  in
+  match !result with
+  | Some v -> v
+  | None ->
+      (* [f] raised [Abort_action]; the handle already resolved Aborted. *)
+      ignore (h : Action.handle);
+      raise Abort_action
+
+let ro_read ctx a = Heap.snapshot_read ctx.ro_heap ctx.ro_snapshot a
+let ro_var ctx name = Heap.snapshot_var ctx.ro_heap ctx.ro_snapshot name
 
 let outcome h = Action.outcome h
 

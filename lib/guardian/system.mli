@@ -10,7 +10,37 @@
     member of every cycle times out and releases its locks.
 
     {!submit} returns an {!Action.handle}; poll it with {!outcome}, block
-    on it with {!await}, or pass [?on_result] for callback style. *)
+    on it with {!await}, or register a callback with
+    {!Action.on_resolve} (which fires immediately if the handle already
+    resolved, so post-submit registration never misses the verdict).
+
+    {2 Exception and outcome surface}
+
+    This is the one authoritative statement of how submitted work can
+    fail; the per-function docs below only add specifics.
+
+    Raised {e synchronously} by {!submit} / {!read_only}, before any
+    handle exists:
+    - {!Guardian_down}: the coordinator — or, in [Read_only] mode, any
+      target guardian — is crashed. Re-route to another shard.
+    - {!Overloaded} ([Update] mode only): the coordinator is at its
+      [max_in_flight] admission cap. Back off and retry the same
+      guardian. Read-only actions consume neither locks nor 2PC
+      resources and are never shed.
+
+    Resolved {e through the handle} as [Aborted] ([Update] mode):
+    - a step raised {!Abort_action} (deliberate business abort);
+    - a lock wait outlived [wait_timeout] — the deadlock breaker
+      (metric [guardian.wait_aborts]) — or hit a conflict with no
+      runtime installed ({!Rs_objstore.Heap.Lock_conflict});
+    - a guardian the action had touched crashed before commit
+      (incarnation-epoch staleness), or 2PC voted no.
+
+    [Read_only] actions take no locks and enter no wait queue, so they
+    can neither conflict, time out, nor deadlock: they resolve
+    [Committed] synchronously, or [Aborted] only if the work function
+    itself raised ({!Abort_action} is re-raised from {!read_only};
+    attempting to {e modify} anything raises [Invalid_argument]). *)
 
 type t
 
@@ -24,17 +54,26 @@ exception Abort_action
     (e.g. business-rule violation: insufficient funds, sold out). *)
 
 exception Overloaded of { gid : Rs_util.Gid.t; in_flight : int }
-(** Raised synchronously by {!submit} when the coordinator already has
-    [max_in_flight] unresolved actions: admission control sheds the
-    request instead of queueing it (metric [guardian.sheds]). *)
+(** See the exception surface above (metric [guardian.sheds]). *)
 
 exception Guardian_down of { gid : Rs_util.Gid.t }
-(** Raised synchronously by {!submit} when the named coordinator is
-    crashed. Distinct from {!Overloaded} so clients can tell shed (retry
-    the same guardian after backoff) from dead (re-route to another
-    shard). *)
+(** See the exception surface above. Distinct from {!Overloaded} so
+    clients can tell shed (retry the same guardian after backoff) from
+    dead (re-route to another shard). *)
 
 type outcome = Action.outcome = Committed | Aborted
+
+type mode = Update | Read_only
+(** [Update] (the default) runs steps under the Argus lock model and
+    commits through 2PC. [Read_only] runs every step against an MVCC
+    snapshot — one per target guardian, all opened at the same virtual
+    instant (a consistent cross-guardian cut) — with zero lock
+    acquisition, zero wait-queue entry and no 2PC; it completes
+    synchronously and never aborts on conflict. *)
+
+type ro_ctx
+(** A read-only action's view of one guardian: its heap and the snapshot
+    pinned for the action. See {!ro_read} / {!ro_var}. *)
 
 val create :
   ?seed:int ->
@@ -71,18 +110,36 @@ val guardians : t -> Guardian.t list
 val n_guardians : t -> int
 
 val submit :
-  ?on_result:(Rs_util.Aid.t -> outcome -> unit) ->
+  ?mode:mode ->
   t ->
   coordinator:Rs_util.Gid.t ->
   steps:(Rs_util.Gid.t * work) list ->
   Action.handle
-(** Begin an action: execute its steps (parking on lock queues as
-    needed), then run 2PC asynchronously. Returns immediately with a
-    handle — the action may still be executing (parked) when [submit]
-    returns; drive the simulator ({!run}, {!await}, {!quiesce}) to
-    progress it. [?on_result] is sugar for {!Action.on_resolve}.
-    Raises {!Overloaded} (before doing anything) if the coordinator is at
-    its admission cap, {!Guardian_down} if it is down. *)
+(** Begin an action. In [Update] mode (default): execute its steps
+    (parking on lock queues as needed), then run 2PC asynchronously —
+    the action may still be executing (parked) when [submit] returns;
+    drive the simulator ({!run}, {!await}, {!quiesce}) to progress it.
+    In [Read_only] mode the returned handle is already resolved. For a
+    result callback, register {!Action.on_resolve} on the returned
+    handle — it fires immediately if the handle already resolved.
+    Failure modes: see the exception surface in the module header. *)
+
+val read_only : t -> Rs_util.Gid.t -> (ro_ctx -> 'a) -> 'a
+(** The unified committed-read entry point: one read-only action against
+    [gid]'s guardian, built on [submit ~mode:Read_only]. [f] sees a
+    consistent committed snapshot (stable-variable bindings and object
+    versions from one cut) and its value is returned directly — the
+    underlying handle resolves synchronously. Raises {!Guardian_down} if
+    [gid] is down and re-raises {!Abort_action} from [f]. *)
+
+val ro_read : ro_ctx -> Rs_objstore.Heap.addr -> Rs_objstore.Value.t
+(** Snapshot read of an atomic object (see
+    {!Rs_objstore.Heap.snapshot_read}): the newest version committed at
+    or before the action's snapshot stamp; lock-free and wait-free. *)
+
+val ro_var : ro_ctx -> string -> Rs_objstore.Value.t option
+(** Snapshot read of a stable-variable binding, from the same cut as
+    every other read of this action. *)
 
 val outcome : Action.handle -> outcome option
 (** Peek without driving the simulator; [None] while in flight. *)

@@ -39,6 +39,8 @@ type config = {
   cross_shard : float;
   uid_batch : int;
   spares : int;
+  read_fraction : float;
+  locked_reads : bool;
 }
 
 let default =
@@ -66,6 +68,8 @@ let default =
     cross_shard = 0.0;
     uid_batch = 64;
     spares = 0;
+    read_fraction = 0.0;
+    locked_reads = false;
   }
 
 type stats = {
@@ -78,6 +82,11 @@ type stats = {
   reroutes : int;
   abandoned : int;
   wait_timeouts : int;
+  reads_submitted : int;
+  reads_committed : int;
+  reads_aborted : int;
+  read_p50 : float;
+  read_p99 : float;
   elapsed : float;
   nemesis_downtime : float;
   throughput : float;
@@ -89,10 +98,13 @@ let pp_stats fmt s =
   Format.fprintf fmt
     "@[<v>submitted   %d@,committed   %d@,aborted     %d (+%d deliberate)@,\
      sheds       %d@,retries     %d@,reroutes    %d@,abandoned   %d@,wait t/o    %d@,\
+     reads       %d submitted  %d committed  %d aborted@,\
+     read p50    %.1f  p99 %.1f@,\
      elapsed     %.1f (downtime %.1f)@,throughput  %.3f /unit@,\
      latency     p50 %.1f  p99 %.1f@]"
     s.submitted s.committed s.aborted s.deliberate_aborts s.sheds s.retries s.reroutes
-    s.abandoned s.wait_timeouts s.elapsed s.nemesis_downtime s.throughput s.p50 s.p99
+    s.abandoned s.wait_timeouts s.reads_submitted s.reads_committed s.reads_aborted
+    s.read_p50 s.read_p99 s.elapsed s.nemesis_downtime s.throughput s.p50 s.p99
 
 (* One logical operation: the retry loop resubmits the same targets, so
    an operation that eventually commits commits exactly once. [deliberate]
@@ -107,6 +119,10 @@ type op = {
   inject_abort : bool;
   deliberate : bool ref;
   client : bool; (* closed-loop client: issue a next operation when done *)
+  read : bool; (* read-only operation: no writes, no model delta *)
+  readings : (int * int * int) list ref;
+      (* (guardian, object, value) observed by this attempt's read steps;
+         checked against the per-object monotone floor at commit. *)
 }
 
 type t = {
@@ -115,8 +131,11 @@ type t = {
   dir : Directory.t option; (* directory mode: placement routing *)
   rng : Rng.t;
   hist : Metrics.histogram; (* commit latency, tenths of a time unit *)
+  rhist : Metrics.histogram; (* read-op latency, tenths of a time unit *)
   model : int array array; (* per (guardian, object) committed increments *)
+  read_floor : int array array; (* monotone-read floor per (guardian, object) *)
   dmodel : int array; (* directory mode: per-key committed increments *)
+  dread_floor : int array; (* directory mode: per-key monotone-read floor *)
   shard_keys : int list array; (* directory mode: key indices owned per shard *)
   occupied : int array; (* directory mode: shards owning at least one key *)
   q_enq : int array array; (* Queue: committed enqueues per (guardian, object) *)
@@ -136,6 +155,10 @@ type t = {
   mutable s_retries : int;
   mutable s_reroutes : int;
   mutable s_abandoned : int;
+  mutable s_r_submitted : int;
+  mutable s_r_committed : int;
+  mutable s_r_aborted : int;
+  mutable read_violation : string option; (* first non-monotone read seen *)
   wait_timeouts0 : int;
 }
 
@@ -174,7 +197,11 @@ let validate cfg =
   if cfg.directory && cfg.profile <> Synthetic then
     invalid_arg "Load: directory mode drives the Synthetic profile";
   if cfg.uid_batch <= 0 then invalid_arg "Load: uid_batch must be positive";
-  if cfg.spares < 0 then invalid_arg "Load: spares must be non-negative"
+  if cfg.spares < 0 then invalid_arg "Load: spares must be non-negative";
+  if cfg.read_fraction < 0.0 || cfg.read_fraction > 1.0 then
+    invalid_arg "Load: read_fraction must be a probability";
+  if cfg.read_fraction > 0.0 && cfg.profile = Saga then
+    invalid_arg "Load: read traffic drives the non-saga profiles"
 
 let create cfg =
   validate cfg;
@@ -248,8 +275,11 @@ let create cfg =
     dir;
     rng = Rng.create (cfg.seed lxor 0x10ad);
     hist = Metrics.histogram ~registry ~bounds:latency_bounds "load.latency_tenths";
+    rhist = Metrics.histogram ~registry ~bounds:latency_bounds "load.read_latency_tenths";
     model = Array.make_matrix cfg.guardians cfg.objects_per_guardian 0;
+    read_floor = Array.make_matrix cfg.guardians cfg.objects_per_guardian 0;
     dmodel = Array.make n_keys 0;
+    dread_floor = Array.make n_keys 0;
     shard_keys;
     occupied;
     q_enq = Array.make_matrix cfg.guardians cfg.objects_per_guardian 0;
@@ -269,6 +299,10 @@ let create cfg =
     s_retries = 0;
     s_reroutes = 0;
     s_abandoned = 0;
+    s_r_submitted = 0;
+    s_r_committed = 0;
+    s_r_aborted = 0;
+    read_violation = None;
     wait_timeouts0 = wait_timeouts_now ();
   }
 
@@ -336,9 +370,33 @@ let gen_op_directory t ~client ~inject_abort =
   in
   let targets = sort_targets targets in
   let coord = match targets with (g, _, _) :: _ -> g | [] -> assert false in
-  { coord = Gid.of_int coord; targets; inject_abort; deliberate = ref false; client }
+  { coord = Gid.of_int coord; targets; inject_abort; deliberate = ref false; client;
+    read = false; readings = ref [] }
+
+(* A read-only operation: same target shape as an update (so the conflict
+   knob applies symmetrically), delta 0, no injected aborts. Submitted as
+   an MVCC snapshot action, or — with [locked_reads] — as an ordinary
+   Update action whose steps take read locks (the baseline e15 compares
+   against). *)
+let gen_read_op t ~client =
+  let targets =
+    List.init t.cfg.steps_per_action (fun _ ->
+        if t.dir <> None then
+          let g = pick_shard t in
+          (g, pick_key_on t g, 0)
+        else
+          let g, o = pick_target t in
+          (g, o, 0))
+  in
+  let targets = sort_targets targets in
+  let coord = match targets with (g, _, _) :: _ -> g | [] -> assert false in
+  { coord = Gid.of_int coord; targets; inject_abort = false; deliberate = ref false;
+    client; read = true; readings = ref [] }
 
 let gen_op t ~client =
+  if t.cfg.read_fraction > 0.0 && Rng.bool t.rng t.cfg.read_fraction then
+    gen_read_op t ~client
+  else
   let inject_abort = t.cfg.abort_rate > 0.0 && Rng.bool t.rng t.cfg.abort_rate in
   if t.dir <> None then gen_op_directory t ~client ~inject_abort
   else
@@ -351,7 +409,7 @@ let gen_op t ~client =
       in
       let coord = match targets with (g, _, _) :: _ -> g | [] -> assert false in
       { coord = Gid.of_int coord; targets = sort_targets targets; inject_abort;
-        deliberate = ref false; client }
+        deliberate = ref false; client; read = false; readings = ref [] }
   | Bank ->
       let src = pick_target t in
       let rec pick_dst () =
@@ -362,17 +420,18 @@ let gen_op t ~client =
       let targets =
         sort_targets [ (fst src, snd src, -1); (fst dst, snd dst, 1) ]
       in
-      { coord = Gid.of_int (fst src); targets; inject_abort; deliberate = ref false; client }
+      { coord = Gid.of_int (fst src); targets; inject_abort; deliberate = ref false; client;
+        read = false; readings = ref [] }
   | Reservation ->
       let g, o = pick_target t in
       { coord = Gid.of_int g; targets = [ (g, o, -1) ]; inject_abort;
-        deliberate = ref false; client }
+        deliberate = ref false; client; read = false; readings = ref [] }
   | Queue ->
       (* delta encodes the operation: +1 enqueue, -1 dequeue. *)
       let g, o = pick_target t in
       let delta = if Rng.bool t.rng 0.5 then 1 else -1 in
       { coord = Gid.of_int g; targets = [ (g, o, delta) ]; inject_abort;
-        deliberate = ref false; client }
+        deliberate = ref false; client; read = false; readings = ref [] }
   | Saga ->
       (* Targets in *semantic* order (not lock order): leg one, then leg
          two on a distinct guardian — each leg is its own top action. *)
@@ -384,7 +443,7 @@ let gen_op t ~client =
       let gB = other () in
       let oB = pick_obj t in
       { coord = Gid.of_int gA; targets = [ (gA, oA, 1); (gB, oB, 1) ]; inject_abort;
-        deliberate = ref false; client }
+        deliberate = ref false; client; read = false; readings = ref [] }
 
 let target_addr heap o =
   match Heap.get_stable_var heap (obj_name o) with
@@ -426,13 +485,30 @@ let abort_step op : System.work =
   op.deliberate := true;
   raise System.Abort_action
 
+(* A read step never writes and never locks explicitly: under
+   [~mode:Read_only] the heap routes [read_atomic] through the action's
+   snapshot (zero locks); under Update (the [locked_reads] baseline) the
+   same call takes an ordinary read lock and can conflict or time out. *)
+let read_step op g o : System.work =
+ fun heap aid ->
+  let a = target_addr heap o in
+  match Heap.read_atomic heap aid a with
+  | Value.Int v -> op.readings := (g, o, v) :: !(op.readings)
+  | _ -> ()
+
 let steps_of t op : (Gid.t * System.work) list =
+  if op.read then
+    List.map (fun (g, o, _) -> (Gid.of_int g, read_step op g o)) op.targets
+  else
   let body = List.map (fun (g, o, delta) -> (Gid.of_int g, step_work t op o delta)) op.targets in
   if op.inject_abort then body @ [ (op.coord, abort_step op) ] else body
 
 (* Directory mode: steps name objects by key; the directory resolves them
    back to shards (and counts/traces the route). *)
 let key_steps_of t op : (string * System.work) list =
+  if op.read then
+    List.map (fun (g, o, _) -> (obj_name o, read_step op g o)) op.targets
+  else
   let body = List.map (fun (_, o, delta) -> (obj_name o, step_work t op o delta)) op.targets in
   if op.inject_abort then
     match op.targets with
@@ -458,13 +534,34 @@ let apply_model t op =
 
 (* --- the client state machine ----------------------------------------- *)
 
+(* Monotone-read model check: Synthetic deltas are all +1, so the value a
+   committed read op observes can never sink below any value previously
+   observed for the same object — a stale version surviving a prune, or a
+   snapshot seeing a half-applied action, would show up here. *)
+let check_readings t op =
+  if t.cfg.profile = Synthetic then
+    List.iter
+      (fun (g, o, v) ->
+        let floor = if t.dir <> None then t.dread_floor.(o) else t.read_floor.(g).(o) in
+        if v < floor && t.read_violation = None then
+          t.read_violation <-
+            Some
+              (Printf.sprintf "non-monotone read: g%d/%s saw %d after %d" g (obj_name o) v
+                 floor);
+        if t.dir <> None then t.dread_floor.(o) <- max floor v
+        else t.read_floor.(g).(o) <- max floor v)
+      !(op.readings)
+
 let rec attempt t op ~tries =
   op.deliberate := false;
-  t.s_submitted <- t.s_submitted + 1;
+  op.readings := [];
+  if op.read then t.s_r_submitted <- t.s_r_submitted + 1
+  else t.s_submitted <- t.s_submitted + 1;
+  let mode = if op.read && not t.cfg.locked_reads then System.Read_only else System.Update in
   let submit () =
     match t.dir with
-    | Some d -> Directory.submit d ~coordinator:op.coord ~steps:(key_steps_of t op)
-    | None -> System.submit t.system ~coordinator:op.coord ~steps:(steps_of t op)
+    | Some d -> Directory.submit ~mode d ~coordinator:op.coord ~steps:(key_steps_of t op)
+    | None -> System.submit ~mode t.system ~coordinator:op.coord ~steps:(steps_of t op)
   in
   match submit () with
   | h ->
@@ -489,6 +586,13 @@ let rec attempt t op ~tries =
 and resolved t op ~tries h o =
   t.inflight <- t.inflight - 1;
   match o with
+  | Action.Committed when op.read ->
+      t.s_r_committed <- t.s_r_committed + 1;
+      (match Action.latency h with
+      | Some l -> Metrics.observe t.rhist (int_of_float (l *. 10.0))
+      | None -> Metrics.observe t.rhist 0);
+      check_readings t op;
+      next_op t op
   | Action.Committed ->
       t.s_committed <- t.s_committed + 1;
       (match Action.latency h with
@@ -496,6 +600,11 @@ and resolved t op ~tries h o =
       | None -> ());
       apply_model t op;
       next_op t op
+  | Action.Aborted when op.read ->
+      (* Only possible with [locked_reads]: a lock wait timed out. MVCC
+         read-only actions structurally cannot abort. *)
+      t.s_r_aborted <- t.s_r_aborted + 1;
+      retry_or_finish t op ~tries
   | Action.Aborted when !(op.deliberate) ->
       t.s_deliberate <- t.s_deliberate + 1;
       next_op t op
@@ -659,6 +768,11 @@ let stats t =
     reroutes = t.s_reroutes;
     abandoned = t.s_abandoned;
     wait_timeouts = wait_timeouts_now () - t.wait_timeouts0;
+    reads_submitted = t.s_r_submitted;
+    reads_committed = t.s_r_committed;
+    reads_aborted = t.s_r_aborted;
+    read_p50 = Metrics.histogram_quantile t.rhist 0.5 /. 10.0;
+    read_p99 = Metrics.histogram_quantile t.rhist 0.99 /. 10.0;
     elapsed;
     nemesis_downtime = t.nemesis_downtime;
     throughput = (if up_time > 0.0 then float_of_int t.s_committed /. up_time else 0.0);
@@ -680,9 +794,11 @@ let run ?limit cfg =
 
 let committed_base t g o =
   let heap = Guardian.heap (System.guardian t.system (Gid.of_int g)) in
-  match Heap.get_stable_var heap (obj_name o) with
-  | Some (Value.Ref a) -> (Heap.atomic_view heap a).Heap.base
-  | Some _ | None -> failwith (Printf.sprintf "Load: object %s missing" (obj_name o))
+  Heap.with_snapshot heap (fun s ->
+      match Heap.snapshot_var heap s (obj_name o) with
+      | Some (Value.Ref a) -> Heap.snapshot_read heap s a
+      | Some _ | None ->
+          failwith (Printf.sprintf "Load: object %s missing" (obj_name o)))
 
 let committed_value t g o =
   match committed_base t g o with
@@ -693,7 +809,7 @@ let check_directory t d =
   let n_keys = t.cfg.guardians * t.cfg.objects_per_guardian in
   let problem = ref None in
   for k = 0 to n_keys - 1 do
-    match Directory.read_committed d (obj_name k) with
+    match Directory.snapshot_read d (obj_name k) with
     | Some (Value.Int v) ->
         if v <> t.dmodel.(k) && !problem = None then
           problem :=
@@ -736,6 +852,9 @@ let check t =
   in
   if not up then Error "a guardian is down; restart before checking"
   else
+    match t.read_violation with
+    | Some p -> Error p
+    | None -> (
     match t.dir with
     | Some d -> check_directory t d
     | None when t.cfg.profile = Queue -> check_queue t
@@ -777,4 +896,4 @@ let check t =
         | Reservation ->
             let sold = (t.cfg.guardians * t.cfg.objects_per_guardian * t.cfg.initial) - !total in
             if sold = t.bookings then Ok ()
-            else Error (Printf.sprintf "%d seats sold, %d bookings committed" sold t.bookings))
+            else Error (Printf.sprintf "%d seats sold, %d bookings committed" sold t.bookings)))

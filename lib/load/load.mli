@@ -71,6 +71,19 @@ type config = {
       (** extra guardians created in the system but never populated or
           targeted by traffic — warm-standby slots a fault injector can
           attach replication pairs to ({!Rs_repl.Repl.Pair}) *)
+  read_fraction : float;
+      (** probability an operation is read-only: same target shape as an
+          update (so the conflict knob applies), but it only reads.
+          Submitted as an MVCC snapshot action
+          ({!Rs_guardian.System.Read_only}) — zero locks, structurally
+          abort-free — unless [locked_reads] flips the baseline.
+          Committed read values feed a monotone-read model check
+          (Synthetic profile): a counter observed lower than any earlier
+          committed read of it fails {!check}. Not supported for Saga. *)
+  locked_reads : bool;
+      (** submit read operations as ordinary Update actions whose steps
+          take read locks — the pre-MVCC baseline e15 compares against;
+          such reads can conflict, wait and time out *)
 }
 
 val default : config
@@ -89,6 +102,13 @@ type stats = {
           raised [Guardian_down] — dead shard, not admission shed *)
   abandoned : int;  (** operations dropped after [max_retries] *)
   wait_timeouts : int;  (** lock waits broken by the timeout *)
+  reads_submitted : int;  (** read-only operation attempts *)
+  reads_committed : int;
+  reads_aborted : int;
+      (** read attempts aborted by lock conflict — possible only with
+          [locked_reads]; MVCC reads cannot abort *)
+  read_p50 : float;  (** read-op latency median, virtual-time units *)
+  read_p99 : float;
   elapsed : float;  (** virtual time from start to drain *)
   nemesis_downtime : float;
       (** union of injected fault windows reported via {!note_downtime};

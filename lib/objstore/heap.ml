@@ -4,12 +4,20 @@ module Vec = Rs_util.Vec
 module Metrics = Rs_obs.Metrics
 module Trace = Rs_obs.Trace
 
-let m_read_locks = Metrics.counter "heap.read_locks"
+let m_read_locks = Metrics.counter "heap.read_locks_taken"
 let m_uids_minted = Metrics.counter "heap.uids_minted"
 let m_write_locks = Metrics.counter "heap.write_locks"
 let m_lock_conflicts = Metrics.counter "heap.lock_conflicts"
 let m_lock_waits = Metrics.counter "heap.lock_waits"
 let m_wait_timeouts = Metrics.counter "heap.wait_timeouts"
+let m_snapshots = Metrics.counter "mvcc.snapshots"
+let m_snap_reads = Metrics.counter "mvcc.snap_reads"
+let m_pruned = Metrics.counter "mvcc.pruned"
+let g_chain_len = Metrics.gauge "mvcc.chain_len"
+
+(* High-water mark of per-object version-chain length; read back so a
+   registry reset between runs restarts the mark. *)
+let note_chain_len n = if n > Metrics.gauge_value g_chain_len then Metrics.set g_chain_len n
 
 let aid_str aid = Format.asprintf "%a" Aid.pp aid
 let holders_str = function
@@ -46,7 +54,66 @@ type atomic_body = {
   mutable a_cur : Value.t option;
   mutable a_lock : lock;
   mutable a_wait : waiter list;
+  (* MVCC: [a_stamp] is the per-heap commit-sequence value under which
+     [a_base] was installed (0 for creation/recovery images); [a_hist]
+     holds older committed versions, newest first, each with its install
+     stamp. Kept only while a live snapshot can still observe them. *)
+  mutable a_stamp : int;
+  mutable a_hist : (int * Value.t) list;
 }
+
+(* A snapshot pins the committed state as of its stamp. It is bound to one
+   heap incarnation: crash/restart replaces the heap wholesale, so stamps
+   are volatile and a stale snapshot cannot leak across a restart. *)
+type snapshot = { s_stamp : int; s_heap : int; mutable s_released : bool }
+
+(* Min-heap of active snapshot stamps (lazy deletion: entries whose stamp
+   no longer appears in the live table are dropped at the top). Gives the
+   oldest live snapshot in O(log n) so pruning can short-circuit the
+   common no-old-snapshot case. *)
+module Snap_heap = struct
+  type h = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 16 0; n = 0 }
+
+  let push h x =
+    if h.n = Array.length h.a then begin
+      let a' = Array.make (2 * h.n) 0 in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    let i = ref h.n in
+    h.n <- h.n + 1;
+    h.a.(!i) <- x;
+    while !i > 0 && h.a.((!i - 1) / 2) > h.a.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let peek h = if h.n = 0 then None else Some h.a.(0)
+
+  let drop_min h =
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.n && h.a.(l) < h.a.(!m) then m := l;
+      if r < h.n && h.a.(r) < h.a.(!m) then m := r;
+      if !m = !i then continue := false
+      else begin
+        let tmp = h.a.(!m) in
+        h.a.(!m) <- h.a.(!i);
+        h.a.(!i) <- tmp;
+        i := !m
+      end
+    done
+end
 
 type mutex_body = {
   mutable m_cur : Value.t;
@@ -93,6 +160,19 @@ type t = {
      own stable counter [gen]. A placement directory installs a batched
      range pool instead (globally-unique uids, see Rs_dir). *)
   mutable uid_source : Uid.Source.t option;
+  (* MVCC state. [commit_seq] stamps committed version installs; the live
+     snapshot stamps are tracked as count-per-stamp plus a min-heap
+     ([snap_heap], lazy deletion) for the oldest-live query. [ro] maps a
+     read-only action to its snapshot so [read_atomic] routes around the
+     lock table entirely; [chained] indexes objects with non-empty
+     history so a snapshot release prunes without a heap scan. *)
+  mutable commit_seq : int;
+  snap_live : (int, int ref) Hashtbl.t;
+  snap_heap : Snap_heap.h;
+  mutable snap_active : int;
+  ro : snapshot Aid.Tbl.t;
+  chained : (addr, unit) Hashtbl.t;
+  heap_id : int;
 }
 
 exception Lock_conflict of { addr : addr; holders : Aid.t list }
@@ -113,7 +193,13 @@ let add_obj t ?uid ?(register = true) body =
   | Some _ | None -> ());
   a
 
+(* Distinguishes heap incarnations so a snapshot taken before a crash is
+   rejected by the replacement heap instead of silently reading fresh
+   stamps. Allocation order is deterministic under Rs_sim. *)
+let heap_ids = ref 0
+
 let create () =
+  incr heap_ids;
   let t =
     {
       objs = Vec.create ();
@@ -126,11 +212,26 @@ let create () =
       runtime = None;
       label = "";
       uid_source = None;
+      commit_seq = 0;
+      snap_live = Hashtbl.create 8;
+      snap_heap = Snap_heap.create ();
+      snap_active = 0;
+      ro = Aid.Tbl.create 8;
+      chained = Hashtbl.create 16;
+      heap_id = !heap_ids;
     }
   in
   let root =
     add_obj t ~uid:Uid.stable_vars
-      (B_atomic { a_base = Value.Tup [||]; a_cur = None; a_lock = Free; a_wait = [] })
+      (B_atomic
+         {
+           a_base = Value.Tup [||];
+           a_cur = None;
+           a_lock = Free;
+           a_wait = [];
+           a_stamp = 0;
+           a_hist = [];
+         })
   in
   assert (root = 0);
   t
@@ -235,14 +336,159 @@ let copy_version t v =
   in
   go v
 
+(* Snapshots (MVCC read path) *)
+
+let active_snapshots t = t.snap_active
+let commit_stamp t = t.commit_seq
+
+(* Oldest stamp any live snapshot holds; drains stale min-heap tops whose
+   stamp has no live count left (lazy deletion). *)
+let min_active t =
+  let rec go () =
+    match Snap_heap.peek t.snap_heap with
+    | None -> None
+    | Some st -> (
+        match Hashtbl.find_opt t.snap_live st with
+        | Some n when !n > 0 -> Some st
+        | Some _ | None ->
+            Snap_heap.drop_min t.snap_heap;
+            go ())
+  in
+  go ()
+
+(* Is any live snapshot stamped within [lo, hi)? The live table holds one
+   entry per distinct active stamp — a handful at most. *)
+let exists_active t ~lo ~hi =
+  Hashtbl.fold (fun s n acc -> acc || (!n > 0 && s >= lo && s < hi)) t.snap_live false
+
+(* Drop history versions no live snapshot can observe. A version stamped
+   [st] whose next newer version (in the original chain) is stamped [succ]
+   is visible exactly to snapshots [s] with [st <= s < succ]; the windows
+   partition the stamp line, so each retained version needs a live
+   snapshot of its own — which is the <= active-snapshots space bound
+   asserted below. The base version is always kept. *)
+let prune_chain t a b =
+  (match b.a_hist with
+  | [] -> ()
+  | hist ->
+      let hist' =
+        match min_active t with
+        | None -> []
+        | Some m when m >= b.a_stamp -> []
+        | Some _ ->
+            let rec go succ = function
+              | [] -> []
+              | (st, v) :: rest ->
+                  let rest' = go st rest in
+                  if exists_active t ~lo:st ~hi:succ then (st, v) :: rest' else rest'
+            in
+            go b.a_stamp hist
+      in
+      let dropped = List.length hist - List.length hist' in
+      if dropped > 0 then Metrics.incr ~by:dropped m_pruned;
+      b.a_hist <- hist';
+      assert (List.length hist' <= t.snap_active));
+  if b.a_hist = [] then Hashtbl.remove t.chained a else Hashtbl.replace t.chained a ();
+  note_chain_len (1 + List.length b.a_hist)
+
+let snapshot t =
+  let stamp = t.commit_seq in
+  (match Hashtbl.find_opt t.snap_live stamp with
+  | Some n -> incr n
+  | None ->
+      Hashtbl.replace t.snap_live stamp (ref 1);
+      Snap_heap.push t.snap_heap stamp);
+  t.snap_active <- t.snap_active + 1;
+  Metrics.incr m_snapshots;
+  if Trace.enabled () then Trace.emit (Trace.Snap_open { heap = t.label; stamp });
+  { s_stamp = stamp; s_heap = t.heap_id; s_released = false }
+
+let snapshot_stamp s = s.s_stamp
+
+let check_snap t s name =
+  if s.s_heap <> t.heap_id then
+    invalid_arg (Printf.sprintf "Heap.%s: snapshot from another heap incarnation" name);
+  if s.s_released then invalid_arg (Printf.sprintf "Heap.%s: snapshot already released" name)
+
+let release_snapshot t s =
+  if s.s_heap <> t.heap_id then
+    invalid_arg "Heap.release_snapshot: snapshot from another heap incarnation";
+  if not s.s_released then begin
+    s.s_released <- true;
+    (match Hashtbl.find_opt t.snap_live s.s_stamp with
+    | Some n ->
+        decr n;
+        if !n = 0 then Hashtbl.remove t.snap_live s.s_stamp
+    | None -> assert false);
+    t.snap_active <- t.snap_active - 1;
+    if Trace.enabled () then Trace.emit (Trace.Snap_close { heap = t.label; stamp = s.s_stamp });
+    (* Eager prune: this release may have been the last observer of some
+       history versions; only chained objects are visited. *)
+    Hashtbl.fold (fun a () acc -> a :: acc) t.chained []
+    |> List.iter (fun a -> prune_chain t a (atomic t a "release_snapshot"))
+  end
+
+(* The lock-free read: no lock-table consultation, no wait-queue entry.
+   Returns the newest version whose install stamp is <= the snapshot's. *)
+let snapshot_read t s a =
+  check_snap t s "snapshot_read";
+  let b = atomic t a "snapshot_read" in
+  let vstamp, v =
+    if b.a_stamp <= s.s_stamp then (b.a_stamp, b.a_base)
+    else
+      let rec find = function
+        | [] ->
+            invalid_arg
+              (Printf.sprintf "Heap.snapshot_read: %d has no version at stamp %d" a s.s_stamp)
+        | (st, v) :: rest -> if st <= s.s_stamp then (st, v) else find rest
+      in
+      find b.a_hist
+  in
+  Metrics.incr m_snap_reads;
+  if Trace.enabled () then
+    Trace.emit (Trace.Snap_read { heap = t.label; addr = a; stamp = s.s_stamp; vstamp });
+  v
+
+let with_snapshot t f =
+  let s = snapshot t in
+  Fun.protect ~finally:(fun () -> release_snapshot t s) (fun () -> f s)
+
+let committed_read t a = with_snapshot t (fun s -> snapshot_read t s a)
+
+let chain_length t a = 1 + List.length (atomic t a "chain_length").a_hist
+
+(* Read-only action registration: while registered, [read_atomic] serves
+   the action from its snapshot and every mutation entry point refuses. *)
+
+let begin_read_only t aid s =
+  check_snap t s "begin_read_only";
+  Aid.Tbl.replace t.ro aid s
+
+let end_read_only t aid = Aid.Tbl.remove t.ro aid
+let read_only_of t aid = Aid.Tbl.find_opt t.ro aid
+
+let ro_guard t aid name =
+  if Aid.Tbl.mem t.ro aid then
+    invalid_arg (Printf.sprintf "Heap.%s: read-only action may not modify objects" name)
+
 (* Allocation *)
 
 let alloc_atomic t ~creator base =
+  ro_guard t creator "alloc_atomic";
   let uid = mint_uid t in
   let a =
     add_obj t ~uid
       (B_atomic
-         { a_base = base; a_cur = None; a_lock = Read (Aid.Set.singleton creator); a_wait = [] })
+         {
+           a_base = base;
+           a_cur = None;
+           a_lock = Read (Aid.Set.singleton creator);
+           a_wait = [];
+           (* Committed-visible only once a committed write publishes a
+              reference to it; until then snapshots cannot reach it. *)
+           a_stamp = t.commit_seq;
+           a_hist = [];
+         })
   in
   record t.locked creator a;
   trace_lock t creator a Trace.Read;
@@ -336,6 +582,11 @@ let service_atomic t a b =
   go ()
 
 let rec read_atomic t aid a =
+  match Aid.Tbl.find_opt t.ro aid with
+  | Some s -> snapshot_read t s a
+  | None -> read_atomic_locked t aid a
+
+and read_atomic_locked t aid a =
   let b = atomic t a "read_atomic" in
   match b.a_lock with
   | Write holder when Aid.equal holder aid -> (
@@ -351,6 +602,7 @@ let rec read_atomic t aid a =
       read_atomic t aid a
 
 let rec write_lock t aid a =
+  ro_guard t aid "write_lock";
   let b = atomic t a "write_lock" in
   match b.a_lock with
   | Write holder when Aid.equal holder aid -> ()
@@ -394,6 +646,7 @@ let service_mutex t a b =
   | (Some _ | None), _ -> ()
 
 let rec seize t aid a =
+  ro_guard t aid "seize";
   let b = mutex t a "seize" in
   match b.m_owner with
   | Some holder when Aid.equal holder aid -> b.m_cur
@@ -482,6 +735,17 @@ let drop_lock t aid a =
   | B_regular _ | B_placeholder _ -> ()
 
 let finish ~commit t aid =
+  (* One fresh commit stamp per committing action that installed at least
+     one write — every object it wrote carries the same stamp, so a
+     snapshot sees all of the action's writes or none. *)
+  let stamp = ref 0 in
+  let stamp_of () =
+    if !stamp = 0 then begin
+      t.commit_seq <- t.commit_seq + 1;
+      stamp := t.commit_seq
+    end;
+    !stamp
+  in
   (match Aid.Tbl.find_opt t.locked aid with
   | None -> ()
   | Some addrs ->
@@ -493,7 +757,16 @@ let finish ~commit t aid =
               | Write holder when Aid.equal holder aid ->
                   (if commit then
                      match b.a_cur with
-                     | Some v -> b.a_base <- v
+                     | Some v ->
+                         let st = stamp_of () in
+                         b.a_hist <- (b.a_stamp, b.a_base) :: b.a_hist;
+                         b.a_base <- v;
+                         b.a_stamp <- st;
+                         if Trace.enabled () then
+                           Trace.emit
+                             (Trace.Version_install
+                                { heap = t.label; aid = aid_str aid; addr = a; stamp = st });
+                         prune_chain t a b
                      | None -> ());
                   b.a_cur <- None;
                   b.a_lock <- Free;
@@ -503,7 +776,8 @@ let finish ~commit t aid =
           | B_mutex _ | B_regular _ | B_placeholder _ -> drop_lock t aid a)
         addrs);
   Aid.Tbl.remove t.locked aid;
-  Aid.Tbl.remove t.modified aid
+  Aid.Tbl.remove t.modified aid;
+  Aid.Tbl.remove t.ro aid
 
 (* A parked waiter whose wait was cancelled (timeout, or its guardian's
    runtime abandoning it) leaves the queue; removing a blocking head may
@@ -576,6 +850,12 @@ let get_stable_var t name =
   let b = atomic t t.root "get_stable_var" in
   List.assoc_opt name (bindings_of b.a_base)
 
+(* Snapshot view of the stable-variable bindings: reads the root through
+   the snapshot, so the binding and any value read under the same snapshot
+   form one consistent committed cut. *)
+let snapshot_var t s name = List.assoc_opt name (bindings_of (snapshot_read t s t.root))
+let committed_var t name = with_snapshot t (fun s -> snapshot_var t s name)
+
 let stable_var_names t =
   let b = atomic t t.root "stable_var_names" in
   List.map fst (bindings_of b.a_base)
@@ -603,6 +883,10 @@ let install_atomic t ~uid ~base ~cur =
             a_cur = (match cur with Some (_, v) -> Some v | None -> None);
             a_lock = (match cur with Some (aid, _) -> Write aid | None -> Free);
             a_wait = [];
+            (* Recovery images restart the MVCC clock: stamps are volatile
+               and no snapshot survives the crash. *)
+            a_stamp = 0;
+            a_hist = [];
           }
       in
       let a = add_obj t ~uid body in

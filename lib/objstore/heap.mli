@@ -115,7 +115,11 @@ val read_atomic : t -> Rs_util.Aid.t -> addr -> Value.t
     sees: its own current version if it holds the write lock, the base
     version otherwise. If another action holds the write lock (or writers
     are queued ahead), waits through the runtime — or raises
-    {!Lock_conflict} when none is installed. *)
+    {!Lock_conflict} when none is installed.
+
+    If [aid] is registered read-only ({!begin_read_only}), none of the
+    above applies: the read is served from the action's snapshot with zero
+    lock acquisition and zero wait-queue entry (see {!snapshot_read}). *)
 
 val write_lock : t -> Rs_util.Aid.t -> addr -> unit
 (** Acquire the write lock, creating the current version (a copy).
@@ -131,6 +135,77 @@ val set_current : t -> Rs_util.Aid.t -> addr -> Value.t -> unit
 val current_of : t -> Rs_util.Aid.t -> addr -> Value.t
 (** The version the write-lock holder operates on. Raises
     [Invalid_argument] if the action does not hold the write lock. *)
+
+(** {1 Snapshots (MVCC read path)}
+
+    Atomic objects keep a bounded chain of committed versions, each
+    stamped by the heap's commit sequence (one fresh stamp per committing
+    action). A {!snapshot} pins the committed state as of its stamp:
+    every {!snapshot_read} under it returns the newest version installed
+    at or before the stamp — exactly what a serial execution paused at
+    that stamp would show — touching neither the lock table nor any wait
+    queue, so snapshot readers never block writers and never abort.
+
+    History versions are pruned eagerly: a version is dropped the moment
+    no live snapshot's stamp falls in its visibility window, keeping every
+    chain at most [active_snapshots + 1] long (gauged by [mvcc.chain_len]).
+    Snapshot state is {e volatile}: a crash replaces the heap and resets
+    stamps to zero, and a snapshot from the previous incarnation is
+    rejected with [Invalid_argument] rather than read stale chains. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Open a snapshot at the current commit stamp. Holding it open pins the
+    versions it can see; release promptly. *)
+
+val snapshot_stamp : snapshot -> int
+
+val release_snapshot : t -> snapshot -> unit
+(** Release (idempotent); prunes history versions only this snapshot could
+    still observe. *)
+
+val snapshot_read : t -> snapshot -> addr -> Value.t
+(** The newest committed version of [addr] stamped at or before the
+    snapshot. Lock-free and wait-free. Raises [Invalid_argument] if the
+    snapshot is released or from another heap incarnation, if [addr] is
+    not atomic, or if the object has no version at the stamp (it was not
+    committed-reachable when the snapshot opened). *)
+
+val snapshot_var : t -> snapshot -> string -> Value.t option
+(** Stable-variable binding as of the snapshot (the root object is
+    versioned like any other atomic object, so a binding and the value
+    read through it under one snapshot form a single consistent cut). *)
+
+val with_snapshot : t -> (snapshot -> 'a) -> 'a
+(** Open, run, release (also on exception). *)
+
+val committed_read : t -> addr -> Value.t
+(** [with_snapshot t (fun s -> snapshot_read t s a)]: the latest committed
+    version — the one unified committed-peek used by tools and tests. *)
+
+val committed_var : t -> string -> Value.t option
+(** Latest committed stable-variable binding via a throwaway snapshot. *)
+
+val begin_read_only : t -> Rs_util.Aid.t -> snapshot -> unit
+(** Register [aid] as read-only under [s]: its {!read_atomic} calls become
+    snapshot reads, and every mutation entry point ([write_lock],
+    [set_current], [seize], [alloc_atomic], [set_stable_var]) raises
+    [Invalid_argument]. Cleared by {!end_read_only} or action completion. *)
+
+val end_read_only : t -> Rs_util.Aid.t -> unit
+val read_only_of : t -> Rs_util.Aid.t -> snapshot option
+
+val active_snapshots : t -> int
+(** Number of open snapshots (the chain-length bound). *)
+
+val commit_stamp : t -> int
+(** Current commit-sequence value (volatile; 0 on a fresh or recovered
+    heap). *)
+
+val chain_length : t -> addr -> int
+(** Committed versions currently retained for [addr] (base + history);
+    1 when no snapshot pins history. *)
 
 (** {1 Mutex objects} *)
 

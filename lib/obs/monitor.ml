@@ -259,15 +259,70 @@ let handle_liveness_on records =
       pending []
     |> List.sort (fun a b -> compare a.detail b.detail)
 
+(* snapshot-legality: every MVCC read must return the version a serial
+   order at its stamp would — over [Version_install]/[Snap_read] events,
+   per labeled heap (bare heaps, label "", are skipped). Two rules at each
+   [Snap_read {stamp; vstamp}] on (heap, addr):
+   - no version from the future: [vstamp <= stamp];
+   - no {e skipped} install: no earlier-observed [Version_install] on the
+     same object satisfies [vstamp < install <= stamp] — that newer
+     version, still at or before the snapshot stamp, is what a serial
+     execution paused at the stamp would show.
+   [Crash {gid}] clears the heap's install history: stamps are volatile
+   and the replacement heap restarts its commit sequence at zero. Sound
+   under ring truncation: each rule relates a read to the event itself or
+   to earlier installs, so losing old installs can only hide a violation,
+   never invent one. *)
+let snapshot_legal_on records =
+  let installs : (string * int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let violations = ref [] in
+  let bad fmt =
+    Printf.ksprintf
+      (fun detail -> violations := { monitor = "snapshot-legality"; detail } :: !violations)
+      fmt
+  in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.event with
+      | Trace.Version_install { heap; addr; stamp; _ } when heap <> "" ->
+          let k = (heap, addr) in
+          let prev = Option.value (Hashtbl.find_opt installs k) ~default:[] in
+          Hashtbl.replace installs k (stamp :: prev)
+      | Trace.Crash { gid } ->
+          let doomed =
+            Hashtbl.fold (fun (h, a) _ acc -> if h = gid then (h, a) :: acc else acc) installs []
+          in
+          List.iter (Hashtbl.remove installs) doomed
+      | Trace.Snap_read { heap; addr; stamp; vstamp } when heap <> "" ->
+          if vstamp > stamp then
+            bad "%s: snap read of addr %d at stamp %d returned future version %d (seq %d)" heap
+              addr stamp vstamp r.seq
+          else begin
+            match Hashtbl.find_opt installs (heap, addr) with
+            | Some sts -> (
+                match List.find_opt (fun st -> vstamp < st && st <= stamp) sts with
+                | Some newer ->
+                    bad
+                      "%s: snap read of addr %d at stamp %d returned version %d, skipping \
+                       install %d (seq %d)"
+                      heap addr stamp vstamp newer r.seq
+                | None -> ())
+            | None -> ()
+          end
+      | _ -> ())
+    records;
+  List.rev !violations
+
 let commit_implies_durable () = commit_implies_durable_on (Trace.events ())
 let repl_ship_order () = repl_ship_order_on (Trace.events ())
 let log_monotonic () = log_monotonic_on (Trace.events ())
 let lock_legal () = lock_legal_on (Trace.events ())
 let handle_liveness () = handle_liveness_on (Trace.events ())
+let snapshot_legal () = snapshot_legal_on (Trace.events ())
 
 let check () =
   commit_implies_durable () @ repl_ship_order () @ log_monotonic () @ lock_legal ()
-  @ handle_liveness ()
+  @ handle_liveness () @ snapshot_legal ()
 
 let assert_ok ~where () =
   match check () with

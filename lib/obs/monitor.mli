@@ -43,12 +43,21 @@ val handle_liveness : unit -> violation list
     restarted nor been replaced by a promotion — its handles legitimately
     dangle. *)
 
+val snapshot_legal : unit -> violation list
+(** MVCC snapshot-read legality over [Version_install]/[Snap_read] events,
+    per labeled heap: every snapshot read returns the newest version
+    installed at or before its stamp — no future versions, no skipped
+    installs. [Crash {gid}] forgives (stamps are volatile; the replacement
+    heap restarts its commit sequence). *)
+
 val commit_implies_durable_on : Trace.record list -> violation list
 val repl_ship_order_on : Trace.record list -> violation list
 val log_monotonic_on : Trace.record list -> violation list
 val lock_legal_on : Trace.record list -> violation list
 
 val handle_liveness_on : Trace.record list -> violation list
+
+val snapshot_legal_on : Trace.record list -> violation list
 (** The [_on] variants run over an explicit record list instead of the
     ring — for unit tests over synthetic traces. *)
 

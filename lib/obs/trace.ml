@@ -22,6 +22,10 @@ type event =
   | Lock_wait of { heap : string; aid : string; holder : string; addr : int; write : bool }
   | Lock_timeout of { heap : string; aid : string; addr : int }
   | Lock_cancel of { heap : string; aid : string; addr : int }
+  | Snap_open of { heap : string; stamp : int }
+  | Snap_close of { heap : string; stamp : int }
+  | Snap_read of { heap : string; addr : int; stamp : int; vstamp : int }
+  | Version_install of { heap : string; aid : string; addr : int; stamp : int }
   | Handle_submit of { gid : string; aid : string }
   | Handle_resolve of { gid : string; aid : string; committed : bool }
   | Action_shed of { gid : string; in_flight : int }
@@ -119,6 +123,12 @@ let pp_event fmt = function
       Format.fprintf fmt "lock_timeout{heap=%s aid=%s addr=%d}" heap aid addr
   | Lock_cancel { heap; aid; addr } ->
       Format.fprintf fmt "lock_cancel{heap=%s aid=%s addr=%d}" heap aid addr
+  | Snap_open { heap; stamp } -> Format.fprintf fmt "snap_open{heap=%s stamp=%d}" heap stamp
+  | Snap_close { heap; stamp } -> Format.fprintf fmt "snap_close{heap=%s stamp=%d}" heap stamp
+  | Snap_read { heap; addr; stamp; vstamp } ->
+      Format.fprintf fmt "snap_read{heap=%s addr=%d stamp=%d vstamp=%d}" heap addr stamp vstamp
+  | Version_install { heap; aid; addr; stamp } ->
+      Format.fprintf fmt "version_install{heap=%s aid=%s addr=%d stamp=%d}" heap aid addr stamp
   | Handle_submit { gid; aid } -> Format.fprintf fmt "handle_submit{gid=%s aid=%s}" gid aid
   | Handle_resolve { gid; aid; committed } ->
       Format.fprintf fmt "handle_resolve{gid=%s aid=%s committed=%b}" gid aid committed

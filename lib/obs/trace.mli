@@ -59,6 +59,17 @@ type event =
   | Lock_cancel of { heap : string; aid : string; addr : int }
       (** the waiter left the queue without a grant (timeout or crash
           cleanup) — emitted before successors are served *)
+  | Snap_open of { heap : string; stamp : int }
+      (** an MVCC snapshot opened at the heap's current commit stamp *)
+  | Snap_close of { heap : string; stamp : int }
+      (** the snapshot released; history only it observed is pruned *)
+  | Snap_read of { heap : string; addr : int; stamp : int; vstamp : int }
+      (** a lock-free snapshot read at snapshot stamp [stamp] returned the
+          version installed at [vstamp] — the snapshot-legality monitor
+          checks [vstamp] is the newest install at or before [stamp] *)
+  | Version_install of { heap : string; aid : string; addr : int; stamp : int }
+      (** a committing action installed a new base version under [stamp]
+          (one stamp per committing action across all its writes) *)
   | Handle_submit of { gid : string; aid : string }
       (** [System.submit] created a handle (admission checks already
           passed); [gid] is the coordinator *)

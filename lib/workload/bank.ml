@@ -81,17 +81,18 @@ let submit_transfer t ?(amount = 1) () =
     if d = (src_g, src_i) then pick_dst () else d
   in
   let dst_g, dst_i = pick_dst () in
-  ignore
-    (System.submit t.system ~coordinator:src_g
-       ~steps:
-         [
-           (src_g, adjust (acct_name src_i) (-amount));
-           (dst_g, adjust (acct_name dst_i) amount);
-         ]
-       ~on_result:(fun _ outcome ->
-         match outcome with
-         | System.Committed -> t.committed <- t.committed + 1
-         | System.Aborted -> t.aborted <- t.aborted + 1))
+  let h =
+    System.submit t.system ~coordinator:src_g
+      ~steps:
+        [
+          (src_g, adjust (acct_name src_i) (-amount));
+          (dst_g, adjust (acct_name dst_i) amount);
+        ]
+  in
+  Rs_guardian.Action.on_resolve h (fun _ outcome ->
+      match outcome with
+      | System.Committed -> t.committed <- t.committed + 1
+      | System.Aborted -> t.aborted <- t.aborted + 1)
 
 let run t ~n_transfers ?crash_every () =
   let submitted = ref 0 in
@@ -119,16 +120,18 @@ let run t ~n_transfers ?crash_every () =
   System.quiesce t.system
 
 let balances t =
+  (* One read-only action per guardian: every account on the shard is read
+     from a single committed snapshot. *)
   List.concat_map
     (fun gd ->
-      let heap = Guardian.heap gd in
-      List.init t.per_guardian (fun i ->
-          match Heap.get_stable_var heap (acct_name i) with
-          | Some (Value.Ref a) -> (
-              match (Heap.atomic_view heap a).base with
-              | Value.Int b -> b
-              | _ -> failwith "Bank: account is not an int")
-          | Some _ | None -> failwith "Bank: account missing"))
+      System.read_only t.system (Guardian.gid gd) (fun ro ->
+          List.init t.per_guardian (fun i ->
+              match System.ro_var ro (acct_name i) with
+              | Some (Value.Ref a) -> (
+                  match System.ro_read ro a with
+                  | Value.Int b -> b
+                  | _ -> failwith "Bank: account is not an int")
+              | Some _ | None -> failwith "Bank: account missing")))
     (System.guardians t.system)
 
 let check_conservation t =

@@ -88,13 +88,13 @@ let book flight passenger : System.work =
 let submit_booking t ~passenger =
   let office = t.offices.(Rng.int t.rng (Array.length t.offices)) in
   let flight = Rng.int t.rng t.n_flights in
-  ignore
-    (System.submit t.system ~coordinator:office
-       ~steps:[ (t.inventory, book flight passenger) ]
-       ~on_result:(fun _ o ->
-         match o with
-         | System.Committed -> t.committed <- t.committed + 1
-         | System.Aborted -> t.aborted <- t.aborted + 1))
+  let h =
+    System.submit t.system ~coordinator:office ~steps:[ (t.inventory, book flight passenger) ]
+  in
+  Rs_guardian.Action.on_resolve h (fun _ o ->
+      match o with
+      | System.Committed -> t.committed <- t.committed + 1
+      | System.Aborted -> t.aborted <- t.aborted + 1)
 
 let run t ~n_bookings ?crash_every () =
   for i = 1 to n_bookings do
@@ -112,20 +112,26 @@ let run t ~n_bookings ?crash_every () =
 
 let flight_states t =
   let heap = Guardian.heap (System.guardian t.system t.inventory) in
-  List.init t.n_flights (fun f ->
-      let seats_left, manifest =
-        match Heap.get_stable_var heap (flight_name f) with
-        | Some (Value.Ref a) -> (
-            match (Heap.atomic_view heap a).base with
-            | Value.Tup [| Value.Int seats; Value.Tup m |] ->
-                ( seats,
-                  Array.to_list m
-                  |> List.map (function
-                       | Value.Str s -> s
-                       | v -> Format.asprintf "%a" Value.pp v) )
-            | _ -> failwith "Reservation: bad flight state")
-        | Some _ | None -> failwith "Reservation: flight missing"
-      in
+  (* Flight records come from one committed snapshot; the attempts
+     counters are mutex objects, modified in place (§2.4.2), so they are
+     read directly — they have no version chain to snapshot. *)
+  let flights =
+    System.read_only t.system t.inventory (fun ro ->
+        List.init t.n_flights (fun f ->
+            match System.ro_var ro (flight_name f) with
+            | Some (Value.Ref a) -> (
+                match System.ro_read ro a with
+                | Value.Tup [| Value.Int seats; Value.Tup m |] ->
+                    ( seats,
+                      Array.to_list m
+                      |> List.map (function
+                           | Value.Str s -> s
+                           | v -> Format.asprintf "%a" Value.pp v) )
+                | _ -> failwith "Reservation: bad flight state")
+            | Some _ | None -> failwith "Reservation: flight missing"))
+  in
+  List.mapi
+    (fun f (seats_left, manifest) ->
       let attempts =
         match Heap.get_stable_var heap (attempts_name f) with
         | Some (Value.Ref m) -> (
@@ -135,6 +141,7 @@ let flight_states t =
         | Some _ | None -> failwith "Reservation: counter missing"
       in
       { seats_left; manifest; attempts })
+    flights
 
 let check_invariant t =
   let rec go f = function

@@ -174,10 +174,10 @@ let test_cross_shard_non_coordinator () =
   in
   Alcotest.(check bool) "commits" true (System.await system h = System.Committed);
   System.quiesce system;
-  (match Directory.read_committed d ka with
+  (match Directory.snapshot_read d ka with
   | Some (Value.Int 1) -> ()
   | _ -> Alcotest.fail "ka not updated");
-  match Directory.read_committed d kb with
+  match Directory.snapshot_read d kb with
   | Some (Value.Int 1) -> ()
   | _ -> Alcotest.fail "kb not updated"
 

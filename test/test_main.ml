@@ -25,6 +25,7 @@ let () =
       ("load", Test_load.suite);
       ("dir", Test_dir.suite);
       ("repl", Test_repl.suite);
+      ("mvcc", Test_mvcc.suite);
       (* Last: also runs the always-on spec monitors over the trace ring. *)
       ("nemesis", Test_nemesis.suite);
     ]

@@ -37,10 +37,11 @@ let set_var name v : System.work =
 
 let stable_int gd name =
   let heap = Guardian.heap gd in
-  match Heap.get_stable_var heap name with
-  | Some (Value.Ref a) -> (
-      match (Heap.atomic_view heap a).base with Value.Int v -> Some v | _ -> None)
-  | Some _ | None -> None
+  Heap.with_snapshot heap (fun s ->
+      match Heap.snapshot_var heap s name with
+      | Some (Value.Ref a) -> (
+          match Heap.snapshot_read heap s a with Value.Int v -> Some v | _ -> None)
+      | Some _ | None -> None)
 
 let submit_and_wait sys ~coordinator ~steps =
   let h = System.submit sys ~coordinator ~steps in
@@ -396,7 +397,7 @@ let test_directory_retargets_on_failover () =
   Alcotest.(check bool) "post-failover directory commit" true
     (System.await sys h = System.Committed);
   System.quiesce sys;
-  (match Directory.read_committed d key with
+  (match Directory.snapshot_read d key with
   | Some (Value.Int 42) -> ()
   | _ -> Alcotest.fail "value not served by the heir");
   match Directory.verify_unique_uids d with

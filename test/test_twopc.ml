@@ -9,6 +9,7 @@ module Value = Rs_objstore.Value
 module Gid = Rs_util.Gid
 module Aid = Rs_util.Aid
 module Sim = Rs_sim.Sim
+module Action = Rs_guardian.Action
 
 let g = Gid.of_int
 
@@ -24,12 +25,13 @@ let set_var name v : System.work =
 
 let stable_int gd name =
   let heap = Guardian.heap gd in
-  match Heap.get_stable_var heap name with
-  | Some (Value.Ref a) -> (
-      match (Heap.atomic_view heap a).base with
-      | Value.Int v -> Some v
-      | _ -> None)
-  | Some _ | None -> None
+  Heap.with_snapshot heap (fun s ->
+      match Heap.snapshot_var heap s name with
+      | Some (Value.Ref a) -> (
+          match Heap.snapshot_read heap s a with
+          | Value.Int v -> Some v
+          | _ -> None)
+      | Some _ | None -> None)
 
 let submit_and_wait sys ~coordinator ~steps =
   let h = System.submit sys ~coordinator ~steps in
@@ -85,10 +87,10 @@ let test_participant_crash_before_prepare_arrives () =
   let sys = System.create ~latency:2.0 ~n:2 () in
   let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
   let result = ref None in
-  ignore
+  Action.on_resolve
     (System.submit sys ~coordinator:(g 0)
-       ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-       ~on_result:(fun _ o -> result := Some o));
+       ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ])
+    (fun _ o -> result := Some o);
   (* Crash g1 before any message can be delivered (latency 2). *)
   System.crash sys (g 1);
   ignore (System.restart sys (g 1));
@@ -110,10 +112,10 @@ let crash_matrix victim () =
     let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
     let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] in
     let verdict = ref None in
-    ignore
+    Action.on_resolve
       (System.submit sys ~coordinator:(g 0)
-         ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-         ~on_result:(fun _ o -> verdict := Some o));
+         ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ])
+      (fun _ o -> verdict := Some o);
     (* Run exactly [crash_after] events, then crash the victim. *)
     let rec steps n = if n > 0 && Sim.step (System.sim sys) then steps (n - 1) in
     steps crash_after;
@@ -150,14 +152,12 @@ let test_lock_wait_serializes () =
      the first commits, the lock transfers and the second runs. Both
      commit, in submission order: last writer wins. *)
   let outcomes = ref [] in
-  ignore
-    (System.submit sys ~coordinator:(g 0)
-       ~steps:[ (g 0, set_var "x" 2) ]
-       ~on_result:(fun _ o -> outcomes := o :: !outcomes));
-  ignore
-    (System.submit sys ~coordinator:(g 0)
-       ~steps:[ (g 0, set_var "x" 3) ]
-       ~on_result:(fun _ o -> outcomes := o :: !outcomes));
+  Action.on_resolve
+    (System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 2) ])
+    (fun _ o -> outcomes := o :: !outcomes);
+  Action.on_resolve
+    (System.submit sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 3) ])
+    (fun _ o -> outcomes := o :: !outcomes);
   System.quiesce sys;
   let committed = List.length (List.filter (( = ) System.Committed) !outcomes) in
   let aborted = List.length (List.filter (( = ) System.Aborted) !outcomes) in
@@ -252,14 +252,14 @@ let test_message_loss_tolerated () =
   let sys = System.create ~seed:99 ~drop_prob:0.2 ~n:2 () in
   let done_count = ref 0 in
   for i = 1 to 10 do
-    ignore
+    Action.on_resolve
       (System.submit sys ~coordinator:(g 0)
          ~steps:
            [
              (g 0, set_var (Printf.sprintf "x%d" i) i);
              (g 1, set_var (Printf.sprintf "y%d" i) i);
-           ]
-         ~on_result:(fun _ _ -> incr done_count))
+           ])
+      (fun _ _ -> incr done_count)
   done;
   System.quiesce ~limit:100_000.0 sys;
   Alcotest.(check int) "all actions resolved" 10 !done_count;
@@ -281,10 +281,10 @@ let test_query_during_preparing () =
   let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
   let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] in
   let verdict = ref None in
-  ignore
+  Action.on_resolve
     (System.submit sys ~coordinator:(g 0)
-       ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-       ~on_result:(fun _ o -> verdict := Some o));
+       ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ])
+    (fun _ o -> verdict := Some o);
   (* Let the prepare reach g1 and its prepared record hit the log, then
      crash g1 so its Prepared_reply is lost and, on restart, it starts
      querying while g0 still waits in the preparing phase. *)
@@ -431,10 +431,10 @@ let test_partition_blocks_then_heals () =
   let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 0, set_var "x" 1) ] in
   let _ = submit_and_wait sys ~coordinator:(g 0) ~steps:[ (g 1, set_var "y" 1) ] in
   let verdict = ref None in
-  ignore
+  Action.on_resolve
     (System.submit sys ~coordinator:(g 0)
-       ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ]
-       ~on_result:(fun _ o -> verdict := Some o));
+       ~steps:[ (g 0, set_var "x" 2); (g 1, set_var "y" 2) ])
+    (fun _ o -> verdict := Some o);
   (* Let g1 prepare, then cut it off before the commit arrives. *)
   let rec until_prepared n =
     if
